@@ -1,0 +1,83 @@
+"""Ablation — implicit tags vs naive permanent tag propagation (§3.2).
+
+Reproduces the Figure 6 chain at scale: text flows itool -> wiki, the
+itool original is then rewritten, and the wiki copy moves on to a
+service privileged only for wiki data. With implicit tags (paper) the
+final hop is allowed; with naive propagation (inherited tags treated as
+explicit and propagated onwards) the stale itool tag blocks it — a
+false positive. The benchmark counts false positives over many chains.
+"""
+
+import random
+
+from repro.datasets.synthesis import TextSynthesizer
+from repro.eval.reporting import format_table
+from repro.fingerprint.config import PAPER_CONFIG
+from repro.tdm import Label, PolicyStore, TextDisclosureModel
+
+ITOOL = "https://itool.example"
+WIKI = "https://wiki.example"
+PARTNER = "https://partner.example"  # privileged for tw only
+
+N_CHAINS = 12
+
+
+def _fresh_model():
+    policies = PolicyStore()
+    policies.register_service(ITOOL, privilege=Label.of("ti", "tw"),
+                              confidentiality=Label.of("ti"))
+    policies.register_service(WIKI, privilege=Label.of("tw", "ti"),
+                              confidentiality=Label.of("tw"))
+    policies.register_service(PARTNER, privilege=Label.of("tw"))
+    return TextDisclosureModel(
+        policies, PAPER_CONFIG, paragraph_threshold=0.3, document_threshold=0.3
+    )
+
+
+def _run_chains(naive):
+    rng = random.Random("ablation-implicit")
+    synth = TextSynthesizer("mysql", rng)
+    model = _fresh_model()
+    false_positives = 0
+    for i in range(N_CHAINS):
+        secret = synth.paragraph(4, 6)
+        filler = synth.paragraph(4, 6)
+        rewritten = synth.paragraph(4, 6)
+        # A in the Interview Tool; B in the Wiki.
+        model.observe(ITOOL, f"A{i}", [(f"A{i}#p0", secret)])
+        model.observe(WIKI, f"B{i}", [(f"B{i}#p0", filler)])
+        # User appends A's text to B (allowed: Lp(wiki) includes ti).
+        b_text = filler + " " + secret
+        decision = model.check_upload(WIKI, f"B{i}", [(f"B{i}#p0", b_text)])
+        model.commit_upload(WIKI, f"B{i}", [(f"B{i}#p0", b_text)], decision)
+        if naive:
+            # Naive variant: inherited tags become explicit, so they
+            # will propagate onwards like any other tag.
+            label = model.label_of(f"B{i}#p0")
+            model.set_label(f"B{i}#p0", label.add_explicit(label.implicit))
+        # A is rewritten beyond recognition.
+        model.observe(ITOOL, f"A{i}", [(f"A{i}#p0", rewritten)])
+        # The A-derived half of B moves to the partner service.
+        final = model.check_upload(PARTNER, f"C{i}", [(f"C{i}#p0", secret)])
+        if not final.allowed:
+            false_positives += 1
+    return false_positives
+
+
+def test_ablation_implicit_tags(benchmark, report):
+    fp_implicit = benchmark.pedantic(
+        _run_chains, args=(False,), iterations=1, rounds=1
+    )
+    fp_naive = _run_chains(True)
+    report(
+        format_table(
+            ["Variant", "Stale-tag false positives", "Chains"],
+            [
+                ["implicit tags (paper §3.2)", fp_implicit, N_CHAINS],
+                ["naive permanent propagation", fp_naive, N_CHAINS],
+            ],
+            title="Ablation: implicit tags prevent outdated-tag propagation",
+        )
+    )
+    assert fp_implicit == 0
+    assert fp_naive == N_CHAINS

@@ -1,0 +1,119 @@
+"""Baseline — network-level DLP vs the in-browser plug-in (paper §2.2).
+
+The paper argues that wire-level DLP — even fingerprint-based stream
+scanning — cannot protect modern AJAX services because their sync
+protocols ship obfuscated per-character deltas, while the in-browser
+plug-in sees the clear text in the DOM. This benchmark measures that
+head to head across three exfiltration paths:
+
+* form-based (forum post of internal text): full text on the wire →
+  both catch it;
+* AJAX paste (one insert delta with the pasted chunk): text visible in
+  the delta → both catch it;
+* AJAX typing (per-keystroke deltas): one character per request →
+  only BrowserFlow catches it.
+"""
+
+import random
+
+from repro.datasets.synthesis import TextSynthesizer
+from repro.dlp import DlpMode, NetworkDlpFirewall
+from repro.eval.reporting import format_table
+from repro.fingerprint.config import PAPER_CONFIG
+from repro.plugin import BrowserFlowPlugin
+from repro.services import DocsService, ForumService, Network, WikiService
+from repro.browser import Browser
+from repro.tdm import Label, PolicyStore, TextDisclosureModel
+
+N_SECRETS = 10
+
+
+def _environment(protection: str, secrets):
+    """Build a fresh browser+services world guarded by one mechanism."""
+    network = Network()
+    wiki = WikiService()
+    docs = DocsService()
+    forum = ForumService()
+    for service in (wiki, docs, forum):
+        network.register(service)
+    browser = Browser(network)
+
+    if protection == "browserflow":
+        policies = PolicyStore()
+        policies.register_service(
+            wiki.origin, privilege=Label.of("tw"), confidentiality=Label.of("tw")
+        )
+        policies.register_service(docs.origin)
+        policies.register_service(forum.origin)
+        model = TextDisclosureModel(policies, PAPER_CONFIG)
+        plugin = BrowserFlowPlugin(model)
+        plugin.attach(browser)
+        for i, secret in enumerate(secrets):
+            wiki.save_page(f"S{i}", secret)
+            browser.open(wiki.page_url(f"S{i}"))  # plug-in labels {tw}
+    else:
+        firewall = NetworkDlpFirewall(
+            PAPER_CONFIG, threshold=0.5, mode=DlpMode.BLOCK
+        )
+        for i, secret in enumerate(secrets):
+            wiki.save_page(f"S{i}", secret)
+            firewall.register_sensitive(f"S{i}", secret)
+        network.add_interceptor(firewall)
+    return browser, wiki, docs, forum
+
+
+def _run_attacks(protection: str, secrets):
+    """Returns leaks-prevented counts per exfiltration path."""
+    browser, wiki, docs, forum = _environment(protection, secrets)
+    prevented = {"form": 0, "ajax-paste": 0, "ajax-typing": 0}
+    for i, secret in enumerate(secrets):
+        # Form path: post the internal text to an untrusted forum.
+        if not forum.post(browser.new_tab(), f"leak-{i}", secret):
+            prevented["form"] += 1
+        editor = docs.open_editor(browser.new_tab())
+        if not editor.paste(editor.new_paragraph(), secret):
+            prevented["ajax-paste"] += 1
+        editor2 = docs.open_editor(browser.new_tab())
+        par = editor2.new_paragraph()
+        editor2.type_text(par, secret)
+        stored = docs.backend.get(editor2.doc_id).find_paragraph(
+            editor2.paragraph_id(par)
+        )
+        # Prevented iff the backend never accumulated the secret.
+        if stored is None or secret not in stored:
+            prevented["ajax-typing"] += 1
+    return prevented
+
+
+def test_baseline_network_dlp(benchmark, report):
+    rng = random.Random("baseline-dlp")
+    synth = TextSynthesizer("mysql", rng)
+    secrets = [synth.paragraph(4, 6) for _ in range(N_SECRETS)]
+
+    browserflow = benchmark.pedantic(
+        _run_attacks, args=("browserflow", secrets), iterations=1, rounds=1
+    )
+    wire_dlp = _run_attacks("wire-dlp", secrets)
+
+    report(
+        format_table(
+            ["Exfiltration path", "BrowserFlow prevented", "Wire DLP prevented",
+             "Attempts"],
+            [
+                ["forum form post", browserflow["form"], wire_dlp["form"], N_SECRETS],
+                ["AJAX paste (chunk delta)", browserflow["ajax-paste"],
+                 wire_dlp["ajax-paste"], N_SECRETS],
+                ["AJAX typing (char deltas)", browserflow["ajax-typing"],
+                 wire_dlp["ajax-typing"], N_SECRETS],
+            ],
+            title="Baseline: in-browser tracking vs network-level DLP (§2.2)",
+        )
+    )
+    # Both mechanisms handle the form path and chunk-level deltas.
+    assert browserflow["form"] == N_SECRETS
+    assert wire_dlp["form"] == N_SECRETS
+    assert browserflow["ajax-paste"] == N_SECRETS
+    assert wire_dlp["ajax-paste"] == N_SECRETS
+    # Per-keystroke sync defeats the wire scanner but not the plug-in.
+    assert browserflow["ajax-typing"] == N_SECRETS
+    assert wire_dlp["ajax-typing"] == 0

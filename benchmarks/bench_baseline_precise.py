@@ -1,0 +1,141 @@
+"""Baseline — precise clipboard/taint tracking vs imprecise tracking.
+
+The paper's §1 names two challenges precise tracking cannot meet:
+(i) users move and modify text in arbitrary ways, including through
+applications outside the browser; (ii) tracking must account for
+*decreased* disclosure — heavily edited text becomes safe to share.
+This benchmark runs four transfer scenarios through both mechanisms and
+scores correct decisions:
+
+1. direct copy/paste of sensitive text        (leak: both should block)
+2. retyping the sensitive text from memory    (leak: only similarity sees it)
+3. round-trip through a native editor, light edit (leak: provenance lost)
+4. full rewrite until nothing is disclosed    (safe: taint over-blocks)
+"""
+
+import random
+
+from repro.baselines import ExternalEditor, PreciseClipboardTracker
+from repro.browser.clipboard import Clipboard
+from repro.datasets.synthesis import EditModel, TextSynthesizer
+from repro.eval.reporting import format_table
+from repro.fingerprint.config import PAPER_CONFIG
+from repro.eval.experiments import DOCS_SERVICE, LIBRARY_SERVICE
+from repro.tdm import Label, PolicyStore, TextDisclosureModel
+
+N_CASES = 10
+
+
+def _policies():
+    policies = PolicyStore()
+    policies.register_service(
+        LIBRARY_SERVICE, privilege=Label.of("lib"), confidentiality=Label.of("lib")
+    )
+    policies.register_service(DOCS_SERVICE)
+    return policies
+
+
+def _run_scenarios():
+    """Returns per-scenario correct-decision counts for both trackers."""
+    rng = random.Random("baseline-precise")
+    synth = TextSynthesizer("mysql", rng)
+    editor_model = EditModel(synth, rng)
+
+    policies = _policies()
+    model = TextDisclosureModel(policies, PAPER_CONFIG)
+    precise = PreciseClipboardTracker(policies)
+    clipboard = Clipboard()
+
+    correct = {
+        "browserflow": {"copy-paste": 0, "retyped": 0, "external-edit": 0,
+                        "full-rewrite": 0},
+        "precise": {"copy-paste": 0, "retyped": 0, "external-edit": 0,
+                    "full-rewrite": 0},
+    }
+
+    for i in range(N_CASES):
+        secret = synth.paragraph(4, 6)
+        src_seg = f"{LIBRARY_SERVICE}|doc{i}#p0"
+        model.observe(LIBRARY_SERVICE, f"{LIBRARY_SERVICE}|doc{i}",
+                      [(src_seg, secret)])
+
+        # 1. Direct copy/paste (a leak; blocking is correct).
+        entry = clipboard.copy(secret, source_origin=LIBRARY_SERVICE)
+        precise.on_copy(entry)
+        seg = f"{DOCS_SERVICE}|cp{i}#p0"
+        precise.on_paste(seg, entry)
+        if not precise.check_upload(DOCS_SERVICE, seg):
+            correct["precise"]["copy-paste"] += 1
+        decision = model.check_upload(DOCS_SERVICE, f"cp{i}", [(seg, secret)])
+        if not decision.allowed:
+            correct["browserflow"]["copy-paste"] += 1
+
+        # 2. Retyped from memory (a leak; clipboard never involved).
+        seg = f"{DOCS_SERVICE}|rt{i}#p0"
+        precise.on_type(seg)
+        if not precise.check_upload(DOCS_SERVICE, seg):
+            correct["precise"]["retyped"] += 1
+        decision = model.check_upload(DOCS_SERVICE, f"rt{i}", [(seg, secret)])
+        if not decision.allowed:
+            correct["browserflow"]["retyped"] += 1
+
+        # 3. External-editor round trip with a light edit (still a leak).
+        entry = clipboard.copy(secret, source_origin=LIBRARY_SERVICE)
+        precise.on_copy(entry)
+        native = ExternalEditor()
+        native.paste_from(clipboard)
+        lightly_edited = native.edit(
+            lambda text: editor_model.substitute_words(text, 0.05)
+        )
+        laundered = native.copy_to(clipboard)
+        precise.on_copy(laundered)
+        seg = f"{DOCS_SERVICE}|xe{i}#p0"
+        precise.on_paste(seg, laundered)
+        if not precise.check_upload(DOCS_SERVICE, seg):
+            correct["precise"]["external-edit"] += 1
+        decision = model.check_upload(
+            DOCS_SERVICE, f"xe{i}", [(seg, lightly_edited)]
+        )
+        if not decision.allowed:
+            correct["browserflow"]["external-edit"] += 1
+
+        # 4. Full rewrite (safe to share; allowing is correct).
+        entry = clipboard.copy(secret, source_origin=LIBRARY_SERVICE)
+        precise.on_copy(entry)
+        seg = f"{DOCS_SERVICE}|fr{i}#p0"
+        precise.on_paste(seg, entry)
+        rewritten = synth.paragraph(4, 6)  # shares no content
+        precise.on_edit(seg)
+        if precise.check_upload(DOCS_SERVICE, seg):
+            correct["precise"]["full-rewrite"] += 1
+        decision = model.check_upload(DOCS_SERVICE, f"fr{i}", [(seg, rewritten)])
+        if decision.allowed:
+            correct["browserflow"]["full-rewrite"] += 1
+
+    return correct
+
+
+def test_baseline_precise_tracking(benchmark, report):
+    correct = benchmark.pedantic(_run_scenarios, iterations=1, rounds=1)
+    bf, pr = correct["browserflow"], correct["precise"]
+    report(
+        format_table(
+            ["Scenario", "Ground truth", "BrowserFlow correct", "Precise correct",
+             "Cases"],
+            [
+                ["direct copy/paste", "leak", bf["copy-paste"], pr["copy-paste"], N_CASES],
+                ["retyped from memory", "leak", bf["retyped"], pr["retyped"], N_CASES],
+                ["external editor, light edit", "leak", bf["external-edit"],
+                 pr["external-edit"], N_CASES],
+                ["full rewrite", "safe", bf["full-rewrite"], pr["full-rewrite"], N_CASES],
+            ],
+            title="Baseline: imprecise (similarity) vs precise (taint) tracking",
+        )
+    )
+    # Both catch the observed copy/paste.
+    assert bf["copy-paste"] == N_CASES and pr["copy-paste"] == N_CASES
+    # Only similarity catches unobserved channels (challenge (i)).
+    assert bf["retyped"] == N_CASES and pr["retyped"] == 0
+    assert bf["external-edit"] == N_CASES and pr["external-edit"] == 0
+    # Only similarity releases rewritten text (challenge (ii)).
+    assert bf["full-rewrite"] == N_CASES and pr["full-rewrite"] == 0

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the core operations behind every figure.
+
+Not tied to a paper exhibit; these keep the cost model of the engine
+visible: fingerprinting throughput, Algorithm 1 query latency, and
+label flow checks.
+"""
+
+import random
+
+from repro.datasets.synthesis import TextSynthesizer
+from repro.disclosure import DisclosureEngine
+from repro.fingerprint import Fingerprinter
+from repro.fingerprint.config import PAPER_CONFIG
+from repro.tdm.labels import Label, SegmentLabel
+
+
+def test_fingerprint_throughput(benchmark):
+    rng = random.Random("core-fp")
+    synth = TextSynthesizer("fiction", rng)
+    text = " ".join(synth.paragraph(5, 8) for _ in range(20))
+    fp = Fingerprinter(PAPER_CONFIG)
+    result = benchmark(fp.fingerprint, text)
+    assert not result.is_empty()
+    benchmark.extra_info["chars"] = len(text)
+
+
+def test_algorithm1_query(benchmark):
+    rng = random.Random("core-query")
+    synth = TextSynthesizer("fiction", rng)
+    engine = DisclosureEngine(PAPER_CONFIG)
+    for i in range(300):
+        engine.observe(f"s{i}", synth.paragraph(4, 7))
+    target = engine.segment_db.get("s42").fingerprint
+    result = benchmark(engine.disclosing_sources, fingerprint=target)
+    assert "s42" in result.source_ids()
+
+
+def test_incremental_observe(benchmark):
+    rng = random.Random("core-observe")
+    synth = TextSynthesizer("fiction", rng)
+    engine = DisclosureEngine(PAPER_CONFIG)
+    paragraph = synth.paragraph(5, 8)
+    counter = iter(range(10**9))
+
+    def observe_fresh():
+        engine.observe(f"p{next(counter)}", paragraph)
+
+    benchmark(observe_fresh)
+
+
+def test_label_flow_check(benchmark):
+    label = SegmentLabel.of(explicit=["ti", "tw"], implicit=["tn"])
+    privilege = Label.of("ti", "tw", "tn", "tx")
+    result = benchmark(label.flows_to, privilege)
+    assert result

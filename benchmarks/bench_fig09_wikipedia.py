@@ -1,0 +1,70 @@
+"""Figure 9 — paragraph disclosure across Wikipedia revisions.
+
+Paper shape (Tpar = 0.5, 15-char n-grams, window 30, 32-bit hashes):
+
+* 9a, low length variation (Chicago, C++, IP address, Liverpool FC):
+  disclosure stays near 100% of base paragraphs across revisions;
+* 9b, high variation (Chemotherapy, Dementia, Dow Jones, Radiotherapy):
+  disclosure decays towards 0-20% as content churns.
+"""
+
+from repro.datasets.wikipedia import STABLE_TITLES, VOLATILE_TITLES
+from repro.eval import figure9_paragraph_disclosure
+from repro.eval.charts import series_plot
+from repro.eval.reporting import format_series
+from repro.fingerprint.config import PAPER_CONFIG
+
+
+def _series_for(corpus, titles, step):
+    results = figure9_paragraph_disclosure(
+        corpus,
+        config=PAPER_CONFIG,
+        threshold=0.5,
+        revision_step=step,
+        titles=titles,
+    )
+    return {
+        title: [(float(i), pct) for i, pct in series]
+        for title, series in results.items()
+    }
+
+
+def test_figure9a_low_variation(benchmark, report, wikipedia_corpus):
+    n_rev = len(wikipedia_corpus.articles[0].revisions)
+    step = max(1, n_rev // 10)
+    series = benchmark(_series_for, wikipedia_corpus, list(STABLE_TITLES), step)
+    report(
+        format_series(
+            series,
+            title="Figure 9a: Paragraph disclosure, articles with low length variation",
+            x_label="revisions from base",
+            y_label="disclosing paragraphs %",
+        )
+    )
+    for title, points in series.items():
+        assert points[-1][1] >= 60.0, (title, points[-1])
+
+
+def test_figure9b_high_variation(benchmark, report, wikipedia_corpus):
+    n_rev = len(wikipedia_corpus.articles[0].revisions)
+    step = max(1, n_rev // 10)
+    series = benchmark(_series_for, wikipedia_corpus, list(VOLATILE_TITLES), step)
+    report(
+        format_series(
+            series,
+            title="Figure 9b: Paragraph disclosure, articles with high length variation",
+            x_label="revisions from base",
+            y_label="disclosing paragraphs %",
+        )
+        + "\n"
+        + series_plot(
+            series,
+            width=60,
+            height=10,
+            title="(shape: decay towards zero as content churns)",
+            y_label="%",
+        )
+    )
+    for title, points in series.items():
+        assert points[-1][1] < points[0][1], title
+        assert points[-1][1] <= 40.0, (title, points[-1])

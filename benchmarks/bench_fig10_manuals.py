@@ -1,0 +1,51 @@
+"""Figure 10 — paragraph disclosure vs expert ground truth (Manuals).
+
+Paper shape: BrowserFlow's bars track the human expert closely; both
+iPhone chapters decay to near zero by iOS7, MySQL "New Features" drops
+after 4.1, "What's MySQL" stays at ~100%. The residual gap is the
+systematic false-negative class (rephrased paragraphs).
+"""
+
+from repro.eval import figure10_manuals_disclosure
+from repro.eval.reporting import format_table
+from repro.fingerprint.config import PAPER_CONFIG
+
+
+def test_figure10_manuals_disclosure(benchmark, report, manuals_corpus):
+    results = benchmark(
+        figure10_manuals_disclosure,
+        manuals_corpus,
+        config=PAPER_CONFIG,
+        threshold=0.5,
+    )
+    rows = []
+    for chapter_id, points in results.items():
+        for point in points:
+            rows.append(
+                [
+                    chapter_id,
+                    point.version,
+                    point.ground_truth_pct,
+                    point.browserflow_pct,
+                ]
+            )
+    report(
+        format_table(
+            ["Chapter", "Version", "Ground truth %", "BrowserFlow %"],
+            rows,
+            title="Figure 10: Paragraph disclosure (Manuals dataset)",
+        )
+    )
+    # Shape assertions per the paper.
+    for chapter_id in ("iphone-camera", "iphone-message"):
+        series = results[chapter_id]
+        assert series[-1].browserflow_pct <= 25.0
+        assert series[-1].browserflow_pct < series[0].browserflow_pct
+    for point in results["mysql-whats-mysql"]:
+        assert point.browserflow_pct >= 80.0
+    nf = results["mysql-new-features"]
+    assert nf[0].browserflow_pct > nf[-1].browserflow_pct
+    # BrowserFlow never reports more than the expert plus noise.
+    for points in results.values():
+        for point in points:
+            assert point.browserflow_pct <= point.ground_truth_pct + 10.0

@@ -1,0 +1,36 @@
+"""Figure 11 — impact of the paragraph disclosure threshold Tpar.
+
+Paper shape: the ratio of BrowserFlow-detected over expert-reported
+disclosure stays within ~10% of 1 for Tpar in [0.2, 0.8] and degrades
+at the extremes (false negatives at high Tpar). Based on this the paper
+adopts Tpar = 0.5.
+"""
+
+from repro.eval import figure11_threshold_sweep
+from repro.eval.reporting import format_series
+from repro.fingerprint.config import PAPER_CONFIG
+
+THRESHOLDS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def test_figure11_threshold_sweep(benchmark, report, manuals_corpus):
+    sweep = benchmark(
+        figure11_threshold_sweep,
+        manuals_corpus,
+        config=PAPER_CONFIG,
+        thresholds=THRESHOLDS,
+    )
+    report(
+        format_series(
+            {"detected/ground-truth": [(t, r) for t, r in sweep]},
+            title="Figure 11: Impact of paragraph disclosure threshold",
+            x_label="Tpar",
+            y_label="ratio",
+        )
+    )
+    ratios = dict(sweep)
+    # Agreement band: within ~15% of the expert for mid thresholds.
+    for t in (0.2, 0.3, 0.4, 0.5, 0.6, 0.7):
+        assert 0.85 <= ratios[t] <= 1.15, (t, ratios[t])
+    # Degradation outside the band (false negatives at high Tpar).
+    assert ratios[1.0] < ratios[0.5]

@@ -1,0 +1,68 @@
+"""Shared corpora and helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's tables/figures and
+prints the rows/series the paper reports (through ``capsys.disabled``
+so the output is visible under pytest's capture). Scale is controlled
+by ``BF_BENCH_SCALE`` (default 1.0): e.g. ``BF_BENCH_SCALE=4 pytest
+benchmarks/ --benchmark-only`` approaches the paper's corpus sizes at
+the cost of a longer run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import EbookCorpus, ManualsCorpus, WikipediaCorpus
+
+SCALE = float(os.environ.get("BF_BENCH_SCALE", "1.0"))
+SEED = int(os.environ.get("BF_BENCH_SEED", "2016"))
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    return max(minimum, round(value * SCALE))
+
+
+@pytest.fixture(scope="session")
+def wikipedia_corpus():
+    return WikipediaCorpus.generate(
+        n_extra_articles=scaled(12),
+        n_revisions=scaled(100, minimum=10),
+        seed=SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def manuals_corpus():
+    return ManualsCorpus.generate(seed=SEED, scale=max(SCALE, 0.5))
+
+
+@pytest.fixture(scope="session")
+def ebook_corpus():
+    return EbookCorpus.generate(
+        n_books=scaled(24),
+        paragraphs_per_book=scaled(100, minimum=20),
+        seed=SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def large_ebook_corpus():
+    """Bigger corpus for the Figure 13 database-size sweep."""
+    return EbookCorpus.generate(
+        n_books=scaled(40),
+        paragraphs_per_book=scaled(120, minimum=20),
+        seed=SEED + 1,
+    )
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report section to the real terminal despite capture."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return emit

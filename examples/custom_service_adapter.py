@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Protecting a brand-new AJAX service with one adapter.
+
+The paper claims its two browser mechanisms support new services "with
+minimal effort" (§5.2). This example builds a toy kanban-board service
+from scratch — cards hold text in the DOM and sync via XHR — and then
+protects it by registering a single
+:class:`~repro.plugin.adapters.EditorAdapter` plus a tiny body parser.
+
+Run with:  python examples/custom_service_adapter.py
+"""
+
+import json
+
+from repro import (
+    Browser,
+    BrowserFlowPlugin,
+    EditorAdapter,
+    Label,
+    Network,
+    PolicyStore,
+    TextDisclosureModel,
+    WikiService,
+)
+from repro.browser.dom import Document
+from repro.browser.http import HttpRequest, HttpResponse
+from repro.errors import RequestBlocked
+from repro.services.base import CloudService
+
+SECRET = (
+    "Migration runbook: the customer database failover drill is scheduled "
+    "for the first Saturday of next month and the rollback window is "
+    "forty-five minutes end to end."
+)
+
+
+class KanbanService(CloudService):
+    """A minimal kanban board: cards in the DOM, XHR sync."""
+
+    def __init__(self):
+        super().__init__("https://kanban.example.com", "Kanban")
+
+    def render(self, url):
+        document = Document()
+        board = document.create_element("div", {"id": "board"})
+        document.body.append_child(board)
+        stored = self.backend.find("board")
+        if stored is not None:
+            for card_id, text in stored.paragraphs:
+                board.append_child(self._card(document, card_id, text))
+        return document
+
+    def _card(self, document, card_id, text):
+        card = document.create_element(
+            "div", {"class": "card", "data-card-id": card_id}
+        )
+        card.set_text(text)
+        return card
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        if request.method == "POST" and request.path == "/card":
+            payload = json.loads(request.body or "{}")
+            doc = self.backend.find("board") or self.backend.create(doc_id="board")
+            doc.paragraphs.append((payload["card_id"], payload["text"]))
+            return HttpResponse(body="ok")
+        return HttpResponse(status=404)
+
+    # Client-side helper: add a card (DOM first, then sync).
+    def add_card(self, tab, text):
+        card_id = self.backend.new_par_id()
+        board = tab.document.get_element_by_id("board")
+        board.append_child(self._card(tab.document, card_id, text))
+        xhr = tab.window.new_xhr()
+        xhr.open("POST", self.url("/card"))
+        try:
+            xhr.send(json.dumps({"card_id": card_id, "text": text}))
+        except RequestBlocked:
+            return False
+        return True
+
+    def cards(self):
+        doc = self.backend.find("board")
+        return [text for _cid, text in doc.paragraphs] if doc else []
+
+
+def main() -> None:
+    network = Network()
+    wiki = WikiService()
+    kanban = KanbanService()
+    network.register(wiki)
+    network.register(kanban)
+
+    policies = PolicyStore()
+    policies.register_service(
+        wiki.origin, privilege=Label.of("tw"), confidentiality=Label.of("tw")
+    )
+    policies.register_service(kanban.origin)  # untrusted
+
+    model = TextDisclosureModel(policies)
+    browser = Browser(network)
+    plugin = BrowserFlowPlugin(model)
+    plugin.attach(browser)
+
+    # The whole integration: one adapter (where editable text lives in
+    # the DOM) and one sync parser (which XHR bodies carry user text).
+    plugin.register_adapter(
+        EditorAdapter(
+            name="kanban",
+            container_id="board",
+            paragraph_class="card",
+            id_attribute="data-card-id",
+            path_prefix="/",
+            doc_id_template="board:{}",
+        )
+    )
+
+    def kanban_parser(service_id, payload):
+        if service_id == kanban.origin and "card_id" in payload:
+            return ("board", payload["card_id"], payload.get("text", ""))
+        return None
+
+    plugin.register_sync_parser(kanban_parser)
+
+    wiki.save_page("Runbook", SECRET)
+    browser.open(wiki.page_url("Runbook"))  # labels the runbook {tw}
+
+    tab = browser.open(kanban.url("/"))
+    print("card with fresh text:",
+          kanban.add_card(tab, "Sprint goal: polish the onboarding flow."))
+
+    delivered = kanban.add_card(tab, SECRET)
+    print(f"card with the runbook delivered: {delivered}")
+    print(f"kanban backend cards: {len(kanban.cards())}")
+    for warning in plugin.warnings[:1]:
+        print(f"warning: card discloses {warning.offending}")
+    marked = plugin.ui.marked_elements(tab.document)
+    print(f"cards marked red in the UI: {len(marked)}")
+
+
+if __name__ == "__main__":
+    main()

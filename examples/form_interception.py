@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Form-based services and the encrypted-upload fallback.
+
+A user tries to post internal wiki content to a public forum. In
+ENFORCE mode the post is blocked; in ENCRYPT mode it goes through with
+the sensitive field replaced by ciphertext, so the forum's backend
+never stores plaintext (paper §3, §5.1).
+
+Run with:  python examples/form_interception.py
+"""
+
+from repro import (
+    Browser,
+    BrowserFlowPlugin,
+    ForumService,
+    Label,
+    Network,
+    PolicyStore,
+    PluginMode,
+    TextDisclosureModel,
+    UploadCipher,
+    WikiService,
+)
+
+ANNOUNCEMENT = (
+    "Project Nightingale enters private beta next month with three pilot "
+    "customers, and pricing will undercut the incumbent by twenty percent "
+    "according to the internal launch plan."
+)
+
+
+def build(mode, cipher=None):
+    network = Network()
+    wiki = WikiService()
+    forum = ForumService()
+    network.register(wiki)
+    network.register(forum)
+
+    policies = PolicyStore()
+    policies.register_service(
+        wiki.origin, privilege=Label.of("tw"), confidentiality=Label.of("tw")
+    )
+    policies.register_service(forum.origin)  # untrusted: Lp = {}
+
+    model = TextDisclosureModel(policies)
+    browser = Browser(network)
+    plugin = BrowserFlowPlugin(model, mode=mode, cipher=cipher)
+    plugin.attach(browser)
+
+    wiki.save_page("Launch", ANNOUNCEMENT)
+    browser.open(wiki.page_url("Launch"))  # plug-in labels the text {tw}
+    return browser, wiki, forum, plugin
+
+
+def main() -> None:
+    print("== ENFORCE mode: the post is blocked ==")
+    browser, _wiki, forum, plugin = build(PluginMode.ENFORCE)
+    delivered = forum.post(browser.new_tab(), "general", ANNOUNCEMENT)
+    print(f"delivered: {delivered}")
+    print(f"forum backend: {forum.posts_in('general') or 'empty'}")
+    for warning in plugin.warnings[:1]:
+        print(f"warning: segment carries {warning.offending}")
+
+    print("\n== ENCRYPT mode: ciphertext reaches the forum ==")
+    cipher = UploadCipher("organisation-master-key")
+    browser, _wiki, forum, plugin = build(PluginMode.ENCRYPT, cipher)
+    delivered = forum.post(browser.new_tab(), "general", ANNOUNCEMENT)
+    print(f"delivered: {delivered}")
+    stored = forum.posts_in("general")[0]
+    print(f"forum stores: {stored[:60]}...")
+    print(f"decrypts back to plaintext: {cipher.decrypt(stored) == ANNOUNCEMENT}")
+
+    print("\n== Clean text posts normally in either mode ==")
+    ok = forum.post(
+        browser.new_tab(), "general",
+        "Has anyone tried the new build system release from last week?",
+    )
+    print(f"delivered: {ok}; posts in thread: {len(forum.posts_in('general'))}")
+
+
+if __name__ == "__main__":
+    main()

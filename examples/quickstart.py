@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: fingerprints, disclosure, and a two-service policy.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    DisclosureEngine,
+    Fingerprinter,
+    Label,
+    PolicyStore,
+    TextDisclosureModel,
+)
+from repro.fingerprint import FingerprintConfig
+
+SENSITIVE = (
+    "The acquisition of Initech is expected to close in the third quarter "
+    "pending regulatory approval, and must not be discussed outside the "
+    "deal team until the public announcement."
+)
+REWRITTEN = (
+    "Quarterly town hall topics include the cafeteria refurbishment, new "
+    "parking arrangements, and the volunteering programme for the autumn."
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Winnowing fingerprints (paper §4.1)
+    # ------------------------------------------------------------------
+    config = FingerprintConfig(ngram_size=15, window_size=30)  # paper values
+    fingerprinter = Fingerprinter(config)
+
+    original = fingerprinter.fingerprint(SENSITIVE)
+    copy = fingerprinter.fingerprint("PREFIX -- " + SENSITIVE + " -- SUFFIX")
+    unrelated = fingerprinter.fingerprint(REWRITTEN)
+
+    print("== Fingerprints ==")
+    print(f"original hashes:   {len(original)}")
+    print(f"copy containment:  {original.containment_in(copy):.2f}")
+    print(f"unrelated overlap: {original.containment_in(unrelated):.2f}")
+
+    # ------------------------------------------------------------------
+    # 2. The information disclosure problem (paper §4.2)
+    # ------------------------------------------------------------------
+    engine = DisclosureEngine(config)
+    engine.observe("deals-wiki:initech", SENSITIVE, threshold=0.5)
+
+    pasted = SENSITIVE[: len(SENSITIVE) * 3 // 4]  # partial copy
+    report = engine.disclosing_sources(fingerprint=engine.fingerprint(pasted))
+    print("\n== Disclosure query ==")
+    for source in report.sources:
+        print(f"discloses {source.segment_id} (D = {source.score:.2f})")
+    if not report.disclosing:
+        print("no disclosure detected")
+
+    # ------------------------------------------------------------------
+    # 3. A data disclosure policy (paper §3)
+    # ------------------------------------------------------------------
+    policies = PolicyStore()
+    policies.register_service(
+        "https://wiki.corp.example",
+        privilege=Label.of("internal"),
+        confidentiality=Label.of("internal"),
+        display_name="Internal Wiki",
+    )
+    policies.register_service(
+        "https://docs.google.example", display_name="External Docs"
+    )
+
+    model = TextDisclosureModel(policies, config)
+    model.observe(
+        "https://wiki.corp.example", "deal-doc", [("deal-doc#p0", SENSITIVE)]
+    )
+
+    print("\n== Policy check ==")
+    decision = model.check_upload(
+        "https://docs.google.example", "draft", [("draft#p0", SENSITIVE)]
+    )
+    print(f"upload sensitive text to external docs: allowed={decision.allowed}")
+    for violation in decision.violations:
+        print(f"  violation: {violation.describe()}")
+
+    decision = model.check_upload(
+        "https://docs.google.example", "draft2", [("draft2#p0", REWRITTEN)]
+    )
+    print(f"upload unrelated text to external docs: allowed={decision.allowed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Track disclosure across synthetic Wikipedia revisions — a miniature
+Figure 9 printed to the terminal.
+
+Run with:  python examples/revision_tracking.py
+"""
+
+from repro.datasets import WikipediaCorpus
+from repro.eval import figure9_paragraph_disclosure
+from repro.eval.charts import series_plot
+from repro.eval.reporting import format_series
+
+N_REVISIONS = 50
+
+
+def main() -> None:
+    print(f"generating corpus ({N_REVISIONS} revisions per article)...")
+    corpus = WikipediaCorpus.generate(n_revisions=N_REVISIONS, seed=99)
+
+    results = figure9_paragraph_disclosure(
+        corpus, revision_step=max(1, N_REVISIONS // 8)
+    )
+
+    stable = {t: [(float(i), p) for i, p in s] for t, s in results.items()
+              if corpus.by_title(t).volatility == "stable"}
+    volatile = {t: [(float(i), p) for i, p in s] for t, s in results.items()
+                if corpus.by_title(t).volatility == "volatile"}
+
+    print()
+    print(format_series(
+        stable,
+        title="Stable articles (paper Figure 9a): disclosure persists",
+        x_label="revision", y_label="% base paragraphs disclosed",
+    ))
+    print()
+    print(format_series(
+        volatile,
+        title="Volatile articles (paper Figure 9b): disclosure decays",
+        x_label="revision", y_label="% base paragraphs disclosed",
+    ))
+
+    print()
+    combined = {
+        "Chicago (stable)": stable.get("Chicago", []),
+        "Dow Jones (volatile)": volatile.get("Dow Jones", []),
+    }
+    print(series_plot(combined, width=60, height=10,
+                      title="One of each regime:", y_label="%"))
+
+    print("\nInterpretation: once text is edited past the similarity")
+    print("threshold it is safe to disclose again — imprecise tracking")
+    print("forgets lineage when the content no longer resembles it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""BrowserFlow reproduction: imprecise data flow tracking to prevent
+accidental data disclosure (Papagiannis et al., Middleware 2016).
+
+Public API tour
+---------------
+
+Fingerprinting (paper §4.1)::
+
+    from repro import Fingerprinter, FingerprintConfig
+    fp = Fingerprinter(FingerprintConfig(ngram_size=15, window_size=30))
+    f1 = fp.fingerprint("Quarterly results are confidential until Friday.")
+
+Disclosure tracking (paper §4.2–§4.3)::
+
+    from repro import DisclosureEngine
+    engine = DisclosureEngine()
+    engine.observe("wiki:guidelines", sensitive_text, threshold=0.5)
+    report = engine.disclosing_sources(fingerprint=engine.fingerprint(pasted))
+
+Policies and labels (paper §3)::
+
+    from repro import Label, PolicyStore, TextDisclosureModel
+    policies = PolicyStore()
+    policies.register_service("https://wiki.corp", privilege=Label.of("tw"),
+                              confidentiality=Label.of("tw"))
+    model = TextDisclosureModel(policies)
+
+The full middleware (paper §5)::
+
+    from repro import Browser, BrowserFlowPlugin, Network
+    network = Network()
+    browser = Browser(network)
+    plugin = BrowserFlowPlugin(model)
+    plugin.attach(browser)
+"""
+
+from repro._version import __version__
+from repro.browser import Browser, Clipboard, MutationObserver, Tab, Window
+from repro.disclosure import (
+    DisclosureEngine,
+    DisclosureReport,
+    DisclosureTracker,
+    SourceDisclosure,
+    attribute_disclosure,
+)
+from repro.disclosure.exactmatch import ShortSecretTracker
+from repro.fingerprint import Fingerprint, FingerprintConfig, Fingerprinter
+from repro.fingerprint.config import PAPER_CONFIG, TINY_CONFIG
+from repro.fingerprint.incremental import IncrementalFingerprinter
+from repro.plugin import (
+    BrowserFlowPlugin,
+    PluginMode,
+    UploadCipher,
+    WarningEvent,
+)
+from repro.plugin.adapters import EditorAdapter
+from repro.services import (
+    DocsService,
+    ForumService,
+    InterviewTool,
+    Network,
+    NotesService,
+    StaticSite,
+    WikiService,
+)
+from repro.tdm import (
+    EMPTY_LABEL,
+    Label,
+    PolicyStore,
+    SegmentLabel,
+    ServicePolicy,
+    Tag,
+    TextDisclosureModel,
+)
+from repro.tdm.model import FlowDecision, FlowViolation, Suppression
+
+__all__ = [
+    "__version__",
+    # browser
+    "Browser",
+    "Clipboard",
+    "MutationObserver",
+    "Tab",
+    "Window",
+    # extensions
+    "ShortSecretTracker",
+    "IncrementalFingerprinter",
+    "EditorAdapter",
+    "NotesService",
+    # disclosure
+    "DisclosureEngine",
+    "DisclosureReport",
+    "DisclosureTracker",
+    "SourceDisclosure",
+    "attribute_disclosure",
+    # fingerprinting
+    "Fingerprint",
+    "FingerprintConfig",
+    "Fingerprinter",
+    "PAPER_CONFIG",
+    "TINY_CONFIG",
+    # plugin
+    "BrowserFlowPlugin",
+    "PluginMode",
+    "UploadCipher",
+    "WarningEvent",
+    # services
+    "DocsService",
+    "ForumService",
+    "InterviewTool",
+    "Network",
+    "StaticSite",
+    "WikiService",
+    # tdm
+    "EMPTY_LABEL",
+    "Label",
+    "PolicyStore",
+    "SegmentLabel",
+    "ServicePolicy",
+    "Tag",
+    "TextDisclosureModel",
+    "FlowDecision",
+    "FlowViolation",
+    "Suppression",
+]

@@ -1,0 +1,13 @@
+"""Baseline tracking mechanisms the paper compares against (§1, §2.2).
+
+* :mod:`repro.baselines.precise` — precise clipboard/taint tracking in
+  the style of classic data flow tracking systems: labels attach to
+  data at copy time and follow it exactly. Strong when every transfer
+  is observed; defeated by out-of-browser round-trips and retyping, and
+  prone to false positives because taint never decays with edits.
+* :mod:`repro.dlp` — network-level DLP (kept in its own package).
+"""
+
+from repro.baselines.precise import ExternalEditor, PreciseClipboardTracker
+
+__all__ = ["ExternalEditor", "PreciseClipboardTracker"]

@@ -1,0 +1,110 @@
+"""Precise clipboard/taint tracking — the classic alternative.
+
+Precise data flow tracking (TaintDroid, libdft, ... — paper §2.2)
+attaches labels to data and propagates them through every observed
+operation. Cast into the BrowserFlow setting, the observable operations
+are clipboard copies and pastes inside the browser:
+
+* copying from a service tags the clipboard with that service's
+  confidentiality label;
+* pasting transfers the clipboard's taint to the target segment;
+* taint never decays — once tainted, always tainted.
+
+Two structural failure modes follow (paper §1, challenges (i)/(ii)):
+
+* **false negatives** when data moves through a channel the tracker
+  cannot observe — retyping from memory, or a round-trip through a
+  native editor (see :class:`ExternalEditor`), which launders the
+  provenance entirely;
+* **false positives** when text is edited until it discloses nothing:
+  the taint remains attached even though the content is new.
+
+BrowserFlow's imprecise tracking dodges both because it labels by
+*similarity to current content* instead of by provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.browser.clipboard import Clipboard, ClipboardEntry
+from repro.tdm.labels import EMPTY_LABEL, Label
+from repro.tdm.policy import PolicyStore
+
+
+class PreciseClipboardTracker:
+    """Taint tracking over observed copy/paste operations."""
+
+    def __init__(self, policies: PolicyStore) -> None:
+        self._policies = policies
+        #: segment id -> accumulated taint label
+        self._taint: Dict[str, Label] = {}
+        #: taint of the current clipboard entry, by identity
+        self._clipboard_taint: Dict[int, Label] = {}
+
+    # -- observation points ------------------------------------------------
+
+    def on_copy(self, entry: ClipboardEntry) -> Label:
+        """Observe a copy; derives taint from the source's Lc.
+
+        Copies without browser provenance (external applications) carry
+        no taint — the tracker cannot see inside native apps.
+        """
+        if entry.from_browser:
+            taint = self._policies.get(entry.source_origin).confidentiality
+        else:
+            taint = EMPTY_LABEL
+        self._clipboard_taint[id(entry)] = taint
+        return taint
+
+    def on_paste(self, segment_id: str, entry: ClipboardEntry) -> Label:
+        """Observe a paste; the segment inherits the clipboard's taint."""
+        taint = self._clipboard_taint.get(id(entry), EMPTY_LABEL)
+        merged = self._taint.get(segment_id, EMPTY_LABEL) | taint
+        self._taint[segment_id] = merged
+        return merged
+
+    def on_type(self, segment_id: str) -> Label:
+        """Observe manual typing: adds no taint (retyping is invisible)."""
+        return self._taint.get(segment_id, EMPTY_LABEL)
+
+    def on_edit(self, segment_id: str) -> Label:
+        """Observe an in-place edit: taint sticks regardless of content."""
+        return self._taint.get(segment_id, EMPTY_LABEL)
+
+    # -- enforcement ---------------------------------------------------------
+
+    def taint_of(self, segment_id: str) -> Label:
+        return self._taint.get(segment_id, EMPTY_LABEL)
+
+    def check_upload(self, service_id: str, segment_id: str) -> bool:
+        """True when the segment's taint may flow to the service."""
+        privilege = self._policies.get(service_id).privilege
+        return self.taint_of(segment_id).is_subset_of(privilege)
+
+
+@dataclass
+class ExternalEditor:
+    """A native text editor outside the browser.
+
+    Text pasted into it and copied back loses all browser provenance:
+    the copy the editor puts on the clipboard has no source origin.
+    Precise tracking is blind to whatever happened inside.
+    """
+
+    name: str = "native-editor"
+    buffer: str = ""
+
+    def paste_from(self, clipboard: Clipboard) -> None:
+        self.buffer = clipboard.paste().text
+
+    def edit(self, transform: Optional[Callable[[str], str]] = None) -> str:
+        """Apply an arbitrary edit to the buffer (identity by default)."""
+        if transform is not None:
+            self.buffer = transform(self.buffer)
+        return self.buffer
+
+    def copy_to(self, clipboard: Clipboard) -> ClipboardEntry:
+        """Copy the buffer back out — with no provenance attached."""
+        return clipboard.copy(self.buffer)

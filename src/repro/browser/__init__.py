@@ -1,0 +1,45 @@
+"""A simulated web browser substrate.
+
+BrowserFlow's prototype is a Chrome plug-in; what it needs from the
+browser is a small set of observable interfaces (paper §5): a DOM tree
+it can inspect, mutation observers for AJAX editors, a patchable
+``XMLHttpRequest.prototype.send`` for outgoing-request interception, and
+cancellable ``submit`` events for form-based services. This package
+implements exactly those semantics in-process so that the plug-in code
+path is exercised the way it would be inside a real browser.
+"""
+
+from repro.browser.clipboard import Clipboard, ClipboardEntry
+from repro.browser.dom import Document, Element, Node, TextNode
+from repro.browser.events import Event, EventTarget
+from repro.browser.http import HttpRequest, HttpResponse
+from repro.browser.mutation import MutationObserver, MutationRecord
+from repro.browser.page import Browser, Page, Tab, Window
+from repro.browser.readability import extract_main_text, score_element
+from repro.browser.select import select, select_one
+from repro.browser.xhr import XHRPrototype, XMLHttpRequest
+
+__all__ = [
+    "Clipboard",
+    "ClipboardEntry",
+    "Document",
+    "Element",
+    "Node",
+    "TextNode",
+    "Event",
+    "EventTarget",
+    "HttpRequest",
+    "HttpResponse",
+    "MutationObserver",
+    "MutationRecord",
+    "Browser",
+    "Page",
+    "Tab",
+    "Window",
+    "extract_main_text",
+    "score_element",
+    "select",
+    "select_one",
+    "XHRPrototype",
+    "XMLHttpRequest",
+]

@@ -1,0 +1,80 @@
+"""A system clipboard with provenance (paper §1, challenge (i)).
+
+Copy/paste between tabs is the main flow BrowserFlow exists for. The
+clipboard records *where* text was copied from when the copy happened
+inside the browser; copies made by native applications outside the
+browser carry no provenance — which is exactly why precise taint
+tracking breaks down and imprecise tracking is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.browser.dom import Element
+from repro.errors import BrowserError
+
+
+@dataclass(frozen=True)
+class ClipboardEntry:
+    """One clipboard state.
+
+    Attributes:
+        text: the copied text.
+        source_origin: origin of the page the copy came from, or None
+            when the copy was made outside the browser.
+        source_node_id: DOM node the text was copied from, if any.
+    """
+
+    text: str
+    source_origin: Optional[str] = None
+    source_node_id: Optional[str] = None
+
+    @property
+    def from_browser(self) -> bool:
+        return self.source_origin is not None
+
+
+class Clipboard:
+    """The machine-wide clipboard: one current entry plus history."""
+
+    def __init__(self) -> None:
+        self._current: Optional[ClipboardEntry] = None
+        self.history: List[ClipboardEntry] = []
+
+    def copy(
+        self,
+        text: str,
+        *,
+        source_origin: Optional[str] = None,
+        source_node_id: Optional[str] = None,
+    ) -> ClipboardEntry:
+        """Place *text* on the clipboard with optional provenance."""
+        entry = ClipboardEntry(
+            text=text, source_origin=source_origin, source_node_id=source_node_id
+        )
+        self._current = entry
+        self.history.append(entry)
+        return entry
+
+    def copy_from_element(self, element: Element, origin: str) -> ClipboardEntry:
+        """Copy an element's text, recording browser provenance."""
+        return self.copy(
+            element.text_content(),
+            source_origin=origin,
+            source_node_id=element.node_id,
+        )
+
+    def paste(self) -> ClipboardEntry:
+        """Read the current entry (clipboards are non-destructive)."""
+        if self._current is None:
+            raise BrowserError("clipboard is empty")
+        return self._current
+
+    @property
+    def is_empty(self) -> bool:
+        return self._current is None
+
+    def clear(self) -> None:
+        self._current = None

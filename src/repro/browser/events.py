@@ -1,0 +1,117 @@
+"""DOM-style event dispatch with capture, target and bubble phases.
+
+Form interception (paper §5.1) relies on two event semantics: listeners
+fire in tree order, and a listener may cancel the default action of a
+cancellable event (``prevent_default`` on ``submit`` suppresses the
+outgoing request until policy allows it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+Listener = Callable[["Event"], None]
+
+CAPTURE_PHASE = 1
+AT_TARGET = 2
+BUBBLE_PHASE = 3
+
+
+@dataclass
+class Event:
+    """A dispatched event.
+
+    Attributes:
+        type: event name, e.g. ``"submit"`` or ``"input"``.
+        target: node the event was dispatched on (set by dispatch).
+        cancelable: whether ``prevent_default`` has any effect.
+        detail: free-form payload for synthetic events.
+    """
+
+    type: str
+    target: Optional["EventTarget"] = None
+    cancelable: bool = False
+    detail: Optional[dict] = None
+    current_target: Optional["EventTarget"] = field(default=None, repr=False)
+    event_phase: int = field(default=0, repr=False)
+    default_prevented: bool = field(default=False, repr=False)
+    propagation_stopped: bool = field(default=False, repr=False)
+
+    def prevent_default(self) -> None:
+        if self.cancelable:
+            self.default_prevented = True
+
+    def stop_propagation(self) -> None:
+        self.propagation_stopped = True
+
+
+class EventTarget:
+    """Mixin giving a node listener registration and dispatch."""
+
+    def __init__(self) -> None:
+        self._listeners: Dict[str, List[tuple]] = {}
+
+    def add_event_listener(
+        self, event_type: str, listener: Listener, *, capture: bool = False
+    ) -> None:
+        entries = self._listeners.setdefault(event_type, [])
+        if (listener, capture) not in entries:
+            entries.append((listener, capture))
+
+    def remove_event_listener(
+        self, event_type: str, listener: Listener, *, capture: bool = False
+    ) -> None:
+        entries = self._listeners.get(event_type, [])
+        if (listener, capture) in entries:
+            entries.remove((listener, capture))
+
+    def _invoke_listeners(self, event: Event, capture_phase: bool) -> None:
+        event.current_target = self
+        # Copy: a listener may add/remove listeners during dispatch.
+        for listener, capture in list(self._listeners.get(event.type, [])):
+            if event.event_phase == AT_TARGET or capture == capture_phase:
+                listener(event)
+
+    def _event_path(self) -> List["EventTarget"]:
+        """Ancestors from the document root down to (excluding) self.
+
+        Nodes override this via their parent chain; a bare EventTarget
+        has no tree, so the path is empty.
+        """
+        path: List[EventTarget] = []
+        node = getattr(self, "parent", None)
+        while node is not None:
+            path.append(node)
+            node = getattr(node, "parent", None)
+        path.reverse()
+        return path
+
+    def dispatch_event(self, event: Event) -> bool:
+        """Dispatch through capture → target → bubble.
+
+        Returns False when a listener called ``prevent_default`` (the
+        caller must then skip the default action), mirroring the DOM's
+        ``dispatchEvent`` contract.
+        """
+        event.target = self
+        path = self._event_path()
+
+        event.event_phase = CAPTURE_PHASE
+        for node in path:
+            if event.propagation_stopped:
+                break
+            node._invoke_listeners(event, capture_phase=True)
+
+        if not event.propagation_stopped:
+            event.event_phase = AT_TARGET
+            self._invoke_listeners(event, capture_phase=False)
+
+        event.event_phase = BUBBLE_PHASE
+        for node in reversed(path):
+            if event.propagation_stopped:
+                break
+            node._invoke_listeners(event, capture_phase=False)
+
+        event.event_phase = 0
+        return not event.default_prevented

@@ -1,0 +1,73 @@
+"""HTML forms and the form-submission default action (paper §5.1).
+
+A ``<form>`` submission dispatches a cancellable ``submit`` event; if no
+listener prevents the default, the form's non-hidden ``<input>`` and
+``<textarea>`` values are collected and POSTed to the form's action URL.
+BrowserFlow's form interception registers a ``submit`` listener that
+suppresses the outgoing request until the TDM check passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+from urllib.parse import urljoin
+
+from repro.browser.dom import Element
+from repro.browser.events import Event
+from repro.browser.http import HttpRequest, HttpResponse
+from repro.errors import BrowserError
+
+
+def is_form_input(element: Element) -> bool:
+    return element.tag in ("input", "textarea")
+
+
+def input_value(element: Element) -> str:
+    """Current value of an input/textarea element."""
+    if element.tag == "textarea":
+        # A textarea's value is its text content unless overridden.
+        return element.get_attribute("value") or element.text_content()
+    return element.get_attribute("value") or ""
+
+
+def is_hidden_input(element: Element) -> bool:
+    return element.tag == "input" and element.get_attribute("type") == "hidden"
+
+
+def collect_form_data(form: Element, *, include_hidden: bool = True) -> Dict[str, str]:
+    """Name → value for the form's inputs, in document order.
+
+    ``include_hidden=False`` matches the plug-in's *inspection* rule —
+    only non-hidden inputs carry user text worth checking — while the
+    actual submission still sends every field.
+    """
+    data: Dict[str, str] = {}
+    for element in form.iter_elements():
+        if not is_form_input(element):
+            continue
+        if not include_hidden and is_hidden_input(element):
+            continue
+        name = element.get_attribute("name")
+        if name:
+            data[name] = input_value(element)
+    return data
+
+
+def submit_form(form: Element, window) -> Optional[HttpResponse]:
+    """Dispatch ``submit`` and, unless prevented, POST the form.
+
+    Returns the response, or None when a listener cancelled submission.
+    """
+    if form.tag != "form":
+        raise BrowserError(f"cannot submit a <{form.tag}> element")
+    event = Event(type="submit", cancelable=True)
+    if not form.dispatch_event(event):
+        return None
+    action = form.get_attribute("action") or "/"
+    method = (form.get_attribute("method") or "post").upper()
+    request = HttpRequest(
+        method=method,
+        url=urljoin(window.location, action),
+        form_data=collect_form_data(form, include_hidden=True),
+    )
+    return window.network.deliver(request)

@@ -1,0 +1,46 @@
+"""HTTP request/response values exchanged between browser and services.
+
+The browser layer only defines the message shapes; routing and service
+dispatch live in :mod:`repro.services.network`, keeping the browser
+substrate independent of any particular cloud service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import urlparse
+
+
+@dataclass
+class HttpRequest:
+    """One outgoing request as seen at the XHR/form interception point."""
+
+    method: str
+    url: str
+    body: Optional[str] = None
+    headers: Dict[str, str] = field(default_factory=dict)
+    form_data: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def origin(self) -> str:
+        """scheme://host of the target URL — how services are identified."""
+        parsed = urlparse(self.url)
+        return f"{parsed.scheme}://{parsed.netloc}"
+
+    @property
+    def path(self) -> str:
+        return urlparse(self.url).path
+
+
+@dataclass
+class HttpResponse:
+    """A service's reply."""
+
+    status: int = 200
+    body: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300

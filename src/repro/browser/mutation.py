@@ -1,0 +1,129 @@
+"""Mutation observers (paper §5.2, W3C DOM4 [36]).
+
+"A mutation observer is an object that can be attached to an element in
+the DOM tree and receives notifications when any change occurs in the
+subtree rooted at that element." BrowserFlow attaches a *document
+observer* for paragraph creation/deletion and a *paragraph observer* for
+edits within paragraphs; both are built on this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.browser.dom import Document, Node
+from repro.errors import BrowserError
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """One observed change.
+
+    ``type`` is ``"childList"``, ``"characterData"`` or ``"attributes"``
+    with the corresponding payload fields, matching the DOM spec shape.
+    """
+
+    type: str
+    target: Node
+    added_nodes: Tuple[Node, ...] = ()
+    removed_nodes: Tuple[Node, ...] = ()
+    attribute_name: Optional[str] = None
+    old_value: Optional[str] = None
+    new_value: Optional[str] = None
+
+
+@dataclass
+class _Registration:
+    observer: "MutationObserver"
+    target: Node
+    subtree: bool = True
+    child_list: bool = True
+    character_data: bool = True
+    attributes: bool = False
+
+    def matches(self, record: MutationRecord) -> bool:
+        if record.type == "childList" and not self.child_list:
+            return False
+        if record.type == "characterData" and not self.character_data:
+            return False
+        if record.type == "attributes" and not self.attributes:
+            return False
+        if record.target is self.target:
+            return True
+        return self.subtree and self.target.contains(record.target)
+
+
+class MutationObserver:
+    """Observes DOM changes in registered subtrees.
+
+    The callback receives ``(records, observer)``. Records queue up and
+    are delivered in a batch after each mutation completes; a callback
+    of ``None`` makes the observer pull-only via :meth:`take_records`.
+    """
+
+    def __init__(
+        self,
+        callback: Optional[Callable[[List[MutationRecord], "MutationObserver"], None]] = None,
+    ) -> None:
+        self._callback = callback
+        self._queue: List[MutationRecord] = []
+        self._registrations: List[_Registration] = []
+        self._delivering = False
+
+    def observe(
+        self,
+        target: Node,
+        *,
+        subtree: bool = True,
+        child_list: bool = True,
+        character_data: bool = True,
+        attributes: bool = False,
+    ) -> None:
+        """Start observing *target* (and optionally its subtree)."""
+        document = target.owner_document
+        if document is None or not isinstance(document, Document):
+            raise BrowserError("cannot observe a node outside a document")
+        registration = _Registration(
+            observer=self,
+            target=target,
+            subtree=subtree,
+            child_list=child_list,
+            character_data=character_data,
+            attributes=attributes,
+        )
+        self._registrations.append(registration)
+        document._register_observer(registration)
+
+    def disconnect(self) -> None:
+        """Stop observing everywhere and drop queued records."""
+        for registration in self._registrations:
+            document = registration.target.owner_document
+            if isinstance(document, Document):
+                document._unregister_observer(self)
+        self._registrations.clear()
+        self._queue.clear()
+
+    def take_records(self) -> List[MutationRecord]:
+        """Drain and return queued records without invoking the callback."""
+        records, self._queue = self._queue, []
+        return records
+
+    # -- document-side plumbing -------------------------------------------
+
+    def _enqueue(self, record: MutationRecord) -> None:
+        self._queue.append(record)
+
+    def _deliver(self) -> None:
+        if self._callback is None or not self._queue or self._delivering:
+            return
+        records = self.take_records()
+        # Guard against re-entrant delivery when the callback itself
+        # mutates the DOM; nested mutations queue and deliver after.
+        self._delivering = True
+        try:
+            self._callback(records, self)
+        finally:
+            self._delivering = False
+        if self._queue:
+            self._deliver()

@@ -1,0 +1,125 @@
+"""Windows, pages, tabs, and the browser shell.
+
+A :class:`Window` binds a document to a network endpoint and owns the
+shared :class:`~repro.browser.xhr.XHRPrototype`; a :class:`Tab` hosts
+one page at a time; the :class:`Browser` holds tabs plus the hooks a
+plug-in uses to attach to every page as it loads — the shape of the
+Chrome extension content-script model the paper's prototype relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+from urllib.parse import urlparse
+
+from repro.browser.dom import Document, Element
+from repro.browser.forms import submit_form
+from repro.browser.http import HttpResponse
+from repro.browser.xhr import XHRPrototype, XMLHttpRequest
+from repro.errors import BrowserError
+
+
+class Window:
+    """One page's global object: document, location, network, XHR."""
+
+    def __init__(self, document: Document, location: str, network) -> None:
+        self.document = document
+        self.location = location
+        self.network = network
+        self.xhr_prototype = XHRPrototype(network)
+
+    @property
+    def origin(self) -> str:
+        parsed = urlparse(self.location)
+        return f"{parsed.scheme}://{parsed.netloc}"
+
+    def new_xhr(self) -> XMLHttpRequest:
+        return XMLHttpRequest(self)
+
+    def submit(self, form: Element) -> Optional[HttpResponse]:
+        return submit_form(form, self)
+
+
+class Page:
+    """A loaded page: a window plus the service that rendered it."""
+
+    def __init__(self, window: Window, service=None) -> None:
+        self.window = window
+        self.service = service
+
+    @property
+    def document(self) -> Document:
+        return self.window.document
+
+    @property
+    def url(self) -> str:
+        return self.window.location
+
+
+class Tab:
+    """A browser tab hosting at most one page."""
+
+    def __init__(self, tab_id: str, browser: "Browser") -> None:
+        self.tab_id = tab_id
+        self._browser = browser
+        self.page: Optional[Page] = None
+
+    def navigate(self, url: str) -> Page:
+        """Load *url* through the browser's network and run page hooks."""
+        self.page = self._browser._load(url)
+        for hook in self._browser.page_hooks:
+            hook(self)
+        return self.page
+
+    @property
+    def document(self) -> Document:
+        if self.page is None:
+            raise BrowserError(f"tab {self.tab_id!r} has no page loaded")
+        return self.page.document
+
+    @property
+    def window(self) -> Window:
+        if self.page is None:
+            raise BrowserError(f"tab {self.tab_id!r} has no page loaded")
+        return self.page.window
+
+
+class Browser:
+    """The browser shell: tabs, a network, and plug-in attach hooks.
+
+    ``page_hooks`` run once per page load with the tab as argument —
+    the moment a content script would be injected. The BrowserFlow
+    plug-in registers itself here.
+    """
+
+    def __init__(self, network) -> None:
+        from repro.browser.clipboard import Clipboard
+
+        self.network = network
+        self.tabs: Dict[str, Tab] = {}
+        self.page_hooks: List[Callable[[Tab], None]] = []
+        self.clipboard = Clipboard()
+        self._tab_counter = 0
+
+    def new_tab(self) -> Tab:
+        self._tab_counter += 1
+        tab = Tab(f"tab-{self._tab_counter}", self)
+        self.tabs[tab.tab_id] = tab
+        return tab
+
+    def open(self, url: str) -> Tab:
+        """Convenience: new tab + navigate."""
+        tab = self.new_tab()
+        tab.navigate(url)
+        return tab
+
+    def add_page_hook(self, hook: Callable[[Tab], None]) -> None:
+        self.page_hooks.append(hook)
+
+    def _load(self, url: str) -> Page:
+        """Ask the network's service registry to render *url*."""
+        document, service = self.network.render_page(url)
+        window = Window(document, url, self.network)
+        if service is not None:
+            service.attach_window(window)
+        return Page(window, service)

@@ -1,0 +1,95 @@
+"""Readability-style main-text extraction (paper §5.1).
+
+"The BrowserFlow plug-in inspects the DOM tree of each page after
+loading, searching for HTML elements with significant text. We apply a
+set of heuristics to rank elements according to how much 'interesting'
+text they contain and select the element with the highest score. These
+heuristics reward the existence of <p> tags, text that contains commas,
+and id attributes, which have known representative values such as
+article. Similarly, they penalise bad class attribute names such as
+footer or meta and high number of links over text length."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.dom import Document, Element, NON_TEXT_TAGS
+
+# Id/class substrings that suggest main prose content.
+POSITIVE_HINTS = ("article", "content", "main", "body", "post", "text", "entry")
+# Id/class substrings that suggest boilerplate.
+NEGATIVE_HINTS = ("footer", "meta", "nav", "sidebar", "comment", "menu", "header", "ad")
+
+# Containers eligible as the "main text" element.
+CANDIDATE_TAGS = {"div", "article", "section", "main", "td", "body"}
+
+
+def _link_text_length(element: Element) -> int:
+    return sum(len(a.text_content()) for a in element.get_elements_by_tag("a"))
+
+
+def score_element(element: Element) -> float:
+    """Heuristic interest score for one candidate container."""
+    text = element.text_content()
+    text_length = len(text.strip())
+    if text_length == 0:
+        return float("-inf")
+
+    score = 0.0
+    # Reward paragraph structure.
+    score += 25.0 * len(element.get_elements_by_tag("p"))
+    # Reward prose-like punctuation.
+    score += text.count(",")
+    # Mild reward for sheer prose volume.
+    score += min(text_length / 100.0, 30.0)
+
+    hints = f"{element.id or ''} {element.class_name}".lower()
+    if any(h in hints for h in POSITIVE_HINTS):
+        score += 50.0
+    if any(h in hints for h in NEGATIVE_HINTS):
+        score -= 50.0
+
+    # Penalise link-heavy containers (navigation, link farms).
+    link_density = _link_text_length(element) / text_length
+    score -= 100.0 * link_density
+    return score
+
+
+def find_main_element(document: Document) -> Optional[Element]:
+    """The highest-scoring candidate container, or None for empty pages."""
+    best: Optional[Element] = None
+    best_score = float("-inf")
+    for element in document.iter_elements():
+        if element.tag not in CANDIDATE_TAGS:
+            continue
+        if element.tag in NON_TEXT_TAGS:
+            continue
+        score = score_element(element)
+        if score > best_score:
+            best, best_score = element, score
+    return best
+
+
+def extract_main_text(document: Document) -> str:
+    """Extract the page's main prose with paragraph structure preserved.
+
+    Block children of the winning container become paragraphs separated
+    by blank lines (which is what the disclosure tracker segments on);
+    all markup is dropped.
+    """
+    main = find_main_element(document)
+    if main is None:
+        return ""
+    blocks = []
+    paragraphs = main.get_elements_by_tag("p")
+    if paragraphs:
+        for p in paragraphs:
+            text = p.text_content().strip()
+            if text:
+                blocks.append(text)
+    else:
+        text = main.text_content().strip()
+        if text:
+            blocks.append(text)
+    return "\n\n".join(blocks)

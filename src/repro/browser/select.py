@@ -1,0 +1,132 @@
+"""A CSS-selector-lite query engine for the simulated DOM.
+
+Supports the selector grammar the plug-in's heuristics (and tests)
+actually need:
+
+* ``div`` — tag name;
+* ``#editor`` — id;
+* ``.kix-paragraph`` — class;
+* ``div.card`` / ``div#a.b.c`` — compound simple selectors;
+* ``[data-par-id]`` / ``[data-par-id=p1]`` — attribute presence/value;
+* ``ancestor descendant`` — descendant combinators (whitespace);
+* ``a, b`` — selector lists (union).
+
+Deliberately not a full CSS engine — no child/sibling combinators or
+pseudo-classes — but enough to express every DOM query in this code
+base declaratively.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.browser.dom import Element, Node
+from repro.errors import DOMError
+
+_SIMPLE_TOKEN = re.compile(
+    r"(?P<tag>^[a-zA-Z][\w-]*)?"
+    r"(?P<parts>(?:[#.][\w-]+|\[[\w-]+(?:=[^\]]*)?\])*)$"
+)
+_PART = re.compile(r"[#.][\w-]+|\[[\w-]+(?:=[^\]]*)?\]")
+
+
+@dataclass(frozen=True)
+class SimpleSelector:
+    """One compound simple selector (tag, id, classes, attributes)."""
+
+    tag: Optional[str] = None
+    element_id: Optional[str] = None
+    classes: Tuple[str, ...] = ()
+    attributes: Tuple[Tuple[str, Optional[str]], ...] = ()
+
+    def matches(self, element: Element) -> bool:
+        if self.tag is not None and element.tag != self.tag:
+            return False
+        if self.element_id is not None and element.id != self.element_id:
+            return False
+        class_list = element.class_list()
+        if any(cls not in class_list for cls in self.classes):
+            return False
+        for name, expected in self.attributes:
+            actual = element.get_attribute(name)
+            if actual is None:
+                return False
+            if expected is not None and actual != expected:
+                return False
+        return True
+
+
+def _parse_simple(token: str) -> SimpleSelector:
+    match = _SIMPLE_TOKEN.match(token)
+    if not match or (match.group("tag") is None and not match.group("parts")):
+        raise DOMError(f"unsupported selector: {token!r}")
+    tag = match.group("tag")
+    element_id = None
+    classes: List[str] = []
+    attributes: List[Tuple[str, Optional[str]]] = []
+    for part in _PART.findall(match.group("parts") or ""):
+        if part.startswith("#"):
+            element_id = part[1:]
+        elif part.startswith("."):
+            classes.append(part[1:])
+        else:  # [name] or [name=value]
+            body = part[1:-1]
+            name, _, value = body.partition("=")
+            attributes.append((name, value if "=" in body else None))
+    return SimpleSelector(
+        tag=tag.lower() if tag else None,
+        element_id=element_id,
+        classes=tuple(classes),
+        attributes=tuple(attributes),
+    )
+
+
+def _parse_chain(selector: str) -> List[SimpleSelector]:
+    tokens = selector.split()
+    if not tokens:
+        raise DOMError("empty selector")
+    return [_parse_simple(token) for token in tokens]
+
+
+def _matches_chain(element: Element, chain: List[SimpleSelector]) -> bool:
+    if not chain[-1].matches(element):
+        return False
+    # Remaining selectors must match successively higher ancestors.
+    remaining = chain[:-1]
+    node = element.parent
+    while remaining and node is not None:
+        if isinstance(node, Element) and remaining[-1].matches(node):
+            remaining = remaining[:-1]
+        node = node.parent
+    return not remaining
+
+
+def select(root: Node, selector: str) -> List[Element]:
+    """All descendant elements of *root* matching *selector*.
+
+    >>> select(document, "#editor div.kix-paragraph[data-par-id]")
+    """
+    chains = [_parse_chain(part) for part in selector.split(",") if part.strip()]
+    if not chains:
+        raise DOMError("empty selector")
+    results: List[Element] = []
+    seen = set()
+    if not isinstance(root, Element):
+        return []
+    for element in root.iter_elements():
+        if element is root:
+            continue
+        if id(element) in seen:
+            continue
+        if any(_matches_chain(element, chain) for chain in chains):
+            seen.add(id(element))
+            results.append(element)
+    return results
+
+
+def select_one(root: Node, selector: str) -> Optional[Element]:
+    """First match in document order, or None."""
+    matches = select(root, selector)
+    return matches[0] if matches else None

@@ -1,0 +1,90 @@
+"""XMLHttpRequest with prototype-based method dispatch (paper §5.2).
+
+"BrowserFlow intercepts communication to the remote back-end servers by
+redefining the send method in JavaScript's XMLHttpRequest object. ...
+If an object does not contain a method, the method call is dispatched to
+its prototype object."
+
+We reproduce that dispatch rule: an instance's ``send`` looks up the
+implementation on its window's shared :class:`XHRPrototype` at call
+time, so replacing ``prototype.send`` intercepts every request made by
+any page script — exactly the interception point the plug-in uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.browser.http import HttpRequest, HttpResponse
+from repro.errors import BrowserError, RequestBlocked
+
+SendFn = Callable[["XMLHttpRequest", Optional[str]], HttpResponse]
+
+
+class XHRPrototype:
+    """The shared prototype holding the default ``send`` implementation.
+
+    ``send`` is a plain attribute: assigning a new function over it is
+    the Python analogue of ``XMLHttpRequest.prototype.send = wrapped``.
+    The original implementation stays reachable as :attr:`original_send`
+    so interceptors can chain to it.
+    """
+
+    def __init__(self, network) -> None:
+        self._network = network
+        self.send: SendFn = self._default_send
+        self.original_send: SendFn = self._default_send
+
+    def _default_send(self, xhr: "XMLHttpRequest", body: Optional[str]) -> HttpResponse:
+        request = HttpRequest(
+            method=xhr.method,
+            url=xhr.url,
+            body=body,
+            headers=dict(xhr.request_headers),
+        )
+        return self._network.deliver(request)
+
+    def restore(self) -> None:
+        """Undo any patching (used when the plug-in detaches)."""
+        self.send = self.original_send
+
+
+class XMLHttpRequest:
+    """A minimal XHR: open, set headers, send; response on the instance."""
+
+    def __init__(self, window) -> None:
+        self._window = window
+        self.method: str = ""
+        self.url: str = ""
+        self.request_headers: Dict[str, str] = {}
+        self.status: int = 0
+        self.response_text: str = ""
+        self.ready_state: int = 0  # 0 UNSENT .. 4 DONE
+        self.blocked: bool = False
+
+    def open(self, method: str, url: str) -> None:
+        self.method = method.upper()
+        self.url = url
+        self.ready_state = 1
+
+    def set_request_header(self, name: str, value: str) -> None:
+        if self.ready_state != 1:
+            raise BrowserError("set_request_header requires an opened request")
+        self.request_headers[name] = value
+
+    def send(self, body: Optional[str] = None) -> HttpResponse:
+        """Dispatch through the window's prototype, like JS method lookup."""
+        if self.ready_state != 1:
+            raise BrowserError("send requires an opened, unsent request")
+        self.ready_state = 2
+        try:
+            response = self._window.xhr_prototype.send(self, body)
+        except RequestBlocked:
+            self.blocked = True
+            self.status = 0
+            self.ready_state = 4
+            raise
+        self.status = response.status
+        self.response_text = response.body
+        self.ready_state = 4
+        return response

@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+Usage (installed as ``python -m repro``):
+
+* ``python -m repro fingerprint FILE`` — fingerprint a text file;
+* ``python -m repro compare A B`` — pairwise disclosure between files;
+* ``python -m repro observe --db db.json --id ID FILE`` — add a file to
+  a fingerprint database snapshot (created if missing);
+* ``python -m repro scan --db db.json FILE`` — which tracked segments
+  does the file disclose;
+* ``python -m repro corpus`` — dataset statistics (Table 1, small scale);
+* ``python -m repro experiment NAME`` — run one paper experiment at a
+  reduced scale and print its rows/series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.disclosure import DisclosureEngine
+from repro.disclosure.persistence import load_engine, save_engine
+from repro.fingerprint import FingerprintConfig, Fingerprinter
+from repro.plugin.crypto import UploadCipher
+
+
+def _config_from_args(args) -> FingerprintConfig:
+    return FingerprintConfig(
+        ngram_size=args.ngram, window_size=args.window, hash_bits=args.bits
+    )
+
+
+def _read_text(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _cipher_from_args(args) -> Optional[UploadCipher]:
+    return UploadCipher(args.key) if getattr(args, "key", None) else None
+
+
+def _load_or_create_engine(args) -> DisclosureEngine:
+    db_path = Path(args.db)
+    if db_path.exists():
+        return load_engine(db_path, cipher=_cipher_from_args(args))
+    return DisclosureEngine(_config_from_args(args))
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_fingerprint(args) -> int:
+    fingerprinter = Fingerprinter(_config_from_args(args))
+    text = _read_text(args.file)
+    fp = fingerprinter.fingerprint(text)
+    config = fingerprinter.config
+    print(f"file:        {args.file}")
+    print(f"characters:  {len(text)}")
+    print(f"config:      n-gram {config.ngram_size}, window {config.window_size}, "
+          f"{config.hash_bits}-bit hashes")
+    print(f"guarantee:   shared passages >= {config.noise_threshold} chars detected")
+    print(f"hashes:      {len(fp)}")
+    if args.show_hashes:
+        print(" ".join(str(h) for h in sorted(fp.hashes)[:args.show_hashes]))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    fingerprinter = Fingerprinter(_config_from_args(args))
+    fp_a = fingerprinter.fingerprint(_read_text(args.file_a))
+    fp_b = fingerprinter.fingerprint(_read_text(args.file_b))
+    a_in_b = fp_a.containment_in(fp_b)
+    b_in_a = fp_b.containment_in(fp_a)
+    print(f"D({args.file_a} -> {args.file_b}) = {a_in_b:.3f}")
+    print(f"D({args.file_b} -> {args.file_a}) = {b_in_a:.3f}")
+    threshold = args.threshold
+    if a_in_b >= threshold or b_in_a >= threshold:
+        print(f"verdict: significant disclosure (threshold {threshold})")
+        return 1
+    print(f"verdict: no significant disclosure (threshold {threshold})")
+    return 0
+
+
+def cmd_observe(args) -> int:
+    engine = _load_or_create_engine(args)
+    engine.observe(args.id, _read_text(args.file), threshold=args.threshold)
+    save_engine(engine, args.db, cipher=_cipher_from_args(args))
+    stats = engine.stats()
+    print(f"observed {args.id!r}; database now holds "
+          f"{stats['segments']} segments / {stats['distinct_hashes']} hashes")
+    return 0
+
+
+def cmd_scan(args) -> int:
+    db_path = Path(args.db)
+    if not db_path.exists():
+        print(f"error: no database at {args.db}", file=sys.stderr)
+        return 2
+    engine = load_engine(db_path, cipher=_cipher_from_args(args))
+    fp = engine.fingerprint(_read_text(args.file))
+    report = engine.disclosing_sources(fingerprint=fp)
+    if not report.disclosing:
+        print("no tracked segment is disclosed")
+        return 0
+    for source in report.sources:
+        print(f"discloses {source.segment_id}  D = {source.score:.3f}  "
+              f"(threshold {source.threshold})")
+    return 1
+
+
+def cmd_corpus(args) -> int:
+    from repro.datasets import EbookCorpus, ManualsCorpus, WikipediaCorpus
+    from repro.eval import table1_dataset_stats
+    from repro.eval.reporting import format_table
+
+    wikipedia = WikipediaCorpus.generate(n_revisions=args.revisions, seed=args.seed)
+    manuals = ManualsCorpus.generate(seed=args.seed)
+    ebooks = EbookCorpus.generate(
+        n_books=args.books, paragraphs_per_book=60, seed=args.seed
+    )
+    rows = table1_dataset_stats(wikipedia, manuals, ebooks)
+    print(
+        format_table(
+            ["Dataset", "Name", "Documents", "Versions", "Paragraphs", "Size (KB)"],
+            [[r["dataset"], r["name"], r["documents"], r["versions"],
+              r["paragraphs"], r["size_kb"]] for r in rows],
+            title="Table 1 (synthetic corpora)",
+        )
+    )
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.datasets import EbookCorpus, ManualsCorpus, WikipediaCorpus
+    from repro.eval import (
+        figure8_length_change_cdf,
+        figure9_paragraph_disclosure,
+        figure10_manuals_disclosure,
+        figure11_threshold_sweep,
+        figure12_response_times,
+        figure13_scalability,
+    )
+    from repro.eval.reporting import format_cdf_summary, format_series
+
+    name = args.name
+    seed = args.seed
+    if name == "all":
+        from repro.eval.runner import EvaluationRunner, EvaluationScale
+
+        runner = EvaluationRunner(EvaluationScale(seed=seed))
+        print(runner.run())
+    elif name == "fig8":
+        corpus = WikipediaCorpus.generate(n_revisions=40, seed=seed)
+        points = figure8_length_change_cdf(corpus)
+        print(format_series({"length change": points}, title="Figure 8",
+                            x_label="relative change %", y_label="CDF"))
+    elif name == "fig9":
+        corpus = WikipediaCorpus.generate(n_revisions=40, seed=seed)
+        results = figure9_paragraph_disclosure(corpus, revision_step=5)
+        series = {t: [(float(i), p) for i, p in s] for t, s in results.items()}
+        print(format_series(series, title="Figure 9",
+                            x_label="revision", y_label="% disclosed"))
+    elif name == "fig10":
+        manuals = ManualsCorpus.generate(seed=seed)
+        results = figure10_manuals_disclosure(manuals)
+        for chapter_id, points in results.items():
+            print(chapter_id)
+            for p in points:
+                print(f"  {p.version:6s} truth {p.ground_truth_pct:6.1f}%  "
+                      f"browserflow {p.browserflow_pct:6.1f}%")
+    elif name == "fig11":
+        manuals = ManualsCorpus.generate(seed=seed)
+        sweep = figure11_threshold_sweep(manuals)
+        print(format_series({"ratio": sweep}, title="Figure 11",
+                            x_label="Tpar", y_label="detected/truth"))
+    elif name == "fig12":
+        books = EbookCorpus.generate(n_books=10, paragraphs_per_book=60, seed=seed)
+        results = figure12_response_times(books)
+        for workflow, times in results.items():
+            ms = [t * 1000 for t in times]
+            print(format_cdf_summary(workflow, ms, (1.0, 5.0, 30.0, 200.0)))
+    elif name == "fig13":
+        books = EbookCorpus.generate(n_books=20, paragraphs_per_book=80, seed=seed)
+        series = figure13_scalability(books, steps=4, samples_per_step=10)
+        print(format_series(
+            {"p95 ms": [(float(n), ms) for n, ms in series]},
+            title="Figure 13", x_label="hashes", y_label="p95 ms",
+        ))
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def _add_config_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ngram", type=int, default=15,
+                        help="n-gram size in characters (default 15)")
+    parser.add_argument("--window", type=int, default=30,
+                        help="winnowing window size (default 30)")
+    parser.add_argument("--bits", type=int, default=32,
+                        help="hash width in bits (default 32)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BrowserFlow reproduction: imprecise data flow tracking",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fingerprint", help="fingerprint a text file")
+    p.add_argument("file")
+    p.add_argument("--show-hashes", type=int, default=0, metavar="N",
+                   help="print the first N hash values")
+    _add_config_options(p)
+    p.set_defaults(func=cmd_fingerprint)
+
+    p = sub.add_parser("compare", help="pairwise disclosure between two files")
+    p.add_argument("file_a")
+    p.add_argument("file_b")
+    p.add_argument("--threshold", type=float, default=0.5)
+    _add_config_options(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("observe", help="add a file to a fingerprint database")
+    p.add_argument("file")
+    p.add_argument("--db", required=True, help="database snapshot path")
+    p.add_argument("--id", required=True, help="segment id to record")
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.add_argument("--key", help="encrypt the database at rest with this key")
+    _add_config_options(p)
+    p.set_defaults(func=cmd_observe)
+
+    p = sub.add_parser("scan", help="check a file against a database")
+    p.add_argument("file")
+    p.add_argument("--db", required=True)
+    p.add_argument("--key", help="database decryption key")
+    _add_config_options(p)
+    p.set_defaults(func=cmd_scan)
+
+    p = sub.add_parser("corpus", help="print Table 1 for the synthetic corpora")
+    p.add_argument("--revisions", type=int, default=20)
+    p.add_argument("--books", type=int, default=5)
+    p.add_argument("--seed", type=int, default=2016)
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser("experiment", help="run one paper experiment (small scale)")
+    p.add_argument(
+        "name",
+        choices=["all", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"],
+    )
+    p.add_argument("--seed", type=int, default=2016)
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Synthetic corpora standing in for the paper's datasets (Table 1).
+
+The paper evaluates on (i) 100 Wikipedia articles × 1000 revisions,
+(ii) two chapters each from the iPhone and MySQL manuals across 4
+versions with human-expert ground truth, and (iii) 180 Project Gutenberg
+e-books (90 MB). None are available offline, so each generator here
+produces a seeded corpus with the same *structure*: revision streams
+with controlled overlap, versioned chapters with exact machine ground
+truth, and bulk long-form text for scalability runs. See DESIGN.md §2
+for the substitution argument.
+"""
+
+from repro.datasets.ebooks import Ebook, EbookCorpus
+from repro.datasets.manuals import Chapter, ChapterVersion, ManualsCorpus
+from repro.datasets.synthesis import EditModel, TextSynthesizer
+from repro.datasets.vocabulary import VOCABULARY, vocabulary_for
+from repro.datasets.wikipedia import Article, Revision, WikipediaCorpus
+
+__all__ = [
+    "Ebook",
+    "EbookCorpus",
+    "Chapter",
+    "ChapterVersion",
+    "ManualsCorpus",
+    "EditModel",
+    "TextSynthesizer",
+    "VOCABULARY",
+    "vocabulary_for",
+    "Article",
+    "Revision",
+    "WikipediaCorpus",
+]

@@ -1,0 +1,220 @@
+"""Synthetic manuals corpus with exact ground truth (Figures 10 and 11).
+
+The paper uses two chapters each from the iPhone and MySQL manuals
+across four versions, with a human expert labelling which base-version
+paragraphs are still disclosed by each later version ("similar content
+or concepts ... regardless of the actual words used").
+
+Our generator scripts each paragraph's fate per version, so the ground
+truth is known exactly and reproduces the expert's semantics:
+
+* ``kept`` — unchanged: expert yes, BrowserFlow yes;
+* ``light`` — ~10% of words replaced: expert yes, BrowserFlow yes;
+* ``rephrased`` — ~75% of words replaced (same concept, new words):
+  expert yes, BrowserFlow **no** — the paper's systematic
+  false-negative class;
+* ``dropped`` — removed and replaced by new content: expert no,
+  BrowserFlow no.
+
+The four chapters follow the paper's shapes: both iPhone chapters decay
+to near zero by the last version, MySQL "New Features" drops sharply
+after version 4.1, and "What's MySQL" stays essentially unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets.synthesis import EditModel, TextSynthesizer
+from repro.errors import DatasetError
+
+#: Paragraph fates, per paper semantics above.
+FATES = ("kept", "light", "rephrased", "dropped")
+
+#: Fraction of base paragraphs in each fate, per chapter and version.
+#: Tuples are (kept, light, rephrased, dropped) and must sum to 1.
+_CHAPTER_PLANS: Dict[str, Dict[str, Tuple[float, float, float, float]]] = {
+    "iphone-camera": {
+        "iOS4": (0.60, 0.20, 0.05, 0.15),
+        "iOS5": (0.33, 0.15, 0.07, 0.45),
+        "iOS7": (0.07, 0.05, 0.05, 0.83),
+    },
+    "iphone-message": {
+        "iOS4": (0.50, 0.15, 0.05, 0.30),
+        "iOS5": (0.22, 0.10, 0.05, 0.63),
+        "iOS7": (0.02, 0.05, 0.03, 0.90),
+    },
+    "mysql-new-features": {
+        "4.1": (0.72, 0.20, 0.03, 0.05),
+        "5.0": (0.40, 0.15, 0.05, 0.40),
+        "5.1": (0.22, 0.10, 0.05, 0.63),
+    },
+    "mysql-whats-mysql": {
+        "4.1": (0.90, 0.10, 0.00, 0.00),
+        "5.0": (0.85, 0.15, 0.00, 0.00),
+        "5.1": (0.85, 0.12, 0.03, 0.00),
+    },
+}
+
+_CHAPTER_META = {
+    # chapter id -> (display name, base version, topic, base paragraph count)
+    "iphone-camera": ("IPhone Camera", "iOS3", "camera", 40),
+    "iphone-message": ("IPhone Message", "iOS3", "message", 20),
+    "mysql-new-features": ("MySQL New Features", "4.0", "mysql", 28),
+    "mysql-whats-mysql": ("MySQL What's MySQL", "4.0", "mysql", 8),
+}
+
+#: Word-substitution fractions realising each fate.
+_LIGHT_EDIT = 0.05
+_REPHRASE_EDIT = 0.75
+
+
+@dataclass(frozen=True)
+class ChapterVersion:
+    """One version of a chapter with per-paragraph provenance.
+
+    ``fates[i]`` is the fate of base paragraph *i* in this version;
+    ``paragraphs`` holds the version's actual content (surviving
+    paragraphs in base order, then any brand-new paragraphs).
+    """
+
+    version: str
+    paragraphs: Tuple[str, ...]
+    fates: Tuple[str, ...]
+
+    def text(self) -> str:
+        return "\n\n".join(self.paragraphs)
+
+    def ground_truth_disclosed(self) -> Tuple[int, ...]:
+        """Indices of base paragraphs the human expert marks disclosed."""
+        return tuple(
+            i for i, fate in enumerate(self.fates) if fate in ("kept", "light", "rephrased")
+        )
+
+
+@dataclass
+class Chapter:
+    """A manual chapter across versions, base first."""
+
+    chapter_id: str
+    name: str
+    base_version: str
+    base_paragraphs: Tuple[str, ...]
+    versions: List[ChapterVersion] = field(default_factory=list)
+
+    def version(self, name: str) -> ChapterVersion:
+        for v in self.versions:
+            if v.version == name:
+                return v
+        raise DatasetError(f"chapter {self.chapter_id!r} has no version {name!r}")
+
+    def version_names(self) -> List[str]:
+        return [v.version for v in self.versions]
+
+
+class ManualsCorpus:
+    """The four chapters of the paper's Manuals dataset."""
+
+    def __init__(self, chapters: Sequence[Chapter]) -> None:
+        self.chapters = list(chapters)
+
+    def __iter__(self):
+        return iter(self.chapters)
+
+    def __len__(self) -> int:
+        return len(self.chapters)
+
+    def by_id(self, chapter_id: str) -> Chapter:
+        for chapter in self.chapters:
+            if chapter.chapter_id == chapter_id:
+                return chapter
+        raise DatasetError(f"no chapter {chapter_id!r}")
+
+    @classmethod
+    def generate(cls, *, seed: int = 2016, scale: float = 1.0) -> "ManualsCorpus":
+        """Generate all four chapters.
+
+        ``scale`` multiplies the base paragraph counts (the paper's
+        counts at 1.0); the per-version fate fractions are fixed by the
+        chapter plans.
+        """
+        chapters = []
+        for chapter_id, (name, base_version, topic, base_count) in _CHAPTER_META.items():
+            rng = random.Random(f"{seed}:{chapter_id}")
+            synth = TextSynthesizer(topic, rng)
+            editor = EditModel(synth, rng)
+            n_base = max(4, round(base_count * scale))
+            base_paragraphs = tuple(
+                synth.paragraph(min_sentences=3, max_sentences=6)
+                for _ in range(n_base)
+            )
+            chapter = Chapter(
+                chapter_id=chapter_id,
+                name=name,
+                base_version=base_version,
+                base_paragraphs=base_paragraphs,
+            )
+            chapter.versions.append(
+                ChapterVersion(
+                    version=base_version,
+                    paragraphs=base_paragraphs,
+                    fates=tuple("kept" for _ in base_paragraphs),
+                )
+            )
+            for version, fractions in _CHAPTER_PLANS[chapter_id].items():
+                chapter.versions.append(
+                    _make_version(
+                        version, base_paragraphs, fractions, editor, synth, rng
+                    )
+                )
+            chapters.append(chapter)
+        return cls(chapters)
+
+
+def _make_version(
+    version: str,
+    base_paragraphs: Tuple[str, ...],
+    fractions: Tuple[float, float, float, float],
+    editor: EditModel,
+    synth: TextSynthesizer,
+    rng: random.Random,
+) -> ChapterVersion:
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise DatasetError(f"fate fractions for {version!r} must sum to 1")
+    n = len(base_paragraphs)
+    # Deterministically assign fates to paragraph indices by quota.
+    quotas = [round(f * n) for f in fractions]
+    while sum(quotas) < n:
+        quotas[0] += 1
+    while sum(quotas) > n:
+        for i in range(len(quotas) - 1, -1, -1):
+            if quotas[i] > 0:
+                quotas[i] -= 1
+                break
+    indices = list(range(n))
+    rng.shuffle(indices)
+    fates = ["kept"] * n
+    cursor = 0
+    for fate, quota in zip(FATES, quotas):
+        for i in indices[cursor:cursor + quota]:
+            fates[i] = fate
+        cursor += quota
+
+    paragraphs: List[str] = []
+    for i, base in enumerate(base_paragraphs):
+        fate = fates[i]
+        if fate == "kept":
+            paragraphs.append(base)
+        elif fate == "light":
+            paragraphs.append(editor.substitute_words(base, _LIGHT_EDIT))
+        elif fate == "rephrased":
+            paragraphs.append(editor.substitute_words(base, _REPHRASE_EDIT))
+        # dropped: nothing survives
+    n_new = sum(1 for f in fates if f == "dropped")
+    for _ in range(n_new):
+        paragraphs.append(synth.paragraph())
+    return ChapterVersion(
+        version=version, paragraphs=tuple(paragraphs), fates=tuple(fates)
+    )

@@ -1,0 +1,156 @@
+"""Seeded text synthesis and a paragraph edit model.
+
+:class:`TextSynthesizer` produces sentences/paragraphs/documents from a
+topic vocabulary; :class:`EditModel` evolves paragraphs the way document
+revisions do — word substitutions, sentence insertion/deletion and
+reordering — with a single ``intensity`` knob controlling how much of
+the original survives. Both are driven by a caller-provided
+``random.Random`` so every corpus is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.datasets.vocabulary import vocabulary_for
+from repro.errors import DatasetError
+from repro.util.text import split_sentences
+
+
+class TextSynthesizer:
+    """Generates deterministic prose for one topic."""
+
+    def __init__(self, topic: str, rng: random.Random) -> None:
+        self._topic = topic
+        self._rng = rng
+        self._words = vocabulary_for(topic)
+
+    @property
+    def topic(self) -> str:
+        return self._topic
+
+    def word(self) -> str:
+        return self._rng.choice(self._words)
+
+    def sentence(self, min_words: int = 8, max_words: int = 18) -> str:
+        """One sentence: capitalised word sequence with a full stop."""
+        if min_words < 1 or max_words < min_words:
+            raise DatasetError("invalid sentence length bounds")
+        count = self._rng.randint(min_words, max_words)
+        words = [self.word() for _ in range(count)]
+        words[0] = words[0].capitalize()
+        return " ".join(words) + "."
+
+    def paragraph(self, min_sentences: int = 3, max_sentences: int = 6) -> str:
+        count = self._rng.randint(min_sentences, max_sentences)
+        return " ".join(self.sentence() for _ in range(count))
+
+    def document(self, min_paragraphs: int = 5, max_paragraphs: int = 12) -> List[str]:
+        count = self._rng.randint(min_paragraphs, max_paragraphs)
+        return [self.paragraph() for _ in range(count)]
+
+
+class EditModel:
+    """Applies revision-style edits to paragraphs.
+
+    ``intensity`` in [0, 1] is (approximately) the fraction of words
+    replaced; 0 returns the text unchanged and 1 rewrites essentially
+    everything. Structural edits (sentence insert/delete/shuffle) are
+    applied on top for moderate and heavy intensities, mimicking how
+    real revisions restructure rather than only re-word.
+    """
+
+    def __init__(self, synthesizer: TextSynthesizer, rng: random.Random) -> None:
+        self._synth = synthesizer
+        self._rng = rng
+
+    def substitute_words(self, text: str, fraction: float) -> str:
+        """Replace roughly *fraction* of the words with fresh ones."""
+        if not 0.0 <= fraction <= 1.0:
+            raise DatasetError(f"fraction must be in [0, 1], got {fraction}")
+        words = text.split()
+        if not words:
+            return text
+        n_swap = round(len(words) * fraction)
+        indices = self._rng.sample(range(len(words)), min(n_swap, len(words)))
+        for i in indices:
+            replacement = self._synth.word()
+            # Preserve capitalisation and trailing punctuation so the
+            # edited text still reads like prose.
+            original = words[i]
+            if original[:1].isupper():
+                replacement = replacement.capitalize()
+            trailing = ""
+            while original and not original[-1].isalnum():
+                trailing = original[-1] + trailing
+                original = original[:-1]
+            words[i] = replacement + trailing
+        return " ".join(words)
+
+    def shuffle_sentences(self, text: str) -> str:
+        sentences = split_sentences(text)
+        if len(sentences) < 2:
+            return text
+        self._rng.shuffle(sentences)
+        return " ".join(sentences)
+
+    def drop_sentence(self, text: str) -> str:
+        sentences = split_sentences(text)
+        if len(sentences) < 2:
+            return text
+        sentences.pop(self._rng.randrange(len(sentences)))
+        return " ".join(sentences)
+
+    def insert_sentence(self, text: str) -> str:
+        sentences = split_sentences(text)
+        sentences.insert(self._rng.randint(0, len(sentences)), self._synth.sentence())
+        return " ".join(sentences)
+
+    def edit_paragraph(self, text: str, intensity: float) -> str:
+        """Apply a bundle of edits scaled by *intensity*."""
+        if intensity <= 0.0:
+            return text
+        edited = self.substitute_words(text, min(intensity, 1.0))
+        if intensity >= 0.3:
+            if self._rng.random() < 0.5:
+                edited = self.drop_sentence(edited)
+            if self._rng.random() < 0.5:
+                edited = self.insert_sentence(edited)
+        if intensity >= 0.6 and self._rng.random() < 0.5:
+            edited = self.shuffle_sentences(edited)
+        return edited
+
+    def evolve_document(
+        self,
+        paragraphs: Sequence[str],
+        *,
+        edit_prob: float,
+        edit_intensity: float,
+        replace_prob: float = 0.0,
+        append_prob: float = 0.0,
+        delete_prob: float = 0.0,
+    ) -> List[str]:
+        """Produce the next revision of a paragraph list.
+
+        Each paragraph is independently edited (with probability
+        ``edit_prob``), replaced wholesale, or deleted; a fresh
+        paragraph may be appended. Probabilities compose the two
+        regimes of the Wikipedia experiment: stable articles use low
+        values, volatile articles high ones.
+        """
+        out: List[str] = []
+        for paragraph in paragraphs:
+            roll = self._rng.random()
+            if roll < delete_prob:
+                continue
+            if roll < delete_prob + replace_prob:
+                out.append(self._synth.paragraph())
+                continue
+            if self._rng.random() < edit_prob:
+                out.append(self.edit_paragraph(paragraph, edit_intensity))
+            else:
+                out.append(paragraph)
+        if self._rng.random() < append_prob or not out:
+            out.append(self._synth.paragraph())
+        return out

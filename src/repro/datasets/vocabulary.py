@@ -1,0 +1,146 @@
+"""Deterministic vocabulary for text synthesis.
+
+A base list of common English words plus per-topic jargon. Topic words
+make documents about different subjects share little incidental n-gram
+overlap, while documents on the *same* topic (e.g. revisions of one
+article) remain plausibly similar — the property the disclosure
+experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# ~340 common words: enough variety that random sentences rarely repeat
+# 15-character n-grams by chance, which keeps the false-positive floor
+# of the experiments near zero.
+VOCABULARY: Tuple[str, ...] = (
+    "ability", "account", "across", "action", "active", "actual", "address",
+    "advance", "advice", "affect", "afford", "against", "agency", "agree",
+    "airport", "almost", "already", "although", "always", "amount", "analysis",
+    "ancient", "animal", "announce", "another", "answer", "anyone", "appear",
+    "apply", "approach", "argue", "around", "arrange", "arrive", "article",
+    "artist", "aspect", "assume", "attack", "attempt", "attend", "attract",
+    "audience", "author", "autumn", "average", "balance", "barrier", "battle",
+    "beauty", "because", "become", "before", "begin", "behind", "believe",
+    "belong", "benefit", "better", "between", "beyond", "border", "bottle",
+    "bottom", "branch", "breath", "bridge", "brief", "bright", "broad",
+    "brother", "budget", "build", "business", "camera", "campaign", "cancel",
+    "capital", "captain", "capture", "carbon", "career", "careful", "carry",
+    "castle", "casual", "catch", "cause", "center", "central", "century",
+    "certain", "chance", "change", "channel", "chapter", "charge", "choice",
+    "citizen", "claim", "classic", "clear", "climate", "close", "coach",
+    "coast", "collect", "college", "colour", "combine", "comment", "common",
+    "company", "compare", "complete", "concept", "concern", "conclude",
+    "confirm", "connect", "consider", "contain", "content", "contest",
+    "context", "continue", "contract", "control", "convert", "corner",
+    "correct", "cotton", "council", "country", "couple", "courage", "course",
+    "cover", "create", "credit", "critic", "crowd", "culture", "current",
+    "custom", "damage", "danger", "debate", "decade", "decide", "declare",
+    "decline", "deep", "defend", "define", "degree", "deliver", "demand",
+    "depend", "describe", "desert", "design", "desire", "detail", "detect",
+    "develop", "device", "differ", "digital", "direct", "discuss", "display",
+    "distance", "divide", "doctor", "domain", "double", "draft", "dream",
+    "drive", "during", "early", "earn", "easily", "economy", "editor",
+    "effect", "effort", "either", "elect", "element", "emerge", "employ",
+    "enable", "energy", "engage", "engine", "enhance", "enjoy", "enough",
+    "ensure", "enter", "entire", "equal", "escape", "estate", "evening",
+    "event", "evidence", "exact", "examine", "example", "exceed", "except",
+    "exchange", "exist", "expand", "expect", "expert", "explain", "explore",
+    "export", "express", "extend", "extra", "factor", "fail", "fairly",
+    "famous", "fashion", "feature", "figure", "final", "finance", "finish",
+    "flight", "focus", "follow", "foreign", "forest", "formal", "former",
+    "fortune", "forward", "frame", "freedom", "fresh", "friend", "further",
+    "future", "garden", "gather", "general", "gentle", "genuine", "global",
+    "govern", "gradual", "ground", "growth", "guard", "guess", "guide",
+    "handle", "happen", "harbour", "hardly", "health", "height", "history",
+    "holiday", "honest", "however", "humour", "hundred", "ignore", "image",
+    "imagine", "impact", "import", "improve", "include", "income", "increase",
+    "indeed", "indicate", "industry", "inform", "initial", "inside", "insist",
+    "install", "instance", "instead", "intend", "interest", "invest",
+    "involve", "island", "issue", "journey", "judge", "junior", "justice",
+    "keen", "kitchen", "knowledge", "labour", "language", "largely", "launch",
+    "leader", "league", "learn", "leave", "legal", "length", "lesson",
+    "letter", "level", "likely", "limit", "listen", "little", "local",
+    "locate", "longer", "machine", "magazine", "maintain", "major", "manage",
+    "manner", "market", "master", "match", "matter", "measure", "medium",
+    "member", "memory", "mention", "method", "middle", "million", "minister",
+    "minute", "mirror", "mission", "mobile", "model", "modern", "moment",
+    "monitor", "morning", "mountain", "movement", "museum", "nation",
+    "native", "nature", "nearly", "network", "nobody", "normal", "notice",
+    "notion", "number", "object", "observe", "obtain", "obvious", "occasion",
+    "occur", "offer", "office", "often", "opinion", "oppose", "option",
+    "order", "organ", "origin", "other", "outcome", "output", "outside",
+    "overall", "owner", "package", "paint", "panel", "paper", "parent",
+    "partner", "patient", "pattern", "people", "perform", "perhaps",
+    "period", "permit", "person", "picture", "place", "plan", "platform",
+    "player", "please", "plenty", "pocket", "point", "policy", "popular",
+    "portion", "position", "possible", "power", "practice", "prefer",
+    "prepare", "present", "press", "pretty", "prevent", "price", "primary",
+    "prince", "print", "private", "problem", "process", "produce", "profit",
+    "project", "promise", "proper", "propose", "protect", "proud", "provide",
+    "public", "purpose", "quality", "quarter", "question", "quick", "quiet",
+    "raise", "range", "rather", "reach", "reader", "reason", "recall",
+    "receive", "recent", "record", "reduce", "refer", "reflect", "reform",
+    "refuse", "regard", "region", "regular", "relate", "release", "remain",
+    "remember", "remove", "repeat", "replace", "report", "request", "require",
+    "research", "reserve", "resource", "respect", "respond", "result",
+    "return", "reveal", "review", "reward", "rhythm", "rural", "safety",
+    "sample", "scheme", "school", "science", "screen", "search", "season",
+    "second", "secret", "section", "sector", "secure", "select", "senior",
+    "sense", "series", "serious", "serve", "service", "settle", "several",
+    "shadow", "share", "sharp", "shelter", "short", "should", "signal",
+    "silver", "similar", "simple", "single", "slight", "smooth", "social",
+    "society", "source", "speak", "special", "spirit", "spread", "spring",
+    "square", "stable", "standard", "station", "status", "steady", "still",
+    "stock", "story", "straight", "strange", "stream", "street", "strength",
+    "stress", "strike", "strong", "struggle", "student", "studio", "study",
+    "subject", "succeed", "sudden", "suffer", "suggest", "summer", "supply",
+    "support", "suppose", "surface", "surround", "survey", "survive",
+    "switch", "symbol", "system", "table", "talent", "target", "teach",
+    "television", "tension", "theatre", "theory", "thing", "think", "thought",
+    "through", "ticket", "timber", "tissue", "together", "tomorrow", "tonight",
+    "topic", "total", "touch", "toward", "tradition", "traffic", "train",
+    "transfer", "travel", "treat", "trend", "trial", "trouble", "trust",
+    "truth", "under", "union", "unique", "unit", "unless", "until", "upper",
+    "urban", "useful", "usual", "value", "variety", "various", "vehicle",
+    "venture", "version", "victory", "village", "vision", "visit", "volume",
+    "wealth", "weather", "weekend", "welcome", "welfare", "western", "whole",
+    "window", "winter", "wonder", "worker", "worth", "write", "yellow",
+    "yesterday", "young",
+)
+
+# Per-topic jargon injected into sentences of documents on that topic.
+TOPIC_WORDS: Dict[str, Tuple[str, ...]] = {
+    "chicago": ("chicago", "illinois", "skyline", "lakefront", "metropolis",
+                "downtown", "suburb", "railway", "michigan"),
+    "cpp": ("compiler", "template", "pointer", "runtime", "header",
+            "namespace", "overload", "iterator", "linker"),
+    "ip-address": ("subnet", "routing", "packet", "gateway", "protocol",
+                   "address", "octet", "prefix", "datagram"),
+    "liverpool-fc": ("anfield", "striker", "midfield", "fixture", "league",
+                     "transfer", "defender", "manager", "derby"),
+    "chemotherapy": ("dosage", "tumour", "clinical", "remission", "infusion",
+                     "oncology", "cytotoxic", "protocol", "biopsy"),
+    "dementia": ("cognitive", "memory", "diagnosis", "caregiver", "symptom",
+                 "neurology", "decline", "therapy", "patient"),
+    "dow-jones": ("index", "equity", "trading", "dividend", "futures",
+                  "market", "earnings", "volatility", "portfolio"),
+    "radiotherapy": ("radiation", "dosimetry", "beam", "fraction", "target",
+                     "imaging", "planning", "linac", "margin"),
+    "camera": ("shutter", "aperture", "focus", "exposure", "flash",
+               "panorama", "zoom", "lens", "photo"),
+    "message": ("conversation", "attachment", "recipient", "inbox",
+                "notification", "thread", "emoji", "delivery", "contact"),
+    "mysql": ("query", "index", "storage", "replication", "schema",
+              "transaction", "engine", "buffer", "statement"),
+    "fiction": ("captain", "voyage", "harbour", "stranger", "letter",
+                "evening", "garden", "winter", "fortune"),
+}
+
+
+def vocabulary_for(topic: str) -> List[str]:
+    """Base vocabulary enriched with the topic's jargon (if known)."""
+    words = list(VOCABULARY)
+    words.extend(TOPIC_WORDS.get(topic, ()))
+    return words

@@ -1,0 +1,44 @@
+"""Imprecise data flow tracking: the information disclosure engine (§4).
+
+Given a database of previously observed text segments and a new segment,
+the engine answers the *information disclosure problem*: which original
+sources does the new segment currently disclose significant information
+from?
+
+* :mod:`repro.disclosure.store` — DBhash (hash → observing segments with
+  first-seen timestamps) and DBpar (segment → latest fingerprint).
+* :mod:`repro.disclosure.metrics` — document/paragraph disclosure, both
+  raw containment and the authoritative variant of §4.3.
+* :mod:`repro.disclosure.engine` — Algorithm 1 and incremental updates.
+* :mod:`repro.disclosure.attribution` — maps matched hashes back to the
+  source/target character spans that caused a disclosure report.
+"""
+
+from repro.disclosure.attribution import AttributedMatch, attribute_disclosure
+from repro.disclosure.engine import (
+    DisclosureEngine,
+    DisclosureReport,
+    DisclosureTracker,
+    SourceDisclosure,
+)
+from repro.disclosure.metrics import (
+    authoritative_hashes,
+    authoritative_disclosure,
+    raw_disclosure,
+)
+from repro.disclosure.store import HashDatabase, SegmentDatabase, SegmentRecord
+
+__all__ = [
+    "AttributedMatch",
+    "attribute_disclosure",
+    "DisclosureEngine",
+    "DisclosureReport",
+    "DisclosureTracker",
+    "SourceDisclosure",
+    "authoritative_hashes",
+    "authoritative_disclosure",
+    "raw_disclosure",
+    "HashDatabase",
+    "SegmentDatabase",
+    "SegmentRecord",
+]

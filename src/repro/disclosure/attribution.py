@@ -1,0 +1,50 @@
+"""Passage attribution for disclosure reports.
+
+The winnowing fingerprint stores, for every selected hash, the span of
+original text it was computed from (paper §4.1). Given the matched hash
+set from a :class:`~repro.disclosure.engine.SourceDisclosure`, this
+module maps those hashes back to character ranges in both the source and
+the target text, so the UI layer can highlight exactly the passages that
+caused a warning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from repro.fingerprint import Fingerprint
+
+
+@dataclass(frozen=True)
+class AttributedMatch:
+    """Character-level explanation of one disclosure report.
+
+    Attributes:
+        matched_hashes: the hash values behind the report.
+        source_spans: merged (start, end) ranges in the source text.
+        target_spans: merged (start, end) ranges in the target text.
+    """
+
+    matched_hashes: FrozenSet[int]
+    source_spans: Tuple[Tuple[int, int], ...]
+    target_spans: Tuple[Tuple[int, int], ...]
+
+    def source_excerpts(self, source_text: str) -> List[str]:
+        return [source_text[a:b] for a, b in self.source_spans]
+
+    def target_excerpts(self, target_text: str) -> List[str]:
+        return [target_text[a:b] for a, b in self.target_spans]
+
+
+def attribute_disclosure(
+    source_fp: Fingerprint,
+    target_fp: Fingerprint,
+    matched_hashes: FrozenSet[int],
+) -> AttributedMatch:
+    """Map *matched_hashes* back to spans in source and target."""
+    return AttributedMatch(
+        matched_hashes=matched_hashes,
+        source_spans=tuple(source_fp.spans_for(matched_hashes)),
+        target_spans=tuple(target_fp.spans_for(matched_hashes)),
+    )

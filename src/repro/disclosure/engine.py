@@ -1,0 +1,470 @@
+"""The disclosure engine: Algorithm 1 plus incremental observation.
+
+:class:`DisclosureEngine` tracks one granularity (paragraphs *or*
+documents); :class:`DisclosureTracker` composes two engines to implement
+the paper's dual-granularity tracking (§4.1): disclosure is significant
+when either the document requirement or any paragraph requirement holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.disclosure.metrics import (
+    authoritative_hashes,
+    meets_threshold,
+    raw_disclosure,
+)
+from repro.disclosure.store import (
+    DEFAULT_THRESHOLD,
+    HashDatabase,
+    SegmentDatabase,
+    SegmentRecord,
+)
+from repro.errors import DisclosureError
+from repro.fingerprint import Fingerprint, FingerprintConfig, Fingerprinter
+from repro.util.clock import Clock, LogicalClock
+
+
+@dataclass(frozen=True)
+class SourceDisclosure:
+    """One source segment that a queried segment discloses from.
+
+    Attributes:
+        segment_id: the disclosed source segment.
+        score: the disclosure value D(source, target) in [0, 1].
+        threshold: the source's own disclosure threshold that was met.
+        matched_hashes: the hash values common to source (authoritative
+            part, when enabled) and target — input for attribution.
+        kind: granularity of the source segment.
+        doc_id: containing document of a paragraph source, if any.
+    """
+
+    segment_id: str
+    score: float
+    threshold: float
+    matched_hashes: FrozenSet[int]
+    kind: str = "paragraph"
+    doc_id: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DisclosureReport:
+    """Result of one disclosure query at one granularity."""
+
+    target_id: Optional[str]
+    sources: Tuple[SourceDisclosure, ...]
+    candidates_checked: int = 0
+
+    @property
+    def disclosing(self) -> bool:
+        return bool(self.sources)
+
+    def source_ids(self) -> List[str]:
+        return [s.segment_id for s in self.sources]
+
+
+class DisclosureEngine:
+    """Tracks segments at one granularity and answers Algorithm 1 queries.
+
+    Args:
+        config: fingerprinting parameters (paper default: 15/30/32-bit).
+        clock: timestamp source for first-observation records; defaults
+            to a deterministic logical clock.
+        authoritative: apply the §4.3 overlap correction. Disable only
+            for the ablation that measures its effect.
+        kind: label recorded on segments ("paragraph" or "document").
+    """
+
+    def __init__(
+        self,
+        config: Optional[FingerprintConfig] = None,
+        clock: Optional[Clock] = None,
+        *,
+        authoritative: bool = True,
+        kind: str = "paragraph",
+    ) -> None:
+        self._fingerprinter = Fingerprinter(config)
+        self._clock = clock or LogicalClock()
+        self._authoritative = authoritative
+        self._kind = kind
+        self.hash_db = HashDatabase()
+        self.segment_db = SegmentDatabase()
+        # Bumped whenever a new (hash, segment) observation lands; lets
+        # the query cache stay valid across no-op re-observations, which
+        # is what makes per-keystroke queries cheap (paper §6.2).
+        self._version = 0
+        self._query_cache: Dict[str, Tuple[int, FrozenSet[int], DisclosureReport]] = {}
+
+    @property
+    def config(self) -> FingerprintConfig:
+        return self._fingerprinter.config
+
+    @property
+    def fingerprinter(self) -> Fingerprinter:
+        return self._fingerprinter
+
+    def __len__(self) -> int:
+        return len(self.segment_db)
+
+    def fingerprint(self, text: str) -> Fingerprint:
+        return self._fingerprinter.fingerprint(text)
+
+    # ------------------------------------------------------------------
+    # Observation (DB maintenance)
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        segment_id: str,
+        text: str,
+        *,
+        threshold: float = DEFAULT_THRESHOLD,
+        doc_id: Optional[str] = None,
+    ) -> SegmentRecord:
+        """Observe (create or update) a segment from its text."""
+        return self.observe_fingerprint(
+            segment_id, self.fingerprint(text), threshold=threshold, doc_id=doc_id
+        )
+
+    def observe_fingerprint(
+        self,
+        segment_id: str,
+        fingerprint: Fingerprint,
+        *,
+        threshold: float = DEFAULT_THRESHOLD,
+        doc_id: Optional[str] = None,
+    ) -> SegmentRecord:
+        """Observe a segment from a precomputed fingerprint.
+
+        New hashes get first-seen timestamps now; hashes observed before
+        keep their original timestamps, so ownership is stable across
+        edits and re-observations.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise DisclosureError(f"threshold must be in [0, 1], got {threshold}")
+        now = self._clock.now()
+        changed = False
+        existing = self.segment_db.find(segment_id)
+        for h in fingerprint.hashes:
+            if self.hash_db.record(h, segment_id, now):
+                changed = True
+        if existing is not None:
+            # An edit withdraws the segment's claim on hashes it no
+            # longer contains, so authority migrates to the oldest
+            # observer that still holds the text (paper Figure 6).
+            for h in existing.fingerprint.hashes - fingerprint.hashes:
+                if self.hash_db.remove_observation(h, segment_id):
+                    changed = True
+        if changed:
+            self._version += 1
+        if existing is not None:
+            record = SegmentRecord(
+                segment_id=segment_id,
+                fingerprint=fingerprint,
+                threshold=threshold,
+                kind=existing.kind,
+                doc_id=doc_id if doc_id is not None else existing.doc_id,
+                last_updated=now,
+            )
+        else:
+            record = SegmentRecord(
+                segment_id=segment_id,
+                fingerprint=fingerprint,
+                threshold=threshold,
+                kind=self._kind,
+                doc_id=doc_id,
+                last_updated=now,
+            )
+        self.segment_db.put(record)
+        return record
+
+    def remove(self, segment_id: str) -> None:
+        """Forget a segment entirely, releasing its hash ownership."""
+        self.segment_db.remove(segment_id)
+        if self.hash_db.discard_segment(segment_id):
+            self._version += 1
+        self._query_cache.pop(segment_id, None)
+
+    def set_threshold(self, segment_id: str, threshold: float) -> None:
+        """Adjust a segment's disclosure threshold (paper §4.2)."""
+        if not 0.0 <= threshold <= 1.0:
+            raise DisclosureError(f"threshold must be in [0, 1], got {threshold}")
+        record = self.segment_db.get(segment_id)
+        self.segment_db.put(
+            SegmentRecord(
+                segment_id=record.segment_id,
+                fingerprint=record.fingerprint,
+                threshold=threshold,
+                kind=record.kind,
+                doc_id=record.doc_id,
+                last_updated=record.last_updated,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Pairwise disclosure
+    # ------------------------------------------------------------------
+
+    def disclosure_between(self, source_id: str, target_id: str) -> float:
+        """D(source, target) for two tracked segments."""
+        source = self.segment_db.get(source_id)
+        target = self.segment_db.get(target_id)
+        return self._score(source, target.fingerprint)
+
+    def _score(self, source: SegmentRecord, target: Fingerprint) -> float:
+        if self._authoritative:
+            total = len(source.fingerprint)
+            if total == 0:
+                return 0.0
+            auth = authoritative_hashes(source, self.hash_db)
+            return len(auth & target.hashes) / total
+        return raw_disclosure(source.fingerprint, target)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+
+    def disclosing_sources(
+        self,
+        target_id: Optional[str] = None,
+        *,
+        fingerprint: Optional[Fingerprint] = None,
+        exclude_doc: Optional[str] = None,
+    ) -> DisclosureReport:
+        """Source segments that the target discloses (Algorithm 1).
+
+        Pass either the id of a tracked segment, or a standalone
+        ``fingerprint`` for a segment not (yet) in the database.
+        ``exclude_doc`` skips sources in the given document, used so a
+        paragraph is not reported as disclosing its own document.
+        """
+        if (target_id is None) == (fingerprint is None):
+            raise DisclosureError("pass exactly one of target_id or fingerprint")
+        if target_id is not None:
+            fingerprint = self.segment_db.get(target_id).fingerprint
+            cached = self._query_cache.get(target_id)
+            if (
+                cached is not None
+                and cached[0] == self._version
+                and cached[1] == fingerprint.hashes
+            ):
+                return cached[2]
+        assert fingerprint is not None
+
+        report = self._run_algorithm(target_id, fingerprint, exclude_doc)
+        if target_id is not None:
+            self._query_cache[target_id] = (self._version, fingerprint.hashes, report)
+        return report
+
+    def _candidates(self, fingerprint: Fingerprint) -> Iterable[str]:
+        """Candidate source ids sharing at least one hash with the query.
+
+        With the authoritative correction, only a hash's oldest owner can
+        count that hash towards its own disclosure, so inspecting oldest
+        owners (as in the paper's pseudocode) loses nothing. Without the
+        correction every observer is a candidate.
+        """
+        seen = set()
+        for h in fingerprint.hashes:
+            if self._authoritative:
+                owner = self.hash_db.oldest_owner(h)
+                if owner is not None and owner not in seen:
+                    seen.add(owner)
+                    yield owner
+            else:
+                for owner, _ts in self.hash_db.owners(h):
+                    if owner not in seen:
+                        seen.add(owner)
+                        yield owner
+
+    def _run_algorithm(
+        self,
+        target_id: Optional[str],
+        fingerprint: Fingerprint,
+        exclude_doc: Optional[str],
+    ) -> DisclosureReport:
+        results: List[SourceDisclosure] = []
+        checked = 0
+        target_size = len(fingerprint)
+        for candidate_id in self._candidates(fingerprint):
+            if candidate_id == target_id:
+                continue
+            source = self.segment_db.find(candidate_id)
+            if source is None:
+                # Historical owner whose segment was since removed.
+                continue
+            if exclude_doc is not None and (
+                source.doc_id == exclude_doc or source.segment_id == exclude_doc
+            ):
+                continue
+            checked += 1
+            t = source.threshold
+            origin_size = len(source.fingerprint)
+            # Quick discard from Algorithm 1: if the origin fingerprint
+            # is so large that even a full overlap with the target could
+            # not reach the threshold, skip the authoritative scan.
+            if origin_size * t > target_size:
+                continue
+            score = self._score(source, fingerprint)
+            if score > 0.0 and meets_threshold(score, t):
+                if self._authoritative:
+                    matched = (
+                        authoritative_hashes(source, self.hash_db)
+                        & fingerprint.hashes
+                    )
+                else:
+                    matched = source.fingerprint.hashes & fingerprint.hashes
+                results.append(
+                    SourceDisclosure(
+                        segment_id=source.segment_id,
+                        score=score,
+                        threshold=t,
+                        matched_hashes=frozenset(matched),
+                        kind=source.kind,
+                        doc_id=source.doc_id,
+                    )
+                )
+        results.sort(key=lambda s: (-s.score, s.segment_id))
+        return DisclosureReport(
+            target_id=target_id, sources=tuple(results), candidates_checked=checked
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Size counters for scalability experiments (Figure 13)."""
+        return {
+            "segments": len(self.segment_db),
+            "distinct_hashes": len(self.hash_db),
+            "version": self._version,
+        }
+
+
+@dataclass(frozen=True)
+class TrackerReport:
+    """Combined dual-granularity disclosure result (paper §4.1/§4.2)."""
+
+    paragraph_reports: Tuple[Tuple[str, DisclosureReport], ...]
+    document_report: Optional[DisclosureReport] = None
+
+    @property
+    def disclosing(self) -> bool:
+        if self.document_report is not None and self.document_report.disclosing:
+            return True
+        return any(r.disclosing for _pid, r in self.paragraph_reports)
+
+    def all_sources(self) -> List[SourceDisclosure]:
+        out: List[SourceDisclosure] = []
+        if self.document_report is not None:
+            out.extend(self.document_report.sources)
+        for _pid, report in self.paragraph_reports:
+            out.extend(report.sources)
+        return out
+
+
+class DisclosureTracker:
+    """Dual-granularity tracking: paragraphs and whole documents.
+
+    The paper tracks both independently so that leaking one sentence from
+    each of many paragraphs is still caught by the document requirement,
+    while leaking one whole paragraph is caught by the paragraph
+    requirement even inside a large document.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FingerprintConfig] = None,
+        clock: Optional[Clock] = None,
+        *,
+        paragraph_threshold: float = DEFAULT_THRESHOLD,
+        document_threshold: float = DEFAULT_THRESHOLD,
+        authoritative: bool = True,
+    ) -> None:
+        shared_clock = clock or LogicalClock()
+        self.paragraphs = DisclosureEngine(
+            config, shared_clock, authoritative=authoritative, kind="paragraph"
+        )
+        self.documents = DisclosureEngine(
+            config, shared_clock, authoritative=authoritative, kind="document"
+        )
+        self._paragraph_threshold = paragraph_threshold
+        self._document_threshold = document_threshold
+
+    @property
+    def paragraph_threshold(self) -> float:
+        return self._paragraph_threshold
+
+    @property
+    def document_threshold(self) -> float:
+        return self._document_threshold
+
+    def observe_document(
+        self,
+        doc_id: str,
+        paragraphs: Sequence[Tuple[str, str]],
+        *,
+        paragraph_threshold: Optional[float] = None,
+        document_threshold: Optional[float] = None,
+    ) -> None:
+        """Observe a document given (paragraph_id, text) pairs.
+
+        Paragraph ids must be stable across edits (in the plugin they are
+        DOM node ids); the document fingerprint covers the concatenation.
+        """
+        p_thresh = (
+            paragraph_threshold
+            if paragraph_threshold is not None
+            else self._paragraph_threshold
+        )
+        d_thresh = (
+            document_threshold
+            if document_threshold is not None
+            else self._document_threshold
+        )
+        for par_id, text in paragraphs:
+            self.paragraphs.observe(par_id, text, threshold=p_thresh, doc_id=doc_id)
+        doc_text = "\n\n".join(text for _pid, text in paragraphs)
+        self.documents.observe(doc_id, doc_text, threshold=d_thresh)
+
+    def check_document(
+        self, doc_id: str, paragraphs: Sequence[Tuple[str, str]]
+    ) -> TrackerReport:
+        """Query, without observing, what a document would disclose.
+
+        Each paragraph is checked against the paragraph engine and the
+        whole text against the document engine; the document itself and
+        its own paragraphs are excluded as sources.
+        """
+        fingerprinter = self.paragraphs.fingerprinter
+        par_reports = []
+        for par_id, text in paragraphs:
+            fp = fingerprinter.fingerprint(text)
+            report = self.paragraphs.disclosing_sources(
+                fingerprint=fp, exclude_doc=doc_id
+            )
+            par_reports.append((par_id, report))
+        doc_text = "\n\n".join(text for _pid, text in paragraphs)
+        doc_fp = self.documents.fingerprinter.fingerprint(doc_text)
+        doc_report = self.documents.disclosing_sources(
+            fingerprint=doc_fp, exclude_doc=doc_id
+        )
+        # A document must not be reported as disclosing itself.
+        doc_report = DisclosureReport(
+            target_id=None,
+            sources=tuple(
+                s for s in doc_report.sources if s.segment_id != doc_id
+            ),
+            candidates_checked=doc_report.candidates_checked,
+        )
+        return TrackerReport(
+            paragraph_reports=tuple(par_reports), document_report=doc_report
+        )
+
+    def remove_document(self, doc_id: str) -> None:
+        """Forget a document and all of its paragraphs."""
+        for record in self.documents.segment_db.in_document(doc_id):
+            self.documents.remove(record.segment_id)
+        if self.documents.segment_db.find(doc_id) is not None:
+            self.documents.remove(doc_id)
+        for record in self.paragraphs.segment_db.in_document(doc_id):
+            self.paragraphs.remove(record.segment_id)

@@ -1,0 +1,106 @@
+"""Exact-match tracking for short secrets (paper §4.4).
+
+"Imprecise data flow tracking is not effective at a finer granularity
+than paragraphs ... Short but sensitive text, however, is typically
+only relevant from a confidentiality perspective in specific scenarios,
+e.g. when the text is used as a password. For such specific use cases,
+for example password reuse prevention, specialised systems which rely
+on data equality only are more effective."
+
+:class:`ShortSecretTracker` is that specialised complement. Secrets are
+never stored in the clear: each registration keeps an HMAC digest of
+the normalised secret plus a cheap Karp–Rabin prefilter hash, and
+scanning slides over the normalised text confirming prefilter hits
+against the digest. The plug-in can run it alongside the similarity
+engine so that a pasted password is caught even though it is far too
+short to fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import DisclosureError
+from repro.fingerprint.normalize import normalize
+from repro.fingerprint.rolling_hash import KarpRabin
+
+#: Secrets shorter than this (normalised) are rejected: matching them
+#: exactly would fire on everyday prose constantly.
+MIN_SECRET_LENGTH = 6
+
+
+@dataclass(frozen=True)
+class SecretMatch:
+    """One exact occurrence of a registered secret in scanned text."""
+
+    secret_id: str
+    start: int
+    end: int
+
+
+class ShortSecretTracker:
+    """Equality-only detector for registered short secrets."""
+
+    def __init__(self, key: str = "short-secret-tracker") -> None:
+        self._key = key.encode("utf-8")
+        # normalised length -> {prefilter hash -> [(secret_id, digest)]}
+        self._by_length: Dict[int, Dict[int, List[Tuple[str, bytes]]]] = {}
+        self._ids: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def _digest(self, normalised: str) -> bytes:
+        return hmac.new(self._key, normalised.encode("utf-8"), hashlib.sha256).digest()
+
+    def register(self, secret_id: str, secret: str) -> None:
+        """Register a secret; only digests are retained."""
+        if secret_id in self._ids:
+            raise DisclosureError(f"secret id already registered: {secret_id!r}")
+        normalised = normalize(secret).text
+        if len(normalised) < MIN_SECRET_LENGTH:
+            raise DisclosureError(
+                f"secret too short to track exactly "
+                f"({len(normalised)} < {MIN_SECRET_LENGTH} normalised chars)"
+            )
+        hasher = KarpRabin(ngram_size=len(normalised))
+        prefilter = hasher.hash_one(normalised)
+        bucket = self._by_length.setdefault(len(normalised), {})
+        bucket.setdefault(prefilter, []).append(
+            (secret_id, self._digest(normalised))
+        )
+        self._ids.add(secret_id)
+
+    def scan(self, text: str) -> List[SecretMatch]:
+        """Find every registered secret occurring exactly in *text*.
+
+        Matching is over normalised text (case/punctuation-insensitive,
+        like the rest of the system); reported spans index the original
+        string via the normalisation offset map.
+        """
+        normalised = normalize(text)
+        matches: List[SecretMatch] = []
+        for length, bucket in self._by_length.items():
+            if len(normalised.text) < length:
+                continue
+            hasher = KarpRabin(ngram_size=length)
+            for pos, value in enumerate(hasher.hash_all(normalised.text)):
+                candidates = bucket.get(value)
+                if not candidates:
+                    continue
+                window = normalised.text[pos:pos + length]
+                digest = self._digest(window)
+                for secret_id, expected in candidates:
+                    if hmac.compare_digest(digest, expected):
+                        start, end = normalised.original_span(pos, pos + length)
+                        matches.append(
+                            SecretMatch(secret_id=secret_id, start=start, end=end)
+                        )
+        matches.sort(key=lambda m: (m.start, m.secret_id))
+        return matches
+
+    def contains_secret(self, text: str) -> bool:
+        return bool(self.scan(text))

@@ -1,0 +1,153 @@
+"""Fingerprint persistence, encryption at rest, and retention (§4.4).
+
+"Storing fingerprints long-term to facilitate disclosure calculations
+(e.g. DBpar) can introduce an additional attack target if a device gets
+compromised. To mitigate this we recommend encrypting all fingerprint
+data at rest and performing periodic removal of old fingerprints."
+
+This module implements exactly that: JSON snapshots of a
+:class:`~repro.disclosure.engine.DisclosureEngine` (both databases,
+with first-seen timestamps preserved so authoritative ownership
+survives a restart), optional encryption with the deployment's
+:class:`~repro.plugin.crypto.UploadCipher`, and an expiry sweep that
+drops segments not updated since a cutoff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.disclosure.engine import DisclosureEngine
+from repro.disclosure.store import SegmentRecord
+from repro.errors import DisclosureError
+from repro.fingerprint import Fingerprint, FingerprintConfig
+from repro.fingerprint.fingerprint import FingerprintHash
+from repro.plugin.crypto import UploadCipher
+from repro.util.clock import Clock
+
+#: Snapshot format version; bump on incompatible changes.
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_engine(engine: DisclosureEngine) -> dict:
+    """Serialise an engine's databases to a JSON-compatible dict."""
+    config = engine.config
+    segments = []
+    for record in engine.segment_db:
+        segments.append(
+            {
+                "id": record.segment_id,
+                "threshold": record.threshold,
+                "kind": record.kind,
+                "doc_id": record.doc_id,
+                "last_updated": record.last_updated,
+                "hashes": sorted(record.fingerprint.hashes),
+                "selections": [
+                    [s.value, s.orig_start, s.orig_end]
+                    for s in record.fingerprint.selections
+                ],
+            }
+        )
+    observations = {}
+    for hash_value in list(engine.hash_db._observations):
+        owners = engine.hash_db.owners(hash_value)
+        observations[str(hash_value)] = [[seg, ts] for seg, ts in owners]
+    return {
+        "version": SNAPSHOT_VERSION,
+        "config": {
+            "ngram_size": config.ngram_size,
+            "window_size": config.window_size,
+            "hash_bits": config.hash_bits,
+        },
+        "authoritative": engine._authoritative,
+        "kind": engine._kind,
+        "segments": segments,
+        "observations": observations,
+    }
+
+
+def restore_engine(
+    data: dict, *, clock: Optional[Clock] = None
+) -> DisclosureEngine:
+    """Rebuild an engine from a snapshot dict.
+
+    First-seen timestamps are restored verbatim, so the earliest-owner
+    relation — and therefore every disclosure decision — is identical
+    to the engine that was saved.
+    """
+    if data.get("version") != SNAPSHOT_VERSION:
+        raise DisclosureError(
+            f"unsupported snapshot version {data.get('version')!r}"
+        )
+    config = FingerprintConfig(**data["config"])
+    engine = DisclosureEngine(
+        config,
+        clock,
+        authoritative=data.get("authoritative", True),
+        kind=data.get("kind", "paragraph"),
+    )
+    for entry in data["segments"]:
+        fingerprint = Fingerprint(
+            hashes=frozenset(entry["hashes"]),
+            selections=tuple(
+                FingerprintHash(value, start, end)
+                for value, start, end in entry["selections"]
+            ),
+            config=config,
+        )
+        engine.segment_db.put(
+            SegmentRecord(
+                segment_id=entry["id"],
+                fingerprint=fingerprint,
+                threshold=entry["threshold"],
+                kind=entry["kind"],
+                doc_id=entry["doc_id"],
+                last_updated=entry["last_updated"],
+            )
+        )
+    for hash_str, owners in data["observations"].items():
+        hash_value = int(hash_str)
+        for segment_id, timestamp in owners:
+            engine.hash_db.record(hash_value, segment_id, timestamp)
+    return engine
+
+
+def save_engine(
+    engine: DisclosureEngine, path, *, cipher: Optional[UploadCipher] = None
+) -> None:
+    """Write a snapshot to *path*, encrypted when a cipher is given."""
+    payload = json.dumps(snapshot_engine(engine))
+    if cipher is not None:
+        payload = cipher.encrypt(payload)
+    Path(path).write_text(payload, encoding="utf-8")
+
+
+def load_engine(
+    path, *, cipher: Optional[UploadCipher] = None, clock: Optional[Clock] = None
+) -> DisclosureEngine:
+    """Read a snapshot from *path*; decrypts when a cipher is given."""
+    payload = Path(path).read_text(encoding="utf-8")
+    if UploadCipher.is_encrypted(payload):
+        if cipher is None:
+            raise DisclosureError("snapshot is encrypted; a cipher is required")
+        payload = cipher.decrypt(payload)
+    return restore_engine(json.loads(payload), clock=clock)
+
+
+def expire_segments(engine: DisclosureEngine, *, older_than: float) -> List[str]:
+    """Remove segments whose last update predates *older_than*.
+
+    The periodic-removal half of the §4.4 mitigation: stale fingerprints
+    stop being an attack target, and their hash-ownership claims are
+    released so younger copies become authoritative.
+    """
+    stale = [
+        record.segment_id
+        for record in engine.segment_db
+        if record.last_updated < older_than
+    ]
+    for segment_id in stale:
+        engine.remove(segment_id)
+    return stale

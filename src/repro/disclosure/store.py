@@ -1,0 +1,181 @@
+"""The two engine databases from Algorithm 1 (paper §4.3).
+
+``DBhash`` (:class:`HashDatabase`) associates fingerprint hashes with the
+segments that have been observed to contain them, along with the
+timestamp of each first observation. The earliest observer of a hash is
+its *authoritative owner* — the overlap-correction mechanism of §4.3.
+
+``DBpar`` (:class:`SegmentDatabase`) associates each segment with the
+last fingerprint computed for it, plus its disclosure threshold and
+metadata. Both are in-memory hash tables as the paper recommends for
+lookup performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import UnknownSegmentError
+from repro.fingerprint import Fingerprint
+
+#: Default paragraph/document disclosure threshold (paper §6.1 adopts 0.5).
+DEFAULT_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """DBpar entry: one tracked text segment.
+
+    Attributes:
+        segment_id: unique id of the paragraph or document.
+        fingerprint: the latest fingerprint computed for the segment.
+        threshold: this segment's disclosure threshold (Tpar or Tdoc);
+            disclosure *from* this segment is reported when at least this
+            fraction of its authoritative hashes is found elsewhere.
+        kind: ``"paragraph"`` or ``"document"``.
+        doc_id: for paragraphs, the id of the containing document.
+        last_updated: timestamp of the most recent observation.
+    """
+
+    segment_id: str
+    fingerprint: Fingerprint
+    threshold: float = DEFAULT_THRESHOLD
+    kind: str = "paragraph"
+    doc_id: Optional[str] = None
+    last_updated: float = 0.0
+
+    def with_fingerprint(self, fingerprint: Fingerprint, timestamp: float) -> "SegmentRecord":
+        return replace(self, fingerprint=fingerprint, last_updated=timestamp)
+
+
+class HashDatabase:
+    """DBhash: fingerprint hash → {segment id → first-seen timestamp}.
+
+    The earliest observer of a hash is its authoritative owner (§4.3).
+    First-seen timestamps survive re-observation, so priority is stable
+    across edits — but the engine withdraws a segment's claim on hashes
+    an edit removed from its fingerprint, so authority migrates to the
+    next-earliest observer that still holds the text (the Figure 6
+    behaviour). Removing a segment entirely releases all its claims.
+    """
+
+    def __init__(self) -> None:
+        self._observations: Dict[int, Dict[str, float]] = {}
+
+    def __len__(self) -> int:
+        """Number of distinct hashes ever observed."""
+        return len(self._observations)
+
+    def __contains__(self, hash_value: int) -> bool:
+        return hash_value in self._observations
+
+    def record(self, hash_value: int, segment_id: str, timestamp: float) -> bool:
+        """Record that *segment_id* contains *hash_value*.
+
+        Only the first observation per (hash, segment) pair is kept, so
+        re-observing an unchanged paragraph never steals ownership.
+        Returns True if this was a new observation.
+        """
+        seen_by = self._observations.setdefault(hash_value, {})
+        if segment_id in seen_by:
+            return False
+        seen_by[segment_id] = timestamp
+        return True
+
+    def oldest_owner(self, hash_value: int) -> Optional[str]:
+        """The segment that observed *hash_value* earliest, or None.
+
+        Ties on timestamp break towards the lexicographically smallest
+        segment id so the result is deterministic under logical clocks.
+        """
+        seen_by = self._observations.get(hash_value)
+        if not seen_by:
+            return None
+        return min(seen_by.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+    def owners(self, hash_value: int) -> List[Tuple[str, float]]:
+        """All (segment_id, first_seen) observations, earliest first."""
+        seen_by = self._observations.get(hash_value, {})
+        return sorted(seen_by.items(), key=lambda kv: (kv[1], kv[0]))
+
+    def first_seen(self, hash_value: int, segment_id: str) -> Optional[float]:
+        """When *segment_id* first contained *hash_value*, or None."""
+        return self._observations.get(hash_value, {}).get(segment_id)
+
+    def remove_observation(self, hash_value: int, segment_id: str) -> bool:
+        """Release one (hash, segment) association.
+
+        Called when an edit removes a hash from a segment's current
+        fingerprint: the segment's claim is withdrawn, so authority over
+        the hash falls to the next-earliest observer that still contains
+        it — the behaviour behind the paper's Figure 6 (the Wiki becomes
+        the authoritative source once the Interview Tool text changes).
+        Returns True when an association was actually removed.
+        """
+        seen_by = self._observations.get(hash_value)
+        if seen_by is None or segment_id not in seen_by:
+            return False
+        del seen_by[segment_id]
+        if not seen_by:
+            del self._observations[hash_value]
+        return True
+
+    def discard_segment(self, segment_id: str) -> int:
+        """Remove every observation by *segment_id*; returns count removed.
+
+        Hashes left with no observers are dropped from the table.
+        """
+        removed = 0
+        empty_hashes = []
+        for hash_value, seen_by in self._observations.items():
+            if segment_id in seen_by:
+                del seen_by[segment_id]
+                removed += 1
+                if not seen_by:
+                    empty_hashes.append(hash_value)
+        for hash_value in empty_hashes:
+            del self._observations[hash_value]
+        return removed
+
+
+class SegmentDatabase:
+    """DBpar: segment id → :class:`SegmentRecord` (latest fingerprint)."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, SegmentRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, segment_id: str) -> bool:
+        return segment_id in self._records
+
+    def __iter__(self) -> Iterator[SegmentRecord]:
+        return iter(self._records.values())
+
+    def put(self, record: SegmentRecord) -> None:
+        self._records[record.segment_id] = record
+
+    def get(self, segment_id: str) -> SegmentRecord:
+        try:
+            return self._records[segment_id]
+        except KeyError:
+            raise UnknownSegmentError(segment_id) from None
+
+    def find(self, segment_id: str) -> Optional[SegmentRecord]:
+        """Like :meth:`get` but returns None instead of raising."""
+        return self._records.get(segment_id)
+
+    def remove(self, segment_id: str) -> SegmentRecord:
+        try:
+            return self._records.pop(segment_id)
+        except KeyError:
+            raise UnknownSegmentError(segment_id) from None
+
+    def ids(self) -> List[str]:
+        return list(self._records)
+
+    def in_document(self, doc_id: str) -> List[SegmentRecord]:
+        """All paragraph records belonging to *doc_id*."""
+        return [r for r in self._records.values() if r.doc_id == doc_id]

@@ -1,0 +1,30 @@
+"""Network-level data leakage prevention baselines (paper §2.2).
+
+Classic DLP systems "protect sensitive data on client endpoints by
+inspecting outgoing network traffic", from application-level firewalls
+monitoring for confidential files to specialised solutions employing
+text similarity on network streams. BrowserFlow's pitch is that the
+*browser* is the right interception point: inside the browser the text
+is available in the clear, whereas on the wire modern AJAX services
+ship obfuscated per-character deltas that no stream scanner can
+reassemble without reverse-engineering every service's protocol.
+
+This package implements those baselines so the comparison can be
+measured rather than asserted: a keyword/regex rule scanner and a
+fingerprint-based stream scanner, both deployable as network
+interceptors, plus the wire-text extractor they share.
+"""
+
+from repro.dlp.extractor import extract_wire_text
+from repro.dlp.firewall import Detection, DlpMode, NetworkDlpFirewall
+from repro.dlp.rules import KeywordRule, RegexRule, RuleScanner
+
+__all__ = [
+    "extract_wire_text",
+    "Detection",
+    "DlpMode",
+    "NetworkDlpFirewall",
+    "KeywordRule",
+    "RegexRule",
+    "RuleScanner",
+]

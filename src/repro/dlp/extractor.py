@@ -1,0 +1,44 @@
+"""Extract inspectable text from an outgoing request's wire format.
+
+A network DLP system sees only what is on the wire. For classic
+form-encoded services that is the full field values; for JSON APIs it
+is whatever string fields the payload happens to contain — which for a
+delta-syncing editor is a single character per request. The extractor
+is deliberately *generous* (it digs strings out of arbitrarily nested
+JSON), so any failure of the wire-level baseline in the benchmarks is
+due to the protocol's shape, not a weak scanner.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.browser.http import HttpRequest
+
+
+def _strings_from_json(value, out: List[str]) -> None:
+    if isinstance(value, str):
+        out.append(value)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _strings_from_json(item, out)
+    elif isinstance(value, list):
+        for item in value:
+            _strings_from_json(item, out)
+
+
+def extract_wire_text(request: HttpRequest) -> List[str]:
+    """All text fragments visible in *request*'s wire format."""
+    fragments: List[str] = []
+    for value in request.form_data.values():
+        if value:
+            fragments.append(value)
+    if request.body:
+        try:
+            payload = json.loads(request.body)
+        except (json.JSONDecodeError, TypeError):
+            fragments.append(request.body)
+        else:
+            _strings_from_json(payload, fragments)
+    return [f for f in fragments if f.strip()]

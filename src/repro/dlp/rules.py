@@ -1,0 +1,68 @@
+"""Keyword / regex DLP rules — the simplest classic baseline.
+
+Most commercial DLP products start from pattern rules: keywords
+("CONFIDENTIAL"), identifiers (credit-card regexes), project codenames.
+They catch verbatim markers but know nothing about similarity, so any
+paraphrase or marker-free copy sails through.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.browser.http import HttpRequest
+from repro.dlp.extractor import extract_wire_text
+
+
+@dataclass(frozen=True)
+class KeywordRule:
+    """Case-insensitive substring match."""
+
+    name: str
+    keyword: str
+
+    def matches(self, text: str) -> bool:
+        return self.keyword.lower() in text.lower()
+
+
+@dataclass(frozen=True)
+class RegexRule:
+    """Regular-expression match."""
+
+    name: str
+    pattern: str
+
+    def matches(self, text: str) -> bool:
+        return re.search(self.pattern, text) is not None
+
+
+class RuleScanner:
+    """Scans wire text against a rule set; usable as an interceptor."""
+
+    def __init__(self, rules: Sequence = ()) -> None:
+        self.rules = list(rules)
+        self.matches: List[tuple] = []
+
+    def add_rule(self, rule) -> None:
+        self.rules.append(rule)
+
+    def scan_text(self, text: str) -> List[str]:
+        """Names of rules that match *text*."""
+        return [rule.name for rule in self.rules if rule.matches(text)]
+
+    def scan_request(self, request: HttpRequest) -> List[str]:
+        hits: List[str] = []
+        for fragment in extract_wire_text(request):
+            hits.extend(self.scan_text(fragment))
+        return hits
+
+    def __call__(self, request: HttpRequest) -> None:
+        """Interceptor protocol: record matches, never block.
+
+        Rule scanners in monitor mode log incidents for review; the
+        fingerprint firewall handles blocking.
+        """
+        for name in self.scan_request(request):
+            self.matches.append((name, request.url))

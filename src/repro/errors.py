@@ -1,0 +1,106 @@
+"""Exception hierarchy for the BrowserFlow reproduction.
+
+All exceptions raised by this package derive from :class:`ReproError` so
+that callers embedding the library can catch a single base class. The
+subclasses partition failures by subsystem: fingerprinting, the disclosure
+engine, the Text Disclosure Model (labels and policy), the simulated
+browser, and the simulated cloud services.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class FingerprintError(ReproError):
+    """Raised for invalid fingerprinting configuration or input."""
+
+
+class DisclosureError(ReproError):
+    """Raised by the disclosure engine, e.g. for unknown segments."""
+
+
+class UnknownSegmentError(DisclosureError):
+    """Raised when a segment id is not present in the databases."""
+
+    def __init__(self, segment_id: str) -> None:
+        super().__init__(f"unknown text segment: {segment_id!r}")
+        self.segment_id = segment_id
+
+
+class PolicyError(ReproError):
+    """Raised for invalid Text Disclosure Model operations."""
+
+
+class UnknownServiceError(PolicyError):
+    """Raised when a service has no registered policy labels."""
+
+    def __init__(self, service: str) -> None:
+        super().__init__(f"no policy registered for service: {service!r}")
+        self.service = service
+
+
+class TagError(PolicyError):
+    """Raised for malformed tags or illegal tag operations."""
+
+
+class SuppressionError(PolicyError):
+    """Raised when a tag suppression request is not permitted."""
+
+
+class DisclosureViolation(PolicyError):
+    """Raised when enforcement blocks an upload that violates policy.
+
+    Carries the offending segment label and the target service privilege
+    label so that callers (and the UI layer) can explain the violation.
+    """
+
+    def __init__(self, service: str, segment_label, privilege_label) -> None:
+        offending = segment_label - privilege_label
+        super().__init__(
+            f"upload to {service!r} would disclose data tagged "
+            f"{sorted(str(t) for t in offending)}"
+        )
+        self.service = service
+        self.segment_label = segment_label
+        self.privilege_label = privilege_label
+        self.offending_tags = offending
+
+
+class BrowserError(ReproError):
+    """Raised by the simulated browser substrate."""
+
+
+class DOMError(BrowserError):
+    """Raised for invalid DOM tree manipulations."""
+
+
+class NetworkError(ReproError):
+    """Raised by the simulated network layer."""
+
+
+class RequestBlocked(NetworkError):
+    """Raised when an interceptor vetoes an outgoing request."""
+
+    def __init__(self, url: str, reason: str = "blocked by policy") -> None:
+        super().__init__(f"request to {url!r} blocked: {reason}")
+        self.url = url
+        self.reason = reason
+
+
+class ServiceError(ReproError):
+    """Raised by simulated cloud services."""
+
+
+class DocumentNotFound(ServiceError):
+    """Raised when a service is asked for a document it does not store."""
+
+    def __init__(self, doc_id: str) -> None:
+        super().__init__(f"document not found: {doc_id!r}")
+        self.doc_id = doc_id
+
+
+class DatasetError(ReproError):
+    """Raised by the synthetic dataset generators."""

@@ -1,0 +1,34 @@
+"""Evaluation harness reproducing the paper's tables and figures (§6).
+
+Each ``figureNN``/``tableN`` function in :mod:`repro.eval.experiments`
+regenerates the data behind one exhibit of the paper's evaluation;
+:mod:`repro.eval.reporting` renders the same rows/series the paper
+reports, and :mod:`repro.eval.timing` provides the keystroke-level
+workload simulation used by the §6.2 performance experiments.
+"""
+
+from repro.eval.experiments import (
+    figure8_length_change_cdf,
+    figure9_paragraph_disclosure,
+    figure10_manuals_disclosure,
+    figure11_threshold_sweep,
+    figure12_response_times,
+    figure13_scalability,
+    table1_dataset_stats,
+)
+from repro.eval.reporting import format_series, format_table
+from repro.eval.timing import edit_toward, typing_decision_times
+
+__all__ = [
+    "figure8_length_change_cdf",
+    "figure9_paragraph_disclosure",
+    "figure10_manuals_disclosure",
+    "figure11_threshold_sweep",
+    "figure12_response_times",
+    "figure13_scalability",
+    "table1_dataset_stats",
+    "format_series",
+    "format_table",
+    "edit_toward",
+    "typing_decision_times",
+]

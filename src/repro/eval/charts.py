@@ -1,0 +1,118 @@
+"""Plain-text charts for terminal-rendered figures.
+
+The benchmark harness prints the series behind each paper figure; these
+helpers render them visually enough to eyeball the *shapes* the
+reproduction targets — decay curves, CDFs, agreement bars — without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+#: Eighth-height block characters for sparklines.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line block-character rendering of a value series.
+
+    >>> sparkline([0, 50, 100])
+    ' ▄█'
+    """
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    chars = []
+    for value in values:
+        if span <= 0:
+            level = len(_BLOCKS) - 1
+        else:
+            frac = (value - lo) / span
+            level = round(frac * (len(_BLOCKS) - 1))
+        chars.append(_BLOCKS[max(0, min(level, len(_BLOCKS) - 1))])
+    return "".join(chars)
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    *,
+    width: int = 40,
+    max_value: Optional[float] = None,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart with aligned labels and values."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not rows:
+        return "\n".join(lines)
+    top = max_value if max_value is not None else max(v for _l, v in rows)
+    top = top or 1.0
+    label_width = max(len(label) for label, _v in rows)
+    for label, value in rows:
+        filled = round(width * min(value, top) / top)
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)}  {bar.ljust(width)}  "
+                     f"{value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def series_plot(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter plot on a character grid.
+
+    Each series is drawn with its own glyph (listed in the legend); axes
+    are scaled to the joint data range.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    points = [(x, y) for s in series.values() for x, y in s]
+    if not points:
+        return "\n".join(lines)
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "ox+*@%&="
+    legend = []
+    for glyph, (name, data) in zip(glyphs, series.items()):
+        legend.append(f"{glyph} = {name}")
+        for x, y in data:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    lines.append(" " * margin + f"  {x_lo:g}".ljust(width // 2)
+                 + f"{x_hi:g}".rjust(width // 2))
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)

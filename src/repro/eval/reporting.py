@@ -1,0 +1,83 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render a fixed-width table. Floats print with two decimals."""
+    rendered_rows = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_series(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 12,
+) -> str:
+    """Render named (x, y) series, downsampled to *max_points* each."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        lines.append(f"[{name}] ({x_label} -> {y_label})")
+        shown = _downsample(list(points), max_points)
+        lines.append(
+            "  " + "  ".join(f"{x:g}:{y:.2f}" for x, y in shown)
+        )
+    return "\n".join(lines)
+
+
+def _downsample(
+    points: List[Tuple[float, float]], max_points: int
+) -> List[Tuple[float, float]]:
+    if len(points) <= max_points:
+        return points
+    step = (len(points) - 1) / (max_points - 1)
+    indices = sorted({round(i * step) for i in range(max_points)})
+    return [points[i] for i in indices]
+
+
+def format_cdf_summary(
+    name: str, values_ms: Sequence[float], thresholds_ms: Sequence[float]
+) -> str:
+    """One line per latency threshold: fraction of samples at or below."""
+    lines = [f"[{name}] n={len(values_ms)}"]
+    for threshold in thresholds_ms:
+        frac = (
+            sum(1 for v in values_ms if v <= threshold) / len(values_ms)
+            if values_ms
+            else 0.0
+        )
+        lines.append(f"  <= {threshold:g} ms: {100.0 * frac:.1f}%")
+    return "\n".join(lines)

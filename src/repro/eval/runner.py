@@ -1,0 +1,148 @@
+"""One-shot evaluation runner: regenerate every exhibit in one call.
+
+Produces a single text report covering Table 1 and Figures 8–13 at a
+configurable scale — the programmatic equivalent of running the whole
+benchmark harness, handy for the CLI (``python -m repro experiment
+all``) and for quickly sanity-checking changes to the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.datasets import EbookCorpus, ManualsCorpus, WikipediaCorpus
+from repro.eval.charts import series_plot
+from repro.eval.experiments import (
+    figure8_length_change_cdf,
+    figure9_paragraph_disclosure,
+    figure10_manuals_disclosure,
+    figure11_threshold_sweep,
+    figure12_response_times,
+    figure13_scalability,
+    table1_dataset_stats,
+)
+from repro.eval.reporting import format_cdf_summary, format_series, format_table
+from repro.fingerprint import FingerprintConfig
+from repro.fingerprint.config import PAPER_CONFIG
+from repro.util.stats import percentile
+
+
+@dataclass
+class EvaluationScale:
+    """Corpus sizing for one evaluation run."""
+
+    wikipedia_revisions: int = 40
+    wikipedia_extra_articles: int = 0
+    ebooks: int = 10
+    paragraphs_per_book: int = 60
+    fig13_books: int = 20
+    fig13_paragraphs_per_book: int = 80
+    seed: int = 2016
+
+
+class EvaluationRunner:
+    """Generates corpora once and runs every experiment over them."""
+
+    def __init__(
+        self,
+        scale: EvaluationScale | None = None,
+        config: FingerprintConfig = PAPER_CONFIG,
+    ) -> None:
+        self.scale = scale or EvaluationScale()
+        self.config = config
+        self.sections: List[str] = []
+
+    # -- corpora -----------------------------------------------------------
+
+    def _corpora(self):
+        s = self.scale
+        wikipedia = WikipediaCorpus.generate(
+            n_extra_articles=s.wikipedia_extra_articles,
+            n_revisions=s.wikipedia_revisions,
+            seed=s.seed,
+        )
+        manuals = ManualsCorpus.generate(seed=s.seed)
+        ebooks = EbookCorpus.generate(
+            n_books=s.ebooks, paragraphs_per_book=s.paragraphs_per_book,
+            seed=s.seed,
+        )
+        return wikipedia, manuals, ebooks
+
+    # -- run ----------------------------------------------------------------
+
+    def run(self) -> str:
+        """Run everything; returns the combined report text."""
+        wikipedia, manuals, ebooks = self._corpora()
+        self.sections = []
+
+        rows = table1_dataset_stats(wikipedia, manuals, ebooks)
+        self.sections.append(format_table(
+            ["Dataset", "Name", "Docs", "Versions", "Paragraphs", "KB"],
+            [[r["dataset"], r["name"], r["documents"], r["versions"],
+              r["paragraphs"], r["size_kb"]] for r in rows],
+            title="Table 1",
+        ))
+
+        cdf = figure8_length_change_cdf(wikipedia)
+        self.sections.append(format_series(
+            {"length change": cdf}, title="Figure 8 (CDF of length change)",
+            x_label="%", y_label="fraction",
+        ))
+
+        fig9 = figure9_paragraph_disclosure(
+            wikipedia, config=self.config,
+            revision_step=max(1, self.scale.wikipedia_revisions // 8),
+        )
+        series = {t: [(float(i), p) for i, p in s] for t, s in fig9.items()}
+        self.sections.append(
+            format_series(series, title="Figure 9 (paragraph disclosure)",
+                          x_label="revision", y_label="%")
+            + "\n" + series_plot(series, width=60, height=10, y_label="%")
+        )
+
+        fig10 = figure10_manuals_disclosure(manuals, config=self.config)
+        rows = []
+        for chapter_id, points in fig10.items():
+            for p in points:
+                rows.append([chapter_id, p.version, p.ground_truth_pct,
+                             p.browserflow_pct])
+        self.sections.append(format_table(
+            ["Chapter", "Version", "Truth %", "BrowserFlow %"], rows,
+            title="Figure 10 (manuals vs ground truth)",
+        ))
+
+        fig11 = figure11_threshold_sweep(manuals, config=self.config)
+        self.sections.append(format_series(
+            {"ratio": fig11}, title="Figure 11 (threshold sweep)",
+            x_label="Tpar", y_label="detected/truth",
+        ))
+
+        fig12 = figure12_response_times(ebooks, config=self.config)
+        lines = ["Figure 12 (response times)"]
+        for workflow, times in fig12.items():
+            ms = [t * 1000 for t in times]
+            lines.append(format_cdf_summary(workflow, ms, (1.0, 5.0, 30.0, 200.0)))
+            lines.append(f"  median={percentile(ms, 50):.3f} ms "
+                         f"p95={percentile(ms, 95):.3f} ms")
+        self.sections.append("\n".join(lines))
+
+        fig13_corpus = EbookCorpus.generate(
+            n_books=self.scale.fig13_books,
+            paragraphs_per_book=self.scale.fig13_paragraphs_per_book,
+            seed=self.scale.seed + 1,
+        )
+        fig13 = figure13_scalability(
+            fig13_corpus, config=self.config, steps=4, samples_per_step=10
+        )
+        self.sections.append(format_series(
+            {"p95 ms": [(float(n), ms) for n, ms in fig13]},
+            title="Figure 13 (scalability)",
+            x_label="hashes", y_label="p95 ms",
+        ))
+
+        return self.report()
+
+    def report(self) -> str:
+        rule = "=" * 70
+        return ("\n" + rule + "\n").join(self.sections)

@@ -1,0 +1,76 @@
+"""Keystroke-level workload simulation for the §6.2 experiments.
+
+Figure 12 measures "the time between the request and the disclosure
+decision" as a user edits a Google Docs document with BrowserFlow
+loaded. We reproduce the workload at the decision layer: every
+keystroke produces a new paragraph state, and the policy lookup runs on
+each state exactly as the plug-in's mutation-observer/XHR path would.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, List, Sequence
+
+from repro.plugin.lookup import PolicyLookup
+
+
+def keystroke_states(text: str, *, start: str = "") -> Iterator[str]:
+    """Paragraph states produced by typing *text* after *start*."""
+    current = start
+    for ch in text:
+        current += ch
+        yield current
+
+
+def edit_toward(modified: str, original: str) -> Iterator[str]:
+    """States produced by word-by-word editing *modified* into *original*.
+
+    Workflow W3: the user fixes up a previously modified page until it
+    matches the original. Each step replaces the leftmost differing
+    word, yielding the intermediate paragraph state.
+    """
+    target_words = original.split()
+    words = modified.split()
+    # Align lengths first: truncate or extend, one step per word.
+    while len(words) > len(target_words):
+        words.pop()
+        yield " ".join(words)
+    for i in range(len(words), len(target_words)):
+        words.append(target_words[i])
+        yield " ".join(words)
+    for i, target in enumerate(target_words):
+        if words[i] != target:
+            words[i] = target
+            yield " ".join(words)
+
+
+def decision_times(
+    lookup: PolicyLookup,
+    service_id: str,
+    doc_id: str,
+    segment_id: str,
+    states: Sequence[str],
+) -> List[float]:
+    """Run the policy lookup on every state; return seconds per decision."""
+    times: List[float] = []
+    for state in states:
+        started = time.perf_counter()
+        lookup.lookup(service_id, doc_id, [(segment_id, state)])
+        times.append(time.perf_counter() - started)
+    return times
+
+
+def typing_decision_times(
+    lookup: PolicyLookup,
+    service_id: str,
+    doc_id: str,
+    segment_id: str,
+    text: str,
+    *,
+    start: str = "",
+) -> List[float]:
+    """Decision latency per keystroke while typing *text*."""
+    return decision_times(
+        lookup, service_id, doc_id, segment_id, list(keystroke_states(text, start=start))
+    )

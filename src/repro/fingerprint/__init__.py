@@ -1,0 +1,35 @@
+"""Winnowing-based text fingerprinting (paper §4.1).
+
+The pipeline has four steps, implemented by the submodules:
+
+S1 :mod:`repro.fingerprint.normalize` — strip punctuation, whitespace and
+   case so that superficial formatting changes do not perturb hashes.
+S2 :mod:`repro.fingerprint.rolling_hash` — Karp–Rabin hashes over every
+   character n-gram of the normalised text, computed incrementally.
+S3/S4 :mod:`repro.fingerprint.winnowing` — slide a window of *w*
+   consecutive n-gram hashes and keep the minimum hash per window.
+
+:mod:`repro.fingerprint.fingerprint` packages the selected hashes, with
+the source positions needed for passage attribution, into an immutable
+:class:`Fingerprint` value.
+"""
+
+from repro.fingerprint.config import FingerprintConfig
+from repro.fingerprint.fingerprint import Fingerprint, FingerprintHash, Fingerprinter
+from repro.fingerprint.ngram import ngram_hashes
+from repro.fingerprint.normalize import NormalizedText, normalize
+from repro.fingerprint.rolling_hash import KarpRabin
+from repro.fingerprint.winnowing import select_winnowed, winnow
+
+__all__ = [
+    "FingerprintConfig",
+    "Fingerprint",
+    "FingerprintHash",
+    "Fingerprinter",
+    "KarpRabin",
+    "NormalizedText",
+    "ngram_hashes",
+    "normalize",
+    "select_winnowed",
+    "winnow",
+]

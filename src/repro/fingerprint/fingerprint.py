@@ -1,0 +1,155 @@
+"""Fingerprint values and the end-to-end fingerprinter (S1–S4).
+
+A :class:`Fingerprint` is the set of winnowed hashes of one text segment
+plus, for each hash, the original-text spans it was selected from. The
+hash *set* drives the disclosure metrics (paper §4.2); the spans drive
+passage attribution ("which text segment passages caused information
+disclosure", §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from repro.fingerprint.config import FingerprintConfig
+from repro.fingerprint.ngram import PositionedHash, ngram_hashes
+from repro.fingerprint.normalize import normalize
+from repro.fingerprint.rolling_hash import KarpRabin
+from repro.fingerprint.winnowing import winnow
+
+
+@dataclass(frozen=True)
+class FingerprintHash:
+    """One selected hash with its source span in the original text."""
+
+    value: int
+    orig_start: int
+    orig_end: int
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """Immutable winnowing fingerprint of a text segment.
+
+    Attributes:
+        hashes: the set of selected hash values. Set semantics match the
+            paper's disclosure definitions, which intersect fingerprints.
+        selections: every selected hash with its source span, in text
+            order. A hash value may appear several times if the same
+            n-gram content recurs in the segment.
+        config: the parameters the fingerprint was computed with.
+            Fingerprints from different configs are not comparable.
+    """
+
+    hashes: FrozenSet[int]
+    selections: Tuple[FingerprintHash, ...] = field(repr=False, default=())
+    config: FingerprintConfig = field(default_factory=FingerprintConfig)
+
+    def __len__(self) -> int:
+        return len(self.hashes)
+
+    def __contains__(self, value: int) -> bool:
+        return value in self.hashes
+
+    def is_empty(self) -> bool:
+        """True when the segment was too short to produce any hash.
+
+        Empty fingerprints are the systematic false-negative class the
+        paper reports for short paragraphs (§6.1).
+        """
+        return not self.hashes
+
+    def intersection(self, other: "Fingerprint") -> FrozenSet[int]:
+        """Hash values common to both fingerprints."""
+        return self.hashes & other.hashes
+
+    def containment_in(self, other: "Fingerprint") -> float:
+        """|F(self) ∩ F(other)| / |F(self)| — Broder's containment.
+
+        This is the raw (non-authoritative) disclosure of ``self``
+        towards ``other``. Returns 0.0 for an empty fingerprint rather
+        than dividing by zero: an unfingerprintable segment can never be
+        reported as disclosed.
+        """
+        if not self.hashes:
+            return 0.0
+        return len(self.hashes & other.hashes) / len(self.hashes)
+
+    def spans_for(self, values: FrozenSet[int]) -> List[Tuple[int, int]]:
+        """Original-text spans whose hashes are in *values*.
+
+        Used for attribution: given the hashes that matched another
+        segment, return the character ranges of this segment that caused
+        the match, merged where they overlap or touch.
+        """
+        raw = sorted(
+            (s.orig_start, s.orig_end) for s in self.selections if s.value in values
+        )
+        merged: List[Tuple[int, int]] = []
+        for start, end in raw:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+
+class Fingerprinter:
+    """Computes fingerprints; the one object services share per config.
+
+    Example:
+        >>> fp = Fingerprinter(FingerprintConfig(ngram_size=6, window_size=3))
+        >>> f = fp.fingerprint("Hello World!")
+        >>> f.is_empty()
+        False
+    """
+
+    def __init__(self, config: FingerprintConfig | None = None) -> None:
+        self._config = config or FingerprintConfig()
+
+    @property
+    def config(self) -> FingerprintConfig:
+        return self._config
+
+    def fingerprint(self, text: str) -> Fingerprint:
+        """Run S1–S4 on *text* and return its fingerprint.
+
+        The hash stream is computed as plain integers and positions are
+        materialised only for the winnowed selections, which keeps
+        fingerprinting large corpora (the e-book experiments) cheap.
+        """
+        config = self._config
+        normalized = normalize(text)
+        if len(normalized.text) < config.ngram_size:
+            return Fingerprint(hashes=frozenset(), selections=(), config=config)
+        hasher = KarpRabin(ngram_size=config.ngram_size, hash_bits=config.hash_bits)
+        values = list(hasher.hash_all(normalized.text))
+        positions = winnow(values, config.window_size)
+        selections = []
+        for pos in positions:
+            orig_start, orig_end = normalized.original_span(
+                pos, pos + config.ngram_size
+            )
+            selections.append(FingerprintHash(values[pos], orig_start, orig_end))
+        return Fingerprint(
+            hashes=frozenset(values[pos] for pos in positions),
+            selections=tuple(selections),
+            config=config,
+        )
+
+    def fingerprint_document(self, paragraphs: List[str]) -> Fingerprint:
+        """Fingerprint of a whole document given its paragraphs.
+
+        The document granularity (paper §4.1) hashes the document as one
+        segment so that disclosure spread thinly across paragraphs is
+        still detected. Paragraphs are joined with a separator that
+        normalisation removes, so the document fingerprint is the
+        fingerprint of the concatenated prose.
+        """
+        return self.fingerprint("\n\n".join(paragraphs))
+
+
+def positioned_hashes_for(text: str, config: FingerprintConfig) -> List[PositionedHash]:
+    """Expose the pre-winnowing hash stream (useful for ablations)."""
+    return ngram_hashes(normalize(text), config)

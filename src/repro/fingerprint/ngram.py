@@ -1,0 +1,50 @@
+"""Positioned n-gram hash stream combining steps S1 and S2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.fingerprint.config import FingerprintConfig
+from repro.fingerprint.normalize import NormalizedText
+from repro.fingerprint.rolling_hash import KarpRabin
+
+
+@dataclass(frozen=True)
+class PositionedHash:
+    """An n-gram hash together with where the n-gram came from.
+
+    Attributes:
+        value: the Karp–Rabin hash of the n-gram.
+        norm_pos: start index of the n-gram in the normalised text.
+        orig_start: start offset of the n-gram in the original text.
+        orig_end: end offset (exclusive) in the original text.
+    """
+
+    value: int
+    norm_pos: int
+    orig_start: int
+    orig_end: int
+
+
+def ngram_hashes(normalized: NormalizedText, config: FingerprintConfig) -> List[PositionedHash]:
+    """Hash every n-gram of *normalized*, keeping source positions.
+
+    Returns an empty list when the normalised text is shorter than one
+    n-gram — the systematic false-negative case for very short paragraphs
+    that the paper observes in §6.1.
+    """
+    n = config.ngram_size
+    text = normalized.text
+    if len(text) < n:
+        return []
+    hasher = KarpRabin(ngram_size=n, hash_bits=config.hash_bits)
+    out: List[PositionedHash] = []
+    for pos, value in enumerate(hasher.hash_all(text)):
+        orig_start, orig_end = normalized.original_span(pos, pos + n)
+        out.append(
+            PositionedHash(
+                value=value, norm_pos=pos, orig_start=orig_start, orig_end=orig_end
+            )
+        )
+    return out

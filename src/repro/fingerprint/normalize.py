@@ -1,0 +1,68 @@
+"""Step S1 — text normalisation.
+
+The paper normalises a text segment "by removing punctuation, whitespace
+and character case", e.g. ``"Hello World!"`` becomes ``"helloworld"``.
+Because disclosure attribution must point back into the *original* text
+(paper §4.1: "the location of the corresponding source text for each
+hash ... is also stored"), normalisation keeps a position map from every
+normalised character back to its offset in the original string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+def _is_kept(ch: str) -> bool:
+    """A character survives normalisation iff it is alphanumeric.
+
+    This removes punctuation and whitespace in one predicate; Unicode
+    letters and digits are kept so non-ASCII prose fingerprints cleanly.
+    """
+    return ch.isalnum()
+
+
+@dataclass(frozen=True)
+class NormalizedText:
+    """Normalised text plus a map back to original character offsets.
+
+    Attributes:
+        text: the normalised (lowercased, alphanumeric-only) string.
+        offsets: for each normalised character, its index in the original
+            string. ``len(offsets) == len(text)``.
+        original_length: length of the original input string.
+    """
+
+    text: str
+    offsets: Tuple[int, ...] = field(repr=False)
+    original_length: int = 0
+
+    def original_span(self, start: int, end: int) -> Tuple[int, int]:
+        """Map a half-open normalised span to an original-text span.
+
+        Returns a half-open ``(orig_start, orig_end)`` interval covering
+        the original characters that produced ``text[start:end]``.
+        """
+        if not 0 <= start < end <= len(self.text):
+            raise IndexError(f"invalid normalised span [{start}, {end})")
+        return self.offsets[start], self.offsets[end - 1] + 1
+
+
+def normalize(text: str) -> NormalizedText:
+    """Normalise *text* per step S1, keeping the offset map.
+
+    >>> normalize("Hello World!").text
+    'helloworld'
+    """
+    kept_chars = []
+    offsets = []
+    for i, ch in enumerate(text):
+        if _is_kept(ch):
+            kept_chars.append(ch.lower())
+            offsets.append(i)
+    return NormalizedText(
+        text="".join(kept_chars),
+        offsets=tuple(offsets),
+        original_length=len(text),
+    )

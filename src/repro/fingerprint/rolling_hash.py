@@ -1,0 +1,73 @@
+"""Step S2 — Karp–Rabin rolling hashes over character n-grams.
+
+The paper hashes every n-gram of the normalised text "using an efficient
+hash function [Karp and Rabin 1987]". A Karp–Rabin hash treats the
+n-gram as a number in base *b* modulo ``2**hash_bits`` and can slide one
+character to the right in O(1): subtract the leading character's
+contribution, multiply by the base, add the new character.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import FingerprintError
+
+# A largish odd base keeps the low bits of the modular hash well mixed
+# for ASCII inputs; the classic polynomial-hash choice.
+_DEFAULT_BASE = 257
+
+
+class KarpRabin:
+    """Incremental Karp–Rabin hasher for fixed-length windows.
+
+    Example:
+        >>> kr = KarpRabin(ngram_size=3, hash_bits=32)
+        >>> list(kr.hash_all("abcd")) == [kr.hash_one("abc"), kr.hash_one("bcd")]
+        True
+    """
+
+    def __init__(self, ngram_size: int, hash_bits: int = 32, base: int = _DEFAULT_BASE) -> None:
+        if ngram_size < 1:
+            raise FingerprintError(f"ngram_size must be >= 1, got {ngram_size}")
+        if not 8 <= hash_bits <= 64:
+            raise FingerprintError(f"hash_bits must be in [8, 64], got {hash_bits}")
+        self._n = ngram_size
+        self._mask = (1 << hash_bits) - 1
+        self._base = base
+        # base**(n-1) mod 2**bits: the weight of the outgoing character.
+        self._lead_weight = pow(base, ngram_size - 1, self._mask + 1)
+
+    @property
+    def ngram_size(self) -> int:
+        return self._n
+
+    def hash_one(self, ngram: Sequence) -> int:
+        """Hash a single n-gram directly (non-incremental reference)."""
+        if len(ngram) != self._n:
+            raise FingerprintError(
+                f"expected n-gram of length {self._n}, got {len(ngram)}"
+            )
+        h = 0
+        for ch in ngram:
+            h = (h * self._base + ord(ch)) & self._mask
+        return h
+
+    def roll(self, prev_hash: int, outgoing: str, incoming: str) -> int:
+        """Slide the window one character: drop *outgoing*, add *incoming*."""
+        h = (prev_hash - ord(outgoing) * self._lead_weight) & self._mask
+        return (h * self._base + ord(incoming)) & self._mask
+
+    def hash_all(self, text: str) -> Iterator[int]:
+        """Yield the hash of every n-gram of *text*, left to right.
+
+        Yields ``len(text) - ngram_size + 1`` values; nothing if the text
+        is shorter than one n-gram.
+        """
+        if len(text) < self._n:
+            return
+        h = self.hash_one(text[: self._n])
+        yield h
+        for i in range(self._n, len(text)):
+            h = self.roll(h, text[i - self._n], text[i])
+            yield h

@@ -1,0 +1,75 @@
+"""Steps S3/S4 — winnowing window selection (Schleimer et al., 2003).
+
+Overlapping windows of ``window_size`` consecutive n-gram hashes are
+formed and the minimum hash of each window joins the fingerprint. Two
+properties follow (paper §4.1):
+
+* density — at least one hash is selected from every window, so the
+  fingerprint is spread evenly over the segment and its size is roughly
+  linear in segment length divided by window size;
+* robustness — the same minimum tends to be selected by many consecutive
+  windows, so local edits perturb only nearby selections.
+
+Tie-breaking follows the original winnowing paper: when several hashes in
+a window share the minimum value, the *rightmost* one is selected, which
+maximises the chance of re-selecting the hash chosen for the previous
+window and hence minimises fingerprint size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Sequence
+
+from repro.fingerprint.config import FingerprintConfig
+from repro.fingerprint.ngram import PositionedHash
+
+
+def winnow(values: Sequence[int], window_size: int) -> List[int]:
+    """Winnow a plain hash sequence; returns selected positions.
+
+    Works over hash *positions* so callers can recover metadata. Uses a
+    monotonic deque for O(len(values)) total work rather than re-scanning
+    each window.
+    """
+    if window_size < 1:
+        raise ValueError(f"window_size must be >= 1, got {window_size}")
+    n = len(values)
+    if n == 0:
+        return []
+    if n <= window_size:
+        # A single (possibly partial) window: pick its rightmost minimum.
+        # The paper's algorithm produces no fingerprint for segments
+        # shorter than one full window; we follow the common practical
+        # variant (also used by Moss) of selecting from the partial
+        # window so short-but-not-tiny paragraphs still fingerprint.
+        best = 0
+        for i in range(1, n):
+            if values[i] <= values[best]:
+                best = i
+        return [best]
+
+    selected: List[int] = []
+    # Deque holds indices with increasing position and increasing value;
+    # front is the current window minimum. Using <= when popping keeps
+    # the rightmost of equal values at the front.
+    window: Deque[int] = deque()
+    for i, v in enumerate(values):
+        while window and values[window[-1]] >= v:
+            window.pop()
+        window.append(i)
+        if window[0] <= i - window_size:
+            window.popleft()
+        if i >= window_size - 1:
+            pos = window[0]
+            if not selected or selected[-1] != pos:
+                selected.append(pos)
+    return selected
+
+
+def select_winnowed(
+    hashes: Sequence[PositionedHash], config: FingerprintConfig
+) -> List[PositionedHash]:
+    """Apply winnowing to a positioned-hash stream."""
+    positions = winnow([h.value for h in hashes], config.window_size)
+    return [hashes[p] for p in positions]

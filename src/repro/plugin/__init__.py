@@ -1,0 +1,29 @@
+"""The BrowserFlow middleware plug-in (paper §3 overview, §5).
+
+The plug-in sits between page scripts and the network. It is composed of
+the two modules from Figure 1 — a *policy lookup* module that resolves
+the security label of text being uploaded, and a *policy enforcement*
+module that compares that label with the target service's privilege
+label — plus the browser glue: XHR prototype patching, form submit
+listeners, mutation observers, static-page text ingestion, a decision
+cache, an upload-encryption fallback, and the paragraph-highlighting UI.
+"""
+
+from repro.plugin.cache import DecisionCache
+from repro.plugin.crypto import UploadCipher
+from repro.plugin.enforcement import EnforcementAction, PolicyEnforcement, PluginMode
+from repro.plugin.lookup import PolicyLookup
+from repro.plugin.plugin import BrowserFlowPlugin, WarningEvent
+from repro.plugin.ui import Highlighter
+
+__all__ = [
+    "DecisionCache",
+    "UploadCipher",
+    "EnforcementAction",
+    "PolicyEnforcement",
+    "PluginMode",
+    "PolicyLookup",
+    "BrowserFlowPlugin",
+    "WarningEvent",
+    "Highlighter",
+]

@@ -1,0 +1,79 @@
+"""Service adapters: how the plug-in finds editable text per service.
+
+The paper's mechanisms (mutation observers + XHR patching) "can be used
+to support other services with minimal effort" (§5.2). The effort in
+question is exactly an adapter: which DOM container holds the editing
+surface, which elements are the tracked segments, and which attribute
+carries their stable ids. The plug-in ships with adapters for the
+bundled services and accepts new ones via
+:meth:`BrowserFlowPlugin.register_adapter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.browser.dom import Document, Element
+
+
+@dataclass(frozen=True)
+class EditorAdapter:
+    """Describes one AJAX editing surface.
+
+    Attributes:
+        name: adapter id, for diagnostics.
+        container_id: DOM id of the editor container element.
+        paragraph_class: class name marking tracked segment elements.
+        id_attribute: attribute carrying the segment's stable id.
+    """
+
+    name: str
+    container_id: str
+    paragraph_class: str
+    id_attribute: str = "data-par-id"
+    #: Page-path prefix of the service's editor URLs.
+    path_prefix: str = "/"
+    #: How the service-side document id is derived from the rest of the
+    #: path; must match the ids the service uses in its sync protocol.
+    doc_id_template: str = "{}"
+
+    def find_container(self, document: Document) -> Optional[Element]:
+        return document.get_element_by_id(self.container_id)
+
+    def doc_id_for_path(self, path: str) -> str:
+        if path.startswith(self.path_prefix):
+            raw = path[len(self.path_prefix):]
+        else:
+            raw = path.lstrip("/")
+        return self.doc_id_template.format(raw)
+
+    def paragraphs(self, container: Element) -> List[Element]:
+        return container.find_all(
+            lambda el: self.paragraph_class in el.class_list()
+        )
+
+    def paragraph_id(self, element: Element) -> Optional[str]:
+        return element.get_attribute(self.id_attribute)
+
+
+#: Adapter for the Docs-like service (Google Docs' "kix" structure).
+DOCS_ADAPTER = EditorAdapter(
+    name="docs",
+    container_id="editor",
+    paragraph_class="kix-paragraph",
+    path_prefix="/d/",
+    doc_id_template="{}",
+)
+
+#: Adapter for the Notes service (Evernote-style note cards).
+NOTES_ADAPTER = EditorAdapter(
+    name="notes",
+    container_id="notes-app",
+    paragraph_class="note-card",
+    path_prefix="/nb/",
+    doc_id_template="nb:{}",
+)
+
+#: Adapters the plug-in knows about out of the box.
+DEFAULT_ADAPTERS = (DOCS_ADAPTER, NOTES_ADAPTER)

@@ -1,0 +1,60 @@
+"""Fingerprint-keyed decision cache (paper §6.2).
+
+"Requests are served quickly because one keystroke typically does not
+alter the winnowing fingerprint of a paragraph, permitting BrowserFlow
+to reuse its previous response."
+
+The cache key is (service, segment, fingerprint-hash-set, model
+version): a keystroke that leaves the winnowed hashes unchanged hits the
+cache; any change to the fingerprint — or any new observation in the
+disclosure databases — misses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import FrozenSet, Hashable, Optional, Tuple
+
+
+class DecisionCache:
+    """A bounded LRU map from decision keys to decisions."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(
+        service_id: str, segment_id: str, hashes: FrozenSet[int], version: int
+    ) -> Tuple:
+        return (service_id, segment_id, hashes, version)
+
+    def get(self, key: Hashable) -> Optional[object]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: object) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,63 @@
+"""Upload encryption fallback (paper §3, §5: "or BrowserFlow intercepts
+the data transfer ... e.g. by encrypting the data before transmission").
+
+A deterministic stream cipher built from SHA-256 in counter mode. Not a
+novel construction — the point in BrowserFlow is that the *service*
+receives no plaintext, while the client (which holds the key) can still
+round-trip its own data. Ciphertext is hex-armoured with a marker prefix
+so tests and services can recognise protected payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+MARKER = "bf-enc:"
+
+
+class UploadCipher:
+    """SHA-256-CTR stream cipher with a per-deployment secret key."""
+
+    def __init__(self, key: str) -> None:
+        if not key:
+            raise ValueError("cipher key must be non-empty")
+        self._key = key.encode("utf-8")
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            block = hmac.new(
+                self._key, nonce + counter.to_bytes(8, "big"), hashlib.sha256
+            ).digest()
+            out.extend(block)
+            counter += 1
+        return bytes(out[:length])
+
+    def encrypt(self, plaintext: str) -> str:
+        """Encrypt to a marked, hex-armoured string.
+
+        The nonce is derived from the plaintext digest, making encryption
+        deterministic: re-encrypting identical text yields identical
+        ciphertext, so services that deduplicate content still work.
+        """
+        data = plaintext.encode("utf-8")
+        nonce = hashlib.sha256(self._key + data).digest()[:12]
+        stream = self._keystream(nonce, len(data))
+        cipher = bytes(a ^ b for a, b in zip(data, stream))
+        return MARKER + nonce.hex() + ":" + cipher.hex()
+
+    def decrypt(self, ciphertext: str) -> str:
+        if not self.is_encrypted(ciphertext):
+            raise ValueError("not an encrypted payload")
+        payload = ciphertext[len(MARKER):]
+        nonce_hex, _, cipher_hex = payload.partition(":")
+        nonce = bytes.fromhex(nonce_hex)
+        cipher = bytes.fromhex(cipher_hex)
+        stream = self._keystream(nonce, len(cipher))
+        return bytes(a ^ b for a, b in zip(cipher, stream)).decode("utf-8")
+
+    @staticmethod
+    def is_encrypted(text: str) -> bool:
+        return text.startswith(MARKER)

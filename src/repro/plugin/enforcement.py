@@ -1,0 +1,99 @@
+"""The policy enforcement module (paper Figure 1, §3).
+
+"A policy enforcement module uses the security label to reason about the
+compliance of the data propagation ... BrowserFlow then takes
+appropriate action, either permitting the data upload or preventing it,
+e.g. by encrypting the data before transmission."
+
+Three modes cover the paper's deployment options:
+
+* ``ADVISORY`` — warn the user (UI mark + warning event) but let the
+  upload proceed; the paper's preferred advisory model (§1).
+* ``ENFORCE`` — block the violating upload until the user suppresses
+  the offending tags.
+* ``ENCRYPT`` — let the request proceed with the violating text
+  replaced by ciphertext, so the untrusted service stores no plaintext.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.plugin.crypto import UploadCipher
+from repro.tdm.model import FlowDecision
+
+
+class PluginMode(enum.Enum):
+    ADVISORY = "advisory"
+    ENFORCE = "enforce"
+    ENCRYPT = "encrypt"
+
+
+@dataclass(frozen=True)
+class EnforcementAction:
+    """What enforcement decided to do with one upload.
+
+    Attributes:
+        proceed: whether the request may go to the network.
+        decision: the underlying policy decision.
+        rewrites: segment id → ciphertext, for ENCRYPT mode; the
+            interception layer substitutes these into the request body.
+    """
+
+    proceed: bool
+    decision: FlowDecision
+    rewrites: Dict[str, str]
+
+    @property
+    def violated(self) -> bool:
+        return not self.decision.allowed
+
+
+class PolicyEnforcement:
+    """Turns flow decisions into actions according to the plug-in mode."""
+
+    def __init__(
+        self, mode: PluginMode = PluginMode.ENFORCE, cipher: Optional[UploadCipher] = None
+    ) -> None:
+        self._mode = mode
+        self._cipher = cipher
+
+    @property
+    def cipher(self) -> Optional[UploadCipher]:
+        return self._cipher
+
+    @property
+    def mode(self) -> PluginMode:
+        return self._mode
+
+    @mode.setter
+    def mode(self, mode: PluginMode) -> None:
+        self._mode = mode
+
+    def enforce(
+        self, decision: FlowDecision, segment_texts: Dict[str, str]
+    ) -> EnforcementAction:
+        """Decide the fate of an upload given its policy decision.
+
+        *segment_texts* maps segment ids to the outgoing plaintext; only
+        consulted in ENCRYPT mode to build the rewrites.
+        """
+        if decision.allowed:
+            return EnforcementAction(proceed=True, decision=decision, rewrites={})
+
+        if self._mode is PluginMode.ADVISORY:
+            return EnforcementAction(proceed=True, decision=decision, rewrites={})
+
+        if self._mode is PluginMode.ENCRYPT:
+            if self._cipher is None:
+                raise ValueError("ENCRYPT mode requires a cipher")
+            rewrites = {}
+            for violation in decision.violations:
+                text = segment_texts.get(violation.segment_id)
+                if text is not None:
+                    rewrites[violation.segment_id] = self._cipher.encrypt(text)
+            return EnforcementAction(proceed=True, decision=decision, rewrites=rewrites)
+
+        return EnforcementAction(proceed=False, decision=decision, rewrites={})

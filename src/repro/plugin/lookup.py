@@ -1,0 +1,67 @@
+"""The policy lookup module (paper Figure 1).
+
+"A policy lookup module extracts the security label associated with the
+text segment being uploaded." Lookup wraps the Text Disclosure Model:
+it fingerprints outgoing segments, finds the sources they disclose, and
+resolves the labels that enforcement will compare against the target
+service's privilege label. Results are memoised in the decision cache
+keyed by fingerprint, which is what makes per-keystroke checks cheap
+(paper §6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+from repro.plugin.cache import DecisionCache
+from repro.tdm.model import FlowDecision, Suppression, TextDisclosureModel
+
+
+class PolicyLookup:
+    """Resolves flow decisions for outgoing text, with caching."""
+
+    def __init__(
+        self, model: TextDisclosureModel, cache: Optional[DecisionCache] = None
+    ) -> None:
+        self._model = model
+        self._cache = cache if cache is not None else DecisionCache()
+
+    @property
+    def model(self) -> TextDisclosureModel:
+        return self._model
+
+    @property
+    def cache(self) -> DecisionCache:
+        return self._cache
+
+    def lookup(
+        self,
+        service_id: str,
+        doc_id: str,
+        paragraphs: Sequence[Tuple[str, str]],
+        *,
+        suppressions: Optional[Mapping[str, Sequence[Suppression]]] = None,
+    ) -> FlowDecision:
+        """Resolve the flow decision for an upload.
+
+        Cacheable only when no suppressions apply: a suppression must be
+        consumed (and audited) exactly once, so suppressed lookups always
+        recompute.
+        """
+        if suppressions:
+            return self._model.check_upload(
+                service_id, doc_id, paragraphs, suppressions=suppressions
+            )
+
+        engine = self._model.tracker.paragraphs
+        fingerprints = tuple(
+            engine.fingerprinter.fingerprint(text).hashes for _pid, text in paragraphs
+        )
+        version = engine.stats()["version"] + self._model.tracker.documents.stats()["version"]
+        key = (service_id, doc_id, fingerprints, version)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        decision = self._model.check_upload(service_id, doc_id, paragraphs)
+        self._cache.put(key, decision)
+        return decision

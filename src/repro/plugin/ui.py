@@ -1,0 +1,51 @@
+"""User-facing disclosure feedback (paper Figure 2).
+
+"BrowserFlow informs the user of a cloud service about the result of
+the disclosure decision by changing the background colour of an affected
+text segment ... the paragraph is marked with a red background when it
+discloses sensitive data from another source."
+
+The highlighter writes a ``data-bf-status`` attribute and a background
+style onto paragraph elements, which is what a content script would do;
+tests assert on the attribute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.browser.dom import Element
+
+STATUS_ATTR = "data-bf-status"
+STATUS_VIOLATION = "violation"
+STATUS_CLEAR = "ok"
+VIOLATION_STYLE = "background-color: #ffcccc"
+
+
+class Highlighter:
+    """Applies and clears violation marks on DOM elements."""
+
+    def mark_violation(self, element: Element, reason: Optional[str] = None) -> None:
+        element.set_attribute(STATUS_ATTR, STATUS_VIOLATION)
+        element.set_attribute("style", VIOLATION_STYLE)
+        if reason:
+            element.set_attribute("title", reason)
+
+    def mark_clear(self, element: Element) -> None:
+        if element.get_attribute(STATUS_ATTR) is not None:
+            element.set_attribute(STATUS_ATTR, STATUS_CLEAR)
+            element.set_attribute("style", "")
+
+    @staticmethod
+    def status_of(element: Element) -> Optional[str]:
+        return element.get_attribute(STATUS_ATTR)
+
+    @staticmethod
+    def is_marked(element: Element) -> bool:
+        return element.get_attribute(STATUS_ATTR) == STATUS_VIOLATION
+
+    @staticmethod
+    def marked_elements(root: Element) -> List[Element]:
+        return root.find_all(
+            lambda el: el.get_attribute(STATUS_ATTR) == STATUS_VIOLATION
+        )

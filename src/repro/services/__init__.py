@@ -1,0 +1,41 @@
+"""Simulated cloud services and the network connecting them (paper §2, §5).
+
+Each service models one of the interception classes the paper supports:
+
+* :class:`DocsService` — an AJAX document editor in the style of Google
+  Docs: user text lives directly in the DOM, every keystroke mutates the
+  tree and syncs to the backend via XHR (mutation-observer + XHR-patch
+  interception path, §5.2).
+* :class:`WikiService` and :class:`InterviewTool` — form-based internal
+  applications (form interception + static text extraction, §5.1).
+* :class:`ForumService` — a vBulletin-style composer, also form-based.
+* :class:`StaticSite` — fixed article pages for the Readability-style
+  extraction heuristics.
+
+Crucially, service backends receive data *only* through network
+requests, so intercepting the request genuinely prevents disclosure.
+"""
+
+from repro.services.base import Backend, CloudService, StoredDocument
+from repro.services.docs import DocsEditor, DocsService
+from repro.services.forum import ForumService
+from repro.services.interview import InterviewTool
+from repro.services.network import Network
+from repro.services.notes import NotebookView, NotesService
+from repro.services.static import StaticSite
+from repro.services.wiki import WikiService
+
+__all__ = [
+    "Backend",
+    "CloudService",
+    "StoredDocument",
+    "DocsEditor",
+    "DocsService",
+    "ForumService",
+    "InterviewTool",
+    "Network",
+    "NotebookView",
+    "NotesService",
+    "StaticSite",
+    "WikiService",
+]

@@ -1,0 +1,132 @@
+"""Common machinery for simulated cloud services."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.browser.dom import Document
+from repro.browser.http import HttpRequest, HttpResponse
+from repro.errors import DocumentNotFound, ServiceError
+from repro.util.idgen import IdGenerator
+
+
+@dataclass
+class StoredDocument:
+    """A document as stored on a service backend.
+
+    Paragraph ids are assigned by the service and stable across edits —
+    they are what the disclosure tracker uses as segment ids.
+    """
+
+    doc_id: str
+    title: str = ""
+    paragraphs: List[Tuple[str, str]] = field(default_factory=list)
+
+    def text(self) -> str:
+        return "\n\n".join(text for _pid, text in self.paragraphs)
+
+    def paragraph_ids(self) -> List[str]:
+        return [pid for pid, _text in self.paragraphs]
+
+    def find_paragraph(self, par_id: str) -> Optional[str]:
+        for pid, text in self.paragraphs:
+            if pid == par_id:
+                return text
+        return None
+
+    def set_paragraph(self, par_id: str, text: str) -> None:
+        for i, (pid, _old) in enumerate(self.paragraphs):
+            if pid == par_id:
+                self.paragraphs[i] = (pid, text)
+                return
+        raise ServiceError(f"unknown paragraph {par_id!r} in {self.doc_id!r}")
+
+
+class Backend:
+    """Server-side document store for one service.
+
+    Reached exclusively via :meth:`CloudService.handle_request`; local
+    (client-side) state never writes here directly, so a blocked request
+    really does keep data off the service.
+    """
+
+    def __init__(self, id_prefix: str) -> None:
+        self._docs: Dict[str, StoredDocument] = {}
+        self._doc_ids = IdGenerator(f"{id_prefix}-doc")
+        self._par_ids = IdGenerator(f"{id_prefix}-par")
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._docs
+
+    def new_doc_id(self) -> str:
+        return self._doc_ids.next()
+
+    def new_par_id(self) -> str:
+        return self._par_ids.next()
+
+    def create(self, title: str = "", doc_id: Optional[str] = None) -> StoredDocument:
+        doc_id = doc_id or self.new_doc_id()
+        if doc_id in self._docs:
+            raise ServiceError(f"document already exists: {doc_id!r}")
+        doc = StoredDocument(doc_id=doc_id, title=title)
+        self._docs[doc_id] = doc
+        return doc
+
+    def get(self, doc_id: str) -> StoredDocument:
+        doc = self._docs.get(doc_id)
+        if doc is None:
+            raise DocumentNotFound(doc_id)
+        return doc
+
+    def find(self, doc_id: str) -> Optional[StoredDocument]:
+        return self._docs.get(doc_id)
+
+    def delete(self, doc_id: str) -> None:
+        if doc_id not in self._docs:
+            raise DocumentNotFound(doc_id)
+        del self._docs[doc_id]
+
+    def all_documents(self) -> List[StoredDocument]:
+        return list(self._docs.values())
+
+
+class CloudService:
+    """Base class for simulated services.
+
+    Subclasses implement :meth:`render` (build the page DOM for a URL)
+    and :meth:`handle_request` (the backend's request handler). The
+    ``origin`` doubles as the service id in the policy store, matching
+    how the plug-in identifies services by URL origin.
+    """
+
+    def __init__(self, origin: str, name: str) -> None:
+        if "://" not in origin:
+            raise ServiceError(f"origin must include a scheme: {origin!r}")
+        self.origin = origin.rstrip("/")
+        self.name = name
+        self.backend = Backend(id_prefix=name.lower().replace(" ", "-"))
+        self.network = None  # set on Network.register
+        self._windows: List[object] = []
+
+    # -- page side --------------------------------------------------------
+
+    def render(self, url: str) -> Document:
+        raise NotImplementedError
+
+    def attach_window(self, window) -> None:
+        """Called when a page of this service loads into a window."""
+        self._windows.append(window)
+
+    def url(self, path: str) -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        return self.origin + path
+
+    # -- backend side -------------------------------------------------------
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        raise NotImplementedError

@@ -1,0 +1,101 @@
+"""A vBulletin-style web forum (paper §5.1's form-interception examples)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.browser.dom import Document
+from repro.browser.http import HttpRequest, HttpResponse
+from repro.errors import RequestBlocked
+from repro.services.base import CloudService
+
+
+class ForumService(CloudService):
+    """Threads of posts; posting goes through a composer form."""
+
+    def __init__(
+        self, origin: str = "https://forum.example.com", name: str = "Forum"
+    ) -> None:
+        super().__init__(origin, name)
+
+    # -- page rendering ---------------------------------------------------
+
+    def render(self, url: str) -> Document:
+        """Render ``/thread/<topic>``: posts plus the reply composer."""
+        document = Document()
+        topic = self._topic_from_url(url) or "general"
+        thread = document.create_element("div", {"id": "thread", "class": "posts"})
+        document.body.append_child(thread)
+
+        stored = self.backend.find(self._doc_id(topic))
+        if stored is not None:
+            for _par_id, text in stored.paragraphs:
+                post = document.create_element("div", {"class": "post"})
+                p = document.create_element("p")
+                p.set_text(text)
+                post.append_child(p)
+                thread.append_child(post)
+
+        composer = document.create_element(
+            "form", {"action": "/post", "method": "post", "id": "composer"}
+        )
+        composer.append_child(
+            document.create_element(
+                "input", {"type": "hidden", "name": "topic", "value": topic}
+            )
+        )
+        composer.append_child(
+            document.create_element("textarea", {"name": "message", "id": "message"})
+        )
+        document.body.append_child(composer)
+        return document
+
+    def _topic_from_url(self, url: str) -> Optional[str]:
+        path = url[len(self.origin):] if url.startswith(self.origin) else url
+        prefix = "/thread/"
+        if path.startswith(prefix):
+            return path[len(prefix):] or None
+        return None
+
+    def _doc_id(self, topic: str) -> str:
+        return f"thread:{topic}"
+
+    # -- backend ----------------------------------------------------------
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        if request.method == "POST" and request.path == "/post":
+            topic = request.form_data.get("topic", "")
+            message = request.form_data.get("message", "")
+            if not topic or not message:
+                return HttpResponse(status=400, body="missing topic or message")
+            self.add_post(topic, message)
+            return HttpResponse(body="posted")
+        return HttpResponse(status=404, body="not found")
+
+    def add_post(self, topic: str, message: str) -> None:
+        doc_id = self._doc_id(topic)
+        doc = self.backend.find(doc_id)
+        if doc is None:
+            doc = self.backend.create(title=topic, doc_id=doc_id)
+        doc.paragraphs.append((self.backend.new_par_id(), message))
+
+    def posts_in(self, topic: str) -> List[str]:
+        doc = self.backend.find(self._doc_id(topic))
+        return [text for _pid, text in doc.paragraphs] if doc is not None else []
+
+    # -- client-side helper -------------------------------------------------
+
+    def thread_url(self, topic: str) -> str:
+        return self.url(f"/thread/{topic}")
+
+    def post(self, tab, topic: str, message: str) -> bool:
+        """Open the thread and post through the composer form."""
+        tab.navigate(self.thread_url(topic))
+        form = tab.document.get_element_by_id("composer")
+        message_field = tab.document.get_element_by_id("message")
+        message_field.set_attribute("value", message)
+        try:
+            response = tab.window.submit(form)
+        except RequestBlocked:
+            return False
+        return response is not None and response.ok

@@ -1,0 +1,107 @@
+"""The Interview Tool from the paper's running example (§2).
+
+An internally-hosted, form-based application where interviewers record
+candidate evaluations. Structurally a cousin of the wiki — static pages
+plus a submission form — but with its own document model (one document
+per candidate, one paragraph per evaluation note).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.browser.dom import Document
+from repro.browser.http import HttpRequest, HttpResponse
+from repro.errors import RequestBlocked
+from repro.services.base import CloudService
+
+
+class InterviewTool(CloudService):
+    """Candidate-evaluation tool; one stored document per candidate."""
+
+    def __init__(
+        self, origin: str = "https://itool.xyz.com", name: str = "Interview Tool"
+    ) -> None:
+        super().__init__(origin, name)
+
+    # -- page rendering ---------------------------------------------------
+
+    def render(self, url: str) -> Document:
+        """Render ``/candidate/<name>``: past notes plus the note form."""
+        document = Document()
+        candidate = self._candidate_from_url(url)
+        main = document.create_element("div", {"id": "main", "class": "content"})
+        document.body.append_child(main)
+
+        if candidate is not None:
+            stored = self.backend.find(self._doc_id(candidate))
+            if stored is not None:
+                for _par_id, text in stored.paragraphs:
+                    p = document.create_element("p", {"class": "evaluation-note"})
+                    p.set_text(text)
+                    main.append_child(p)
+
+        form = document.create_element(
+            "form", {"action": "/evaluate", "method": "post", "id": "note-form"}
+        )
+        form.append_child(
+            document.create_element(
+                "input",
+                {"type": "hidden", "name": "candidate", "value": candidate or ""},
+            )
+        )
+        form.append_child(
+            document.create_element("textarea", {"name": "note", "id": "note-body"})
+        )
+        document.body.append_child(form)
+        return document
+
+    def _candidate_from_url(self, url: str) -> Optional[str]:
+        path = url[len(self.origin):] if url.startswith(self.origin) else url
+        prefix = "/candidate/"
+        if path.startswith(prefix):
+            return path[len(prefix):] or None
+        return None
+
+    def _doc_id(self, candidate: str) -> str:
+        return f"candidate:{candidate}"
+
+    # -- backend ----------------------------------------------------------
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        if request.method == "POST" and request.path == "/evaluate":
+            candidate = request.form_data.get("candidate", "")
+            note = request.form_data.get("note", "")
+            if not candidate:
+                return HttpResponse(status=400, body="missing candidate")
+            self.add_note(candidate, note)
+            return HttpResponse(body="recorded")
+        return HttpResponse(status=404, body="not found")
+
+    def add_note(self, candidate: str, note: str) -> None:
+        doc_id = self._doc_id(candidate)
+        doc = self.backend.find(doc_id)
+        if doc is None:
+            doc = self.backend.create(title=candidate, doc_id=doc_id)
+        doc.paragraphs.append((self.backend.new_par_id(), note))
+
+    def notes_for(self, candidate: str) -> List[str]:
+        doc = self.backend.find(self._doc_id(candidate))
+        return [text for _pid, text in doc.paragraphs] if doc is not None else []
+
+    # -- client-side helper -------------------------------------------------
+
+    def candidate_url(self, candidate: str) -> str:
+        return self.url(f"/candidate/{candidate}")
+
+    def submit_note(self, tab, candidate: str, note: str) -> bool:
+        """Open the candidate page and submit an evaluation note."""
+        tab.navigate(self.candidate_url(candidate))
+        form = tab.document.get_element_by_id("note-form")
+        note_field = tab.document.get_element_by_id("note-body")
+        note_field.set_attribute("value", note)
+        try:
+            response = tab.window.submit(form)
+        except RequestBlocked:
+            return False
+        return response is not None and response.ok

@@ -1,0 +1,73 @@
+"""The simulated network: routes requests and page loads to services."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.browser.dom import Document
+from repro.browser.http import HttpRequest, HttpResponse
+from repro.errors import NetworkError
+
+
+class Network:
+    """Origin-keyed service registry with a request log.
+
+    The log records every request that actually *reached* a backend —
+    requests vetoed by an interceptor raise before delivery and never
+    appear, which is what the integration tests assert on.
+    """
+
+    def __init__(self) -> None:
+        self._services: Dict[str, "CloudService"] = {}
+        self.request_log: List[Tuple[HttpRequest, HttpResponse]] = []
+        # Network-level interceptors (e.g. a DLP firewall, §2.2): they
+        # run on every outgoing request *after* it leaves the browser
+        # and may veto it by raising RequestBlocked.
+        self._interceptors: List = []
+
+    def add_interceptor(self, interceptor) -> None:
+        """Install a callable invoked with every outgoing request.
+
+        This models middleboxes that sit between the client and the
+        cloud (application-level firewalls); unlike the in-browser
+        plug-in they only ever see the wire format.
+        """
+        self._interceptors.append(interceptor)
+
+    def register(self, service) -> None:
+        if service.origin in self._services:
+            raise NetworkError(f"origin already registered: {service.origin!r}")
+        self._services[service.origin] = service
+        service.network = self
+
+    def service_at(self, origin: str):
+        service = self._services.get(origin)
+        if service is None:
+            raise NetworkError(f"no service at origin {origin!r}")
+        return service
+
+    def services(self) -> List[str]:
+        return sorted(self._services)
+
+    def deliver(self, request: HttpRequest) -> HttpResponse:
+        """Deliver a request to the origin's service backend."""
+        for interceptor in self._interceptors:
+            interceptor(request)
+        service = self._services.get(request.origin)
+        if service is None:
+            response = HttpResponse(status=502, body=f"unknown origin {request.origin}")
+        else:
+            response = service.handle_request(request)
+        self.request_log.append((request, response))
+        return response
+
+    def render_page(self, url: str) -> Tuple[Document, Optional[object]]:
+        """Render the page at *url*; page loads are not logged as uploads."""
+        request = HttpRequest(method="GET", url=url)
+        service = self._services.get(request.origin)
+        if service is None:
+            raise NetworkError(f"no service at origin {request.origin!r}")
+        return service.render(url), service
+
+    def requests_to(self, origin: str) -> List[HttpRequest]:
+        return [req for req, _resp in self.request_log if req.origin == origin]

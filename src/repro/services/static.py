@@ -1,0 +1,85 @@
+"""Static article pages (Drupal/WordPress-style) for text extraction.
+
+These pages have no upload path; they exist to exercise the
+Readability-style extraction heuristics (§5.1) against realistic page
+shapes: an article container surrounded by navigation, sidebar and
+footer boilerplate full of links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.browser.dom import Document
+from repro.browser.http import HttpRequest, HttpResponse
+from repro.errors import DocumentNotFound
+from repro.services.base import CloudService
+
+
+class StaticSite(CloudService):
+    """Serves fixed articles at ``/article/<slug>`` with boilerplate."""
+
+    def __init__(
+        self, origin: str = "https://news.example.com", name: str = "News"
+    ) -> None:
+        super().__init__(origin, name)
+        self._articles: Dict[str, List[str]] = {}
+
+    def publish(self, slug: str, paragraphs: List[str]) -> None:
+        """Make an article available; no client upload path exists."""
+        self._articles[slug] = list(paragraphs)
+
+    def article(self, slug: str) -> List[str]:
+        if slug not in self._articles:
+            raise DocumentNotFound(slug)
+        return list(self._articles[slug])
+
+    def article_url(self, slug: str) -> str:
+        return self.url(f"/article/{slug}")
+
+    # -- page rendering ---------------------------------------------------
+
+    def render(self, url: str) -> Document:
+        document = Document()
+        slug = self._slug_from_url(url)
+
+        nav = document.create_element("div", {"class": "nav menu"})
+        for label in ("Home", "World", "Tech", "Sport"):
+            link = document.create_element("a", {"href": f"/{label.lower()}"})
+            link.set_text(label)
+            nav.append_child(link)
+        document.body.append_child(nav)
+
+        article = document.create_element(
+            "div", {"id": "article", "class": "article-content"}
+        )
+        paragraphs = self._articles.get(slug or "", [])
+        for text in paragraphs:
+            p = document.create_element("p")
+            p.set_text(text)
+            article.append_child(p)
+        document.body.append_child(article)
+
+        sidebar = document.create_element("div", {"class": "sidebar"})
+        for i in range(5):
+            link = document.create_element("a", {"href": f"/related/{i}"})
+            link.set_text(f"Related story {i}")
+            sidebar.append_child(link)
+        document.body.append_child(sidebar)
+
+        footer = document.create_element("div", {"class": "footer meta"})
+        footer.set_text("Copyright, terms of use, privacy policy, contact us")
+        document.body.append_child(footer)
+        return document
+
+    def _slug_from_url(self, url: str) -> Optional[str]:
+        path = url[len(self.origin):] if url.startswith(self.origin) else url
+        prefix = "/article/"
+        if path.startswith(prefix):
+            return path[len(prefix):] or None
+        return None
+
+    # -- backend ----------------------------------------------------------
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse(status=405, body="read-only service")

@@ -1,0 +1,122 @@
+"""A form-based internal wiki (paper §2's "Internal Wiki").
+
+Pages render as static HTML — article text inside a content container,
+editable through a ``<form>`` with a ``<textarea>`` — which exercises
+both the Readability-style extraction path and the form-interception
+path of the plug-in (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.browser.dom import Document
+from repro.browser.http import HttpRequest, HttpResponse
+from repro.errors import RequestBlocked
+from repro.services.base import CloudService
+from repro.util.text import split_paragraphs
+
+
+class WikiService(CloudService):
+    """Form-based wiki with per-page documents."""
+
+    def __init__(
+        self, origin: str = "https://xyz.com", name: str = "Internal Wiki"
+    ) -> None:
+        super().__init__(origin, name)
+
+    # -- page rendering ---------------------------------------------------
+
+    def render(self, url: str) -> Document:
+        """Render ``/wiki/<page>``: article content plus the edit form."""
+        document = Document()
+        page_name = self._page_from_url(url) or "Home"
+        content = document.create_element(
+            "div", {"id": "content", "class": "article-body"}
+        )
+        document.body.append_child(content)
+
+        stored = self.backend.find(self._doc_id(page_name))
+        if stored is not None:
+            for _par_id, text in stored.paragraphs:
+                p = document.create_element("p")
+                p.set_text(text)
+                content.append_child(p)
+
+        footer = document.create_element("div", {"class": "footer"})
+        footer.set_text("Internal wiki - confidential")
+        document.body.append_child(footer)
+
+        form = document.create_element(
+            "form", {"action": "/wiki/save", "method": "post", "id": "edit-form"}
+        )
+        page_field = document.create_element(
+            "input", {"type": "hidden", "name": "page", "value": page_name}
+        )
+        body_field = document.create_element(
+            "textarea", {"name": "body", "id": "edit-body"}
+        )
+        if stored is not None:
+            body_field.set_attribute("value", stored.text())
+        form.append_child(page_field)
+        form.append_child(body_field)
+        document.body.append_child(form)
+        return document
+
+    def _page_from_url(self, url: str) -> Optional[str]:
+        path = url[len(self.origin):] if url.startswith(self.origin) else url
+        prefix = "/wiki/"
+        if path.startswith(prefix) and path != prefix + "save":
+            return path[len(prefix):] or None
+        return None
+
+    def _doc_id(self, page_name: str) -> str:
+        return f"wiki:{page_name}"
+
+    # -- backend ----------------------------------------------------------
+
+    def handle_request(self, request: HttpRequest) -> HttpResponse:
+        if request.method == "POST" and request.path == "/wiki/save":
+            page_name = request.form_data.get("page", "")
+            body = request.form_data.get("body", "")
+            if not page_name:
+                return HttpResponse(status=400, body="missing page name")
+            self.save_page(page_name, body)
+            return HttpResponse(body="saved")
+        return HttpResponse(status=404, body="not found")
+
+    def save_page(self, page_name: str, body: str) -> None:
+        """Backend-side write, used by request handling and test setup."""
+        doc_id = self._doc_id(page_name)
+        doc = self.backend.find(doc_id)
+        if doc is None:
+            doc = self.backend.create(title=page_name, doc_id=doc_id)
+        doc.paragraphs = [
+            (self.backend.new_par_id(), text) for text in split_paragraphs(body)
+        ]
+
+    def page_text(self, page_name: str) -> str:
+        doc = self.backend.find(self._doc_id(page_name))
+        return doc.text() if doc is not None else ""
+
+    # -- client-side helper -------------------------------------------------
+
+    def page_url(self, page_name: str) -> str:
+        return self.url(f"/wiki/{page_name}")
+
+    def edit(self, tab, page_name: str, body: str) -> bool:
+        """Open the page, fill the edit form, and submit it.
+
+        Returns True when the save reached the backend; False when a
+        submit listener (the plug-in) cancelled it or the request was
+        vetoed in flight.
+        """
+        tab.navigate(self.page_url(page_name))
+        form = tab.document.get_element_by_id("edit-form")
+        textarea = tab.document.get_element_by_id("edit-body")
+        textarea.set_attribute("value", body)
+        try:
+            response = tab.window.submit(form)
+        except RequestBlocked:
+            return False
+        return response is not None and response.ok

@@ -1,0 +1,31 @@
+"""The Text Disclosure Model (paper §3).
+
+Data disclosure policies are decentralised labels: services carry a
+privilege label ``Lp`` and a confidentiality label ``Lc``; text segments
+carry labels split into *explicit* tags (assigned by ``Lc`` or by users)
+and *implicit* tags (inherited through detected similarity, §3.2). A
+segment may flow to a service only when its effective label is a subset
+of the service's ``Lp``. Users may *suppress* tags case-by-case
+(declassification with an audit trail, §3.1) or allocate *custom* tags
+to restrict propagation further.
+"""
+
+from repro.tdm.audit import AuditLog, SuppressionEvent
+from repro.tdm.labels import EMPTY_LABEL, Label, SegmentLabel
+from repro.tdm.model import FlowDecision, FlowViolation, TextDisclosureModel
+from repro.tdm.policy import PolicyStore, ServicePolicy
+from repro.tdm.tags import Tag
+
+__all__ = [
+    "AuditLog",
+    "SuppressionEvent",
+    "EMPTY_LABEL",
+    "Label",
+    "SegmentLabel",
+    "FlowDecision",
+    "FlowViolation",
+    "TextDisclosureModel",
+    "PolicyStore",
+    "ServicePolicy",
+    "Tag",
+]

@@ -1,0 +1,54 @@
+"""Audit trail for tag suppression (paper §3.1).
+
+"Tag suppression incurs an audit trail because it may result in sensitive
+data disclosure. ... Along with a suppressed tag, we also store an
+identifier of the user who initiated the suppression and a justification
+to facilitate future audits."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.tdm.tags import Tag
+
+
+@dataclass(frozen=True)
+class SuppressionEvent:
+    """One user-initiated declassification."""
+
+    user: str
+    tag: Tag
+    segment_id: str
+    justification: str
+    timestamp: float
+    target_service: Optional[str] = None
+
+
+class AuditLog:
+    """Append-only log of suppression events with simple queries."""
+
+    def __init__(self) -> None:
+        self._events: List[SuppressionEvent] = []
+
+    def record(self, event: SuppressionEvent) -> None:
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def events(self) -> List[SuppressionEvent]:
+        return list(self._events)
+
+    def by_user(self, user: str) -> List[SuppressionEvent]:
+        return [e for e in self._events if e.user == user]
+
+    def by_tag(self, tag: Tag) -> List[SuppressionEvent]:
+        return [e for e in self._events if e.tag == tag]
+
+    def by_segment(self, segment_id: str) -> List[SuppressionEvent]:
+        return [e for e in self._events if e.segment_id == segment_id]

@@ -1,0 +1,153 @@
+"""Label algebra (paper §3.1–§3.2).
+
+A :class:`Label` is an immutable set of tags with the subset-based flow
+rule: a segment labelled ``Li`` may be released to a service with
+privilege label ``Lp`` only if ``Li ⊆ Lp``.
+
+A :class:`SegmentLabel` is the richer per-segment structure that splits
+tags into *explicit* (from a service's ``Lc`` or user-assigned) and
+*implicit* (inherited when the segment was found to disclose another
+segment). Implicit tags take part in flow checks but never propagate
+onwards — the mechanism that prevents outdated-tag false positives in
+the paper's Figure 6. Suppressed tags stay attached (for audit) but are
+ignored by flow checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List
+
+from repro.tdm.tags import Tag, as_tag
+
+
+def _tagset(tags: Iterable) -> FrozenSet[Tag]:
+    return frozenset(as_tag(t) for t in tags)
+
+
+@dataclass(frozen=True)
+class Label:
+    """An immutable set of tags with subset-based flow semantics."""
+
+    tags: FrozenSet[Tag] = frozenset()
+
+    @classmethod
+    def of(cls, *tags) -> "Label":
+        """Build a label from tag names or Tag values.
+
+        >>> Label.of("ti", "tw") == Label.of("tw", "ti")
+        True
+        """
+        return cls(_tagset(tags))
+
+    def __iter__(self) -> Iterator[Tag]:
+        return iter(sorted(self.tags))
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    def __contains__(self, tag) -> bool:
+        return as_tag(tag) in self.tags
+
+    def __or__(self, other: "Label") -> "Label":
+        return Label(self.tags | other.tags)
+
+    def __sub__(self, other: "Label") -> "Label":
+        return Label(self.tags - other.tags)
+
+    def __le__(self, other: "Label") -> bool:
+        """Flow check: ``self <= other`` means self may flow to other."""
+        return self.tags <= other.tags
+
+    def is_subset_of(self, other: "Label") -> bool:
+        """Named alias of the subset flow check."""
+        return self.tags <= other.tags
+
+    def with_tag(self, tag) -> "Label":
+        return Label(self.tags | {as_tag(tag)})
+
+    def without_tag(self, tag) -> "Label":
+        return Label(self.tags - {as_tag(tag)})
+
+    def names(self) -> List[str]:
+        return sorted(t.name for t in self.tags)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(self.names()) + "}"
+
+
+#: The public label: data carrying it may flow anywhere (e.g. Google
+#: Docs' Lc in the paper's running example).
+EMPTY_LABEL = Label()
+
+
+@dataclass(frozen=True)
+class SegmentLabel:
+    """Per-segment label split into explicit/implicit/suppressed parts.
+
+    Attributes:
+        explicit: tags assigned by the origin service's ``Lc`` or by
+            users; these propagate to similar segments (as implicit).
+        implicit: tags inherited because the segment disclosed another
+            segment in the past; checked for flow but never propagated.
+        suppressed: tags a user has declassified for this segment in the
+            target service; they remain attached for accountability but
+            are ignored in flow checks.
+    """
+
+    explicit: FrozenSet[Tag] = frozenset()
+    implicit: FrozenSet[Tag] = frozenset()
+    suppressed: FrozenSet[Tag] = frozenset()
+
+    @classmethod
+    def of(
+        cls,
+        explicit: Iterable = (),
+        implicit: Iterable = (),
+        suppressed: Iterable = (),
+    ) -> "SegmentLabel":
+        return cls(_tagset(explicit), _tagset(implicit), _tagset(suppressed))
+
+    def effective(self) -> Label:
+        """The label used in flow checks: explicit ∪ implicit − suppressed."""
+        return Label((self.explicit | self.implicit) - self.suppressed)
+
+    def full(self) -> Label:
+        """Every attached tag including suppressed ones (for audits)."""
+        return Label(self.explicit | self.implicit)
+
+    def propagating(self) -> FrozenSet[Tag]:
+        """Tags that flow onwards when this segment discloses elsewhere.
+
+        Only explicit, non-suppressed tags propagate (paper §3.2):
+        implicit tags mark non-authoritative copies and stop here.
+        """
+        return self.explicit - self.suppressed
+
+    def add_explicit(self, tags: Iterable) -> "SegmentLabel":
+        return SegmentLabel(
+            self.explicit | _tagset(tags), self.implicit, self.suppressed
+        )
+
+    def add_implicit(self, tags: Iterable) -> "SegmentLabel":
+        """Attach inherited tags; a tag already explicit stays explicit."""
+        incoming = _tagset(tags) - self.explicit
+        return SegmentLabel(self.explicit, self.implicit | incoming, self.suppressed)
+
+    def suppress(self, tag) -> "SegmentLabel":
+        return SegmentLabel(
+            self.explicit, self.implicit, self.suppressed | {as_tag(tag)}
+        )
+
+    def flows_to(self, privilege: Label) -> bool:
+        return self.effective().is_subset_of(privilege)
+
+    def offending_tags(self, privilege: Label) -> Label:
+        """Tags blocking a flow to *privilege* (empty when allowed)."""
+        return self.effective() - privilege
+
+    def __str__(self) -> str:
+        parts = sorted(t.name for t in self.explicit - self.suppressed)
+        parts += [f"{t.name}?" for t in sorted(self.implicit - self.suppressed)]
+        parts += [f"~{t.name}" for t in sorted(self.suppressed)]
+        return "{" + ", ".join(parts) + "}"

@@ -1,0 +1,339 @@
+"""The Text Disclosure Model engine (paper §3).
+
+:class:`TextDisclosureModel` ties the label algebra to the imprecise
+disclosure engine:
+
+* when text first appears in a service, its segment gets the service's
+  confidentiality label ``Lc`` as *explicit* tags;
+* when a segment is found (by fingerprint similarity) to disclose other
+  segments, the sources' propagating tags attach to it as *implicit*
+  tags — which are flow-checked but never propagate onwards (§3.2);
+* an upload of a segment to a service is compliant iff the segment's
+  effective label is a subset of the service's privilege label ``Lp``;
+* users may suppress tags case-by-case (recorded in the audit log) and
+  allocate custom tags, whose addition back-propagates privileges to
+  services that already store the segment (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.disclosure import DisclosureTracker, SourceDisclosure
+from repro.errors import PolicyError, SuppressionError
+from repro.fingerprint import FingerprintConfig
+from repro.tdm.audit import AuditLog, SuppressionEvent
+from repro.tdm.labels import Label, SegmentLabel
+from repro.tdm.policy import PolicyStore, ServicePolicy
+from repro.tdm.tags import Tag, as_tag
+from repro.util.clock import Clock, LogicalClock
+
+#: (paragraph_id, text) pairs, the document representation used throughout.
+Paragraphs = Sequence[Tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A one-shot declassification request for one tag of one segment."""
+
+    tag: Tag
+    user: str
+    justification: str
+
+    @classmethod
+    def of(cls, tag, user: str, justification: str) -> "Suppression":
+        if not user:
+            raise SuppressionError("suppression requires a user id")
+        if not justification:
+            raise SuppressionError("suppression requires a justification")
+        return cls(as_tag(tag), user, justification)
+
+
+@dataclass(frozen=True)
+class FlowViolation:
+    """One segment whose upload would violate the disclosure policy."""
+
+    segment_id: str
+    label: SegmentLabel
+    offending: Label
+    sources: Tuple[SourceDisclosure, ...] = ()
+    granularity: str = "paragraph"
+
+    def describe(self) -> str:
+        origins = ", ".join(sorted({s.segment_id for s in self.sources})) or "itself"
+        return (
+            f"{self.granularity} {self.segment_id!r} carries "
+            f"{self.offending} (via {origins})"
+        )
+
+
+@dataclass(frozen=True)
+class FlowDecision:
+    """Result of a policy check for one upload to one service."""
+
+    service_id: str
+    allowed: bool
+    violations: Tuple[FlowViolation, ...] = ()
+    labels: Mapping[str, SegmentLabel] = field(default_factory=dict)
+
+    def violating_segments(self) -> List[str]:
+        return [v.segment_id for v in self.violations]
+
+
+class TextDisclosureModel:
+    """Policy lookup + reasoning for the BrowserFlow middleware.
+
+    Args:
+        policies: the enterprise policy store; a fresh one (all services
+            untrusted by default) is created when omitted.
+        config: fingerprinting parameters for the disclosure tracker.
+        clock: timestamp source shared by disclosure DBs and audit log.
+        paragraph_threshold / document_threshold: default Tpar and Tdoc.
+        authoritative: apply the §4.3 overlap correction.
+    """
+
+    def __init__(
+        self,
+        policies: Optional[PolicyStore] = None,
+        config: Optional[FingerprintConfig] = None,
+        clock: Optional[Clock] = None,
+        *,
+        paragraph_threshold: float = 0.5,
+        document_threshold: float = 0.5,
+        authoritative: bool = True,
+    ) -> None:
+        self.policies = policies or PolicyStore()
+        self._clock = clock or LogicalClock()
+        self.tracker = DisclosureTracker(
+            config,
+            self._clock,
+            paragraph_threshold=paragraph_threshold,
+            document_threshold=document_threshold,
+            authoritative=authoritative,
+        )
+        self.audit = AuditLog()
+        self._labels: Dict[str, SegmentLabel] = {}
+        self._locations: Dict[str, set] = {}
+
+    # ------------------------------------------------------------------
+    # Label access
+    # ------------------------------------------------------------------
+
+    def label_of(self, segment_id: str) -> SegmentLabel:
+        """Current label of a segment (empty label if never seen)."""
+        return self._labels.get(segment_id, SegmentLabel())
+
+    def set_label(self, segment_id: str, label: SegmentLabel) -> None:
+        self._labels[segment_id] = label
+
+    def locations_of(self, segment_id: str) -> FrozenSet[str]:
+        """Services known to store a copy of the segment."""
+        return frozenset(self._locations.get(segment_id, ()))
+
+    # ------------------------------------------------------------------
+    # Observation: text appearing inside a service
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        service_id: str,
+        doc_id: str,
+        paragraphs: Paragraphs,
+        *,
+        paragraph_threshold: Optional[float] = None,
+        document_threshold: Optional[float] = None,
+    ) -> Dict[str, SegmentLabel]:
+        """Record text observed in *service_id* and label it.
+
+        New segments get the service's ``Lc`` as explicit tags. Segments
+        found to disclose existing sources additionally inherit those
+        sources' propagating tags as implicit tags. Returns the resolved
+        label per paragraph id (the document label is stored under
+        ``doc_id``).
+        """
+        policy = self.policies.get(service_id)
+        # Look up disclosure *before* observing, so a segment is not
+        # matched against the copy of itself we are about to store.
+        report = self.tracker.check_document(doc_id, paragraphs)
+        resolved: Dict[str, SegmentLabel] = {}
+
+        for (par_id, _text), (_pid, par_report) in zip(
+            paragraphs, report.paragraph_reports
+        ):
+            label = self._labels.get(par_id)
+            if label is None:
+                label = SegmentLabel.of(explicit=policy.confidentiality)
+            inherited = self._inherited_tags(par_report.sources)
+            label = label.add_implicit(inherited)
+            self._labels[par_id] = label
+            self._locations.setdefault(par_id, set()).add(service_id)
+            resolved[par_id] = label
+
+        doc_label = self._labels.get(doc_id)
+        if doc_label is None:
+            doc_label = SegmentLabel.of(explicit=policy.confidentiality)
+        if report.document_report is not None:
+            doc_label = doc_label.add_implicit(
+                self._inherited_tags(report.document_report.sources)
+            )
+        self._labels[doc_id] = doc_label
+        self._locations.setdefault(doc_id, set()).add(service_id)
+        resolved[doc_id] = doc_label
+
+        self.tracker.observe_document(
+            doc_id,
+            paragraphs,
+            paragraph_threshold=paragraph_threshold,
+            document_threshold=document_threshold,
+        )
+        return resolved
+
+    def _inherited_tags(self, sources: Iterable[SourceDisclosure]) -> FrozenSet[Tag]:
+        tags: set = set()
+        for source in sources:
+            tags |= self.label_of(source.segment_id).propagating()
+        return frozenset(tags)
+
+    # ------------------------------------------------------------------
+    # Enforcement: checking an upload
+    # ------------------------------------------------------------------
+
+    def check_upload(
+        self,
+        service_id: str,
+        doc_id: str,
+        paragraphs: Paragraphs,
+        *,
+        suppressions: Optional[Mapping[str, Sequence[Suppression]]] = None,
+    ) -> FlowDecision:
+        """Decide whether uploading *paragraphs* to *service_id* complies.
+
+        This is the policy-lookup + policy-enforcement pipeline: resolve
+        each segment's label (own label plus implicit tags from detected
+        disclosure), apply any one-shot suppressions (audited), then
+        check the effective label against the service's ``Lp``.
+        """
+        policy = self.policies.get(service_id)
+        suppressions = suppressions or {}
+        report = self.tracker.check_document(doc_id, paragraphs)
+        violations: List[FlowViolation] = []
+        resolved: Dict[str, SegmentLabel] = {}
+
+        for (par_id, _text), (_pid, par_report) in zip(
+            paragraphs, report.paragraph_reports
+        ):
+            label = self._resolve_for_check(
+                par_id, par_report.sources, policy, suppressions.get(par_id, ())
+            )
+            resolved[par_id] = label
+            if not label.flows_to(policy.privilege):
+                violations.append(
+                    FlowViolation(
+                        segment_id=par_id,
+                        label=label,
+                        offending=label.offending_tags(policy.privilege),
+                        sources=par_report.sources,
+                        granularity="paragraph",
+                    )
+                )
+
+        doc_sources = (
+            report.document_report.sources if report.document_report else ()
+        )
+        doc_label = self._resolve_for_check(
+            doc_id, doc_sources, policy, suppressions.get(doc_id, ())
+        )
+        resolved[doc_id] = doc_label
+        if not doc_label.flows_to(policy.privilege):
+            violations.append(
+                FlowViolation(
+                    segment_id=doc_id,
+                    label=doc_label,
+                    offending=doc_label.offending_tags(policy.privilege),
+                    sources=doc_sources,
+                    granularity="document",
+                )
+            )
+
+        return FlowDecision(
+            service_id=service_id,
+            allowed=not violations,
+            violations=tuple(violations),
+            labels=resolved,
+        )
+
+    def _resolve_for_check(
+        self,
+        segment_id: str,
+        sources: Tuple[SourceDisclosure, ...],
+        policy: ServicePolicy,
+        suppressions: Sequence[Suppression],
+    ) -> SegmentLabel:
+        label = self._labels.get(segment_id)
+        if label is None:
+            label = SegmentLabel()
+        label = label.add_implicit(self._inherited_tags(sources))
+        for suppression in suppressions:
+            if suppression.tag not in label.full().tags:
+                raise SuppressionError(
+                    f"tag {suppression.tag.name!r} is not attached to "
+                    f"segment {segment_id!r}"
+                )
+            label = label.suppress(suppression.tag)
+            self.audit.record(
+                SuppressionEvent(
+                    user=suppression.user,
+                    tag=suppression.tag,
+                    segment_id=segment_id,
+                    justification=suppression.justification,
+                    timestamp=self._clock.now(),
+                    target_service=policy.service_id,
+                )
+            )
+        return label
+
+    def commit_upload(
+        self, service_id: str, doc_id: str, paragraphs: Paragraphs, decision: FlowDecision
+    ) -> None:
+        """Record that an allowed (or overridden) upload happened.
+
+        The resolved labels from the decision — including suppressed
+        tags, which stay attached in the target (§3.1) — become the
+        stored labels, and the segments are observed as present in the
+        target service.
+        """
+        if decision.service_id != service_id:
+            raise PolicyError(
+                f"decision is for {decision.service_id!r}, not {service_id!r}"
+            )
+        # Once stored, the text is "created within" the target service
+        # too, so it additionally carries that service's Lc (§3.1).
+        confidentiality = self.policies.get(service_id).confidentiality
+        for segment_id, label in decision.labels.items():
+            self._labels[segment_id] = label.add_explicit(confidentiality)
+            self._locations.setdefault(segment_id, set()).add(service_id)
+        self.tracker.observe_document(doc_id, paragraphs)
+
+    # ------------------------------------------------------------------
+    # Custom tags (§3.1)
+    # ------------------------------------------------------------------
+
+    def allocate_custom_tag(self, name: str, owner: str) -> Tag:
+        """Allocate a user-owned tag via the policy store."""
+        return self.policies.allocate_tag(name, owner=owner)
+
+    def add_tag_to_segment(self, segment_id: str, tag, *, user: Optional[str] = None) -> None:
+        """Attach a tag to a segment's explicit label.
+
+        Per §3.1, every service that already stores the segment receives
+        the tag in its privilege label automatically, so protecting old
+        text never cuts off services that legitimately hold it.
+        """
+        tag = as_tag(tag)
+        label = self.label_of(segment_id).add_explicit([tag])
+        self._labels[segment_id] = label
+        for service_id in self.locations_of(segment_id):
+            policy = self.policies.get(service_id)
+            if tag not in policy.privilege:
+                self.policies.register(policy.with_privilege_tag(tag))

@@ -1,0 +1,114 @@
+"""Administrative queries over model state.
+
+IT departments deploying BrowserFlow need answers beyond per-upload
+decisions: where does data tagged *X* currently live, who declassified
+what, and why is a given segment labelled the way it is. These queries
+read the :class:`~repro.tdm.model.TextDisclosureModel` without mutating
+it, and back the audits the paper's suppression mechanism exists to
+enable (§3.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.tdm.model import TextDisclosureModel
+from repro.tdm.tags import Tag, as_tag
+
+
+@dataclass(frozen=True)
+class SegmentExplanation:
+    """Human-auditable provenance of one segment's label."""
+
+    segment_id: str
+    explicit: Tuple[str, ...]
+    implicit: Tuple[str, ...]
+    suppressed: Tuple[str, ...]
+    locations: Tuple[str, ...]
+    suppression_events: Tuple[str, ...]
+
+    def describe(self) -> str:
+        lines = [f"segment {self.segment_id}"]
+        if self.explicit:
+            lines.append(f"  explicit tags: {', '.join(self.explicit)}")
+        if self.implicit:
+            lines.append(
+                f"  implicit tags (inherited via similarity): "
+                f"{', '.join(self.implicit)}"
+            )
+        if self.suppressed:
+            lines.append(f"  suppressed tags: {', '.join(self.suppressed)}")
+        if self.locations:
+            lines.append(f"  stored at: {', '.join(self.locations)}")
+        for event in self.suppression_events:
+            lines.append(f"  audit: {event}")
+        return "\n".join(lines)
+
+
+def segments_tagged(model: TextDisclosureModel, tag) -> List[str]:
+    """Segment ids whose effective label carries *tag*."""
+    tag = as_tag(tag)
+    return sorted(
+        segment_id
+        for segment_id in model._labels
+        if tag in model.label_of(segment_id).effective().tags
+    )
+
+
+def services_holding(model: TextDisclosureModel, tag) -> FrozenSet[str]:
+    """Services that store at least one segment tagged *tag*.
+
+    The exposure surface of a tag: every origin an attacker (or an
+    auditor) would need to look at to find data in that category.
+    """
+    tag = as_tag(tag)
+    services = set()
+    for segment_id in segments_tagged(model, tag):
+        services |= model.locations_of(segment_id)
+    return frozenset(services)
+
+
+def suppression_summary(model: TextDisclosureModel) -> Dict[str, Counter]:
+    """Declassification activity grouped by user and by tag."""
+    by_user: Counter = Counter()
+    by_tag: Counter = Counter()
+    for event in model.audit:
+        by_user[event.user] += 1
+        by_tag[event.tag.name] += 1
+    return {"by_user": by_user, "by_tag": by_tag}
+
+
+def explain_segment(model: TextDisclosureModel, segment_id: str) -> SegmentExplanation:
+    """Full provenance of one segment's current label."""
+    label = model.label_of(segment_id)
+    events = tuple(
+        f"{event.user} suppressed {event.tag.name} for "
+        f"{event.target_service or 'unknown service'} ({event.justification!r})"
+        for event in model.audit.by_segment(segment_id)
+    )
+    return SegmentExplanation(
+        segment_id=segment_id,
+        explicit=tuple(sorted(t.name for t in label.explicit)),
+        implicit=tuple(sorted(t.name for t in label.implicit)),
+        suppressed=tuple(sorted(t.name for t in label.suppressed)),
+        locations=tuple(sorted(model.locations_of(segment_id))),
+        suppression_events=events,
+    )
+
+
+def exposure_report(model: TextDisclosureModel) -> List[Tuple[str, int, int]]:
+    """Per tag: (tag, tagged segments, services holding it), sorted.
+
+    The at-a-glance dashboard row: a tag held by many services has a
+    wide disclosure surface and deserves a policy review.
+    """
+    tags = set()
+    for segment_id in model._labels:
+        tags |= model.label_of(segment_id).effective().tags
+    rows = []
+    for tag in sorted(tags):
+        tagged = segments_tagged(model, tag)
+        rows.append((tag.name, len(tagged), len(services_holding(model, tag))))
+    return rows

@@ -1,0 +1,95 @@
+"""Policy (de)serialisation.
+
+Administrators "specify an enterprise-wide data disclosure policy"
+(paper §1); in a deployment that policy lives in configuration files
+pushed to every device. This module converts a
+:class:`~repro.tdm.policy.PolicyStore` to and from a JSON-compatible
+dict, including custom-tag ownership, so policies survive restarts and
+can be distributed.
+
+Format::
+
+    {
+      "version": 1,
+      "tags": [{"name": "ti", "owner": null}, ...],
+      "services": [
+        {"id": "https://itool.xyz.com", "name": "Interview Tool",
+         "privilege": ["ti"], "confidentiality": ["ti"]},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+from repro.errors import PolicyError
+from repro.tdm.labels import Label
+from repro.tdm.policy import PolicyStore, ServicePolicy
+
+POLICY_FORMAT_VERSION = 1
+
+
+def policy_to_dict(store: PolicyStore) -> dict:
+    """Serialise a policy store."""
+    return {
+        "version": POLICY_FORMAT_VERSION,
+        "tags": [
+            {"name": tag.name, "owner": tag.owner} for tag in store.known_tags()
+        ],
+        "services": [
+            {
+                "id": policy.service_id,
+                "name": policy.display_name,
+                "privilege": policy.privilege.names(),
+                "confidentiality": policy.confidentiality.names(),
+            }
+            for policy in sorted(store, key=lambda p: p.service_id)
+        ],
+    }
+
+
+def policy_from_dict(data: dict) -> PolicyStore:
+    """Rebuild a policy store; validates tag references."""
+    if data.get("version") != POLICY_FORMAT_VERSION:
+        raise PolicyError(f"unsupported policy version {data.get('version')!r}")
+    store = PolicyStore()
+    tags = {}
+    for entry in data.get("tags", []):
+        tag = store.allocate_tag(entry["name"], owner=entry.get("owner"))
+        tags[tag.name] = tag
+
+    def to_label(names: List[str], service_id: str) -> Label:
+        missing = [n for n in names if n not in tags]
+        if missing:
+            raise PolicyError(
+                f"service {service_id!r} references undeclared tags: {missing}"
+            )
+        return Label(frozenset(tags[n] for n in names))
+
+    for entry in data.get("services", []):
+        service_id = entry["id"]
+        store.register(
+            ServicePolicy(
+                service_id=service_id,
+                privilege=to_label(entry.get("privilege", []), service_id),
+                confidentiality=to_label(
+                    entry.get("confidentiality", []), service_id
+                ),
+                display_name=entry.get("name"),
+            )
+        )
+    return store
+
+
+def save_policy(store: PolicyStore, path) -> None:
+    Path(path).write_text(
+        json.dumps(policy_to_dict(store), indent=2), encoding="utf-8"
+    )
+
+
+def load_policy(path) -> PolicyStore:
+    return policy_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

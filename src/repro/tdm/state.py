@@ -1,0 +1,131 @@
+"""Whole-model persistence: policies, labels, audit, and databases.
+
+The engine-level snapshots in :mod:`repro.disclosure.persistence` cover
+the fingerprint databases; a deployment also needs the Text Disclosure
+Model's state to survive a browser restart — segment labels (including
+suppressed tags, which are the audit anchor), segment locations, the
+audit log, and the policy store. This module snapshots and restores the
+complete :class:`~repro.tdm.model.TextDisclosureModel`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.disclosure.persistence import restore_engine, snapshot_engine
+from repro.errors import PolicyError
+from repro.plugin.crypto import UploadCipher
+from repro.tdm.audit import SuppressionEvent
+from repro.tdm.labels import SegmentLabel
+from repro.tdm.model import TextDisclosureModel
+from repro.tdm.serialization import policy_from_dict, policy_to_dict
+from repro.tdm.tags import Tag
+
+MODEL_STATE_VERSION = 1
+
+
+def _label_to_dict(label: SegmentLabel) -> dict:
+    return {
+        "explicit": sorted(t.name for t in label.explicit),
+        "implicit": sorted(t.name for t in label.implicit),
+        "suppressed": sorted(t.name for t in label.suppressed),
+    }
+
+
+def _label_from_dict(data: dict) -> SegmentLabel:
+    return SegmentLabel.of(
+        explicit=data.get("explicit", ()),
+        implicit=data.get("implicit", ()),
+        suppressed=data.get("suppressed", ()),
+    )
+
+
+def model_to_dict(model: TextDisclosureModel) -> dict:
+    """Serialise the complete model state."""
+    return {
+        "version": MODEL_STATE_VERSION,
+        "policy": policy_to_dict(model.policies),
+        "labels": {
+            segment_id: _label_to_dict(label)
+            for segment_id, label in sorted(model._labels.items())
+        },
+        "locations": {
+            segment_id: sorted(services)
+            for segment_id, services in sorted(model._locations.items())
+        },
+        "audit": [
+            {
+                "user": event.user,
+                "tag": event.tag.name,
+                "segment_id": event.segment_id,
+                "justification": event.justification,
+                "timestamp": event.timestamp,
+                "target_service": event.target_service,
+            }
+            for event in model.audit
+        ],
+        "paragraph_engine": snapshot_engine(model.tracker.paragraphs),
+        "document_engine": snapshot_engine(model.tracker.documents),
+        "thresholds": {
+            "paragraph": model.tracker.paragraph_threshold,
+            "document": model.tracker.document_threshold,
+        },
+    }
+
+
+def model_from_dict(data: dict) -> TextDisclosureModel:
+    """Rebuild a model; disclosure decisions and audits are preserved."""
+    if data.get("version") != MODEL_STATE_VERSION:
+        raise PolicyError(f"unsupported model state version {data.get('version')!r}")
+
+    policies = policy_from_dict(data["policy"])
+    paragraph_engine = restore_engine(data["paragraph_engine"])
+    document_engine = restore_engine(data["document_engine"])
+
+    model = TextDisclosureModel(
+        policies,
+        paragraph_engine.config,
+        paragraph_threshold=data["thresholds"]["paragraph"],
+        document_threshold=data["thresholds"]["document"],
+    )
+    # Swap in the restored engines wholesale; labels and locations next.
+    model.tracker.paragraphs = paragraph_engine
+    model.tracker.documents = document_engine
+
+    for segment_id, label_data in data.get("labels", {}).items():
+        model.set_label(segment_id, _label_from_dict(label_data))
+    for segment_id, services in data.get("locations", {}).items():
+        model._locations[segment_id] = set(services)
+    for entry in data.get("audit", []):
+        model.audit.record(
+            SuppressionEvent(
+                user=entry["user"],
+                tag=Tag(entry["tag"]),
+                segment_id=entry["segment_id"],
+                justification=entry["justification"],
+                timestamp=entry["timestamp"],
+                target_service=entry.get("target_service"),
+            )
+        )
+    return model
+
+
+def save_model(
+    model: TextDisclosureModel, path, *, cipher: Optional[UploadCipher] = None
+) -> None:
+    """Write the model state to *path*, optionally encrypted at rest."""
+    payload = json.dumps(model_to_dict(model))
+    if cipher is not None:
+        payload = cipher.encrypt(payload)
+    Path(path).write_text(payload, encoding="utf-8")
+
+
+def load_model(path, *, cipher: Optional[UploadCipher] = None) -> TextDisclosureModel:
+    payload = Path(path).read_text(encoding="utf-8")
+    if UploadCipher.is_encrypted(payload):
+        if cipher is None:
+            raise PolicyError("model state is encrypted; a cipher is required")
+        payload = cipher.decrypt(payload)
+    return model_from_dict(json.loads(payload))

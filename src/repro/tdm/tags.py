@@ -1,0 +1,54 @@
+"""Security tags (paper §3.1).
+
+A tag is a unique, human-readable string expressing one disclosure
+concern — broad (``interview-data``) or specific
+(``product-announcement-x``). Tags compare by name only; the optional
+owner records who allocated a custom tag, which matters for audits but
+not for label algebra.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import TagError
+
+_TAG_NAME = re.compile(r"^[a-z0-9][a-z0-9_.-]*$")
+
+
+@dataclass(frozen=True)
+class Tag:
+    """One security tag.
+
+    Attributes:
+        name: the tag's identity; lowercase alphanumeric plus ``-_.``.
+        owner: user id of the allocator for custom tags; None for tags
+            created by administrators as part of the default policy.
+    """
+
+    name: str
+    owner: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _TAG_NAME.match(self.name):
+            raise TagError(
+                f"invalid tag name {self.name!r}: must be lowercase "
+                "alphanumeric with '-', '_' or '.' separators"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __lt__(self, other: "Tag") -> bool:
+        return self.name < other.name
+
+
+def as_tag(value) -> Tag:
+    """Coerce a string or Tag to a Tag."""
+    if isinstance(value, Tag):
+        return value
+    if isinstance(value, str):
+        return Tag(value)
+    raise TagError(f"cannot interpret {value!r} as a tag")

@@ -1,0 +1,19 @@
+"""Shared utilities: logical clocks, id generation, text and stats helpers."""
+
+from repro.util.clock import Clock, LogicalClock, SystemClock
+from repro.util.idgen import IdGenerator
+from repro.util.stats import cdf_points, percentile, summarize
+from repro.util.text import split_paragraphs, split_sentences, word_count
+
+__all__ = [
+    "Clock",
+    "LogicalClock",
+    "SystemClock",
+    "IdGenerator",
+    "cdf_points",
+    "percentile",
+    "summarize",
+    "split_paragraphs",
+    "split_sentences",
+    "word_count",
+]

@@ -1,0 +1,33 @@
+"""Deterministic id generation for documents, paragraphs, and requests."""
+
+from __future__ import annotations
+
+import itertools
+
+
+class IdGenerator:
+    """Produce unique, human-readable ids with a common prefix.
+
+    Ids look like ``doc-0001``; the zero padding keeps lexicographic and
+    numeric order consistent which makes test output and audit logs easy
+    to scan.
+    """
+
+    def __init__(self, prefix: str, width: int = 4) -> None:
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        self._prefix = prefix
+        self._width = width
+        self._counter = itertools.count(1)
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def next(self) -> str:
+        """Return the next id in the sequence."""
+        return f"{self._prefix}-{next(self._counter):0{self._width}d}"
+
+    def __iter__(self):
+        while True:
+            yield self.next()

@@ -1,0 +1,77 @@
+"""Small statistics helpers used by the evaluation harness.
+
+These cover the summaries the paper reports: cumulative distributions
+(Figures 8 and 12), percentiles (Figure 13 uses the 95th percentile), and
+basic descriptive summaries for tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Return the *q*-th percentile of *values* using linear interpolation.
+
+    ``q`` is in [0, 100]. Raises ``ValueError`` for empty input so callers
+    cannot silently average nothing.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[lower]
+    frac = rank - lower
+    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Return (value, cumulative_fraction) points for an empirical CDF.
+
+    Points are sorted by value; the fraction at each point is the share of
+    samples less than or equal to that value. Duplicate values collapse to
+    a single point carrying the highest fraction.
+    """
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for i, v in enumerate(ordered, start=1):
+        frac = i / n
+        if points and points[-1][0] == v:
+            points[-1] = (v, frac)
+        else:
+            points.append((v, frac))
+    return points
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of *values* that are <= *threshold*."""
+    if not values:
+        raise ValueError("cdf_at of empty sequence")
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Return min/max/mean/median/p95/p99 for *values*."""
+    data = list(values)
+    if not data:
+        raise ValueError("summarize of empty sequence")
+    return {
+        "count": float(len(data)),
+        "min": min(data),
+        "max": max(data),
+        "mean": sum(data) / len(data),
+        "median": percentile(data, 50.0),
+        "p95": percentile(data, 95.0),
+        "p99": percentile(data, 99.0),
+    }

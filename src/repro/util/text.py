@@ -1,0 +1,41 @@
+"""Text segmentation helpers.
+
+BrowserFlow tracks text at two granularities: paragraphs and whole
+documents (paper §4.1). These helpers implement the document-to-paragraph
+split used throughout the library, plus small conveniences for the
+dataset generators.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_PARAGRAPH_SPLIT = re.compile(r"\n\s*\n")
+_SENTENCE_SPLIT = re.compile(r"(?<=[.!?])\s+")
+_WORD = re.compile(r"[\w']+")
+
+
+def split_paragraphs(text: str) -> List[str]:
+    """Split a document into paragraphs on blank lines.
+
+    Leading/trailing whitespace is stripped from each paragraph and empty
+    paragraphs are dropped, matching how a browser-rendered document is
+    segmented into non-empty block elements.
+    """
+    return [p.strip() for p in _PARAGRAPH_SPLIT.split(text) if p.strip()]
+
+
+def split_sentences(paragraph: str) -> List[str]:
+    """Split a paragraph into sentences on terminal punctuation."""
+    return [s.strip() for s in _SENTENCE_SPLIT.split(paragraph) if s.strip()]
+
+
+def word_count(text: str) -> int:
+    """Count word tokens in *text*."""
+    return len(_WORD.findall(text))
+
+
+def join_paragraphs(paragraphs: List[str]) -> str:
+    """Inverse of :func:`split_paragraphs` for well-formed paragraphs."""
+    return "\n\n".join(paragraphs)

@@ -1,0 +1,149 @@
+"""Tests for the clipboard substrate and the precise-taint baseline."""
+
+import pytest
+
+from repro.baselines import ExternalEditor, PreciseClipboardTracker
+from repro.browser.clipboard import Clipboard
+from repro.browser.dom import Document
+from repro.errors import BrowserError
+from repro.tdm import Label, PolicyStore
+
+WIKI = "https://wiki.example"
+DOCS = "https://docs.example"
+
+
+@pytest.fixture
+def policies():
+    store = PolicyStore()
+    store.register_service(
+        WIKI, privilege=Label.of("tw"), confidentiality=Label.of("tw")
+    )
+    store.register_service(DOCS)
+    return store
+
+
+@pytest.fixture
+def clipboard():
+    return Clipboard()
+
+
+class TestClipboard:
+    def test_copy_paste_roundtrip(self, clipboard):
+        clipboard.copy("hello", source_origin=WIKI)
+        entry = clipboard.paste()
+        assert entry.text == "hello"
+        assert entry.source_origin == WIKI
+        assert entry.from_browser
+
+    def test_external_copy_has_no_provenance(self, clipboard):
+        entry = clipboard.copy("typed elsewhere")
+        assert not entry.from_browser
+
+    def test_copy_replaces_current(self, clipboard):
+        clipboard.copy("first")
+        clipboard.copy("second")
+        assert clipboard.paste().text == "second"
+
+    def test_history_kept(self, clipboard):
+        clipboard.copy("a")
+        clipboard.copy("b")
+        assert [e.text for e in clipboard.history] == ["a", "b"]
+
+    def test_empty_paste_raises(self, clipboard):
+        with pytest.raises(BrowserError):
+            clipboard.paste()
+
+    def test_paste_non_destructive(self, clipboard):
+        clipboard.copy("sticky")
+        clipboard.paste()
+        assert clipboard.paste().text == "sticky"
+
+    def test_copy_from_element_records_node(self, clipboard):
+        document = Document()
+        par = document.create_element("p")
+        par.set_text("paragraph text")
+        document.body.append_child(par)
+        entry = clipboard.copy_from_element(par, WIKI)
+        assert entry.text == "paragraph text"
+        assert entry.source_node_id == par.node_id
+
+    def test_clear(self, clipboard):
+        clipboard.copy("x")
+        clipboard.clear()
+        assert clipboard.is_empty
+
+
+class TestPreciseTracker:
+    def test_direct_copy_paste_caught(self, policies, clipboard):
+        tracker = PreciseClipboardTracker(policies)
+        entry = clipboard.copy("secret wiki text", source_origin=WIKI)
+        tracker.on_copy(entry)
+        tracker.on_paste("docs:p0", entry)
+        assert not tracker.check_upload(DOCS, "docs:p0")
+
+    def test_taint_accumulates(self, policies, clipboard):
+        policies.register_service(
+            "https://itool.example",
+            privilege=Label.of("ti"),
+            confidentiality=Label.of("ti"),
+        )
+        tracker = PreciseClipboardTracker(policies)
+        e1 = clipboard.copy("a", source_origin=WIKI)
+        tracker.on_copy(e1)
+        tracker.on_paste("seg", e1)
+        e2 = clipboard.copy("b", source_origin="https://itool.example")
+        tracker.on_copy(e2)
+        tracker.on_paste("seg", e2)
+        assert tracker.taint_of("seg") == Label.of("tw", "ti")
+
+    def test_retyped_text_missed(self, policies):
+        """Challenge (i): typing from memory is invisible to taint."""
+        tracker = PreciseClipboardTracker(policies)
+        tracker.on_type("docs:p0")
+        assert tracker.check_upload(DOCS, "docs:p0")  # false negative
+
+    def test_external_editor_launders_provenance(self, policies, clipboard):
+        """Challenge (i): a native-app round-trip drops the taint."""
+        tracker = PreciseClipboardTracker(policies)
+        entry = clipboard.copy("secret wiki text", source_origin=WIKI)
+        tracker.on_copy(entry)
+        editor = ExternalEditor()
+        editor.paste_from(clipboard)
+        editor.edit(lambda text: text + " lightly edited")
+        relaundered = editor.copy_to(clipboard)
+        tracker.on_copy(relaundered)
+        tracker.on_paste("docs:p0", relaundered)
+        assert tracker.check_upload(DOCS, "docs:p0")  # false negative
+
+    def test_taint_never_decays(self, policies, clipboard):
+        """Challenge (ii): a full rewrite keeps the taint — false positive."""
+        tracker = PreciseClipboardTracker(policies)
+        entry = clipboard.copy("secret wiki text", source_origin=WIKI)
+        tracker.on_copy(entry)
+        tracker.on_paste("docs:p0", entry)
+        tracker.on_edit("docs:p0")  # content fully rewritten in place
+        assert not tracker.check_upload(DOCS, "docs:p0")  # still blocked
+
+    def test_untracked_clipboard_entry_harmless(self, policies, clipboard):
+        tracker = PreciseClipboardTracker(policies)
+        entry = clipboard.copy("never observed by on_copy", source_origin=WIKI)
+        tracker.on_paste("seg", entry)
+        assert tracker.check_upload(DOCS, "seg")
+
+
+class TestExternalEditor:
+    def test_roundtrip(self, clipboard):
+        clipboard.copy("draft", source_origin=WIKI)
+        editor = ExternalEditor()
+        editor.paste_from(clipboard)
+        assert editor.buffer == "draft"
+        editor.edit(str.upper)
+        entry = editor.copy_to(clipboard)
+        assert entry.text == "DRAFT"
+        assert not entry.from_browser
+
+    def test_identity_edit(self, clipboard):
+        clipboard.copy("same")
+        editor = ExternalEditor()
+        editor.paste_from(clipboard)
+        assert editor.edit() == "same"

@@ -1,0 +1,191 @@
+"""Tests for the DOM tree."""
+
+import pytest
+
+from repro.browser.dom import Document, Element, TextNode
+from repro.errors import DOMError
+
+
+@pytest.fixture
+def document():
+    return Document()
+
+
+class TestTreeManipulation:
+    def test_append_child(self, document):
+        div = document.create_element("div")
+        document.body.append_child(div)
+        assert div.parent is document.body
+        assert div in document.body.children
+
+    def test_insert_before(self, document):
+        a = document.create_element("a")
+        b = document.create_element("b")
+        document.body.append_child(b)
+        document.body.insert_before(a, b)
+        assert document.body.children == [a, b]
+
+    def test_insert_before_unknown_reference(self, document):
+        orphan = document.create_element("i")
+        with pytest.raises(DOMError):
+            document.body.insert_before(document.create_element("a"), orphan)
+
+    def test_remove_child(self, document):
+        div = document.create_element("div")
+        document.body.append_child(div)
+        document.body.remove_child(div)
+        assert div.parent is None
+        assert div not in document.body.children
+
+    def test_remove_non_child_raises(self, document):
+        with pytest.raises(DOMError):
+            document.body.remove_child(document.create_element("div"))
+
+    def test_reparenting_moves_node(self, document):
+        a = document.create_element("div")
+        b = document.create_element("div")
+        child = document.create_element("span")
+        document.body.append_child(a)
+        document.body.append_child(b)
+        a.append_child(child)
+        b.append_child(child)
+        assert child.parent is b
+        assert child not in a.children
+
+    def test_cycle_rejected(self, document):
+        outer = document.create_element("div")
+        inner = document.create_element("div")
+        document.body.append_child(outer)
+        outer.append_child(inner)
+        with pytest.raises(DOMError):
+            inner.append_child(outer)
+
+    def test_replace_children(self, document):
+        div = document.create_element("div")
+        div.append_child(document.create_text_node("old"))
+        div.replace_children(document.create_text_node("new"))
+        assert div.text_content() == "new"
+
+
+class TestTextContent:
+    def test_recursive_text(self, document):
+        div = document.create_element("div")
+        p = document.create_element("p")
+        p.append_child(document.create_text_node("hello "))
+        div.append_child(p)
+        div.append_child(document.create_text_node("world"))
+        assert div.text_content() == "hello world"
+
+    def test_script_content_excluded(self, document):
+        div = document.create_element("div")
+        script = document.create_element("script")
+        script.append_child(document.create_text_node("var x = 1;"))
+        div.append_child(script)
+        div.append_child(document.create_text_node("visible"))
+        assert div.text_content() == "visible"
+
+    def test_set_text_reuses_text_node(self, document):
+        div = document.create_element("div")
+        div.set_text("first")
+        node = div.children[0]
+        div.set_text("second")
+        assert div.children[0] is node
+        assert div.text_content() == "second"
+
+    def test_set_text_replaces_elements(self, document):
+        div = document.create_element("div")
+        div.append_child(document.create_element("span"))
+        div.set_text("plain")
+        assert len(div.children) == 1
+        assert isinstance(div.children[0], TextNode)
+
+
+class TestQueries:
+    def test_get_element_by_id(self, document):
+        target = document.create_element("div", {"id": "needle"})
+        wrapper = document.create_element("div")
+        wrapper.append_child(target)
+        document.body.append_child(wrapper)
+        assert document.get_element_by_id("needle") is target
+        assert document.get_element_by_id("missing") is None
+
+    def test_get_elements_by_tag(self, document):
+        for _ in range(3):
+            document.body.append_child(document.create_element("p"))
+        document.body.append_child(document.create_element("div"))
+        assert len(document.get_elements_by_tag("p")) == 3
+
+    def test_tag_case_insensitive(self, document):
+        document.body.append_child(document.create_element("DIV"))
+        assert document.get_elements_by_tag("div")
+
+    def test_find_all_predicate(self, document):
+        a = document.create_element("div", {"class": "x y"})
+        b = document.create_element("div", {"class": "z"})
+        document.body.append_child(a)
+        document.body.append_child(b)
+        found = document.find_all(lambda el: "y" in el.class_list())
+        assert found == [a]
+
+    def test_iter_subtree_preorder(self, document):
+        div = document.create_element("div")
+        span = document.create_element("span")
+        text = document.create_text_node("t")
+        div.append_child(span)
+        span.append_child(text)
+        document.body.append_child(div)
+        nodes = list(div.iter_subtree())
+        assert nodes == [div, span, text]
+
+    def test_contains(self, document):
+        div = document.create_element("div")
+        span = document.create_element("span")
+        div.append_child(span)
+        document.body.append_child(div)
+        assert div.contains(span)
+        assert document.contains(span)
+        assert not span.contains(div)
+
+    def test_ancestors(self, document):
+        div = document.create_element("div")
+        span = document.create_element("span")
+        div.append_child(span)
+        document.body.append_child(div)
+        assert list(span.ancestors()) == [div, document.body, document]
+
+
+class TestAttributes:
+    def test_set_get(self, document):
+        el = document.create_element("div")
+        el.set_attribute("data-x", "1")
+        assert el.get_attribute("data-x") == "1"
+
+    def test_id_and_class_properties(self, document):
+        el = document.create_element("div", {"id": "a", "class": "x y"})
+        assert el.id == "a"
+        assert el.class_list() == ["x", "y"]
+
+    def test_missing_attribute_none(self, document):
+        assert document.create_element("div").get_attribute("nope") is None
+
+
+class TestNodeIds:
+    def test_unique_node_ids(self, document):
+        ids = {document.create_element("div").node_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_adoption_assigns_id(self):
+        document = Document()
+        orphan = Element("div")
+        assert orphan.node_id is None
+        document.body.append_child(orphan)
+        assert orphan.node_id is not None
+
+    def test_subtree_adoption(self):
+        document = Document()
+        parent = Element("div")
+        child = Element("span")
+        parent.append_child(child)
+        document.body.append_child(parent)
+        assert child.owner_document is document
+        assert child.node_id is not None

@@ -1,0 +1,134 @@
+"""Tests for event dispatch (capture/target/bubble, cancellation)."""
+
+import pytest
+
+from repro.browser.dom import Document
+from repro.browser.events import AT_TARGET, BUBBLE_PHASE, CAPTURE_PHASE, Event
+
+
+@pytest.fixture
+def tree():
+    document = Document()
+    outer = document.create_element("div", {"id": "outer"})
+    inner = document.create_element("div", {"id": "inner"})
+    document.body.append_child(outer)
+    outer.append_child(inner)
+    return document, outer, inner
+
+
+class TestDispatch:
+    def test_listener_invoked_at_target(self, tree):
+        _doc, _outer, inner = tree
+        seen = []
+        inner.add_event_listener("ping", lambda e: seen.append(e))
+        inner.dispatch_event(Event("ping"))
+        assert len(seen) == 1
+        assert seen[0].target is inner
+
+    def test_bubbling_order(self, tree):
+        document, outer, inner = tree
+        order = []
+        document.add_event_listener("ping", lambda e: order.append("document"))
+        outer.add_event_listener("ping", lambda e: order.append("outer"))
+        inner.add_event_listener("ping", lambda e: order.append("inner"))
+        inner.dispatch_event(Event("ping"))
+        assert order == ["inner", "outer", "document"]
+
+    def test_capture_runs_before_target(self, tree):
+        _doc, outer, inner = tree
+        order = []
+        outer.add_event_listener("ping", lambda e: order.append("capture"), capture=True)
+        inner.add_event_listener("ping", lambda e: order.append("target"))
+        inner.dispatch_event(Event("ping"))
+        assert order == ["capture", "target"]
+
+    def test_event_phase_values(self, tree):
+        _doc, outer, inner = tree
+        phases = {}
+        outer.add_event_listener(
+            "ping", lambda e: phases.setdefault("capture", e.event_phase), capture=True
+        )
+        inner.add_event_listener(
+            "ping", lambda e: phases.setdefault("target", e.event_phase)
+        )
+        outer.add_event_listener(
+            "ping", lambda e: phases.setdefault("bubble", e.event_phase)
+        )
+        inner.dispatch_event(Event("ping"))
+        assert phases == {
+            "capture": CAPTURE_PHASE,
+            "target": AT_TARGET,
+            "bubble": BUBBLE_PHASE,
+        }
+
+    def test_wrong_type_not_invoked(self, tree):
+        _doc, _outer, inner = tree
+        seen = []
+        inner.add_event_listener("other", lambda e: seen.append(e))
+        inner.dispatch_event(Event("ping"))
+        assert not seen
+
+    def test_duplicate_listener_registered_once(self, tree):
+        _doc, _outer, inner = tree
+        seen = []
+
+        def listener(e):
+            seen.append(e)
+
+        inner.add_event_listener("ping", listener)
+        inner.add_event_listener("ping", listener)
+        inner.dispatch_event(Event("ping"))
+        assert len(seen) == 1
+
+    def test_remove_listener(self, tree):
+        _doc, _outer, inner = tree
+        seen = []
+
+        def listener(e):
+            seen.append(e)
+
+        inner.add_event_listener("ping", listener)
+        inner.remove_event_listener("ping", listener)
+        inner.dispatch_event(Event("ping"))
+        assert not seen
+
+
+class TestCancellation:
+    def test_prevent_default_returns_false(self, tree):
+        _doc, _outer, inner = tree
+        inner.add_event_listener("submit", lambda e: e.prevent_default())
+        assert inner.dispatch_event(Event("submit", cancelable=True)) is False
+
+    def test_prevent_default_ignored_when_not_cancelable(self, tree):
+        _doc, _outer, inner = tree
+        inner.add_event_listener("submit", lambda e: e.prevent_default())
+        assert inner.dispatch_event(Event("submit", cancelable=False)) is True
+
+    def test_stop_propagation_halts_bubble(self, tree):
+        _doc, outer, inner = tree
+        order = []
+        inner.add_event_listener(
+            "ping", lambda e: (order.append("inner"), e.stop_propagation())
+        )
+        outer.add_event_listener("ping", lambda e: order.append("outer"))
+        inner.dispatch_event(Event("ping"))
+        assert order == ["inner"]
+
+    def test_stop_propagation_in_capture_skips_target(self, tree):
+        _doc, outer, inner = tree
+        order = []
+        outer.add_event_listener(
+            "ping",
+            lambda e: (order.append("capture"), e.stop_propagation()),
+            capture=True,
+        )
+        inner.add_event_listener("ping", lambda e: order.append("target"))
+        inner.dispatch_event(Event("ping"))
+        assert order == ["capture"]
+
+    def test_current_target_tracks_node(self, tree):
+        _doc, outer, inner = tree
+        current = []
+        outer.add_event_listener("ping", lambda e: current.append(e.current_target))
+        inner.dispatch_event(Event("ping"))
+        assert current == [outer]

@@ -1,0 +1,110 @@
+"""Tests for form interception semantics."""
+
+import pytest
+
+from repro.browser.dom import Document
+from repro.browser.forms import collect_form_data, input_value, submit_form
+from repro.browser.http import HttpResponse
+from repro.browser.page import Window
+from repro.errors import BrowserError
+
+
+class RecordingNetwork:
+    def __init__(self):
+        self.requests = []
+
+    def deliver(self, request):
+        self.requests.append(request)
+        return HttpResponse(status=200, body="ok")
+
+
+@pytest.fixture
+def page():
+    document = Document()
+    window = Window(document, "https://svc.example.com/compose", RecordingNetwork())
+    form = document.create_element(
+        "form", {"action": "/post", "method": "post", "id": "f"}
+    )
+    form.append_child(
+        document.create_element(
+            "input", {"type": "hidden", "name": "token", "value": "abc"}
+        )
+    )
+    form.append_child(
+        document.create_element(
+            "input", {"type": "text", "name": "title", "value": "Hello"}
+        )
+    )
+    textarea = document.create_element("textarea", {"name": "body"})
+    textarea.set_text("Message content")
+    form.append_child(textarea)
+    document.body.append_child(form)
+    return document, window, form
+
+
+class TestCollectFormData:
+    def test_collects_all_fields(self, page):
+        _doc, _window, form = page
+        data = collect_form_data(form)
+        assert data == {"token": "abc", "title": "Hello", "body": "Message content"}
+
+    def test_excludes_hidden_when_asked(self, page):
+        _doc, _window, form = page
+        data = collect_form_data(form, include_hidden=False)
+        assert "token" not in data
+        assert data["title"] == "Hello"
+
+    def test_unnamed_inputs_skipped(self, page):
+        doc, _window, form = page
+        form.append_child(doc.create_element("input", {"value": "anon"}))
+        assert "anon" not in collect_form_data(form).values()
+
+    def test_textarea_value_attribute_overrides(self, page):
+        doc, _window, form = page
+        textarea = form.get_elements_by_tag("textarea")[0]
+        textarea.set_attribute("value", "override")
+        assert input_value(textarea) == "override"
+
+
+class TestSubmitForm:
+    def test_default_action_posts(self, page):
+        _doc, window, form = page
+        response = submit_form(form, window)
+        assert response is not None and response.ok
+        request = window.network.requests[0]
+        assert request.method == "POST"
+        assert request.url == "https://svc.example.com/post"
+        assert request.form_data["body"] == "Message content"
+
+    def test_listener_can_cancel(self, page):
+        _doc, window, form = page
+        form.add_event_listener("submit", lambda e: e.prevent_default())
+        assert submit_form(form, window) is None
+        assert not window.network.requests
+
+    def test_listener_can_rewrite_values_before_send(self, page):
+        _doc, window, form = page
+
+        def rewrite(event):
+            field = form.get_elements_by_tag("textarea")[0]
+            field.set_attribute("value", "encrypted!")
+
+        form.add_event_listener("submit", rewrite)
+        submit_form(form, window)
+        assert window.network.requests[0].form_data["body"] == "encrypted!"
+
+    def test_non_form_rejected(self, page):
+        doc, window, _form = page
+        with pytest.raises(BrowserError):
+            submit_form(doc.create_element("div"), window)
+
+    def test_relative_action_resolved_against_location(self, page):
+        _doc, window, form = page
+        form.set_attribute("action", "save")
+        submit_form(form, window)
+        assert window.network.requests[0].url == "https://svc.example.com/save"
+
+    def test_window_submit_helper(self, page):
+        _doc, window, form = page
+        response = window.submit(form)
+        assert response is not None and response.ok

@@ -1,0 +1,175 @@
+"""Tests for mutation observers."""
+
+import pytest
+
+from repro.browser.dom import Document, Element
+from repro.browser.mutation import MutationObserver
+from repro.errors import BrowserError
+
+
+@pytest.fixture
+def document():
+    return Document()
+
+
+def collecting_observer():
+    seen = []
+
+    def callback(records, observer):
+        seen.extend(records)
+
+    return MutationObserver(callback), seen
+
+
+class TestChildListObservation:
+    def test_append_notifies(self, document):
+        observer, seen = collecting_observer()
+        observer.observe(document.body)
+        child = document.create_element("div")
+        document.body.append_child(child)
+        assert len(seen) == 1
+        assert seen[0].type == "childList"
+        assert seen[0].added_nodes == (child,)
+
+    def test_remove_notifies(self, document):
+        child = document.create_element("div")
+        document.body.append_child(child)
+        observer, seen = collecting_observer()
+        observer.observe(document.body)
+        document.body.remove_child(child)
+        assert seen[0].removed_nodes == (child,)
+
+    def test_subtree_observation(self, document):
+        inner = document.create_element("div")
+        document.body.append_child(inner)
+        observer, seen = collecting_observer()
+        observer.observe(document.body, subtree=True)
+        inner.append_child(document.create_element("span"))
+        assert len(seen) == 1
+        assert seen[0].target is inner
+
+    def test_no_subtree_misses_nested(self, document):
+        inner = document.create_element("div")
+        document.body.append_child(inner)
+        observer, seen = collecting_observer()
+        observer.observe(document.body, subtree=False)
+        inner.append_child(document.create_element("span"))
+        assert not seen
+
+    def test_unrelated_subtree_not_observed(self, document):
+        a = document.create_element("div")
+        b = document.create_element("div")
+        document.body.append_child(a)
+        document.body.append_child(b)
+        observer, seen = collecting_observer()
+        observer.observe(a)
+        b.append_child(document.create_element("span"))
+        assert not seen
+
+
+class TestCharacterDataObservation:
+    def test_text_change_notifies(self, document):
+        par = document.create_element("p")
+        par.set_text("before")
+        document.body.append_child(par)
+        observer, seen = collecting_observer()
+        observer.observe(document.body)
+        par.set_text("after")
+        assert len(seen) == 1
+        record = seen[0]
+        assert record.type == "characterData"
+        assert record.old_value == "before"
+        assert record.new_value == "after"
+
+    def test_noop_text_change_silent(self, document):
+        par = document.create_element("p")
+        par.set_text("same")
+        document.body.append_child(par)
+        observer, seen = collecting_observer()
+        observer.observe(document.body)
+        par.set_text("same")
+        assert not seen
+
+    def test_character_data_disabled(self, document):
+        par = document.create_element("p")
+        par.set_text("x")
+        document.body.append_child(par)
+        observer, seen = collecting_observer()
+        observer.observe(document.body, character_data=False)
+        par.set_text("y")
+        assert not seen
+
+
+class TestAttributeObservation:
+    def test_attributes_off_by_default(self, document):
+        el = document.create_element("div")
+        document.body.append_child(el)
+        observer, seen = collecting_observer()
+        observer.observe(document.body)
+        el.set_attribute("class", "new")
+        assert not seen
+
+    def test_attributes_opt_in(self, document):
+        el = document.create_element("div")
+        document.body.append_child(el)
+        observer, seen = collecting_observer()
+        observer.observe(document.body, attributes=True)
+        el.set_attribute("class", "new")
+        assert seen[0].type == "attributes"
+        assert seen[0].attribute_name == "class"
+
+    def test_noop_attribute_silent(self, document):
+        el = document.create_element("div", {"class": "x"})
+        document.body.append_child(el)
+        observer, seen = collecting_observer()
+        observer.observe(document.body, attributes=True)
+        el.set_attribute("class", "x")
+        assert not seen
+
+
+class TestLifecycle:
+    def test_disconnect_stops_notifications(self, document):
+        observer, seen = collecting_observer()
+        observer.observe(document.body)
+        observer.disconnect()
+        document.body.append_child(document.create_element("div"))
+        assert not seen
+
+    def test_take_records_pull_mode(self, document):
+        observer = MutationObserver(callback=None)
+        observer.observe(document.body)
+        document.body.append_child(document.create_element("div"))
+        records = observer.take_records()
+        assert len(records) == 1
+        assert observer.take_records() == []
+
+    def test_observe_detached_node_rejected(self):
+        orphan = Element("div")
+        observer = MutationObserver(lambda r, o: None)
+        with pytest.raises(BrowserError):
+            observer.observe(orphan)
+
+    def test_two_observers_both_notified(self, document):
+        obs1, seen1 = collecting_observer()
+        obs2, seen2 = collecting_observer()
+        obs1.observe(document.body)
+        obs2.observe(document.body)
+        document.body.append_child(document.create_element("div"))
+        assert len(seen1) == 1 and len(seen2) == 1
+
+    def test_callback_mutation_does_not_lose_records(self, document):
+        """A callback that itself mutates the DOM sees the follow-up
+        records on a later delivery rather than dropping them."""
+        deliveries = []
+
+        def callback(records, observer):
+            deliveries.append(list(records))
+            # First delivery triggers one extra mutation.
+            if len(deliveries) == 1:
+                document.body.append_child(document.create_element("span"))
+
+        observer = MutationObserver(callback)
+        observer.observe(document.body)
+        document.body.append_child(document.create_element("div"))
+        total = sum(len(batch) for batch in deliveries)
+        assert total == 2

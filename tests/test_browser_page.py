@@ -1,0 +1,76 @@
+"""Tests for Window/Page/Tab/Browser."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.errors import BrowserError, NetworkError
+from repro.services import Network, WikiService
+
+
+@pytest.fixture
+def setup():
+    network = Network()
+    wiki = WikiService()
+    network.register(wiki)
+    browser = Browser(network)
+    return browser, wiki
+
+
+class TestNavigation:
+    def test_open_loads_page(self, setup):
+        browser, wiki = setup
+        wiki.save_page("Home", "Welcome to the internal wiki landing page.")
+        tab = browser.open(wiki.page_url("Home"))
+        assert tab.page is not None
+        assert "Welcome to the internal wiki" in tab.document.text_content()
+
+    def test_tab_ids_unique(self, setup):
+        browser, _wiki = setup
+        assert browser.new_tab().tab_id != browser.new_tab().tab_id
+
+    def test_unloaded_tab_document_raises(self, setup):
+        browser, _wiki = setup
+        with pytest.raises(BrowserError):
+            browser.new_tab().document
+
+    def test_navigate_unknown_origin_raises(self, setup):
+        browser, _wiki = setup
+        with pytest.raises(NetworkError):
+            browser.open("https://nowhere.example.com/x")
+
+    def test_window_origin(self, setup):
+        browser, wiki = setup
+        tab = browser.open(wiki.page_url("Home"))
+        assert tab.window.origin == wiki.origin
+
+    def test_page_service_binding(self, setup):
+        browser, wiki = setup
+        tab = browser.open(wiki.page_url("Home"))
+        assert tab.page.service is wiki
+
+
+class TestPageHooks:
+    def test_hook_runs_on_every_load(self, setup):
+        browser, wiki = setup
+        loads = []
+        browser.add_page_hook(lambda tab: loads.append(tab.page.url))
+        browser.open(wiki.page_url("A"))
+        browser.open(wiki.page_url("B"))
+        assert len(loads) == 2
+
+    def test_hook_sees_loaded_document(self, setup):
+        browser, wiki = setup
+        wiki.save_page("Data", "Content present when the hook fires.")
+        seen = []
+        browser.add_page_hook(
+            lambda tab: seen.append(tab.document.text_content())
+        )
+        browser.open(wiki.page_url("Data"))
+        assert "Content present" in seen[0]
+
+    def test_navigation_replaces_page(self, setup):
+        browser, wiki = setup
+        tab = browser.open(wiki.page_url("One"))
+        first = tab.page
+        tab.navigate(wiki.page_url("Two"))
+        assert tab.page is not first

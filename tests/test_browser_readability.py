@@ -1,0 +1,96 @@
+"""Tests for Readability-style main-text extraction."""
+
+import pytest
+
+from repro.browser.dom import Document
+from repro.browser.readability import extract_main_text, find_main_element, score_element
+
+
+def build_article_page():
+    document = Document()
+
+    nav = document.create_element("div", {"class": "nav menu"})
+    for label in ("Home", "About"):
+        link = document.create_element("a", {"href": "#"})
+        link.set_text(label)
+        nav.append_child(link)
+    document.body.append_child(nav)
+
+    article = document.create_element("div", {"id": "article", "class": "content"})
+    for text in (
+        "The first paragraph discusses the main topic, with commas, and detail.",
+        "A second paragraph continues the discussion, adding nuance, and depth.",
+    ):
+        p = document.create_element("p")
+        p.set_text(text)
+        article.append_child(p)
+    document.body.append_child(article)
+
+    footer = document.create_element("div", {"class": "footer"})
+    footer.set_text("Copyright and legal text")
+    document.body.append_child(footer)
+    return document, article
+
+
+class TestScoring:
+    def test_article_outscores_footer(self):
+        document, article = build_article_page()
+        footer = document.find_all(lambda el: "footer" in el.class_list())[0]
+        assert score_element(article) > score_element(footer)
+
+    def test_positive_id_hint_rewarded(self):
+        document = Document()
+        a = document.create_element("div", {"id": "article"})
+        a.set_text("Some prose, with commas, in it.")
+        b = document.create_element("div")
+        b.set_text("Some prose, with commas, in it.")
+        document.body.append_child(a)
+        document.body.append_child(b)
+        assert score_element(a) > score_element(b)
+
+    def test_link_density_penalised(self):
+        document = Document()
+        linky = document.create_element("div")
+        link = document.create_element("a", {"href": "#"})
+        link.set_text("all of this text is a link, every word of it")
+        linky.append_child(link)
+        prose = document.create_element("div")
+        prose.set_text("all of this text is prose, every word of it")
+        document.body.append_child(linky)
+        document.body.append_child(prose)
+        assert score_element(prose) > score_element(linky)
+
+    def test_empty_element_scores_minus_infinity(self):
+        document = Document()
+        empty = document.create_element("div")
+        document.body.append_child(empty)
+        assert score_element(empty) == float("-inf")
+
+
+class TestExtraction:
+    def test_finds_article_container(self):
+        document, article = build_article_page()
+        assert find_main_element(document) is article
+
+    def test_extracts_paragraph_structure(self):
+        document, _article = build_article_page()
+        text = extract_main_text(document)
+        paragraphs = text.split("\n\n")
+        assert len(paragraphs) == 2
+        assert paragraphs[0].startswith("The first paragraph")
+
+    def test_excludes_boilerplate(self):
+        document, _article = build_article_page()
+        text = extract_main_text(document)
+        assert "Copyright" not in text
+        assert "Home" not in text
+
+    def test_empty_page(self):
+        assert extract_main_text(Document()) == ""
+
+    def test_container_without_p_tags(self):
+        document = Document()
+        main = document.create_element("div", {"id": "content"})
+        main.set_text("Flat prose directly in the container, with commas, here.")
+        document.body.append_child(main)
+        assert "Flat prose" in extract_main_text(document)

@@ -1,0 +1,96 @@
+"""Tests for the CSS-selector-lite query engine."""
+
+import pytest
+
+from repro.browser.dom import Document
+from repro.browser.select import select, select_one
+from repro.errors import DOMError
+
+
+@pytest.fixture
+def document():
+    document = Document()
+    editor = document.create_element("div", {"id": "editor", "class": "app"})
+    document.body.append_child(editor)
+    for i in range(3):
+        par = document.create_element(
+            "div", {"class": "kix-paragraph body", "data-par-id": f"p{i}"}
+        )
+        par.set_text(f"text {i}")
+        editor.append_child(par)
+    sidebar = document.create_element("div", {"class": "sidebar"})
+    link = document.create_element("a", {"href": "#", "class": "body"})
+    sidebar.append_child(link)
+    document.body.append_child(sidebar)
+    return document
+
+
+class TestSimpleSelectors:
+    def test_by_tag(self, document):
+        # editor + 3 paragraphs + sidebar
+        assert len(select(document, "div")) == 5
+
+    def test_by_id(self, document):
+        assert select_one(document, "#editor").id == "editor"
+
+    def test_by_class(self, document):
+        assert len(select(document, ".kix-paragraph")) == 3
+
+    def test_compound(self, document):
+        assert len(select(document, "div.body")) == 3  # paragraphs, not the <a>
+        assert select(document, "a.body")
+
+    def test_attribute_presence(self, document):
+        assert len(select(document, "[data-par-id]")) == 3
+
+    def test_attribute_value(self, document):
+        match = select_one(document, "[data-par-id=p1]")
+        assert match.get_attribute("data-par-id") == "p1"
+
+    def test_tag_case_insensitive(self, document):
+        assert select(document, "DIV.kix-paragraph")
+
+
+class TestCombinators:
+    def test_descendant(self, document):
+        assert len(select(document, "#editor .kix-paragraph")) == 3
+        assert select(document, ".sidebar a")
+
+    def test_descendant_requires_ancestry(self, document):
+        assert select(document, ".sidebar .kix-paragraph") == []
+
+    def test_deep_descendant(self, document):
+        assert select(document, "body #editor [data-par-id=p2]")
+
+    def test_selector_list_union(self, document):
+        results = select(document, ".sidebar a, .kix-paragraph")
+        assert len(results) == 4
+
+    def test_union_deduplicates(self, document):
+        results = select(document, ".kix-paragraph, [data-par-id]")
+        assert len(results) == 3
+
+
+class TestEdgeCases:
+    def test_no_match(self, document):
+        assert select(document, ".missing") == []
+        assert select_one(document, ".missing") is None
+
+    def test_scoped_to_subtree(self, document):
+        sidebar = select_one(document, ".sidebar")
+        assert select(sidebar, "a")
+        assert select(sidebar, ".kix-paragraph") == []
+
+    def test_root_not_included(self, document):
+        editor = select_one(document, "#editor")
+        assert editor not in select(editor, "div")
+
+    def test_invalid_selector_rejected(self, document):
+        with pytest.raises(DOMError):
+            select(document, "")
+        with pytest.raises(DOMError):
+            select(document, "???")
+
+    def test_document_order(self, document):
+        ids = [el.get_attribute("data-par-id") for el in select(document, "[data-par-id]")]
+        assert ids == ["p0", "p1", "p2"]

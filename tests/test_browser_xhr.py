@@ -1,0 +1,129 @@
+"""Tests for XMLHttpRequest and prototype patching."""
+
+import pytest
+
+from repro.browser.dom import Document
+from repro.browser.http import HttpRequest, HttpResponse
+from repro.browser.page import Window
+from repro.errors import BrowserError, RequestBlocked
+
+
+class RecordingNetwork:
+    def __init__(self, response=None):
+        self.requests = []
+        self.response = response or HttpResponse(status=200, body="ok")
+
+    def deliver(self, request):
+        self.requests.append(request)
+        return self.response
+
+
+@pytest.fixture
+def window():
+    return Window(Document(), "https://svc.example.com/page", RecordingNetwork())
+
+
+class TestBasicXHR:
+    def test_send_delivers_to_network(self, window):
+        xhr = window.new_xhr()
+        xhr.open("POST", "https://svc.example.com/api")
+        response = xhr.send("payload")
+        assert response.ok
+        request = window.network.requests[0]
+        assert request.method == "POST"
+        assert request.body == "payload"
+
+    def test_response_state_recorded(self, window):
+        xhr = window.new_xhr()
+        xhr.open("GET", "https://svc.example.com/api")
+        xhr.send()
+        assert xhr.status == 200
+        assert xhr.response_text == "ok"
+        assert xhr.ready_state == 4
+
+    def test_headers_forwarded(self, window):
+        xhr = window.new_xhr()
+        xhr.open("POST", "https://svc.example.com/api")
+        xhr.set_request_header("Content-Type", "application/json")
+        xhr.send("{}")
+        assert window.network.requests[0].headers["Content-Type"] == "application/json"
+
+    def test_send_before_open_rejected(self, window):
+        with pytest.raises(BrowserError):
+            window.new_xhr().send("x")
+
+    def test_header_before_open_rejected(self, window):
+        with pytest.raises(BrowserError):
+            window.new_xhr().set_request_header("A", "b")
+
+    def test_double_send_rejected(self, window):
+        xhr = window.new_xhr()
+        xhr.open("GET", "https://svc.example.com/x")
+        xhr.send()
+        with pytest.raises(BrowserError):
+            xhr.send()
+
+
+class TestPrototypePatching:
+    def test_patched_send_intercepts(self, window):
+        original = window.xhr_prototype.send
+        intercepted = []
+
+        def patched(xhr, body):
+            intercepted.append(body)
+            return original(xhr, body)
+
+        window.xhr_prototype.send = patched
+        xhr = window.new_xhr()
+        xhr.open("POST", "https://svc.example.com/api")
+        xhr.send("secret")
+        assert intercepted == ["secret"]
+        assert len(window.network.requests) == 1
+
+    def test_patched_send_can_block(self, window):
+        def veto(xhr, body):
+            raise RequestBlocked(xhr.url, "policy")
+
+        window.xhr_prototype.send = veto
+        xhr = window.new_xhr()
+        xhr.open("POST", "https://svc.example.com/api")
+        with pytest.raises(RequestBlocked):
+            xhr.send("secret")
+        assert xhr.blocked
+        assert not window.network.requests
+
+    def test_patch_applies_to_existing_instances(self, window):
+        """Prototype dispatch happens at call time, like JavaScript."""
+        xhr = window.new_xhr()
+        xhr.open("POST", "https://svc.example.com/api")
+        seen = []
+        original = window.xhr_prototype.send
+        window.xhr_prototype.send = lambda x, b: (seen.append(b), original(x, b))[1]
+        xhr.send("late patch")
+        assert seen == ["late patch"]
+
+    def test_restore_unpatches(self, window):
+        window.xhr_prototype.send = lambda x, b: HttpResponse(status=599)
+        window.xhr_prototype.restore()
+        xhr = window.new_xhr()
+        xhr.open("GET", "https://svc.example.com/x")
+        assert xhr.send().status == 200
+
+    def test_original_send_reachable_after_patch(self, window):
+        window.xhr_prototype.send = lambda x, b: HttpResponse(status=599)
+        xhr = window.new_xhr()
+        xhr.open("GET", "https://svc.example.com/x")
+        response = window.xhr_prototype.original_send(xhr, None)
+        assert response.status == 200
+
+
+class TestHttpMessages:
+    def test_origin_extraction(self):
+        request = HttpRequest("GET", "https://host.example.com:8080/a/b?c=d")
+        assert request.origin == "https://host.example.com:8080"
+        assert request.path == "/a/b"
+
+    def test_response_ok_range(self):
+        assert HttpResponse(status=204).ok
+        assert not HttpResponse(status=404).ok
+        assert not HttpResponse(status=301).ok

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+from conftest import OTHER_TEXT, SECRET_TEXT
+
+
+@pytest.fixture
+def files(tmp_path):
+    a = tmp_path / "a.txt"
+    b = tmp_path / "b.txt"
+    a.write_text(SECRET_TEXT)
+    b.write_text(OTHER_TEXT)
+    return a, b, tmp_path
+
+
+class TestFingerprint:
+    def test_basic(self, files, capsys):
+        a, _b, _tmp = files
+        assert main(["fingerprint", str(a)]) == 0
+        out = capsys.readouterr().out
+        assert "hashes:" in out
+        assert "guarantee:" in out
+
+    def test_show_hashes(self, files, capsys):
+        a, _b, _tmp = files
+        main(["fingerprint", str(a), "--show-hashes", "3", "--ngram", "6",
+              "--window", "3"])
+        out = capsys.readouterr().out
+        assert any(token.isdigit() for token in out.split())
+
+    def test_custom_config_changes_guarantee(self, files, capsys):
+        a, _b, _tmp = files
+        main(["fingerprint", str(a), "--ngram", "10", "--window", "11"])
+        assert ">= 20 chars" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_identical_files_disclose(self, files, capsys):
+        a, _b, tmp = files
+        copy = tmp / "copy.txt"
+        copy.write_text(SECRET_TEXT)
+        assert main(["compare", str(a), str(copy)]) == 1
+        assert "significant disclosure" in capsys.readouterr().out
+
+    def test_unrelated_files_clean(self, files, capsys):
+        a, b, _tmp = files
+        assert main(["compare", str(a), str(b)]) == 0
+        assert "no significant disclosure" in capsys.readouterr().out
+
+    def test_threshold_option(self, files):
+        # Half-overlapping files: both directions sit mid-range, so the
+        # verdict flips with the threshold.
+        a, _b, tmp = files
+        mixed = tmp / "mixed.txt"
+        mixed.write_text(SECRET_TEXT[: len(SECRET_TEXT) // 2] + " " + OTHER_TEXT)
+        strict = main(["compare", str(mixed), str(a), "--threshold", "0.99",
+                       "--ngram", "6", "--window", "3"])
+        loose = main(["compare", str(mixed), str(a), "--threshold", "0.2",
+                      "--ngram", "6", "--window", "3"])
+        assert strict == 0
+        assert loose == 1
+
+
+class TestObserveScan:
+    def test_observe_then_scan(self, files, capsys):
+        a, b, tmp = files
+        db = tmp / "db.json"
+        assert main(["observe", str(a), "--db", str(db), "--id", "doc-a"]) == 0
+        assert db.exists()
+        # A copy of the observed file discloses it.
+        assert main(["scan", str(a), "--db", str(db)]) == 1
+        assert "doc-a" in capsys.readouterr().out
+        # An unrelated file does not.
+        assert main(["scan", str(b), "--db", str(db)]) == 0
+
+    def test_observe_accumulates(self, files, capsys):
+        a, b, tmp = files
+        db = tmp / "db.json"
+        main(["observe", str(a), "--db", str(db), "--id", "doc-a"])
+        main(["observe", str(b), "--db", str(db), "--id", "doc-b"])
+        out = capsys.readouterr().out
+        assert "2 segments" in out
+
+    def test_encrypted_database(self, files, capsys):
+        a, _b, tmp = files
+        db = tmp / "db.enc"
+        main(["observe", str(a), "--db", str(db), "--id", "doc-a",
+              "--key", "disk-secret"])
+        raw = db.read_text()
+        assert "doc-a" not in raw
+        assert main(["scan", str(a), "--db", str(db), "--key", "disk-secret"]) == 1
+
+    def test_scan_missing_db_fails(self, files, capsys):
+        a, _b, tmp = files
+        assert main(["scan", str(a), "--db", str(tmp / "nope.json")]) == 2
+
+
+class TestCorpusAndExperiments:
+    def test_corpus_table(self, capsys):
+        assert main(["corpus", "--revisions", "3", "--books", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Wikipedia" in out
+        assert "MySQL" in out
+
+    def test_experiment_fig10(self, capsys):
+        assert main(["experiment", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "iphone-camera" in out
+        assert "browserflow" in out
+
+    def test_experiment_fig11(self, capsys):
+        assert main(["experiment", "fig11"]) == 0
+        assert "Figure 11" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestExperimentSubcommands:
+    def test_experiment_fig8(self, capsys):
+        assert main(["experiment", "fig8"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_experiment_fig9(self, capsys):
+        assert main(["experiment", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "Chicago" in out

@@ -1,0 +1,51 @@
+"""Tests for the e-book corpus."""
+
+import pytest
+
+from repro.datasets.ebooks import EbookCorpus
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return EbookCorpus.generate(n_books=4, paragraphs_per_book=30, seed=5)
+
+
+class TestGeneration:
+    def test_book_count(self, corpus):
+        assert len(corpus) == 4
+
+    def test_paragraph_count(self, corpus):
+        assert all(len(b.paragraphs) == 30 for b in corpus)
+
+    def test_deterministic(self):
+        a = EbookCorpus.generate(n_books=2, paragraphs_per_book=5, seed=1)
+        b = EbookCorpus.generate(n_books=2, paragraphs_per_book=5, seed=1)
+        assert a[0].text() == b[0].text()
+
+    def test_books_differ(self, corpus):
+        assert corpus[0].text() != corpus[1].text()
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(DatasetError):
+            EbookCorpus.generate(n_books=0)
+
+    def test_sizes(self, corpus):
+        assert corpus.total_bytes() == sum(b.size_bytes() for b in corpus)
+        assert corpus.total_paragraphs() == 120
+
+
+class TestPages:
+    def test_page_slicing(self, corpus):
+        book = corpus[0]
+        page = book.page(0, paragraphs_per_page=5)
+        assert page == list(book.paragraphs[:5])
+        page2 = book.page(1, paragraphs_per_page=5)
+        assert page2 == list(book.paragraphs[5:10])
+
+    def test_out_of_range_page(self, corpus):
+        with pytest.raises(DatasetError):
+            corpus[0].page(99, paragraphs_per_page=10)
+
+    def test_iteration(self, corpus):
+        assert len(list(corpus)) == 4

@@ -1,0 +1,112 @@
+"""Tests for the manuals corpus and its ground truth."""
+
+import pytest
+
+from repro.datasets.manuals import FATES, ManualsCorpus
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return ManualsCorpus.generate(seed=11)
+
+
+class TestGeneration:
+    def test_four_chapters(self, corpus):
+        assert len(corpus) == 4
+        ids = {c.chapter_id for c in corpus}
+        assert ids == {
+            "iphone-camera",
+            "iphone-message",
+            "mysql-new-features",
+            "mysql-whats-mysql",
+        }
+
+    def test_four_versions_each(self, corpus):
+        for chapter in corpus:
+            assert len(chapter.versions) == 4
+
+    def test_paper_paragraph_counts(self, corpus):
+        assert len(corpus.by_id("iphone-camera").base_paragraphs) == 40
+        assert len(corpus.by_id("iphone-message").base_paragraphs) == 20
+        assert len(corpus.by_id("mysql-new-features").base_paragraphs) == 28
+        assert len(corpus.by_id("mysql-whats-mysql").base_paragraphs) == 8
+
+    def test_scale_parameter(self):
+        small = ManualsCorpus.generate(scale=0.5)
+        assert len(small.by_id("iphone-camera").base_paragraphs) == 20
+
+    def test_deterministic(self):
+        a = ManualsCorpus.generate(seed=3)
+        b = ManualsCorpus.generate(seed=3)
+        assert (
+            a.by_id("iphone-camera").versions[2].text()
+            == b.by_id("iphone-camera").versions[2].text()
+        )
+
+    def test_unknown_chapter(self, corpus):
+        with pytest.raises(DatasetError):
+            corpus.by_id("missing")
+
+    def test_base_version_all_kept(self, corpus):
+        chapter = corpus.by_id("mysql-whats-mysql")
+        assert set(chapter.versions[0].fates) == {"kept"}
+
+
+class TestGroundTruth:
+    def test_fates_valid(self, corpus):
+        for chapter in corpus:
+            for version in chapter.versions:
+                assert set(version.fates) <= set(FATES)
+
+    def test_kept_paragraphs_identical(self, corpus):
+        chapter = corpus.by_id("mysql-whats-mysql")
+        version = chapter.version("4.1")
+        for i, fate in enumerate(version.fates):
+            if fate == "kept":
+                assert chapter.base_paragraphs[i] in version.paragraphs
+
+    def test_dropped_paragraphs_absent(self, corpus):
+        chapter = corpus.by_id("iphone-camera")
+        version = chapter.version("iOS7")
+        for i, fate in enumerate(version.fates):
+            if fate == "dropped":
+                assert chapter.base_paragraphs[i] not in version.paragraphs
+
+    def test_ground_truth_counts_surviving_concepts(self, corpus):
+        chapter = corpus.by_id("iphone-camera")
+        version = chapter.version("iOS4")
+        disclosed = version.ground_truth_disclosed()
+        expected = sum(
+            1 for fate in version.fates if fate in ("kept", "light", "rephrased")
+        )
+        assert len(disclosed) == expected
+
+    def test_decay_shapes(self, corpus):
+        """iPhone chapters decay to near zero; What's MySQL stays full."""
+        camera = corpus.by_id("iphone-camera")
+        early = len(camera.version("iOS4").ground_truth_disclosed())
+        late = len(camera.version("iOS7").ground_truth_disclosed())
+        assert late < early
+        assert late <= len(camera.base_paragraphs) * 0.25
+
+        whats = corpus.by_id("mysql-whats-mysql")
+        final = len(whats.version("5.1").ground_truth_disclosed())
+        assert final == len(whats.base_paragraphs)
+
+    def test_paragraph_count_consistency(self, corpus):
+        """Survivors plus replacements keep the chapter size stable."""
+        for chapter in corpus:
+            for version in chapter.versions:
+                assert len(version.paragraphs) == len(chapter.base_paragraphs)
+
+    def test_version_lookup(self, corpus):
+        chapter = corpus.by_id("mysql-new-features")
+        assert chapter.version("5.0").version == "5.0"
+        with pytest.raises(DatasetError):
+            chapter.version("9.9")
+
+    def test_version_names(self, corpus):
+        assert corpus.by_id("iphone-camera").version_names() == [
+            "iOS3", "iOS4", "iOS5", "iOS7",
+        ]

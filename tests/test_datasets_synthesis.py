@@ -1,0 +1,137 @@
+"""Tests for text synthesis and the edit model."""
+
+import random
+
+import pytest
+
+from repro.datasets.synthesis import EditModel, TextSynthesizer
+from repro.datasets.vocabulary import TOPIC_WORDS, VOCABULARY, vocabulary_for
+from repro.errors import DatasetError
+from repro.util.text import split_sentences
+
+
+@pytest.fixture
+def synth():
+    return TextSynthesizer("mysql", random.Random("seed"))
+
+
+@pytest.fixture
+def editor(synth):
+    return EditModel(synth, random.Random("edit-seed"))
+
+
+class TestVocabulary:
+    def test_base_vocabulary_size(self):
+        assert len(VOCABULARY) > 300
+
+    def test_all_lowercase_words(self):
+        assert all(w == w.lower() and w.isalpha() for w in VOCABULARY)
+
+    def test_topic_enrichment(self):
+        words = vocabulary_for("mysql")
+        for jargon in TOPIC_WORDS["mysql"]:
+            assert jargon in words
+
+    def test_unknown_topic_base_only(self):
+        assert vocabulary_for("unknown-topic") == list(VOCABULARY)
+
+
+class TestTextSynthesizer:
+    def test_deterministic_from_seed(self):
+        a = TextSynthesizer("mysql", random.Random("x")).paragraph()
+        b = TextSynthesizer("mysql", random.Random("x")).paragraph()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = TextSynthesizer("mysql", random.Random("x")).paragraph()
+        b = TextSynthesizer("mysql", random.Random("y")).paragraph()
+        assert a != b
+
+    def test_sentence_shape(self, synth):
+        sentence = synth.sentence()
+        assert sentence.endswith(".")
+        assert sentence[0].isupper()
+        assert 8 <= len(sentence.split()) <= 18
+
+    def test_sentence_bounds_respected(self, synth):
+        sentence = synth.sentence(min_words=3, max_words=3)
+        assert len(sentence.split()) == 3
+
+    def test_invalid_bounds(self, synth):
+        with pytest.raises(DatasetError):
+            synth.sentence(min_words=5, max_words=2)
+
+    def test_paragraph_sentence_count(self, synth):
+        paragraph = synth.paragraph(min_sentences=4, max_sentences=4)
+        assert len(split_sentences(paragraph)) == 4
+
+    def test_document_paragraph_count(self, synth):
+        doc = synth.document(min_paragraphs=3, max_paragraphs=3)
+        assert len(doc) == 3
+
+
+class TestEditModel:
+    def test_substitute_zero_is_identity(self, editor, synth):
+        text = synth.paragraph()
+        assert editor.substitute_words(text, 0.0) == text
+
+    def test_substitute_fraction_changes_words(self, editor, synth):
+        text = synth.paragraph()
+        edited = editor.substitute_words(text, 0.5)
+        original = text.split()
+        changed = edited.split()
+        assert len(original) == len(changed)
+        differing = sum(1 for a, b in zip(original, changed) if a != b)
+        assert differing >= len(original) * 0.3
+
+    def test_substitute_preserves_sentence_punctuation(self, editor):
+        text = "Alpha beta gamma. Delta epsilon zeta."
+        edited = editor.substitute_words(text, 1.0)
+        assert edited.count(".") == 2
+
+    def test_substitute_preserves_capitalisation(self, editor):
+        text = "Alpha beta. Gamma delta."
+        edited = editor.substitute_words(text, 1.0)
+        for word in (edited.split()[0], ):
+            assert word[0].isupper()
+
+    def test_invalid_fraction(self, editor):
+        with pytest.raises(DatasetError):
+            editor.substitute_words("text", 1.5)
+
+    def test_drop_sentence(self, editor, synth):
+        text = synth.paragraph(min_sentences=4, max_sentences=4)
+        shorter = editor.drop_sentence(text)
+        assert len(split_sentences(shorter)) == 3
+
+    def test_drop_keeps_single_sentence(self, editor):
+        assert editor.drop_sentence("Only one sentence.") == "Only one sentence."
+
+    def test_insert_sentence(self, editor, synth):
+        text = synth.paragraph(min_sentences=3, max_sentences=3)
+        longer = editor.insert_sentence(text)
+        assert len(split_sentences(longer)) == 4
+
+    def test_shuffle_preserves_sentences(self, editor, synth):
+        text = synth.paragraph(min_sentences=5, max_sentences=5)
+        shuffled = editor.shuffle_sentences(text)
+        assert sorted(split_sentences(shuffled)) == sorted(split_sentences(text))
+
+    def test_edit_intensity_zero_identity(self, editor, synth):
+        text = synth.paragraph()
+        assert editor.edit_paragraph(text, 0.0) == text
+
+    def test_evolve_document_respects_probabilities(self, editor, synth):
+        paragraphs = [synth.paragraph() for _ in range(10)]
+        evolved = editor.evolve_document(
+            paragraphs, edit_prob=0.0, edit_intensity=0.0,
+            append_prob=0.0, delete_prob=0.0,
+        )
+        assert evolved == paragraphs
+
+    def test_evolve_never_returns_empty(self, editor, synth):
+        evolved = editor.evolve_document(
+            [synth.paragraph()],
+            edit_prob=0.0, edit_intensity=0.0, delete_prob=1.0,
+        )
+        assert evolved  # a fresh paragraph is appended when all deleted

@@ -1,0 +1,87 @@
+"""Tests for the synthetic Wikipedia revision corpus."""
+
+import pytest
+
+from repro.datasets.wikipedia import (
+    STABLE_TITLES,
+    VOLATILE_TITLES,
+    WikipediaCorpus,
+)
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return WikipediaCorpus.generate(n_revisions=20, seed=7)
+
+
+class TestGeneration:
+    def test_named_articles_present(self, corpus):
+        titles = {a.title for a in corpus}
+        assert set(STABLE_TITLES) <= titles
+        assert set(VOLATILE_TITLES) <= titles
+
+    def test_revision_count(self, corpus):
+        assert all(len(a.revisions) == 20 for a in corpus)
+
+    def test_deterministic(self):
+        a = WikipediaCorpus.generate(n_revisions=5, seed=1)
+        b = WikipediaCorpus.generate(n_revisions=5, seed=1)
+        assert a.by_title("Chicago").latest.text() == b.by_title("Chicago").latest.text()
+
+    def test_seed_changes_content(self):
+        a = WikipediaCorpus.generate(n_revisions=5, seed=1)
+        b = WikipediaCorpus.generate(n_revisions=5, seed=2)
+        assert a.by_title("Chicago").base.text() != b.by_title("Chicago").base.text()
+
+    def test_extra_articles(self):
+        corpus = WikipediaCorpus.generate(n_extra_articles=4, n_revisions=3)
+        assert len(corpus) == 12
+
+    def test_minimum_revisions_enforced(self):
+        with pytest.raises(DatasetError):
+            WikipediaCorpus.generate(n_revisions=1)
+
+    def test_revision_indices_sequential(self, corpus):
+        article = corpus.by_title("C++")
+        assert [r.index for r in article.revisions] == list(range(20))
+
+
+class TestRegimes:
+    def test_stable_articles_barely_change(self, corpus):
+        for article in corpus.stable_articles():
+            assert article.relative_length_change() < 0.5
+
+    def test_volatile_articles_change_more(self, corpus):
+        stable_max = max(
+            a.relative_length_change() for a in corpus.stable_articles()
+        )
+        volatile_mean = sum(
+            a.relative_length_change() for a in corpus.volatile_articles()
+        ) / len(corpus.volatile_articles())
+        assert volatile_mean > stable_max
+
+    def test_stable_base_paragraphs_survive(self, corpus):
+        article = corpus.by_title("IP address")
+        base_pars = set(article.base.paragraphs)
+        latest_pars = set(article.latest.paragraphs)
+        surviving = base_pars & latest_pars
+        assert len(surviving) >= len(base_pars) * 0.5
+
+    def test_volatility_labels(self, corpus):
+        assert corpus.by_title("Chicago").volatility == "stable"
+        assert corpus.by_title("Dementia").volatility == "volatile"
+
+
+class TestAccessors:
+    def test_by_title_unknown(self, corpus):
+        with pytest.raises(DatasetError):
+            corpus.by_title("Nonexistent")
+
+    def test_totals_positive(self, corpus):
+        assert corpus.total_paragraphs() > 0
+        assert corpus.total_bytes() > 0
+
+    def test_revision_length(self, corpus):
+        revision = corpus.by_title("Chicago").base
+        assert revision.length() == len(revision.text())

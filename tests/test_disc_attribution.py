@@ -1,0 +1,47 @@
+"""Tests for passage attribution."""
+
+from repro.disclosure import DisclosureEngine, attribute_disclosure
+from repro.fingerprint.config import TINY_CONFIG
+
+from conftest import OTHER_TEXT, SECRET_TEXT
+
+
+def test_attribution_locates_shared_passage():
+    engine = DisclosureEngine(TINY_CONFIG)
+    source_text = OTHER_TEXT + " " + SECRET_TEXT
+    target_text = SECRET_TEXT + " And some new commentary follows the pasted part."
+    # The secret is only ~half of the source, so its containment in the
+    # target sits near 0.5; use a threshold safely below the boundary.
+    engine.observe("src", source_text, threshold=0.3)
+    target_fp = engine.fingerprint(target_text)
+    report = engine.disclosing_sources(fingerprint=target_fp)
+    assert report.disclosing
+    source = report.sources[0]
+    src_fp = engine.segment_db.get("src").fingerprint
+
+    match = attribute_disclosure(src_fp, target_fp, source.matched_hashes)
+    source_excerpt = " ".join(match.source_excerpts(source_text))
+    target_excerpt = " ".join(match.target_excerpts(target_text))
+    # The attributed spans cover the secret, not the unrelated text.
+    assert "consensus protocols" in source_excerpt
+    assert "consensus protocols" in target_excerpt
+    assert "harvest festival" not in target_excerpt
+
+
+def test_attribution_empty_for_no_matches():
+    engine = DisclosureEngine(TINY_CONFIG)
+    a = engine.fingerprint(SECRET_TEXT)
+    b = engine.fingerprint(OTHER_TEXT)
+    match = attribute_disclosure(a, b, frozenset())
+    assert match.source_spans == ()
+    assert match.target_spans == ()
+
+
+def test_attribution_spans_sorted_and_merged():
+    engine = DisclosureEngine(TINY_CONFIG)
+    fp = engine.fingerprint(SECRET_TEXT)
+    match = attribute_disclosure(fp, fp, fp.hashes)
+    spans = match.source_spans
+    assert list(spans) == sorted(spans)
+    for (a1, b1), (a2, b2) in zip(spans, spans[1:]):
+        assert b1 < a2

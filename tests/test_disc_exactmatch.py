@@ -1,0 +1,109 @@
+"""Tests for the exact-match short-secret tracker (§4.4)."""
+
+import pytest
+
+from repro.disclosure.exactmatch import MIN_SECRET_LENGTH, ShortSecretTracker
+from repro.errors import DisclosureError
+
+from conftest import SECRET_TEXT, EnterpriseFixture
+
+
+@pytest.fixture
+def tracker():
+    t = ShortSecretTracker()
+    t.register("db-password", "hunter2rocks")
+    t.register("api-key", "sk-live-0042-alpha")
+    return t
+
+
+class TestRegistration:
+    def test_register_and_len(self, tracker):
+        assert len(tracker) == 2
+
+    def test_duplicate_id_rejected(self, tracker):
+        with pytest.raises(DisclosureError):
+            tracker.register("db-password", "another")
+
+    def test_too_short_rejected(self):
+        tracker = ShortSecretTracker()
+        with pytest.raises(DisclosureError):
+            tracker.register("pin", "12 3")  # 3 normalised chars
+
+    def test_min_length_boundary(self):
+        tracker = ShortSecretTracker()
+        tracker.register("ok", "a" * MIN_SECRET_LENGTH)
+        assert len(tracker) == 1
+
+
+class TestScanning:
+    def test_exact_occurrence_found(self, tracker):
+        matches = tracker.scan("the password is hunter2rocks, keep it safe")
+        assert [m.secret_id for m in matches] == ["db-password"]
+
+    def test_span_points_into_original(self, tracker):
+        text = "use Hunter2Rocks now"
+        match = tracker.scan(text)[0]
+        assert text[match.start:match.end] == "Hunter2Rocks"
+
+    def test_normalisation_insensitive(self, tracker):
+        # Case and punctuation differences don't hide the secret.
+        assert tracker.contains_secret("HUNTER2ROCKS")
+        assert tracker.contains_secret("h-u-n-t-e-r-2 rocks")
+
+    def test_near_miss_not_matched(self, tracker):
+        assert not tracker.contains_secret("hunter3rocks")
+        assert not tracker.contains_secret("hunter2rock")
+
+    def test_multiple_secrets_in_one_text(self, tracker):
+        text = "creds: hunter2rocks / sk-live-0042-alpha"
+        found = {m.secret_id for m in tracker.scan(text)}
+        assert found == {"db-password", "api-key"}
+
+    def test_empty_text(self, tracker):
+        assert tracker.scan("") == []
+
+    def test_matches_sorted_by_position(self, tracker):
+        text = "sk-live-0042-alpha then hunter2rocks"
+        matches = tracker.scan(text)
+        assert [m.secret_id for m in matches] == ["api-key", "db-password"]
+
+
+class TestPluginIntegration:
+    def test_password_paste_blocked_despite_short_length(self):
+        """A password is far below the fingerprinting floor; only the
+        equality tracker can stop it."""
+        e = EnterpriseFixture()
+        tracker = ShortSecretTracker()
+        tracker.register("db-password", "hunter2rocks")
+        e.plugin.secret_tracker = tracker
+
+        editor = e.docs.open_editor(e.browser.new_tab())
+        par = editor.new_paragraph()
+        assert not editor.paste(par, "my login is hunter2rocks")
+        assert e.docs.backend.get(editor.doc_id).paragraphs == []
+        assert any(
+            "db-password" in w.offending for w in e.plugin.warnings
+        )
+
+    def test_privileged_service_may_receive_secret(self):
+        """A service whose Lp carries the secret's tag is allowed."""
+        e = EnterpriseFixture()
+        tracker = ShortSecretTracker()
+        tracker.register("db-password", "hunter2rocks")
+        e.plugin.secret_tracker = tracker
+        # Grant the wiki the right to hold this secret.
+        e.policies.register(
+            e.policies.get(e.wiki.origin).with_privilege_tag("db-password")
+        )
+        ok = e.wiki.edit(
+            e.browser.new_tab(), "Vault", "rotation note: hunter2rocks"
+        )
+        assert ok
+
+    def test_normal_text_unaffected(self):
+        e = EnterpriseFixture()
+        tracker = ShortSecretTracker()
+        tracker.register("db-password", "hunter2rocks")
+        e.plugin.secret_tracker = tracker
+        editor = e.docs.open_editor(e.browser.new_tab())
+        assert editor.paste(editor.new_paragraph(), SECRET_TEXT[:80])

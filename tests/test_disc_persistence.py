@@ -1,0 +1,140 @@
+"""Tests for engine persistence, encryption at rest, and retention."""
+
+import json
+
+import pytest
+
+from repro.disclosure import DisclosureEngine
+from repro.disclosure.persistence import (
+    expire_segments,
+    load_engine,
+    restore_engine,
+    save_engine,
+    snapshot_engine,
+)
+from repro.errors import DisclosureError
+from repro.fingerprint.config import TINY_CONFIG
+from repro.plugin.crypto import UploadCipher
+from repro.util.clock import LogicalClock
+
+from conftest import OTHER_TEXT, SECRET_TEXT, THIRD_TEXT
+
+
+@pytest.fixture
+def engine():
+    engine = DisclosureEngine(TINY_CONFIG, LogicalClock())
+    engine.observe("a", SECRET_TEXT, threshold=0.4, doc_id="docA")
+    engine.observe("b", OTHER_TEXT)
+    engine.observe("c", SECRET_TEXT)  # later copy: 'a' stays authoritative
+    return engine
+
+
+class TestSnapshotRoundtrip:
+    def test_segments_restored(self, engine, tmp_path):
+        path = tmp_path / "db.json"
+        save_engine(engine, path)
+        restored = load_engine(path)
+        assert sorted(restored.segment_db.ids()) == ["a", "b", "c"]
+        original = engine.segment_db.get("a")
+        recovered = restored.segment_db.get("a")
+        assert recovered.fingerprint.hashes == original.fingerprint.hashes
+        assert recovered.threshold == original.threshold
+        assert recovered.doc_id == "docA"
+
+    def test_decisions_identical_after_restore(self, engine, tmp_path):
+        path = tmp_path / "db.json"
+        save_engine(engine, path)
+        restored = load_engine(path)
+        probe = restored.fingerprint(SECRET_TEXT)
+        before = engine.disclosing_sources(fingerprint=probe)
+        after = restored.disclosing_sources(fingerprint=probe)
+        assert before.source_ids() == after.source_ids()
+        assert [s.score for s in before.sources] == [s.score for s in after.sources]
+
+    def test_authoritative_ownership_survives(self, engine, tmp_path):
+        path = tmp_path / "db.json"
+        save_engine(engine, path)
+        restored = load_engine(path)
+        record = engine.segment_db.get("a")
+        for h in record.fingerprint.hashes:
+            assert restored.hash_db.oldest_owner(h) == "a"
+
+    def test_selections_preserved_for_attribution(self, engine, tmp_path):
+        path = tmp_path / "db.json"
+        save_engine(engine, path)
+        restored = load_engine(path)
+        assert (
+            restored.segment_db.get("a").fingerprint.selections
+            == engine.segment_db.get("a").fingerprint.selections
+        )
+
+    def test_config_restored(self, engine, tmp_path):
+        path = tmp_path / "db.json"
+        save_engine(engine, path)
+        assert load_engine(path).config == TINY_CONFIG
+
+    def test_unsupported_version_rejected(self, engine):
+        data = snapshot_engine(engine)
+        data["version"] = 99
+        with pytest.raises(DisclosureError):
+            restore_engine(data)
+
+    def test_snapshot_is_json(self, engine):
+        json.dumps(snapshot_engine(engine))  # must not raise
+
+
+class TestEncryptionAtRest:
+    def test_encrypted_snapshot_unreadable(self, engine, tmp_path):
+        path = tmp_path / "db.enc"
+        cipher = UploadCipher("disk-key")
+        save_engine(engine, path, cipher=cipher)
+        raw = path.read_text()
+        assert "hashes" not in raw
+        assert UploadCipher.is_encrypted(raw)
+
+    def test_encrypted_roundtrip(self, engine, tmp_path):
+        path = tmp_path / "db.enc"
+        cipher = UploadCipher("disk-key")
+        save_engine(engine, path, cipher=cipher)
+        restored = load_engine(path, cipher=cipher)
+        assert sorted(restored.segment_db.ids()) == ["a", "b", "c"]
+
+    def test_encrypted_load_without_cipher_rejected(self, engine, tmp_path):
+        path = tmp_path / "db.enc"
+        save_engine(engine, path, cipher=UploadCipher("disk-key"))
+        with pytest.raises(DisclosureError):
+            load_engine(path)
+
+
+class TestRetention:
+    def test_expire_removes_stale_segments(self):
+        clock = LogicalClock()
+        engine = DisclosureEngine(TINY_CONFIG, clock)
+        engine.observe("old", SECRET_TEXT)       # t = 0
+        engine.observe("recent", THIRD_TEXT)     # t = 1
+        removed = expire_segments(engine, older_than=1.0)
+        assert removed == ["old"]
+        assert engine.segment_db.ids() == ["recent"]
+
+    def test_expiry_releases_ownership(self):
+        clock = LogicalClock()
+        engine = DisclosureEngine(TINY_CONFIG, clock)
+        engine.observe("old", SECRET_TEXT)
+        engine.observe("young", SECRET_TEXT)
+        expire_segments(engine, older_than=1.0)
+        record = engine.segment_db.get("young")
+        for h in record.fingerprint.hashes:
+            assert engine.hash_db.oldest_owner(h) == "young"
+
+    def test_expire_nothing(self, engine):
+        assert expire_segments(engine, older_than=-1.0) == []
+        assert len(engine.segment_db) == 3
+
+    def test_expired_segment_not_reported(self):
+        engine = DisclosureEngine(TINY_CONFIG, LogicalClock())
+        engine.observe("old", SECRET_TEXT)
+        expire_segments(engine, older_than=1.0)
+        report = engine.disclosing_sources(
+            fingerprint=engine.fingerprint(SECRET_TEXT)
+        )
+        assert not report.disclosing

@@ -1,0 +1,138 @@
+"""Tests for DBhash / DBpar (repro.disclosure.store)."""
+
+import pytest
+
+from repro.disclosure.store import HashDatabase, SegmentDatabase, SegmentRecord
+from repro.errors import UnknownSegmentError
+from repro.fingerprint import Fingerprinter
+from repro.fingerprint.config import TINY_CONFIG
+
+
+def record_for(segment_id, text, **kwargs):
+    fp = Fingerprinter(TINY_CONFIG).fingerprint(text)
+    return SegmentRecord(segment_id=segment_id, fingerprint=fp, **kwargs)
+
+
+class TestHashDatabase:
+    def test_record_and_len(self):
+        db = HashDatabase()
+        assert db.record(1, "a", 0.0)
+        assert db.record(2, "a", 1.0)
+        assert len(db) == 2
+
+    def test_duplicate_observation_ignored(self):
+        db = HashDatabase()
+        assert db.record(1, "a", 0.0)
+        assert not db.record(1, "a", 5.0)
+        assert db.first_seen(1, "a") == 0.0
+
+    def test_oldest_owner(self):
+        db = HashDatabase()
+        db.record(1, "b", 1.0)
+        db.record(1, "a", 2.0)
+        assert db.oldest_owner(1) == "b"
+
+    def test_oldest_owner_tie_breaks_lexicographically(self):
+        db = HashDatabase()
+        db.record(1, "zeta", 1.0)
+        db.record(1, "alpha", 1.0)
+        assert db.oldest_owner(1) == "alpha"
+
+    def test_oldest_owner_unknown_hash(self):
+        assert HashDatabase().oldest_owner(99) is None
+
+    def test_owners_sorted_by_time(self):
+        db = HashDatabase()
+        db.record(1, "c", 3.0)
+        db.record(1, "a", 1.0)
+        db.record(1, "b", 2.0)
+        assert [s for s, _t in db.owners(1)] == ["a", "b", "c"]
+
+    def test_contains(self):
+        db = HashDatabase()
+        db.record(7, "a", 0.0)
+        assert 7 in db
+        assert 8 not in db
+
+    def test_discard_segment_releases_ownership(self):
+        db = HashDatabase()
+        db.record(1, "first", 0.0)
+        db.record(1, "second", 1.0)
+        removed = db.discard_segment("first")
+        assert removed == 1
+        assert db.oldest_owner(1) == "second"
+
+    def test_discard_segment_drops_orphan_hashes(self):
+        db = HashDatabase()
+        db.record(1, "only", 0.0)
+        db.discard_segment("only")
+        assert len(db) == 0
+        assert 1 not in db
+
+    def test_discard_unknown_segment_noop(self):
+        db = HashDatabase()
+        db.record(1, "a", 0.0)
+        assert db.discard_segment("missing") == 0
+        assert len(db) == 1
+
+
+class TestSegmentDatabase:
+    def test_put_get(self):
+        db = SegmentDatabase()
+        rec = record_for("s1", "some paragraph text that is long enough to matter")
+        db.put(rec)
+        assert db.get("s1") is rec
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownSegmentError):
+            SegmentDatabase().get("nope")
+
+    def test_find_returns_none(self):
+        assert SegmentDatabase().find("nope") is None
+
+    def test_put_replaces(self):
+        db = SegmentDatabase()
+        db.put(record_for("s1", "original paragraph content for the segment"))
+        newer = record_for("s1", "replacement paragraph content for the segment")
+        db.put(newer)
+        assert db.get("s1") is newer
+        assert len(db) == 1
+
+    def test_remove(self):
+        db = SegmentDatabase()
+        rec = record_for("s1", "content to be removed from the database later")
+        db.put(rec)
+        assert db.remove("s1") is rec
+        assert "s1" not in db
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(UnknownSegmentError):
+            SegmentDatabase().remove("ghost")
+
+    def test_iteration_and_ids(self):
+        db = SegmentDatabase()
+        db.put(record_for("a", "first paragraph with enough characters inside"))
+        db.put(record_for("b", "second paragraph with enough characters inside"))
+        assert sorted(db.ids()) == ["a", "b"]
+        assert {r.segment_id for r in db} == {"a", "b"}
+
+    def test_in_document(self):
+        db = SegmentDatabase()
+        db.put(record_for("p1", "paragraph one content inside document alpha", doc_id="alpha"))
+        db.put(record_for("p2", "paragraph two content inside document alpha", doc_id="alpha"))
+        db.put(record_for("p3", "paragraph in a different document entirely", doc_id="beta"))
+        assert {r.segment_id for r in db.in_document("alpha")} == {"p1", "p2"}
+
+
+class TestSegmentRecord:
+    def test_with_fingerprint(self):
+        rec = record_for("s", "the original content of this tracked segment")
+        new_fp = Fingerprinter(TINY_CONFIG).fingerprint("totally different words here now")
+        updated = rec.with_fingerprint(new_fp, 9.0)
+        assert updated.fingerprint is new_fp
+        assert updated.last_updated == 9.0
+        assert updated.segment_id == "s"
+        assert rec.last_updated != 9.0  # original untouched
+
+    def test_default_threshold(self):
+        assert record_for("s", "text that is long enough for a fingerprint").threshold == 0.5

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.tdm.labels import Label
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_subsystem_partitions(self):
+        assert issubclass(errors.UnknownSegmentError, errors.DisclosureError)
+        assert issubclass(errors.UnknownServiceError, errors.PolicyError)
+        assert issubclass(errors.TagError, errors.PolicyError)
+        assert issubclass(errors.SuppressionError, errors.PolicyError)
+        assert issubclass(errors.DOMError, errors.BrowserError)
+        assert issubclass(errors.RequestBlocked, errors.NetworkError)
+        assert issubclass(errors.DocumentNotFound, errors.ServiceError)
+
+
+class TestErrorPayloads:
+    def test_unknown_segment_carries_id(self):
+        err = errors.UnknownSegmentError("seg-1")
+        assert err.segment_id == "seg-1"
+        assert "seg-1" in str(err)
+
+    def test_unknown_service_carries_id(self):
+        err = errors.UnknownServiceError("https://x.example")
+        assert err.service == "https://x.example"
+
+    def test_request_blocked_carries_url_and_reason(self):
+        err = errors.RequestBlocked("https://x.example/api", "policy")
+        assert err.url == "https://x.example/api"
+        assert err.reason == "policy"
+        assert "policy" in str(err)
+
+    def test_document_not_found_carries_id(self):
+        assert errors.DocumentNotFound("d-1").doc_id == "d-1"
+
+    def test_disclosure_violation_computes_offending(self):
+        err = errors.DisclosureViolation(
+            "svc", Label.of("ti", "tw"), Label.of("tw")
+        )
+        assert err.offending_tags == Label.of("ti")
+        assert "ti" in str(err)
+        assert err.service == "svc"

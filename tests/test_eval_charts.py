@@ -1,0 +1,68 @@
+"""Tests for the plain-text chart renderers."""
+
+from repro.eval.charts import bar_chart, series_plot, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_levels(self):
+        line = sparkline([0, 50, 100])
+        assert len(line) == 3
+        assert line[0] < line[1] < line[2]
+
+    def test_constant_values_full_blocks(self):
+        assert set(sparkline([5, 5, 5])) == {"█"}
+
+    def test_explicit_bounds(self):
+        # With a fixed scale, 50 of 100 renders mid-height.
+        line = sparkline([50], lo=0, hi=100)
+        assert line in "▃▄▅"
+
+
+class TestBarChart:
+    def test_rows_rendered(self):
+        chart = bar_chart([("alpha", 10.0), ("beta", 5.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].startswith("alpha")
+        assert lines[1].startswith("beta ")
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title(self):
+        assert bar_chart([("x", 1.0)], title="T").startswith("T")
+
+    def test_values_printed(self):
+        chart = bar_chart([("x", 42.5)], unit="%")
+        assert "42.5%" in chart
+
+    def test_empty_rows(self):
+        assert bar_chart([], title="T") == "T"
+
+    def test_max_value_caps_bars(self):
+        chart = bar_chart([("x", 200.0)], width=10, max_value=100.0)
+        assert chart.count("#") == 10
+
+
+class TestSeriesPlot:
+    def test_contains_glyphs_and_legend(self):
+        plot = series_plot(
+            {"up": [(0, 0), (1, 1)], "down": [(0, 1), (1, 0)]},
+            width=20, height=5,
+        )
+        assert "o = up" in plot
+        assert "x = down" in plot
+        assert "o" in plot.splitlines()[0] or "o" in plot
+
+    def test_axis_labels(self):
+        plot = series_plot({"s": [(0, 0), (10, 100)]}, width=20, height=5)
+        assert "100" in plot
+        assert "10" in plot
+
+    def test_empty(self):
+        assert series_plot({}, title="T") == "T"
+
+    def test_single_point(self):
+        plot = series_plot({"s": [(5, 5)]}, width=10, height=3)
+        assert "o" in plot

@@ -1,0 +1,62 @@
+"""Tests for the report renderers."""
+
+from repro.eval.reporting import (
+    format_cdf_summary,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "1" in lines[2]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.startswith("Table 1")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159]])
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "n"], [["long-name-here", 1], ["x", 22]])
+        lines = text.splitlines()
+        # Second column starts at the same offset on every data line.
+        offsets = {line.index(str(v)) for line, v in zip(lines[2:], [1, 22])}
+        assert len(offsets) == 1
+
+
+class TestFormatSeries:
+    def test_named_series(self):
+        text = format_series({"s1": [(0, 1.0), (1, 2.0)]}, x_label="rev", y_label="pct")
+        assert "[s1]" in text
+        assert "0:1.00" in text
+
+    def test_downsampling(self):
+        points = [(float(i), float(i)) for i in range(100)]
+        text = format_series({"s": points}, max_points=5)
+        # 5 points rendered, not 100.
+        assert text.count(":") <= 6
+
+    def test_title(self):
+        assert format_series({}, title="Figure 9").startswith("Figure 9")
+
+
+class TestFormatCdfSummary:
+    def test_fractions(self):
+        text = format_cdf_summary("w1", [10.0, 20.0, 300.0], [30.0, 200.0])
+        assert "<= 30 ms: 66.7%" in text
+        assert "<= 200 ms: 66.7%" in text
+
+    def test_empty_values(self):
+        text = format_cdf_summary("w", [], [30.0])
+        assert "0.0%" in text

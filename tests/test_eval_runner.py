@@ -1,0 +1,62 @@
+"""Tests for the one-shot evaluation runner."""
+
+import pytest
+
+from repro.eval.runner import EvaluationRunner, EvaluationScale
+from repro.fingerprint.config import TINY_CONFIG
+
+
+@pytest.fixture(scope="module")
+def report():
+    scale = EvaluationScale(
+        wikipedia_revisions=10,
+        ebooks=3,
+        paragraphs_per_book=15,
+        fig13_books=4,
+        fig13_paragraphs_per_book=15,
+        seed=7,
+    )
+    runner = EvaluationRunner(scale, config=TINY_CONFIG)
+    return runner.run()
+
+
+class TestRunner:
+    def test_all_sections_present(self, report):
+        for marker in ("Table 1", "Figure 8", "Figure 9", "Figure 10",
+                       "Figure 11", "Figure 12", "Figure 13"):
+            assert marker in report
+
+    def test_report_has_data(self, report):
+        assert "iphone-camera" in report
+        assert "creation-with-overlap" in report
+        assert "Chicago" in report
+
+    def test_sections_separated(self, report):
+        assert report.count("=" * 70) == 6
+
+    def test_deterministic(self):
+        scale = EvaluationScale(
+            wikipedia_revisions=6, ebooks=2, paragraphs_per_book=10,
+            fig13_books=2, fig13_paragraphs_per_book=10, seed=3,
+        )
+        a = EvaluationRunner(scale, config=TINY_CONFIG)
+        b = EvaluationRunner(scale, config=TINY_CONFIG)
+        report_a = a.run()
+        report_b = b.run()
+        # Timing sections vary; the effectiveness sections must match.
+        assert report_a.split("Figure 12")[0] == report_b.split("Figure 12")[0]
+
+
+def test_cli_experiment_all(monkeypatch, capsys):
+    import repro.eval.runner as runner_mod
+    from repro.cli import main
+
+    small = EvaluationScale(
+        wikipedia_revisions=8, ebooks=2, paragraphs_per_book=10,
+        fig13_books=2, fig13_paragraphs_per_book=10, seed=5,
+    )
+    monkeypatch.setattr(runner_mod, "EvaluationScale", lambda seed: small)
+    assert main(["experiment", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Figure 13" in out

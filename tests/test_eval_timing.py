@@ -1,0 +1,45 @@
+"""Tests for the keystroke workload simulation."""
+
+from repro.eval.timing import edit_toward, keystroke_states
+
+
+class TestKeystrokeStates:
+    def test_progressive_growth(self):
+        states = list(keystroke_states("abc"))
+        assert states == ["a", "ab", "abc"]
+
+    def test_with_start(self):
+        states = list(keystroke_states("xy", start="base"))
+        assert states == ["basex", "basexy"]
+
+    def test_empty_text(self):
+        assert list(keystroke_states("")) == []
+
+
+class TestEditToward:
+    def test_converges_to_original(self):
+        original = "alpha beta gamma delta"
+        modified = "alpha CHANGED gamma WRONG"
+        states = list(edit_toward(modified, original))
+        assert states[-1] == original
+
+    def test_word_at_a_time(self):
+        original = "one two three"
+        modified = "one X three"
+        states = list(edit_toward(modified, original))
+        assert states == ["one two three"]
+
+    def test_handles_length_mismatch_longer(self):
+        original = "a b"
+        modified = "a b c d"
+        states = list(edit_toward(modified, original))
+        assert states[-1] == original
+
+    def test_handles_length_mismatch_shorter(self):
+        original = "a b c d"
+        modified = "a b"
+        states = list(edit_toward(modified, original))
+        assert states[-1] == original
+
+    def test_identical_no_steps(self):
+        assert list(edit_toward("same text", "same text")) == []

@@ -1,0 +1,43 @@
+"""Tests for FingerprintConfig validation and derived thresholds."""
+
+import pytest
+
+from repro.errors import FingerprintError
+from repro.fingerprint.config import FingerprintConfig, PAPER_CONFIG, TINY_CONFIG
+
+
+class TestFingerprintConfig:
+    def test_paper_defaults(self):
+        config = FingerprintConfig()
+        assert (config.ngram_size, config.window_size, config.hash_bits) == (15, 30, 32)
+
+    def test_noise_threshold(self):
+        config = FingerprintConfig(ngram_size=15, window_size=30)
+        assert config.noise_threshold == 44
+
+    def test_guarantee_alias(self):
+        assert TINY_CONFIG.guarantee_threshold == TINY_CONFIG.noise_threshold
+
+    def test_paper_config_constant(self):
+        assert PAPER_CONFIG.ngram_size == 15
+        assert PAPER_CONFIG.window_size == 30
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_CONFIG.ngram_size = 1  # type: ignore[misc]
+
+    def test_invalid_ngram(self):
+        with pytest.raises(FingerprintError):
+            FingerprintConfig(ngram_size=0)
+
+    def test_invalid_window(self):
+        with pytest.raises(FingerprintError):
+            FingerprintConfig(window_size=0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(FingerprintError):
+            FingerprintConfig(hash_bits=4)
+
+    def test_equality_by_value(self):
+        assert FingerprintConfig(6, 3) == FingerprintConfig(6, 3)
+        assert FingerprintConfig(6, 3) != FingerprintConfig(6, 4)

@@ -1,0 +1,144 @@
+"""Tests for Fingerprint / Fingerprinter (S1-S4 end to end)."""
+
+import pytest
+
+from repro.fingerprint import Fingerprinter
+from repro.fingerprint.config import FingerprintConfig, PAPER_CONFIG, TINY_CONFIG
+from repro.fingerprint.fingerprint import positioned_hashes_for
+from repro.fingerprint.ngram import ngram_hashes
+from repro.fingerprint.normalize import normalize
+from repro.fingerprint.winnowing import select_winnowed
+
+SAMPLE = (
+    "Imprecise data flow tracking identifies data flows implicitly by "
+    "detecting and quantifying the similarity between text fragments."
+)
+
+
+class TestFingerprinter:
+    def test_deterministic(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        assert fp.fingerprint(SAMPLE).hashes == fp.fingerprint(SAMPLE).hashes
+
+    def test_formatting_invariance(self):
+        # Normalisation means case/punctuation/spacing don't matter.
+        fp = Fingerprinter(TINY_CONFIG)
+        a = fp.fingerprint("Hello World, this is a test sentence!")
+        b = fp.fingerprint("hello world THIS is a test sentence")
+        assert a.hashes == b.hashes
+
+    def test_short_text_empty_fingerprint(self):
+        fp = Fingerprinter(PAPER_CONFIG)
+        result = fp.fingerprint("tiny")
+        assert result.is_empty()
+        assert len(result) == 0
+
+    def test_empty_text(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        assert fp.fingerprint("").is_empty()
+
+    def test_fast_path_matches_reference_pipeline(self):
+        # The optimised fingerprint() must equal the step-by-step path.
+        config = FingerprintConfig(ngram_size=6, window_size=4)
+        fp = Fingerprinter(config)
+        fast = fp.fingerprint(SAMPLE)
+        reference = select_winnowed(ngram_hashes(normalize(SAMPLE), config), config)
+        assert fast.hashes == {h.value for h in reference}
+        assert [s.orig_start for s in fast.selections] == [
+            h.orig_start for h in reference
+        ]
+
+    def test_fingerprint_size_roughly_linear(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        short = fp.fingerprint(SAMPLE)
+        long = fp.fingerprint(SAMPLE + " " + SAMPLE.replace("data", "info") * 3)
+        assert len(long) > len(short)
+
+    def test_config_property(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        assert fp.config is TINY_CONFIG
+
+    def test_default_config_is_paper_parameters(self):
+        fp = Fingerprinter()
+        assert fp.config.ngram_size == 15
+        assert fp.config.window_size == 30
+        assert fp.config.hash_bits == 32
+
+    def test_document_fingerprint_covers_paragraphs(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        paragraphs = [SAMPLE, "A completely different second paragraph about gardens."]
+        doc = fp.fingerprint_document(paragraphs)
+        p0 = fp.fingerprint(paragraphs[0])
+        # Most of a paragraph's hashes appear in the document fingerprint
+        # (boundaries may differ slightly where windows straddle the join).
+        assert len(p0.hashes & doc.hashes) / len(p0.hashes) > 0.8
+
+
+class TestFingerprintValue:
+    def test_containment_identity(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        f = fp.fingerprint(SAMPLE)
+        assert f.containment_in(f) == 1.0
+
+    def test_containment_disjoint(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        a = fp.fingerprint(SAMPLE)
+        b = fp.fingerprint("Totally unrelated gardening content about tomato plants and soil.")
+        assert a.containment_in(b) == 0.0
+
+    def test_containment_empty_is_zero(self):
+        fp = Fingerprinter(PAPER_CONFIG)
+        empty = fp.fingerprint("x")
+        full = fp.fingerprint(SAMPLE)
+        assert empty.containment_in(full) == 0.0
+
+    def test_contains_operator(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        f = fp.fingerprint(SAMPLE)
+        some_hash = next(iter(f.hashes))
+        assert some_hash in f
+        assert -1 not in f
+
+    def test_intersection(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        a = fp.fingerprint(SAMPLE)
+        b = fp.fingerprint(SAMPLE + " Plus an extra trailing sentence of filler words.")
+        common = a.intersection(b)
+        assert common
+        assert common <= a.hashes and common <= b.hashes
+
+
+class TestSpans:
+    def test_spans_locate_shared_passage(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        shared = "the confidential interviewing guidelines for distributed systems"
+        source_text = f"Preamble before anything. {shared}. And an unrelated ending here."
+        target_text = f"Completely new opening words. {shared}. Different closing text."
+        source = fp.fingerprint(source_text)
+        target = fp.fingerprint(target_text)
+        matched = source.intersection(target)
+        assert matched
+        spans = source.spans_for(matched)
+        recovered = " ".join(source_text[a:b] for a, b in spans)
+        assert "interviewing guidelines" in recovered
+
+    def test_spans_merged_and_ordered(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        f = fp.fingerprint(SAMPLE)
+        spans = f.spans_for(f.hashes)
+        assert spans == sorted(spans)
+        for (a1, b1), (a2, b2) in zip(spans, spans[1:]):
+            assert b1 < a2  # merged spans never touch or overlap
+
+    def test_spans_empty_for_no_match(self):
+        fp = Fingerprinter(TINY_CONFIG)
+        f = fp.fingerprint(SAMPLE)
+        assert f.spans_for(frozenset({-1})) == []
+
+
+class TestPositionedHashesHelper:
+    def test_exposes_prewinnowing_stream(self):
+        config = FingerprintConfig(ngram_size=6, window_size=3)
+        stream = positioned_hashes_for(SAMPLE, config)
+        normalized_len = len(normalize(SAMPLE).text)
+        assert len(stream) == normalized_len - config.ngram_size + 1

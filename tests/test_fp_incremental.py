@@ -1,0 +1,94 @@
+"""Tests for incremental fingerprinting, including batch equivalence."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fingerprint import Fingerprinter
+from repro.fingerprint.config import FingerprintConfig, TINY_CONFIG
+from repro.fingerprint.incremental import IncrementalFingerprinter
+
+from conftest import SECRET_TEXT
+
+BATCH = Fingerprinter(TINY_CONFIG)
+
+chunks = st.lists(
+    st.text(alphabet=string.ascii_letters + string.digits + " .,!",
+            min_size=0, max_size=25),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestIncremental:
+    def test_single_append_equals_batch(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append(SECRET_TEXT)
+        assert inc.current().hashes == BATCH.fingerprint(SECRET_TEXT).hashes
+
+    def test_char_by_char_equals_batch(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        for ch in SECRET_TEXT:
+            inc.append(ch)
+        batch = BATCH.fingerprint(SECRET_TEXT)
+        current = inc.current()
+        assert current.hashes == batch.hashes
+        assert current.selections == batch.selections
+
+    def test_empty_state(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        assert inc.current().is_empty()
+        assert inc.text_length == 0
+
+    def test_text_length_counts_original_chars(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append("Hello, World!")
+        assert inc.text_length == len("Hello, World!")
+
+    def test_append_returns_new_selection_count(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        total = 0
+        for ch in SECRET_TEXT:
+            total += inc.append(ch)
+        # The deque-path selections match the final fingerprint size
+        # (short-text partial selections are reported separately).
+        assert total >= len(inc.current()) - 1
+
+    def test_prefix_consistency(self):
+        """Every intermediate state equals the batch fingerprint of the
+        prefix typed so far — the per-keystroke use case."""
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        prefix = ""
+        for ch in SECRET_TEXT[:80]:
+            prefix += ch
+            inc.append(ch)
+            assert inc.current().hashes == BATCH.fingerprint(prefix).hashes
+
+    @given(chunks)
+    @settings(max_examples=60, deadline=None)
+    def test_property_equivalence_arbitrary_chunks(self, pieces):
+        config = FingerprintConfig(ngram_size=4, window_size=3)
+        inc = IncrementalFingerprinter(config)
+        batch = Fingerprinter(config)
+        text = ""
+        for piece in pieces:
+            text += piece
+            inc.append(piece)
+        expected = batch.fingerprint(text)
+        current = inc.current()
+        assert current.hashes == expected.hashes
+        assert current.selections == expected.selections
+
+    @given(chunks)
+    @settings(max_examples=30, deadline=None)
+    def test_property_spans_map_into_original(self, pieces):
+        config = FingerprintConfig(ngram_size=4, window_size=3)
+        inc = IncrementalFingerprinter(config)
+        text = ""
+        for piece in pieces:
+            text += piece
+            inc.append(piece)
+        for selection in inc.current().selections:
+            assert 0 <= selection.orig_start < selection.orig_end <= len(text)

@@ -1,0 +1,41 @@
+"""Tests for the positioned n-gram hash stream."""
+
+from repro.fingerprint.config import FingerprintConfig
+from repro.fingerprint.ngram import ngram_hashes
+from repro.fingerprint.normalize import normalize
+from repro.fingerprint.rolling_hash import KarpRabin
+
+
+class TestNgramHashes:
+    def test_count(self):
+        config = FingerprintConfig(ngram_size=4, window_size=2)
+        normalized = normalize("abcdefgh")
+        assert len(ngram_hashes(normalized, config)) == 5
+
+    def test_short_input_empty(self):
+        config = FingerprintConfig(ngram_size=10, window_size=2)
+        assert ngram_hashes(normalize("short"), config) == []
+
+    def test_values_match_karp_rabin(self):
+        config = FingerprintConfig(ngram_size=5, window_size=2)
+        normalized = normalize("The Quick Brown Fox!")
+        kr = KarpRabin(5, config.hash_bits)
+        stream = ngram_hashes(normalized, config)
+        for h in stream:
+            ngram = normalized.text[h.norm_pos:h.norm_pos + 5]
+            assert h.value == kr.hash_one(ngram)
+
+    def test_original_positions_cover_ngram(self):
+        config = FingerprintConfig(ngram_size=5, window_size=2)
+        source = "The Quick Brown Fox!"
+        normalized = normalize(source)
+        for h in ngram_hashes(normalized, config):
+            original_slice = source[h.orig_start:h.orig_end]
+            squashed = "".join(c.lower() for c in original_slice if c.isalnum())
+            assert squashed == normalized.text[h.norm_pos:h.norm_pos + 5]
+
+    def test_positions_increase(self):
+        config = FingerprintConfig(ngram_size=3, window_size=2)
+        stream = ngram_hashes(normalize("abcdefghij"), config)
+        positions = [h.norm_pos for h in stream]
+        assert positions == sorted(positions)

@@ -1,0 +1,72 @@
+"""Tests for step S1 (normalisation) including the offset map."""
+
+import pytest
+
+from repro.fingerprint.normalize import normalize
+
+
+class TestNormalize:
+    def test_paper_example(self):
+        assert normalize("Hello World!").text == "helloworld"
+
+    def test_removes_whitespace(self):
+        assert normalize("a b\tc\nd").text == "abcd"
+
+    def test_removes_punctuation(self):
+        assert normalize("a,b.c;d:e!f?g").text == "abcdefg"
+
+    def test_lowercases(self):
+        assert normalize("AbCdE").text == "abcde"
+
+    def test_digits_kept(self):
+        assert normalize("Version 4.1").text == "version41"
+
+    def test_empty_input(self):
+        result = normalize("")
+        assert result.text == ""
+        assert result.offsets == ()
+        assert result.original_length == 0
+
+    def test_punctuation_only(self):
+        assert normalize("... !!! ???").text == ""
+
+    def test_unicode_letters_kept(self):
+        assert normalize("Café au lait").text == "caféaulait"
+
+    def test_idempotent(self):
+        once = normalize("Hello, World! 123")
+        twice = normalize(once.text)
+        assert twice.text == once.text
+
+    def test_original_length_recorded(self):
+        assert normalize("a b c").original_length == 5
+
+
+class TestOffsetMap:
+    def test_offsets_point_to_original_chars(self):
+        source = "He said: Hello!"
+        result = normalize(source)
+        for norm_index, orig_index in enumerate(result.offsets):
+            assert source[orig_index].lower() == result.text[norm_index]
+
+    def test_original_span_roundtrip(self):
+        source = "Hello World!"
+        result = normalize(source)
+        # "world" occupies normalised positions 5..10
+        start, end = result.original_span(5, 10)
+        assert source[start:end] == "World"
+
+    def test_span_covers_skipped_characters(self):
+        source = "a-b-c"
+        result = normalize(source)
+        start, end = result.original_span(0, 3)
+        assert source[start:end] == "a-b-c"
+
+    def test_invalid_span_raises(self):
+        result = normalize("abcdef")
+        with pytest.raises(IndexError):
+            result.original_span(3, 3)
+        with pytest.raises(IndexError):
+            result.original_span(0, 99)
+        with pytest.raises(IndexError):
+            result.original_span(-1, 2)

@@ -1,0 +1,77 @@
+"""Tests for the Karp–Rabin rolling hash (step S2)."""
+
+import pytest
+
+from repro.errors import FingerprintError
+from repro.fingerprint.rolling_hash import KarpRabin
+
+
+class TestHashOne:
+    def test_deterministic(self):
+        kr = KarpRabin(ngram_size=5)
+        assert kr.hash_one("abcde") == kr.hash_one("abcde")
+
+    def test_different_inputs_differ(self):
+        kr = KarpRabin(ngram_size=5)
+        assert kr.hash_one("abcde") != kr.hash_one("abcdf")
+
+    def test_order_sensitive(self):
+        kr = KarpRabin(ngram_size=3)
+        assert kr.hash_one("abc") != kr.hash_one("cba")
+
+    def test_wrong_length_rejected(self):
+        kr = KarpRabin(ngram_size=4)
+        with pytest.raises(FingerprintError):
+            kr.hash_one("abc")
+
+    def test_within_hash_bits(self):
+        kr = KarpRabin(ngram_size=8, hash_bits=16)
+        value = kr.hash_one("abcdefgh")
+        assert 0 <= value < 2**16
+
+
+class TestRolling:
+    def test_roll_equals_direct(self):
+        kr = KarpRabin(ngram_size=4)
+        h = kr.hash_one("abcd")
+        rolled = kr.roll(h, "a", "e")
+        assert rolled == kr.hash_one("bcde")
+
+    def test_hash_all_matches_direct_hashing(self):
+        kr = KarpRabin(ngram_size=6)
+        text = "the quick brown fox jumps"
+        expected = [kr.hash_one(text[i:i + 6]) for i in range(len(text) - 5)]
+        assert list(kr.hash_all(text)) == expected
+
+    def test_hash_all_short_text_empty(self):
+        kr = KarpRabin(ngram_size=10)
+        assert list(kr.hash_all("short")) == []
+
+    def test_hash_all_exact_length(self):
+        kr = KarpRabin(ngram_size=5)
+        assert len(list(kr.hash_all("exact"))) == 1
+
+    def test_hash_all_count(self):
+        kr = KarpRabin(ngram_size=3)
+        assert len(list(kr.hash_all("abcdefg"))) == 5
+
+    def test_long_roll_consistency(self):
+        kr = KarpRabin(ngram_size=15, hash_bits=32)
+        text = "a reasonably long sample sentence for rolling hash checks" * 3
+        direct = [kr.hash_one(text[i:i + 15]) for i in range(len(text) - 14)]
+        assert list(kr.hash_all(text)) == direct
+
+
+class TestValidation:
+    def test_zero_ngram_rejected(self):
+        with pytest.raises(FingerprintError):
+            KarpRabin(ngram_size=0)
+
+    def test_bad_hash_bits_rejected(self):
+        with pytest.raises(FingerprintError):
+            KarpRabin(ngram_size=3, hash_bits=4)
+        with pytest.raises(FingerprintError):
+            KarpRabin(ngram_size=3, hash_bits=128)
+
+    def test_ngram_size_property(self):
+        assert KarpRabin(ngram_size=7).ngram_size == 7

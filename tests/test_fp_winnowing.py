@@ -1,0 +1,98 @@
+"""Tests for winnowing window selection (steps S3/S4)."""
+
+import pytest
+
+from repro.fingerprint.config import FingerprintConfig
+from repro.fingerprint.ngram import ngram_hashes
+from repro.fingerprint.normalize import normalize
+from repro.fingerprint.winnowing import select_winnowed, winnow
+
+
+def brute_force_winnow(values, window_size):
+    """Reference implementation: rightmost minimum of each window."""
+    if not values:
+        return []
+    if len(values) <= window_size:
+        best = 0
+        for i in range(1, len(values)):
+            if values[i] <= values[best]:
+                best = i
+        return [best]
+    selected = []
+    for start in range(len(values) - window_size + 1):
+        window = values[start:start + window_size]
+        best = 0
+        for i in range(1, len(window)):
+            if window[i] <= window[best]:
+                best = i
+        pos = start + best
+        if not selected or selected[-1] != pos:
+            selected.append(pos)
+    return selected
+
+
+class TestWinnow:
+    def test_empty(self):
+        assert winnow([], 3) == []
+
+    def test_single_value(self):
+        assert winnow([42], 3) == [0]
+
+    def test_shorter_than_window_selects_rightmost_min(self):
+        assert winnow([5, 1, 3], 10) == [1]
+
+    def test_paper_example(self):
+        # §4.1: hashes {52, 40, 53, 13, 22}, window 3 -> fingerprint {40, 13}
+        values = [52, 40, 53, 13, 22]
+        positions = winnow(values, 3)
+        assert [values[p] for p in positions] == [40, 13]
+
+    def test_matches_brute_force(self):
+        import random
+        rng = random.Random(7)
+        for _ in range(50):
+            values = [rng.randrange(100) for _ in range(rng.randint(0, 60))]
+            for w in (1, 2, 3, 5, 10):
+                assert winnow(values, w) == brute_force_winnow(values, w), (
+                    values,
+                    w,
+                )
+
+    def test_window_one_selects_everything(self):
+        values = [9, 3, 7, 7, 1]
+        assert winnow(values, 1) == [0, 1, 2, 3, 4]
+
+    def test_ties_select_rightmost(self):
+        # Two equal minima within one window: rightmost wins.
+        assert winnow([5, 2, 2, 9], 3) == [2]
+
+    def test_every_window_covered(self):
+        # Density guarantee: each window of w hashes contains a selection.
+        import random
+        rng = random.Random(11)
+        values = [rng.randrange(1000) for _ in range(200)]
+        w = 8
+        selected = set(winnow(values, w))
+        for start in range(len(values) - w + 1):
+            assert any(start <= p < start + w for p in selected)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            winnow([1, 2], 0)
+
+    def test_monotone_positions(self):
+        values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        positions = winnow(values, 4)
+        assert positions == sorted(positions)
+
+
+class TestSelectWinnowed:
+    def test_preserves_metadata(self):
+        config = FingerprintConfig(ngram_size=3, window_size=2)
+        hashes = ngram_hashes(normalize("Hello winnowing world"), config)
+        selected = select_winnowed(hashes, config)
+        assert selected
+        assert set(selected) <= set(hashes)
+        # Selected hashes keep their original positions.
+        for h in selected:
+            assert h.orig_end > h.orig_start

@@ -1,0 +1,130 @@
+"""Integration tests: the paper's §2 enterprise scenario end to end.
+
+All flows run through the real stack — simulated browser, plug-in
+interception, simulated services with network-only backends — so a
+"blocked" assertion really means the bytes never reached the service.
+"""
+
+import pytest
+
+from repro.plugin.ui import STATUS_ATTR, STATUS_VIOLATION
+
+from conftest import OTHER_TEXT, SECRET_TEXT, THIRD_TEXT, EnterpriseFixture
+
+EVALUATION = (
+    "The candidate explained leader election tradeoffs clearly and "
+    "proposed a sensible replication design under failure injection "
+    "questioning during the final session."
+)
+GUIDELINES = (
+    "Interviewers must never share internal rubric scores with anyone "
+    "outside the hiring committee, and should record structured notes "
+    "within one business day."
+)
+
+
+@pytest.fixture
+def e():
+    return EnterpriseFixture()
+
+
+class TestScenario:
+    def test_candidate_evaluation_blocked_from_wiki(self, e):
+        """An interviewer accidentally copies a candidate evaluation
+        from the Interview Tool to the all-employee wiki."""
+        e.itool.add_note("jane", EVALUATION)
+        e.browser.open(e.itool.candidate_url("jane"))
+        assert not e.wiki.edit(e.browser.new_tab(), "Shared", EVALUATION)
+        assert e.wiki.page_text("Shared") == ""
+
+    def test_guidelines_blocked_from_docs(self, e):
+        """A user pastes confidential interviewing guidelines from the
+        wiki into a collaborative external document."""
+        e.wiki.save_page("Hiring", GUIDELINES)
+        e.browser.open(e.wiki.page_url("Hiring"))
+        editor = e.docs.open_editor(e.browser.new_tab())
+        assert not editor.paste(editor.new_paragraph(), GUIDELINES)
+        assert e.docs.backend.get(editor.doc_id).paragraphs == []
+
+    def test_modified_text_still_caught(self, e):
+        """Removing a couple of sentences does not evade tracking."""
+        long_secret = " ".join([EVALUATION, GUIDELINES, SECRET_TEXT])
+        e.itool.add_note("jane", long_secret)
+        e.browser.open(e.itool.candidate_url("jane"))
+        # Keep ~2/3 of the original text.
+        partial = " ".join([EVALUATION, GUIDELINES])
+        assert not e.wiki.edit(e.browser.new_tab(), "Leak", partial)
+
+    def test_heavily_rewritten_text_released(self, e):
+        """Once text bears no resemblance, disclosure is allowed —
+        imprecise tracking has no false positives here (paper §1)."""
+        e.itool.add_note("jane", EVALUATION)
+        e.browser.open(e.itool.candidate_url("jane"))
+        rewritten = (
+            "A completely new summary written from scratch mentioning "
+            "neither design answers nor any of the original phrasing at all."
+        )
+        assert e.wiki.edit(e.browser.new_tab(), "Fresh", rewritten)
+
+    def test_transitive_flow_blocked(self, e):
+        """itool -> (suppressed) -> wiki -> docs: the second hop is
+        still blocked because the wiki copy keeps its wiki tag."""
+        e.itool.add_note("jane", EVALUATION)
+        e.browser.open(e.itool.candidate_url("jane"))
+        # Declassify ti for the wiki upload.
+        blocked = e.wiki.edit(e.browser.new_tab(), "Notes", EVALUATION)
+        assert not blocked
+        for warning in list(e.plugin.warnings):
+            e.plugin.suppress(warning.segment_id, "ti", "alice", "hiring committee ok")
+        assert e.wiki.edit(e.browser.new_tab(), "Notes", EVALUATION)
+        # Now viewing the wiki page labels the text {tw}; moving it on
+        # to the external docs service is a fresh violation.
+        e.browser.open(e.wiki.page_url("Notes"))
+        editor = e.docs.open_editor(e.browser.new_tab())
+        assert not editor.paste(editor.new_paragraph(), EVALUATION)
+
+    def test_public_docs_text_flows_inward(self, e):
+        """Text created in the untrusted service is public and may be
+        copied into internal services (Figure 3, step 3)."""
+        editor = e.docs.open_editor(e.browser.new_tab())
+        editor.paste(editor.new_paragraph(), OTHER_TEXT)
+        assert e.wiki.edit(e.browser.new_tab(), "FromDocs", OTHER_TEXT)
+
+    def test_multi_paragraph_document_mixed_decision(self, e):
+        """Only the sensitive paragraph is marked; the clean one passes."""
+        e.wiki.save_page("Hiring", GUIDELINES)
+        e.browser.open(e.wiki.page_url("Hiring"))
+        editor = e.docs.open_editor(e.browser.new_tab())
+        clean = editor.new_paragraph()
+        assert editor.paste(clean, THIRD_TEXT)
+        dirty = editor.new_paragraph()
+        assert not editor.paste(dirty, GUIDELINES)
+        assert dirty.get_attribute(STATUS_ATTR) == STATUS_VIOLATION
+        assert clean.get_attribute(STATUS_ATTR) != STATUS_VIOLATION
+        stored = e.docs.backend.get(editor.doc_id)
+        assert [t for _pid, t in stored.paragraphs] == [THIRD_TEXT]
+
+    def test_audit_trail_after_full_workflow(self, e):
+        e.itool.add_note("jane", EVALUATION)
+        e.browser.open(e.itool.candidate_url("jane"))
+        e.wiki.edit(e.browser.new_tab(), "Notes", EVALUATION)
+        for warning in list(e.plugin.warnings):
+            e.plugin.suppress(warning.segment_id, "ti", "bob", "legal sign-off")
+        e.wiki.edit(e.browser.new_tab(), "Notes", EVALUATION)
+        events = e.model.audit.by_user("bob")
+        assert events
+        for event in events:
+            assert event.tag.name == "ti"
+            assert event.justification == "legal sign-off"
+            assert event.target_service == e.wiki.origin
+
+    def test_cross_tab_copy_paste(self, e):
+        """The classic two-tab copy/paste: wiki tab and docs tab open
+        simultaneously in one browser."""
+        e.wiki.save_page("Hiring", GUIDELINES)
+        wiki_tab = e.browser.open(e.wiki.page_url("Hiring"))
+        docs_tab = e.browser.new_tab()
+        editor = e.docs.open_editor(docs_tab)
+        # "Copy" from the rendered wiki DOM, "paste" into the editor.
+        copied = wiki_tab.document.get_elements_by_tag("p")[0].text_content()
+        assert not editor.paste(editor.new_paragraph(), copied)

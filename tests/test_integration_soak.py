@@ -1,0 +1,159 @@
+"""Randomised workflow soak test with a global security invariant.
+
+A seeded random mixture of the workflows the paper describes — creating
+sensitive text in internal services, pasting it (whole, partial, or
+edited) into the untrusted Docs service, declassifying some of it — is
+driven through the full stack. Afterwards the untrusted backend is
+audited with an independent reference engine:
+
+    Every stored paragraph that discloses an internal secret must be
+    covered by a suppression event in the audit log.
+
+This is the system's end-to-end guarantee, checked under churn rather
+than in a hand-picked scenario.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets.synthesis import EditModel, TextSynthesizer
+from repro.disclosure import DisclosureEngine
+from repro.fingerprint.config import TINY_CONFIG
+from repro.plugin import PluginMode
+
+from conftest import EnterpriseFixture
+
+N_STEPS = 60
+
+
+def run_soak(mode: PluginMode, seed: str):
+    e = EnterpriseFixture(mode=mode)
+    rng = random.Random(seed)
+    synth_internal = TextSynthesizer("mysql", rng)
+    synth_public = TextSynthesizer("fiction", rng)
+    editor_model = EditModel(synth_internal, rng)
+
+    secrets = []  # texts that carry internal tags
+    editors = []
+
+    for step in range(N_STEPS):
+        action = rng.randrange(6)
+        if action == 0:
+            # New sensitive page in an internal service, viewed so the
+            # plug-in labels it.
+            secret = synth_internal.paragraph(4, 6)
+            secrets.append(secret)
+            if rng.random() < 0.5:
+                e.wiki.save_page(f"Page{step}", secret)
+                e.browser.open(e.wiki.page_url(f"Page{step}"))
+            else:
+                e.itool.add_note(f"cand-{step}", secret)
+                e.browser.open(e.itool.candidate_url(f"cand-{step}"))
+        elif action == 1 and secrets:
+            # Paste a secret (sometimes lightly edited) into Docs.
+            editor = e.docs.open_editor(e.browser.new_tab())
+            editors.append(editor)
+            text = rng.choice(secrets)
+            if rng.random() < 0.3:
+                text = editor_model.substitute_words(text, 0.05)
+            editor.paste(editor.new_paragraph(), text)
+        elif action == 2:
+            # Paste harmless public text into Docs.
+            editor = e.docs.open_editor(e.browser.new_tab())
+            editors.append(editor)
+            editor.paste(editor.new_paragraph(), synth_public.paragraph(3, 5))
+        elif action == 3 and secrets:
+            # Type a prefix of a secret character by character.
+            editor = e.docs.open_editor(e.browser.new_tab())
+            editors.append(editor)
+            secret = rng.choice(secrets)
+            editor.type_text(editor.new_paragraph(), secret[: rng.randrange(20, len(secret))])
+        elif action == 4 and e.plugin.warnings and rng.random() < 0.4:
+            # A user declassifies the most recent warning and retries.
+            warning = e.plugin.warnings[-1]
+            for tag in warning.offending:
+                e.plugin.suppress(
+                    warning.segment_id, tag, f"user-{step}", "business need"
+                )
+            # Retry: paste the same content again into a fresh doc.
+            if secrets:
+                editor = e.docs.open_editor(e.browser.new_tab())
+                editors.append(editor)
+                editor.paste(editor.new_paragraph(), rng.choice(secrets))
+        else:
+            # Benign wiki edit of public text.
+            e.wiki.edit(
+                e.browser.new_tab(), f"Public{step}", synth_public.paragraph(3, 5)
+            )
+    return e, secrets
+
+
+def audit_untrusted_backend(e, secrets):
+    """Returns (leaked_segments, covered_by_audit).
+
+    A stored paragraph counts as leaked when either check fires:
+
+    * self-consistency — the live model itself would refuse to upload
+      that text to the Docs service now; or
+    * absolute — an independent reference engine holding only the
+      secrets reports disclosure well above the threshold (0.8). The
+      margin matters: in the live system other segments legitimately
+      own some of a secret's hashes (shared vocabulary, committed
+      partial copies), so live scores sit slightly below an isolated
+      reference's; scores just under the threshold are the correct
+      §4.3 semantics, not leaks.
+    """
+    reference = DisclosureEngine(TINY_CONFIG)
+    for i, secret in enumerate(secrets):
+        reference.observe(f"secret-{i}", secret, threshold=0.8)
+    leaked = []
+    for doc in e.docs.backend.all_documents():
+        for par_id, text in doc.paragraphs:
+            segment_id = e.plugin.qualify(e.docs.origin, par_id)
+            decision = e.model.check_upload(
+                e.docs.origin, f"audit:{par_id}", [(f"audit:{par_id}#p0", text)]
+            )
+            report = reference.disclosing_sources(
+                fingerprint=reference.fingerprint(text)
+            )
+            if not decision.allowed or report.disclosing:
+                leaked.append(segment_id)
+    audited_segments = {event.segment_id for event in e.model.audit}
+    return leaked, audited_segments
+
+
+class TestEnforceSoak:
+    def test_invariant_no_unaudited_leak(self):
+        e, secrets = run_soak(PluginMode.ENFORCE, seed="soak-enforce")
+        leaked, audited = audit_untrusted_backend(e, secrets)
+        for segment_id in leaked:
+            assert segment_id in audited, (
+                f"{segment_id} stores sensitive text without a "
+                f"declassification record"
+            )
+
+    def test_some_activity_happened(self):
+        e, secrets = run_soak(PluginMode.ENFORCE, seed="soak-enforce")
+        assert secrets, "soak generated no sensitive content"
+        assert e.plugin.warnings, "soak triggered no policy decisions"
+        assert e.docs.backend.all_documents(), "soak reached no docs"
+
+    def test_different_seed_still_clean(self):
+        e, secrets = run_soak(PluginMode.ENFORCE, seed="soak-alt")
+        leaked, audited = audit_untrusted_backend(e, secrets)
+        assert all(segment_id in audited for segment_id in leaked)
+
+
+class TestAdvisorySoak:
+    def test_leaks_delivered_but_warned(self):
+        """Advisory mode lets everything through but never silently."""
+        e, secrets = run_soak(PluginMode.ADVISORY, seed="soak-advisory")
+        leaked, _audited = audit_untrusted_backend(e, secrets)
+        if leaked:
+            warned_docs = {
+                w.segment_id for w in e.plugin.warnings if w.proceeded
+            }
+            # Every leaked segment was the subject of a warning.
+            for segment_id in leaked:
+                assert segment_id in warned_docs

@@ -1,0 +1,87 @@
+"""Tests for editor adapters."""
+
+import pytest
+
+from repro.browser.dom import Document
+from repro.plugin.adapters import (
+    DEFAULT_ADAPTERS,
+    DOCS_ADAPTER,
+    NOTES_ADAPTER,
+    EditorAdapter,
+)
+
+
+@pytest.fixture
+def docs_page():
+    document = Document()
+    editor = document.create_element("div", {"id": "editor"})
+    document.body.append_child(editor)
+    for i in range(3):
+        par = document.create_element(
+            "div", {"class": "kix-paragraph", "data-par-id": f"p{i}"}
+        )
+        par.set_text(f"paragraph {i}")
+        editor.append_child(par)
+    return document, editor
+
+
+class TestAdapterLookup:
+    def test_find_container(self, docs_page):
+        document, editor = docs_page
+        assert DOCS_ADAPTER.find_container(document) is editor
+        assert NOTES_ADAPTER.find_container(document) is None
+
+    def test_paragraphs(self, docs_page):
+        _document, editor = docs_page
+        paragraphs = DOCS_ADAPTER.paragraphs(editor)
+        assert [DOCS_ADAPTER.paragraph_id(p) for p in paragraphs] == [
+            "p0", "p1", "p2",
+        ]
+
+    def test_paragraph_without_id(self, docs_page):
+        document, editor = docs_page
+        anon = document.create_element("div", {"class": "kix-paragraph"})
+        editor.append_child(anon)
+        assert DOCS_ADAPTER.paragraph_id(anon) is None
+
+    def test_non_paragraph_elements_skipped(self, docs_page):
+        document, editor = docs_page
+        editor.append_child(document.create_element("div", {"class": "toolbar"}))
+        assert len(DOCS_ADAPTER.paragraphs(editor)) == 3
+
+
+class TestDocIdDerivation:
+    def test_docs_path(self):
+        assert DOCS_ADAPTER.doc_id_for_path("/d/docs-doc-0001") == "docs-doc-0001"
+
+    def test_notes_path(self):
+        assert NOTES_ADAPTER.doc_id_for_path("/nb/work") == "nb:work"
+
+    def test_unexpected_path_falls_back(self):
+        assert DOCS_ADAPTER.doc_id_for_path("/other/x") == "other/x"
+
+    def test_custom_adapter(self):
+        adapter = EditorAdapter(
+            name="custom",
+            container_id="app",
+            paragraph_class="block",
+            path_prefix="/w/",
+            doc_id_template="wiki:{}",
+        )
+        assert adapter.doc_id_for_path("/w/Main_Page") == "wiki:Main_Page"
+
+
+class TestDefaults:
+    def test_default_adapters_cover_bundled_editors(self):
+        names = {a.name for a in DEFAULT_ADAPTERS}
+        assert names == {"docs", "notes"}
+
+    def test_plugin_accepts_new_adapter(self):
+        from repro.fingerprint.config import TINY_CONFIG
+        from repro.plugin import BrowserFlowPlugin
+        from repro.tdm import PolicyStore, TextDisclosureModel
+
+        plugin = BrowserFlowPlugin(TextDisclosureModel(PolicyStore(), TINY_CONFIG))
+        adapter = EditorAdapter(name="x", container_id="x", paragraph_class="x")
+        plugin.register_adapter(adapter)
+        assert adapter in plugin.adapters

@@ -1,0 +1,64 @@
+"""Tests for the decision cache."""
+
+import pytest
+
+from repro.plugin.cache import DecisionCache
+
+
+class TestDecisionCache:
+    def test_miss_then_hit(self):
+        cache = DecisionCache()
+        key = cache.key("svc", "seg", frozenset({1, 2}), 0)
+        assert cache.get(key) is None
+        cache.put(key, "decision")
+        assert cache.get(key) == "decision"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_key_includes_version(self):
+        cache = DecisionCache()
+        k0 = cache.key("svc", "seg", frozenset({1}), 0)
+        k1 = cache.key("svc", "seg", frozenset({1}), 1)
+        cache.put(k0, "old")
+        assert cache.get(k1) is None
+
+    def test_key_includes_fingerprint(self):
+        cache = DecisionCache()
+        k0 = cache.key("svc", "seg", frozenset({1}), 0)
+        k1 = cache.key("svc", "seg", frozenset({2}), 0)
+        cache.put(k0, "a")
+        assert cache.get(k1) is None
+
+    def test_lru_eviction(self):
+        cache = DecisionCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_capacity_bound(self):
+        cache = DecisionCache(capacity=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DecisionCache(capacity=0)
+
+    def test_clear(self):
+        cache = DecisionCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_hit_rate(self):
+        cache = DecisionCache()
+        assert cache.hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        assert cache.hit_rate == 0.5

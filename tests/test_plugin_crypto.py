@@ -1,0 +1,67 @@
+"""Tests for the upload cipher."""
+
+import pytest
+
+from repro.plugin.crypto import MARKER, UploadCipher
+
+
+@pytest.fixture
+def cipher():
+    return UploadCipher("deployment-secret")
+
+
+class TestUploadCipher:
+    def test_roundtrip(self, cipher):
+        plaintext = "Sensitive interview guidelines, round two."
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_ciphertext_hides_plaintext(self, cipher):
+        plaintext = "the secret phrase"
+        ciphertext = cipher.encrypt(plaintext)
+        assert "secret" not in ciphertext
+
+    def test_marker_prefix(self, cipher):
+        assert cipher.encrypt("x").startswith(MARKER)
+
+    def test_is_encrypted(self, cipher):
+        assert UploadCipher.is_encrypted(cipher.encrypt("x"))
+        assert not UploadCipher.is_encrypted("plain text")
+
+    def test_deterministic(self, cipher):
+        assert cipher.encrypt("same input") == cipher.encrypt("same input")
+
+    def test_different_inputs_differ(self, cipher):
+        assert cipher.encrypt("one") != cipher.encrypt("two")
+
+    def test_different_keys_differ(self):
+        a = UploadCipher("key-a").encrypt("payload")
+        b = UploadCipher("key-b").encrypt("payload")
+        assert a != b
+
+    def test_wrong_key_garbles(self):
+        ciphertext = UploadCipher("key-a").encrypt("payload")
+        other = UploadCipher("key-b")
+        try:
+            result = other.decrypt(ciphertext)
+        except UnicodeDecodeError:
+            return  # garbage bytes are acceptable failure
+        assert result != "payload"
+
+    def test_empty_plaintext(self, cipher):
+        assert cipher.decrypt(cipher.encrypt("")) == ""
+
+    def test_unicode_roundtrip(self, cipher):
+        text = "café résumé — 机密"
+        assert cipher.decrypt(cipher.encrypt(text)) == text
+
+    def test_decrypt_plain_rejected(self, cipher):
+        with pytest.raises(ValueError):
+            cipher.decrypt("not encrypted")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            UploadCipher("")
+
+    def test_long_payload(self, cipher):
+        text = "paragraph content " * 500
+        assert cipher.decrypt(cipher.encrypt(text)) == text

@@ -1,0 +1,77 @@
+"""Tests for the policy enforcement module."""
+
+import pytest
+
+from repro.plugin.crypto import UploadCipher
+from repro.plugin.enforcement import PluginMode, PolicyEnforcement
+from repro.tdm.labels import Label, SegmentLabel
+from repro.tdm.model import FlowDecision, FlowViolation
+
+
+def allowed_decision():
+    return FlowDecision(service_id="svc", allowed=True)
+
+
+def violating_decision():
+    violation = FlowViolation(
+        segment_id="seg-1",
+        label=SegmentLabel.of(explicit=["ti"]),
+        offending=Label.of("ti"),
+    )
+    return FlowDecision(service_id="svc", allowed=False, violations=(violation,))
+
+
+class TestEnforceMode:
+    def test_allowed_proceeds(self):
+        enforcement = PolicyEnforcement(PluginMode.ENFORCE)
+        action = enforcement.enforce(allowed_decision(), {})
+        assert action.proceed
+        assert not action.violated
+
+    def test_violation_blocked(self):
+        enforcement = PolicyEnforcement(PluginMode.ENFORCE)
+        action = enforcement.enforce(violating_decision(), {"seg-1": "text"})
+        assert not action.proceed
+        assert action.violated
+        assert action.rewrites == {}
+
+
+class TestAdvisoryMode:
+    def test_violation_proceeds_with_flag(self):
+        enforcement = PolicyEnforcement(PluginMode.ADVISORY)
+        action = enforcement.enforce(violating_decision(), {"seg-1": "text"})
+        assert action.proceed
+        assert action.violated
+
+
+class TestEncryptMode:
+    def test_violating_segment_rewritten(self):
+        cipher = UploadCipher("k")
+        enforcement = PolicyEnforcement(PluginMode.ENCRYPT, cipher)
+        action = enforcement.enforce(violating_decision(), {"seg-1": "secret text"})
+        assert action.proceed
+        assert "seg-1" in action.rewrites
+        assert cipher.decrypt(action.rewrites["seg-1"]) == "secret text"
+
+    def test_clean_segments_untouched(self):
+        enforcement = PolicyEnforcement(PluginMode.ENCRYPT, UploadCipher("k"))
+        action = enforcement.enforce(allowed_decision(), {"seg-1": "text"})
+        assert action.rewrites == {}
+
+    def test_encrypt_without_cipher_rejected(self):
+        enforcement = PolicyEnforcement(PluginMode.ENCRYPT)
+        with pytest.raises(ValueError):
+            enforcement.enforce(violating_decision(), {"seg-1": "x"})
+
+    def test_missing_text_skipped(self):
+        enforcement = PolicyEnforcement(PluginMode.ENCRYPT, UploadCipher("k"))
+        action = enforcement.enforce(violating_decision(), {})
+        assert action.proceed
+        assert action.rewrites == {}
+
+
+class TestModeSwitch:
+    def test_mode_mutable(self):
+        enforcement = PolicyEnforcement(PluginMode.ENFORCE)
+        enforcement.mode = PluginMode.ADVISORY
+        assert enforcement.enforce(violating_decision(), {}).proceed

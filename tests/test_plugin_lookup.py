@@ -1,0 +1,82 @@
+"""Tests for the policy lookup module (caching behaviour)."""
+
+import pytest
+
+from repro.fingerprint.config import TINY_CONFIG
+from repro.plugin.lookup import PolicyLookup
+from repro.tdm import Label, PolicyStore, TextDisclosureModel
+from repro.tdm.model import Suppression
+
+from conftest import OTHER_TEXT, SECRET_TEXT
+
+SRC = "https://src.example.com"
+DST = "https://dst.example.com"
+
+
+@pytest.fixture
+def lookup():
+    policies = PolicyStore()
+    policies.register_service(SRC, privilege=Label.of("s"), confidentiality=Label.of("s"))
+    policies.register_service(DST)
+    model = TextDisclosureModel(policies, TINY_CONFIG)
+    model.observe(SRC, "doc-src", [("doc-src#p0", SECRET_TEXT)])
+    return PolicyLookup(model)
+
+
+class TestLookup:
+    def test_detects_violation(self, lookup):
+        decision = lookup.lookup(DST, "d", [("d#p0", SECRET_TEXT)])
+        assert not decision.allowed
+
+    def test_allows_clean_text(self, lookup):
+        decision = lookup.lookup(DST, "d", [("d#p0", OTHER_TEXT)])
+        assert decision.allowed
+
+    def test_repeated_lookup_hits_cache(self, lookup):
+        segments = [("d#p0", SECRET_TEXT)]
+        first = lookup.lookup(DST, "d", segments)
+        second = lookup.lookup(DST, "d", segments)
+        assert second is first
+        assert lookup.cache.hits == 1
+
+    def test_text_change_misses_cache(self, lookup):
+        lookup.lookup(DST, "d", [("d#p0", SECRET_TEXT)])
+        lookup.lookup(DST, "d", [("d#p0", OTHER_TEXT)])
+        assert lookup.cache.hits == 0
+        assert lookup.cache.misses == 2
+
+    def test_fingerprint_stable_keystroke_hits_cache(self, lookup):
+        """A trailing keystroke that doesn't change the winnowed hashes
+        reuses the previous decision (paper §6.2)."""
+        engine = lookup.model.tracker.paragraphs
+        base = SECRET_TEXT
+        hits_before = lookup.cache.hits
+        lookup.lookup(DST, "d", [("d#p0", base)])
+        # Find a one-char extension that keeps the fingerprint identical.
+        fp = engine.fingerprinter.fingerprint(base)
+        for ch in "abcdefghij":
+            if engine.fingerprinter.fingerprint(base + ch).hashes == fp.hashes:
+                lookup.lookup(DST, "d", [("d#p0", base + ch)])
+                assert lookup.cache.hits == hits_before + 1
+                return
+        pytest.skip("no fingerprint-stable keystroke found for this text")
+
+    def test_new_observation_invalidates(self, lookup):
+        segments = [("d#p0", OTHER_TEXT)]
+        first = lookup.lookup(DST, "d", segments)
+        lookup.model.observe(SRC, "doc2", [("doc2#p0", OTHER_TEXT)])
+        second = lookup.lookup(DST, "d", segments)
+        assert second is not first
+        assert not second.allowed  # now a known source exists
+
+    def test_suppressed_lookup_not_cached(self, lookup):
+        suppression = Suppression.of("s", "alice", "approved")
+        segments = [("d#p0", SECRET_TEXT)]
+        decision = lookup.lookup(
+            DST, "d", segments, suppressions={"d#p0": [suppression], "d": [suppression]}
+        )
+        assert decision.allowed
+        # Without the suppression the cached path must not return the
+        # declassified decision.
+        decision2 = lookup.lookup(DST, "d", segments)
+        assert not decision2.allowed

@@ -1,0 +1,54 @@
+"""Tests for the paragraph-highlighting UI model."""
+
+import pytest
+
+from repro.browser.dom import Document
+from repro.plugin.ui import Highlighter, STATUS_ATTR, STATUS_CLEAR, STATUS_VIOLATION
+
+
+@pytest.fixture
+def env():
+    document = Document()
+    element = document.create_element("div")
+    document.body.append_child(element)
+    return Highlighter(), document, element
+
+
+class TestHighlighter:
+    def test_mark_violation(self, env):
+        ui, _doc, el = env
+        ui.mark_violation(el, reason="discloses tw")
+        assert el.get_attribute(STATUS_ATTR) == STATUS_VIOLATION
+        assert "background-color" in el.get_attribute("style")
+        assert el.get_attribute("title") == "discloses tw"
+
+    def test_is_marked(self, env):
+        ui, _doc, el = env
+        assert not ui.is_marked(el)
+        ui.mark_violation(el)
+        assert ui.is_marked(el)
+
+    def test_mark_clear_resets(self, env):
+        ui, _doc, el = env
+        ui.mark_violation(el)
+        ui.mark_clear(el)
+        assert el.get_attribute(STATUS_ATTR) == STATUS_CLEAR
+        assert el.get_attribute("style") == ""
+
+    def test_clear_without_mark_is_noop(self, env):
+        ui, _doc, el = env
+        ui.mark_clear(el)
+        assert el.get_attribute(STATUS_ATTR) is None
+
+    def test_marked_elements_query(self, env):
+        ui, doc, el = env
+        other = doc.create_element("div")
+        doc.body.append_child(other)
+        ui.mark_violation(el)
+        assert ui.marked_elements(doc) == [el]
+
+    def test_status_of(self, env):
+        ui, _doc, el = env
+        assert ui.status_of(el) is None
+        ui.mark_violation(el)
+        assert ui.status_of(el) == STATUS_VIOLATION

@@ -1,0 +1,161 @@
+"""Property-based tests for labels, the disclosure engine, and crypto."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disclosure import DisclosureEngine
+from repro.disclosure.metrics import authoritative_hashes
+from repro.fingerprint.config import FingerprintConfig
+from repro.plugin.crypto import UploadCipher
+from repro.tdm.labels import Label, SegmentLabel
+from repro.util.stats import cdf_points, percentile
+
+CONFIG = FingerprintConfig(ngram_size=5, window_size=4)
+
+tag_names = st.sets(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+    max_size=6,
+)
+prose = st.text(
+    alphabet=string.ascii_letters + " .,", min_size=0, max_size=200
+)
+
+
+class TestLabelLattice:
+    @given(tag_names, tag_names)
+    def test_union_is_upper_bound(self, a, b):
+        la, lb = Label.of(*a), Label.of(*b)
+        assert la <= (la | lb)
+        assert lb <= (la | lb)
+
+    @given(tag_names, tag_names, tag_names)
+    def test_subset_transitive(self, a, b, c):
+        la, lb, lc = Label.of(*a), Label.of(*b), Label.of(*c)
+        if la <= lb and lb <= lc:
+            assert la <= lc
+
+    @given(tag_names)
+    def test_empty_flows_everywhere(self, a):
+        assert Label.of() <= Label.of(*a)
+
+    @given(tag_names, tag_names)
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        result = Label.of(*a) - Label.of(*b)
+        assert not (result.tags & Label.of(*b).tags)
+
+    @given(tag_names, tag_names)
+    def test_flow_iff_no_offending_tags(self, a, b):
+        label = SegmentLabel.of(explicit=a)
+        privilege = Label.of(*b)
+        assert label.flows_to(privilege) == (
+            len(label.offending_tags(privilege)) == 0
+        )
+
+
+class TestSegmentLabelProperties:
+    @given(tag_names, tag_names, tag_names)
+    def test_effective_subset_of_full(self, explicit, implicit, suppressed):
+        label = SegmentLabel.of(explicit, implicit, suppressed)
+        assert label.effective() <= label.full()
+
+    @given(tag_names, tag_names)
+    def test_propagating_subset_of_explicit(self, explicit, implicit):
+        label = SegmentLabel.of(explicit, implicit)
+        assert label.propagating() <= label.explicit
+
+    @given(tag_names, tag_names, tag_names)
+    def test_suppression_monotone(self, explicit, implicit, to_suppress):
+        """Suppressing tags never enlarges the effective label."""
+        label = SegmentLabel.of(explicit, implicit)
+        suppressed = label
+        for name in to_suppress:
+            suppressed = suppressed.suppress(name)
+        assert suppressed.effective() <= label.effective()
+
+    @given(tag_names, tag_names)
+    def test_add_implicit_keeps_flow_check_monotone(self, explicit, implicit):
+        """Adding implicit tags can only restrict where a segment flows."""
+        base = SegmentLabel.of(explicit)
+        extended = base.add_implicit(implicit)
+        privilege = Label.of(*explicit)
+        if extended.flows_to(privilege):
+            assert base.flows_to(privilege)
+
+
+class TestDisclosureEngineProperties:
+    @given(st.lists(prose, min_size=1, max_size=5), prose)
+    @settings(max_examples=40, deadline=None)
+    def test_scores_in_unit_interval(self, sources, target):
+        engine = DisclosureEngine(CONFIG)
+        for i, text in enumerate(sources):
+            engine.observe(f"s{i}", text, threshold=0.0)
+        report = engine.disclosing_sources(fingerprint=engine.fingerprint(target))
+        for source in report.sources:
+            assert 0.0 < source.score <= 1.0
+
+    @given(st.lists(prose, min_size=2, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_authoritative_sets_disjoint(self, texts):
+        """Each hash has at most one authoritative owner (§4.3)."""
+        engine = DisclosureEngine(CONFIG)
+        for i, text in enumerate(texts):
+            engine.observe(f"s{i}", text)
+        owned = []
+        for record in engine.segment_db:
+            owned.append(authoritative_hashes(record, engine.hash_db))
+        for i in range(len(owned)):
+            for j in range(i + 1, len(owned)):
+                assert not (owned[i] & owned[j])
+
+    @given(prose)
+    @settings(max_examples=40, deadline=None)
+    def test_exact_copy_always_detected(self, text):
+        engine = DisclosureEngine(CONFIG)
+        record = engine.observe("src", text, threshold=0.5)
+        if record.fingerprint.is_empty():
+            return
+        report = engine.disclosing_sources(fingerprint=engine.fingerprint(text))
+        assert "src" in report.source_ids()
+
+    @given(prose, prose)
+    @settings(max_examples=40, deadline=None)
+    def test_remove_is_clean(self, a, b):
+        engine = DisclosureEngine(CONFIG)
+        engine.observe("a", a)
+        engine.observe("b", b)
+        engine.remove("a")
+        report = engine.disclosing_sources(fingerprint=engine.fingerprint(a))
+        assert "a" not in report.source_ids()
+
+
+class TestCipherProperties:
+    @given(st.text(max_size=500))
+    def test_roundtrip(self, text):
+        cipher = UploadCipher("property-key")
+        assert cipher.decrypt(cipher.encrypt(text)) == text
+
+    @given(st.text(min_size=1, max_size=200))
+    def test_marker_never_in_plain(self, text):
+        cipher = UploadCipher("property-key")
+        assert UploadCipher.is_encrypted(cipher.encrypt(text))
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=60))
+    def test_percentile_bounds(self, values):
+        assert min(values) <= percentile(values, 50) <= max(values)
+        assert percentile(values, 0) == min(values)
+        assert percentile(values, 100) == max(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=60))
+    def test_cdf_points_monotone(self, values):
+        points = cdf_points(values)
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0

@@ -1,0 +1,91 @@
+"""Stateful property testing of the disclosure engine (hypothesis).
+
+A random interleaving of observe / edit / remove / query operations is
+checked against a simple reference model on every step:
+
+* an exact copy of a live segment's text is always detected;
+* a removed segment is never reported;
+* authoritative hash sets stay pairwise disjoint;
+* the databases' size counters stay consistent.
+"""
+
+import string
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.disclosure import DisclosureEngine
+from repro.disclosure.metrics import authoritative_hashes
+from repro.fingerprint.config import FingerprintConfig
+
+CONFIG = FingerprintConfig(ngram_size=4, window_size=3)
+
+texts = st.text(
+    alphabet=string.ascii_lowercase + " ", min_size=0, max_size=80
+)
+segment_names = st.sampled_from([f"seg-{i}" for i in range(6)])
+
+
+class EngineMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.engine = DisclosureEngine(CONFIG)
+        self.live = {}  # segment id -> current text
+
+    @rule(name=segment_names, text=texts)
+    def observe(self, name, text):
+        self.engine.observe(name, text, threshold=0.5)
+        self.live[name] = text
+
+    @rule(name=segment_names)
+    def remove(self, name):
+        if name in self.live:
+            self.engine.remove(name)
+            del self.live[name]
+
+    @rule(name=segment_names, probe=texts)
+    def query(self, name, probe):
+        report = self.engine.disclosing_sources(
+            fingerprint=self.engine.fingerprint(probe)
+        )
+        reported = set(report.source_ids())
+        # Dead segments never resurface.
+        assert reported <= set(self.live)
+        for source in report.sources:
+            assert 0.0 < source.score <= 1.0
+
+    @rule(name=segment_names)
+    def exact_copy_detected(self, name):
+        if name not in self.live:
+            return
+        text = self.live[name]
+        fp = self.engine.fingerprint(text)
+        if fp.is_empty():
+            return
+        report = self.engine.disclosing_sources(fingerprint=fp)
+        # The segment itself (or an identical earlier twin that owns the
+        # hashes) must be reported.
+        reported = set(report.source_ids())
+        twins = {n for n, t in self.live.items() if t == text}
+        assert reported & twins
+
+    @invariant()
+    def segment_count_consistent(self):
+        assert len(self.engine.segment_db) == len(self.live)
+
+    @invariant()
+    def authoritative_sets_disjoint(self):
+        owned = [
+            authoritative_hashes(record, self.engine.hash_db)
+            for record in self.engine.segment_db
+        ]
+        for i in range(len(owned)):
+            for j in range(i + 1, len(owned)):
+                assert not (owned[i] & owned[j])
+
+
+EngineMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestEngineStateful = EngineMachine.TestCase

@@ -1,0 +1,132 @@
+"""Property-based tests for the fingerprinting pipeline (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fingerprint import Fingerprinter
+from repro.fingerprint.config import FingerprintConfig
+from repro.fingerprint.normalize import normalize
+from repro.fingerprint.rolling_hash import KarpRabin
+from repro.fingerprint.winnowing import winnow
+
+# A small config keeps generated inputs short while preserving the
+# structural properties under test.
+CONFIG = FingerprintConfig(ngram_size=5, window_size=4)
+FP = Fingerprinter(CONFIG)
+
+prose = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,!?-\n",
+    min_size=0,
+    max_size=300,
+)
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10)
+
+
+class TestNormalizeProperties:
+    @given(prose)
+    def test_idempotent(self, text):
+        once = normalize(text).text
+        assert normalize(once).text == once
+
+    @given(prose)
+    def test_output_alphanumeric_lowercase(self, text):
+        result = normalize(text).text
+        assert all(c.isalnum() and not c.isupper() for c in result)
+
+    @given(prose)
+    def test_offsets_within_original(self, text):
+        result = normalize(text)
+        assert len(result.offsets) == len(result.text)
+        assert all(0 <= o < len(text) for o in result.offsets)
+
+    @given(prose)
+    def test_offsets_strictly_increasing(self, text):
+        offsets = normalize(text).offsets
+        assert all(b > a for a, b in zip(offsets, offsets[1:]))
+
+
+class TestRollingHashProperties:
+    @given(st.text(alphabet=string.ascii_lowercase, min_size=0, max_size=80))
+    def test_rolling_equals_direct(self, text):
+        kr = KarpRabin(ngram_size=4)
+        rolled = list(kr.hash_all(text))
+        direct = [kr.hash_one(text[i:i + 4]) for i in range(max(0, len(text) - 3))]
+        assert rolled == direct
+
+    @given(st.text(alphabet=string.ascii_lowercase, min_size=4, max_size=40))
+    def test_equal_ngrams_equal_hashes(self, text):
+        kr = KarpRabin(ngram_size=4)
+        hashes = list(kr.hash_all(text))
+        ngrams = [text[i:i + 4] for i in range(len(text) - 3)]
+        seen = {}
+        for ngram, h in zip(ngrams, hashes):
+            if ngram in seen:
+                assert seen[ngram] == h
+            seen[ngram] = h
+
+
+class TestWinnowProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=120),
+           st.integers(min_value=1, max_value=12))
+    def test_every_full_window_covered(self, values, window):
+        selected = set(winnow(values, window))
+        if len(values) >= window:
+            for start in range(len(values) - window + 1):
+                assert any(start <= p < start + window for p in selected)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=120),
+           st.integers(min_value=1, max_value=12))
+    def test_positions_valid_and_monotone(self, values, window):
+        positions = winnow(values, window)
+        assert positions == sorted(set(positions))
+        assert all(0 <= p < len(values) for p in positions)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=120),
+           st.integers(min_value=1, max_value=12))
+    def test_nonempty_for_nonempty_input(self, values, window):
+        assert winnow(values, window)
+
+
+class TestWinnowingGuarantee:
+    @given(
+        st.lists(words, min_size=0, max_size=10),
+        st.lists(words, min_size=0, max_size=10),
+        st.lists(words, min_size=12, max_size=20),
+    )
+    @settings(max_examples=60)
+    def test_shared_long_passage_shares_a_hash(self, prefix_a, prefix_b, shared):
+        """Texts sharing a normalised run >= noise_threshold share a hash."""
+        shared_text = " ".join(shared)
+        if len(normalize(shared_text).text) < CONFIG.noise_threshold:
+            return
+        text_a = " ".join(prefix_a + shared)
+        text_b = " ".join(prefix_b + shared)
+        fa, fb = FP.fingerprint(text_a), FP.fingerprint(text_b)
+        assert fa.hashes & fb.hashes
+
+    @given(prose)
+    def test_fingerprint_deterministic(self, text):
+        assert FP.fingerprint(text).hashes == FP.fingerprint(text).hashes
+
+    @given(prose)
+    def test_containment_in_unit_interval(self, text):
+        f = FP.fingerprint(text)
+        g = FP.fingerprint(text[::-1])
+        assert 0.0 <= f.containment_in(g) <= 1.0
+
+    @given(prose)
+    def test_self_containment_one_when_nonempty(self, text):
+        f = FP.fingerprint(text)
+        if not f.is_empty():
+            assert f.containment_in(f) == 1.0
+
+    @given(prose, prose)
+    def test_concatenation_mostly_contains_part(self, part, rest):
+        """Appending text cannot erase more than boundary hashes."""
+        f_part = FP.fingerprint(part)
+        if len(f_part) < 5:
+            return
+        f_whole = FP.fingerprint(part + " " + rest)
+        assert f_part.containment_in(f_whole) >= 0.5

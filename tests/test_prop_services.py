@@ -1,0 +1,80 @@
+"""Property tests for the Docs delta protocol and text robustness."""
+
+import json
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.browser import Browser
+from repro.browser.http import HttpRequest
+from repro.fingerprint import Fingerprinter
+from repro.fingerprint.config import TINY_CONFIG
+from repro.services import DocsService, Network
+
+# Random edit scripts: (op, index, payload)
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(min_value=0, max_value=200),
+        st.text(alphabet=string.ascii_lowercase + " ", min_size=0, max_size=10),
+    ),
+    max_size=25,
+)
+
+
+def apply_reference(text: str, op: str, index: int, payload: str) -> str:
+    """The spec: what the backend must compute for each delta."""
+    index = max(0, min(index, len(text)))
+    if op == "insert":
+        return text[:index] + payload + text[index:]
+    count = len(payload)  # reuse payload length as delete count
+    return text[:index] + text[index + count:]
+
+
+class TestDeltaProtocolProperties:
+    @given(ops)
+    @settings(max_examples=50, deadline=None)
+    def test_backend_matches_reference(self, script):
+        docs = DocsService()
+        network = Network()
+        network.register(docs)
+        doc = docs.backend.create()
+        expected = ""
+        for op, index, payload in script:
+            body = {"doc_id": doc.doc_id, "op": op, "par_id": "p0",
+                    "index": index}
+            if op == "insert":
+                body["chars"] = payload
+            else:
+                body["count"] = len(payload)
+            response = docs.handle_request(
+                HttpRequest("POST", docs.url("/sync"), body=json.dumps(body))
+            )
+            assert response.ok
+            expected = apply_reference(expected, op, index, payload)
+        stored = doc.find_paragraph("p0")
+        assert (stored or "") == expected
+
+
+class TestUnicodeRobustness:
+    @given(st.text(min_size=0, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_fingerprint_never_crashes(self, text):
+        fp = Fingerprinter(TINY_CONFIG).fingerprint(text)
+        assert len(fp) >= 0
+
+    @given(st.text(min_size=0, max_size=120))
+    @settings(max_examples=30, deadline=None)
+    def test_editor_roundtrip_arbitrary_text(self, text):
+        network = Network()
+        docs = DocsService()
+        network.register(docs)
+        browser = Browser(network)
+        editor = docs.open_editor(browser.new_tab())
+        par = editor.new_paragraph()
+        assert editor.set_paragraph_text(par, text)
+        stored = docs.backend.get(editor.doc_id).find_paragraph(
+            editor.paragraph_id(par)
+        )
+        assert stored == text

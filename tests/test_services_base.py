@@ -1,0 +1,92 @@
+"""Tests for service backend storage."""
+
+import pytest
+
+from repro.errors import DocumentNotFound, ServiceError
+from repro.services.base import Backend, CloudService, StoredDocument
+
+
+class TestBackend:
+    def test_create_and_get(self):
+        backend = Backend("test")
+        doc = backend.create(title="T")
+        assert backend.get(doc.doc_id) is doc
+        assert len(backend) == 1
+
+    def test_explicit_doc_id(self):
+        backend = Backend("test")
+        doc = backend.create(doc_id="custom-1")
+        assert doc.doc_id == "custom-1"
+        assert "custom-1" in backend
+
+    def test_duplicate_doc_id_rejected(self):
+        backend = Backend("test")
+        backend.create(doc_id="dup")
+        with pytest.raises(ServiceError):
+            backend.create(doc_id="dup")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(DocumentNotFound):
+            Backend("test").get("nope")
+
+    def test_find_missing_none(self):
+        assert Backend("test").find("nope") is None
+
+    def test_delete(self):
+        backend = Backend("test")
+        doc = backend.create()
+        backend.delete(doc.doc_id)
+        assert doc.doc_id not in backend
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(DocumentNotFound):
+            Backend("test").delete("nope")
+
+    def test_id_generators_prefixed(self):
+        backend = Backend("svc")
+        assert backend.new_doc_id().startswith("svc-doc-")
+        assert backend.new_par_id().startswith("svc-par-")
+
+    def test_all_documents(self):
+        backend = Backend("test")
+        a, b = backend.create(), backend.create()
+        assert set(d.doc_id for d in backend.all_documents()) == {a.doc_id, b.doc_id}
+
+
+class TestStoredDocument:
+    def test_text_joins_paragraphs(self):
+        doc = StoredDocument("d", paragraphs=[("p1", "one"), ("p2", "two")])
+        assert doc.text() == "one\n\ntwo"
+
+    def test_find_paragraph(self):
+        doc = StoredDocument("d", paragraphs=[("p1", "one")])
+        assert doc.find_paragraph("p1") == "one"
+        assert doc.find_paragraph("p9") is None
+
+    def test_set_paragraph(self):
+        doc = StoredDocument("d", paragraphs=[("p1", "old")])
+        doc.set_paragraph("p1", "new")
+        assert doc.find_paragraph("p1") == "new"
+
+    def test_set_unknown_paragraph_raises(self):
+        with pytest.raises(ServiceError):
+            StoredDocument("d").set_paragraph("ghost", "x")
+
+    def test_paragraph_ids(self):
+        doc = StoredDocument("d", paragraphs=[("a", "1"), ("b", "2")])
+        assert doc.paragraph_ids() == ["a", "b"]
+
+
+class TestCloudService:
+    def test_origin_requires_scheme(self):
+        with pytest.raises(ServiceError):
+            CloudService("no-scheme.example.com", "X")
+
+    def test_origin_trailing_slash_stripped(self):
+        service = CloudService("https://x.example.com/", "X")
+        assert service.origin == "https://x.example.com"
+
+    def test_url_helper(self):
+        service = CloudService("https://x.example.com", "X")
+        assert service.url("path") == "https://x.example.com/path"
+        assert service.url("/path") == "https://x.example.com/path"

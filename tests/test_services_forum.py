@@ -1,0 +1,62 @@
+"""Tests for the forum service."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.browser.http import HttpRequest
+from repro.services import ForumService, Network
+
+
+@pytest.fixture
+def setup():
+    network = Network()
+    forum = ForumService()
+    network.register(forum)
+    return Browser(network), forum
+
+
+class TestPosting:
+    def test_post_through_composer(self, setup):
+        browser, forum = setup
+        assert forum.post(browser.new_tab(), "general", "First post content.")
+        assert forum.posts_in("general") == ["First post content."]
+
+    def test_posts_accumulate_in_thread(self, setup):
+        browser, forum = setup
+        tab = browser.new_tab()
+        forum.post(tab, "general", "one")
+        forum.post(tab, "general", "two")
+        assert forum.posts_in("general") == ["one", "two"]
+
+    def test_threads_independent(self, setup):
+        browser, forum = setup
+        tab = browser.new_tab()
+        forum.post(tab, "alpha", "a")
+        forum.post(tab, "beta", "b")
+        assert forum.posts_in("alpha") == ["a"]
+
+    def test_empty_thread(self, setup):
+        _browser, forum = setup
+        assert forum.posts_in("void") == []
+
+
+class TestRendering:
+    def test_existing_posts_rendered(self, setup):
+        browser, forum = setup
+        forum.add_post("general", "Rendered post body text.")
+        tab = browser.open(forum.thread_url("general"))
+        assert "Rendered post body text." in tab.document.text_content()
+
+    def test_composer_form_present(self, setup):
+        browser, forum = setup
+        tab = browser.open(forum.thread_url("general"))
+        assert tab.document.get_element_by_id("composer") is not None
+
+
+class TestBackendProtocol:
+    def test_missing_fields_rejected(self, setup):
+        _browser, forum = setup
+        response = forum.handle_request(
+            HttpRequest("POST", forum.url("/post"), form_data={"topic": "t"})
+        )
+        assert response.status == 400

@@ -1,0 +1,70 @@
+"""Tests for the Interview Tool service."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.browser.http import HttpRequest
+from repro.services import InterviewTool, Network
+
+
+@pytest.fixture
+def setup():
+    network = Network()
+    itool = InterviewTool()
+    network.register(itool)
+    return Browser(network), itool
+
+
+class TestNotes:
+    def test_submit_note(self, setup):
+        browser, itool = setup
+        ok = itool.submit_note(
+            browser.new_tab(), "jane-doe", "Strong systems design answers."
+        )
+        assert ok
+        assert itool.notes_for("jane-doe") == ["Strong systems design answers."]
+
+    def test_notes_accumulate(self, setup):
+        browser, itool = setup
+        tab = browser.new_tab()
+        itool.submit_note(tab, "jane-doe", "Round one note.")
+        itool.submit_note(tab, "jane-doe", "Round two note.")
+        assert len(itool.notes_for("jane-doe")) == 2
+
+    def test_notes_per_candidate(self, setup):
+        browser, itool = setup
+        tab = browser.new_tab()
+        itool.submit_note(tab, "a", "note about a")
+        itool.submit_note(tab, "b", "note about b")
+        assert itool.notes_for("a") == ["note about a"]
+        assert itool.notes_for("b") == ["note about b"]
+
+    def test_unknown_candidate_empty(self, setup):
+        _browser, itool = setup
+        assert itool.notes_for("nobody") == []
+
+
+class TestRendering:
+    def test_existing_notes_rendered(self, setup):
+        browser, itool = setup
+        itool.add_note("jane-doe", "Pre-existing evaluation note.")
+        tab = browser.open(itool.candidate_url("jane-doe"))
+        assert "Pre-existing evaluation note." in tab.document.text_content()
+
+    def test_note_form_present(self, setup):
+        browser, itool = setup
+        tab = browser.open(itool.candidate_url("jane-doe"))
+        assert tab.document.get_element_by_id("note-form") is not None
+
+
+class TestBackendProtocol:
+    def test_missing_candidate_rejected(self, setup):
+        _browser, itool = setup
+        response = itool.handle_request(
+            HttpRequest("POST", itool.url("/evaluate"), form_data={"note": "x"})
+        )
+        assert response.status == 400
+
+    def test_unknown_path_404(self, setup):
+        _browser, itool = setup
+        assert itool.handle_request(HttpRequest("GET", itool.url("/x"))).status == 404

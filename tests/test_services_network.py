@@ -1,0 +1,63 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.browser.http import HttpRequest
+from repro.errors import NetworkError
+from repro.services import Network, WikiService
+
+
+class TestNetwork:
+    def test_register_and_route(self):
+        network = Network()
+        wiki = WikiService()
+        network.register(wiki)
+        assert network.service_at(wiki.origin) is wiki
+
+    def test_duplicate_origin_rejected(self):
+        network = Network()
+        network.register(WikiService())
+        with pytest.raises(NetworkError):
+            network.register(WikiService())
+
+    def test_unknown_origin_502(self):
+        network = Network()
+        response = network.deliver(HttpRequest("GET", "https://ghost.example/x"))
+        assert response.status == 502
+
+    def test_unknown_service_lookup_raises(self):
+        with pytest.raises(NetworkError):
+            Network().service_at("https://nope.example")
+
+    def test_request_log_records_delivered(self):
+        network = Network()
+        wiki = WikiService()
+        network.register(wiki)
+        network.deliver(
+            HttpRequest(
+                "POST",
+                wiki.url("/wiki/save"),
+                form_data={"page": "P", "body": "content"},
+            )
+        )
+        assert len(network.request_log) == 1
+        assert network.requests_to(wiki.origin)[0].method == "POST"
+
+    def test_render_page_not_logged(self):
+        network = Network()
+        wiki = WikiService()
+        network.register(wiki)
+        network.render_page(wiki.page_url("Home"))
+        assert network.request_log == []
+
+    def test_services_listing(self):
+        network = Network()
+        wiki = WikiService()
+        network.register(wiki)
+        assert network.services() == [wiki.origin]
+
+    def test_network_backref_set(self):
+        network = Network()
+        wiki = WikiService()
+        network.register(wiki)
+        assert wiki.network is network

@@ -1,0 +1,64 @@
+"""Tests for the static article site."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.browser.http import HttpRequest
+from repro.browser.readability import extract_main_text
+from repro.errors import DocumentNotFound
+from repro.services import Network, StaticSite
+
+ARTICLE = [
+    "The committee announced its findings, noting several concerns, today.",
+    "Observers responded with questions, comments, and further analysis.",
+]
+
+
+@pytest.fixture
+def setup():
+    network = Network()
+    site = StaticSite()
+    site.publish("report", ARTICLE)
+    network.register(site)
+    return Browser(network), site
+
+
+class TestPublishing:
+    def test_article_retrievable(self, setup):
+        _browser, site = setup
+        assert site.article("report") == ARTICLE
+
+    def test_unknown_article_raises(self, setup):
+        _browser, site = setup
+        with pytest.raises(DocumentNotFound):
+            site.article("ghost")
+
+
+class TestRendering:
+    def test_article_with_boilerplate(self, setup):
+        browser, site = setup
+        tab = browser.open(site.article_url("report"))
+        text = tab.document.text_content()
+        assert ARTICLE[0] in text
+        assert "Related story" in text  # sidebar boilerplate present
+
+    def test_readability_extracts_only_article(self, setup):
+        browser, site = setup
+        tab = browser.open(site.article_url("report"))
+        main = extract_main_text(tab.document)
+        assert ARTICLE[0] in main
+        assert ARTICLE[1] in main
+        assert "Related story" not in main
+        assert "Copyright" not in main
+
+    def test_extraction_preserves_paragraphs(self, setup):
+        browser, site = setup
+        tab = browser.open(site.article_url("report"))
+        assert extract_main_text(tab.document).split("\n\n") == ARTICLE
+
+
+class TestReadOnly:
+    def test_uploads_rejected(self, setup):
+        _browser, site = setup
+        response = site.handle_request(HttpRequest("POST", site.url("/anything")))
+        assert response.status == 405

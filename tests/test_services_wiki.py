@@ -1,0 +1,82 @@
+"""Tests for the form-based wiki service."""
+
+import pytest
+
+from repro.browser import Browser
+from repro.browser.http import HttpRequest
+from repro.services import Network, WikiService
+
+
+@pytest.fixture
+def setup():
+    network = Network()
+    wiki = WikiService()
+    network.register(wiki)
+    return Browser(network), wiki
+
+
+class TestRendering:
+    def test_page_content_rendered_as_paragraphs(self, setup):
+        browser, wiki = setup
+        wiki.save_page("Guide", "First paragraph.\n\nSecond paragraph.")
+        tab = browser.open(wiki.page_url("Guide"))
+        paragraphs = tab.document.get_elements_by_tag("p")
+        assert [p.text_content() for p in paragraphs] == [
+            "First paragraph.",
+            "Second paragraph.",
+        ]
+
+    def test_edit_form_present(self, setup):
+        browser, wiki = setup
+        tab = browser.open(wiki.page_url("Anything"))
+        assert tab.document.get_element_by_id("edit-form") is not None
+        assert tab.document.get_element_by_id("edit-body") is not None
+
+    def test_hidden_page_field(self, setup):
+        browser, wiki = setup
+        tab = browser.open(wiki.page_url("Target"))
+        form = tab.document.get_element_by_id("edit-form")
+        hidden = [
+            el for el in form.iter_elements()
+            if el.tag == "input" and el.get_attribute("type") == "hidden"
+        ]
+        assert hidden[0].get_attribute("value") == "Target"
+
+    def test_empty_page_renders(self, setup):
+        browser, wiki = setup
+        tab = browser.open(wiki.page_url("Missing"))
+        assert tab.document.get_elements_by_tag("p") == []
+
+
+class TestEditing:
+    def test_edit_saves_to_backend(self, setup):
+        browser, wiki = setup
+        assert wiki.edit(browser.new_tab(), "Guide", "New content for the page.")
+        assert wiki.page_text("Guide") == "New content for the page."
+
+    def test_edit_splits_paragraphs(self, setup):
+        browser, wiki = setup
+        wiki.edit(browser.new_tab(), "Guide", "Para one.\n\nPara two.")
+        doc = wiki.backend.get("wiki:Guide")
+        assert len(doc.paragraphs) == 2
+
+    def test_edit_replaces_content(self, setup):
+        browser, wiki = setup
+        tab = browser.new_tab()
+        wiki.edit(tab, "Guide", "Original.")
+        wiki.edit(tab, "Guide", "Replacement.")
+        assert wiki.page_text("Guide") == "Replacement."
+
+
+class TestBackendProtocol:
+    def test_save_without_page_rejected(self, setup):
+        _browser, wiki = setup
+        response = wiki.handle_request(
+            HttpRequest("POST", wiki.url("/wiki/save"), form_data={"body": "x"})
+        )
+        assert response.status == 400
+
+    def test_unknown_path_404(self, setup):
+        _browser, wiki = setup
+        response = wiki.handle_request(HttpRequest("POST", wiki.url("/other")))
+        assert response.status == 404

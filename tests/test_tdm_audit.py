@@ -1,0 +1,60 @@
+"""Tests for the suppression audit log."""
+
+from repro.tdm.audit import AuditLog, SuppressionEvent
+from repro.tdm.tags import Tag
+
+
+def event(user="alice", tag="ti", segment="s1", just="needed", ts=1.0, svc=None):
+    return SuppressionEvent(
+        user=user,
+        tag=Tag(tag),
+        segment_id=segment,
+        justification=just,
+        timestamp=ts,
+        target_service=svc,
+    )
+
+
+class TestAuditLog:
+    def test_record_and_len(self):
+        log = AuditLog()
+        log.record(event())
+        assert len(log) == 1
+
+    def test_iteration_in_order(self):
+        log = AuditLog()
+        log.record(event(ts=1.0))
+        log.record(event(ts=2.0))
+        assert [e.timestamp for e in log] == [1.0, 2.0]
+
+    def test_by_user(self):
+        log = AuditLog()
+        log.record(event(user="alice"))
+        log.record(event(user="bob"))
+        assert len(log.by_user("alice")) == 1
+        assert log.by_user("carol") == []
+
+    def test_by_tag(self):
+        log = AuditLog()
+        log.record(event(tag="ti"))
+        log.record(event(tag="tw"))
+        assert [e.tag.name for e in log.by_tag(Tag("ti"))] == ["ti"]
+
+    def test_by_segment(self):
+        log = AuditLog()
+        log.record(event(segment="s1"))
+        log.record(event(segment="s2"))
+        assert len(log.by_segment("s2")) == 1
+
+    def test_events_returns_copy(self):
+        log = AuditLog()
+        log.record(event())
+        events = log.events()
+        events.clear()
+        assert len(log) == 1
+
+    def test_event_fields(self):
+        e = event(user="u", tag="t", segment="seg", just="why", ts=5.0, svc="svc")
+        assert e.user == "u"
+        assert e.justification == "why"
+        assert e.target_service == "svc"

@@ -1,0 +1,112 @@
+"""Tests for the label algebra (Label, SegmentLabel)."""
+
+import pytest
+
+from repro.tdm.labels import EMPTY_LABEL, Label, SegmentLabel
+from repro.tdm.tags import Tag
+
+
+class TestLabel:
+    def test_of_constructor(self):
+        label = Label.of("ti", "tw")
+        assert Tag("ti") in label
+        assert Tag("tw") in label
+        assert len(label) == 2
+
+    def test_order_independent_equality(self):
+        assert Label.of("a", "b") == Label.of("b", "a")
+
+    def test_empty_label(self):
+        assert len(EMPTY_LABEL) == 0
+
+    def test_subset_flow_rule(self):
+        # Li ⊆ Lp means flow allowed (paper §3.1).
+        assert Label.of("ti").is_subset_of(Label.of("ti", "tw"))
+        assert not Label.of("ti").is_subset_of(Label.of("tw"))
+        assert EMPTY_LABEL.is_subset_of(Label.of("ti"))
+        assert EMPTY_LABEL.is_subset_of(EMPTY_LABEL)
+
+    def test_le_operator(self):
+        assert Label.of("a") <= Label.of("a", "b")
+        assert not (Label.of("a", "b") <= Label.of("a"))
+
+    def test_union(self):
+        assert Label.of("a") | Label.of("b") == Label.of("a", "b")
+
+    def test_difference(self):
+        assert Label.of("a", "b") - Label.of("b") == Label.of("a")
+
+    def test_with_without_tag(self):
+        label = EMPTY_LABEL.with_tag("x")
+        assert Tag("x") in label
+        assert label.without_tag("x") == EMPTY_LABEL
+
+    def test_immutability(self):
+        label = Label.of("a")
+        label.with_tag("b")
+        assert len(label) == 1
+
+    def test_names_sorted(self):
+        assert Label.of("zeta", "alpha").names() == ["alpha", "zeta"]
+
+    def test_str(self):
+        assert str(Label.of("b", "a")) == "{a, b}"
+
+    def test_iteration_sorted(self):
+        assert [t.name for t in Label.of("c", "a", "b")] == ["a", "b", "c"]
+
+
+class TestSegmentLabel:
+    def test_effective_union_of_explicit_and_implicit(self):
+        label = SegmentLabel.of(explicit=["ti"], implicit=["tw"])
+        assert label.effective() == Label.of("ti", "tw")
+
+    def test_suppressed_removed_from_effective(self):
+        label = SegmentLabel.of(explicit=["ti", "tw"], suppressed=["ti"])
+        assert label.effective() == Label.of("tw")
+
+    def test_full_keeps_suppressed(self):
+        label = SegmentLabel.of(explicit=["ti"], suppressed=["ti"])
+        assert label.full() == Label.of("ti")
+
+    def test_propagating_excludes_implicit(self):
+        # §3.2: implicit tags never propagate onwards.
+        label = SegmentLabel.of(explicit=["tw"], implicit=["ti"])
+        assert label.propagating() == frozenset({Tag("tw")})
+
+    def test_propagating_excludes_suppressed(self):
+        label = SegmentLabel.of(explicit=["ti", "tw"], suppressed=["ti"])
+        assert label.propagating() == frozenset({Tag("tw")})
+
+    def test_add_implicit_does_not_demote_explicit(self):
+        label = SegmentLabel.of(explicit=["ti"]).add_implicit(["ti", "tw"])
+        assert Tag("ti") in label.explicit
+        assert label.implicit == frozenset({Tag("tw")})
+
+    def test_add_explicit(self):
+        label = SegmentLabel().add_explicit(["tn"])
+        assert label.explicit == frozenset({Tag("tn")})
+
+    def test_suppress(self):
+        label = SegmentLabel.of(explicit=["ti"]).suppress("ti")
+        assert Tag("ti") in label.suppressed
+        assert label.effective() == EMPTY_LABEL
+
+    def test_flows_to(self):
+        label = SegmentLabel.of(explicit=["ti"], implicit=["tw"])
+        assert label.flows_to(Label.of("ti", "tw"))
+        assert not label.flows_to(Label.of("ti"))
+
+    def test_offending_tags(self):
+        label = SegmentLabel.of(explicit=["ti"], implicit=["tw"])
+        assert label.offending_tags(Label.of("ti")) == Label.of("tw")
+        assert label.offending_tags(Label.of("ti", "tw")) == EMPTY_LABEL
+
+    def test_empty_flows_anywhere(self):
+        assert SegmentLabel().flows_to(EMPTY_LABEL)
+
+    def test_str_annotates_kinds(self):
+        label = SegmentLabel.of(explicit=["e"], implicit=["i"], suppressed=["s", "e"])
+        rendered = str(label)
+        assert "i?" in rendered
+        assert "~s" in rendered and "~e" in rendered

@@ -1,0 +1,132 @@
+"""Tests for service policies and the policy store."""
+
+import pytest
+
+from repro.errors import PolicyError, UnknownServiceError
+from repro.tdm.labels import EMPTY_LABEL, Label
+from repro.tdm.policy import PolicyStore, ServicePolicy
+from repro.tdm.tags import Tag
+
+
+class TestServicePolicy:
+    def test_defaults_untrusted(self):
+        policy = ServicePolicy("https://x.com")
+        assert policy.privilege == EMPTY_LABEL
+        assert policy.confidentiality == EMPTY_LABEL
+
+    def test_empty_service_id_rejected(self):
+        with pytest.raises(PolicyError):
+            ServicePolicy("")
+
+    def test_is_trusted_for(self):
+        policy = ServicePolicy("s", privilege=Label.of("ti", "tw"))
+        assert policy.is_trusted_for(Label.of("ti"))
+        assert policy.is_trusted_for(EMPTY_LABEL)
+        assert not policy.is_trusted_for(Label.of("tx"))
+
+    def test_with_privilege_tag(self):
+        policy = ServicePolicy("s").with_privilege_tag("tn")
+        assert Tag("tn") in policy.privilege
+
+    def test_without_privilege_tag(self):
+        policy = ServicePolicy("s", privilege=Label.of("tn", "ti"))
+        assert policy.without_privilege_tag("tn").privilege == Label.of("ti")
+
+    def test_name_falls_back_to_id(self):
+        assert ServicePolicy("https://x.com").name == "https://x.com"
+        assert ServicePolicy("https://x.com", display_name="X").name == "X"
+
+
+class TestPolicyStore:
+    def test_register_and_get(self):
+        store = PolicyStore()
+        policy = store.register_service("s1", privilege=Label.of("a"))
+        assert store.get("s1") is policy
+        assert store.is_registered("s1")
+
+    def test_unknown_service_defaults_untrusted(self):
+        store = PolicyStore()
+        policy = store.get("https://unknown.example")
+        assert policy.privilege == EMPTY_LABEL
+        assert policy.confidentiality == EMPTY_LABEL
+
+    def test_strict_mode_raises_for_unknown(self):
+        store = PolicyStore(default_untrusted=False)
+        with pytest.raises(UnknownServiceError):
+            store.get("https://unknown.example")
+
+    def test_reregister_replaces(self):
+        store = PolicyStore()
+        store.register_service("s1")
+        store.register_service("s1", privilege=Label.of("x"))
+        assert Tag("x") in store.get("s1").privilege
+        assert len(store) == 1
+
+    def test_services_sorted(self):
+        store = PolicyStore()
+        store.register_service("b")
+        store.register_service("a")
+        assert store.services() == ["a", "b"]
+
+    def test_registration_records_tags(self):
+        store = PolicyStore()
+        store.register_service("s", privilege=Label.of("ti"))
+        assert store.tag("ti") == Tag("ti")
+
+
+class TestTagAllocation:
+    def test_allocate(self):
+        store = PolicyStore()
+        tag = store.allocate_tag("tn", owner="alice")
+        assert tag.owner == "alice"
+        assert store.tag("tn") is tag
+
+    def test_duplicate_allocation_rejected(self):
+        store = PolicyStore()
+        store.allocate_tag("tn")
+        with pytest.raises(PolicyError):
+            store.allocate_tag("tn")
+
+    def test_unknown_tag_lookup_raises(self):
+        with pytest.raises(PolicyError):
+            PolicyStore().tag("ghost")
+
+    def test_known_tags_sorted(self):
+        store = PolicyStore()
+        store.allocate_tag("zz")
+        store.allocate_tag("aa")
+        assert [t.name for t in store.known_tags()] == ["aa", "zz"]
+
+
+class TestPrivilegeManagement:
+    def test_grant_and_revoke(self):
+        store = PolicyStore()
+        store.register_service("s")
+        store.allocate_tag("tn", owner="alice")
+        store.grant_privilege("s", "tn", user="alice")
+        assert Tag("tn") in store.get("s").privilege
+        store.revoke_privilege("s", "tn", user="alice")
+        assert Tag("tn") not in store.get("s").privilege
+
+    def test_owner_enforced(self):
+        # §3.1: the allocator controls which services may process data
+        # protected with their custom tag.
+        store = PolicyStore()
+        store.register_service("s")
+        store.allocate_tag("tn", owner="alice")
+        with pytest.raises(PolicyError):
+            store.grant_privilege("s", "tn", user="mallory")
+
+    def test_admin_bypasses_ownership(self):
+        store = PolicyStore()
+        store.register_service("s")
+        store.allocate_tag("tn", owner="alice")
+        store.grant_privilege("s", "tn")  # user=None == administrator
+        assert Tag("tn") in store.get("s").privilege
+
+    def test_admin_tags_usable_by_anyone(self):
+        store = PolicyStore()
+        store.register_service("s")
+        store.allocate_tag("shared")  # no owner
+        store.grant_privilege("s", "shared", user="anyone")
+        assert Tag("shared") in store.get("s").privilege

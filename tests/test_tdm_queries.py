@@ -1,0 +1,119 @@
+"""Tests for administrative queries over model state."""
+
+import pytest
+
+from repro.fingerprint.config import TINY_CONFIG
+from repro.tdm import Label, PolicyStore, TextDisclosureModel
+from repro.tdm.model import Suppression
+from repro.tdm.queries import (
+    exposure_report,
+    explain_segment,
+    segments_tagged,
+    services_holding,
+    suppression_summary,
+)
+
+from conftest import OTHER_TEXT, SECRET_TEXT, THIRD_TEXT
+
+ITOOL = "https://itool.example"
+WIKI = "https://wiki.example"
+DOCS = "https://docs.example"
+
+
+@pytest.fixture
+def model():
+    policies = PolicyStore()
+    policies.register_service(
+        ITOOL, privilege=Label.of("ti"), confidentiality=Label.of("ti")
+    )
+    policies.register_service(
+        WIKI, privilege=Label.of("tw", "ti"), confidentiality=Label.of("tw")
+    )
+    policies.register_service(DOCS)
+    model = TextDisclosureModel(policies, TINY_CONFIG)
+    model.observe(ITOOL, "docA", [("docA#p0", SECRET_TEXT)])
+    model.observe(WIKI, "docW", [("docW#p0", OTHER_TEXT)])
+    # The secret also lands in the wiki (allowed: Lp includes ti).
+    decision = model.check_upload(WIKI, "docB", [("docB#p0", SECRET_TEXT)])
+    model.commit_upload(WIKI, "docB", [("docB#p0", SECRET_TEXT)], decision)
+    return model
+
+
+class TestSegmentsTagged:
+    def test_explicit_tag(self, model):
+        assert "docA#p0" in segments_tagged(model, "ti")
+
+    def test_implicit_tag_counts(self, model):
+        # The wiki copy inherits ti implicitly; effective label carries it.
+        assert "docB#p0" in segments_tagged(model, "ti")
+
+    def test_unknown_tag_empty(self, model):
+        assert segments_tagged(model, "ghost") == []
+
+
+class TestServicesHolding:
+    def test_exposure_of_interview_data(self, model):
+        held = services_holding(model, "ti")
+        assert ITOOL in held
+        assert WIKI in held  # the committed copy widened the surface
+        assert DOCS not in held
+
+    def test_wiki_tag_stays_in_wiki(self, model):
+        assert services_holding(model, "tw") == frozenset({WIKI})
+
+
+class TestSuppressionSummary:
+    def test_counts(self, model):
+        suppression = Suppression.of("ti", "alice", "need to share")
+        model.check_upload(
+            DOCS, "docC", [("docC#p0", SECRET_TEXT)],
+            suppressions={"docC#p0": [suppression]},
+        )
+        summary = suppression_summary(model)
+        assert summary["by_user"]["alice"] == 1
+        assert summary["by_tag"]["ti"] == 1
+
+    def test_empty_log(self, model):
+        summary = suppression_summary(model)
+        assert not summary["by_user"]
+
+
+class TestExplainSegment:
+    def test_provenance_fields(self, model):
+        explanation = explain_segment(model, "docB#p0")
+        assert "tw" in explanation.explicit
+        assert "ti" in explanation.implicit
+        assert WIKI in explanation.locations
+
+    def test_describe_readable(self, model):
+        text = explain_segment(model, "docB#p0").describe()
+        assert "docB#p0" in text
+        assert "inherited via similarity" in text
+
+    def test_suppression_events_included(self, model):
+        suppression = Suppression.of("ti", "bob", "partner review")
+        decision = model.check_upload(
+            DOCS, "docC", [("docC#p0", SECRET_TEXT)],
+            suppressions={"docC#p0": [suppression], "docC": [suppression]},
+        )
+        model.commit_upload(DOCS, "docC", [("docC#p0", SECRET_TEXT)], decision)
+        explanation = explain_segment(model, "docC#p0")
+        assert any("bob suppressed ti" in e for e in explanation.suppression_events)
+
+    def test_unknown_segment_empty_explanation(self, model):
+        explanation = explain_segment(model, "nowhere")
+        assert explanation.explicit == ()
+        assert explanation.locations == ()
+
+
+class TestExposureReport:
+    def test_rows_sorted_by_tag(self, model):
+        rows = exposure_report(model)
+        names = [name for name, _segs, _svcs in rows]
+        assert names == sorted(names)
+        assert "ti" in names and "tw" in names
+
+    def test_counts_consistent(self, model):
+        for name, n_segments, n_services in exposure_report(model):
+            assert n_segments == len(segments_tagged(model, name))
+            assert n_services == len(services_holding(model, name))

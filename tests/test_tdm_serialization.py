@@ -1,0 +1,80 @@
+"""Tests for policy (de)serialisation."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.tdm import Label, PolicyStore, Tag
+from repro.tdm.serialization import (
+    load_policy,
+    policy_from_dict,
+    policy_to_dict,
+    save_policy,
+)
+
+
+@pytest.fixture
+def store():
+    store = PolicyStore()
+    store.allocate_tag("tn", owner="alice")
+    store.register_service(
+        "https://itool.example",
+        privilege=Label.of("ti"),
+        confidentiality=Label.of("ti"),
+        display_name="Interview Tool",
+    )
+    store.register_service(
+        "https://wiki.example",
+        privilege=Label.of("tw", "tn"),
+        confidentiality=Label.of("tw"),
+    )
+    store.register_service("https://docs.example")
+    return store
+
+
+class TestRoundtrip:
+    def test_services_restored(self, store, tmp_path):
+        path = tmp_path / "policy.json"
+        save_policy(store, path)
+        restored = load_policy(path)
+        assert restored.services() == store.services()
+        for service_id in store.services():
+            original = store.get(service_id)
+            recovered = restored.get(service_id)
+            assert recovered.privilege == original.privilege
+            assert recovered.confidentiality == original.confidentiality
+            assert recovered.display_name == original.display_name
+
+    def test_tag_ownership_restored(self, store, tmp_path):
+        path = tmp_path / "policy.json"
+        save_policy(store, path)
+        restored = load_policy(path)
+        assert restored.tag("tn").owner == "alice"
+        # Ownership enforcement still applies after the round trip.
+        with pytest.raises(PolicyError):
+            restored.grant_privilege("https://docs.example", "tn", user="mallory")
+
+    def test_dict_roundtrip_stable(self, store):
+        data = policy_to_dict(store)
+        assert policy_to_dict(policy_from_dict(data)) == data
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(PolicyError):
+            policy_from_dict({"version": 999})
+
+    def test_undeclared_tag_rejected(self):
+        data = {
+            "version": 1,
+            "tags": [],
+            "services": [
+                {"id": "https://x.example", "privilege": ["ghost"],
+                 "confidentiality": []}
+            ],
+        }
+        with pytest.raises(PolicyError):
+            policy_from_dict(data)
+
+    def test_empty_policy(self):
+        store = policy_from_dict({"version": 1, "tags": [], "services": []})
+        assert len(store) == 0

@@ -1,0 +1,129 @@
+"""Tests for whole-model persistence (restart survival)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.fingerprint.config import TINY_CONFIG
+from repro.plugin.crypto import UploadCipher
+from repro.tdm import Label, PolicyStore, Tag, TextDisclosureModel
+from repro.tdm.model import Suppression
+from repro.tdm.state import load_model, model_from_dict, model_to_dict, save_model
+
+from conftest import OTHER_TEXT, SECRET_TEXT
+
+ITOOL = "https://itool.example"
+WIKI = "https://wiki.example"
+DOCS = "https://docs.example"
+
+
+@pytest.fixture
+def model():
+    policies = PolicyStore()
+    policies.register_service(
+        ITOOL, privilege=Label.of("ti"), confidentiality=Label.of("ti")
+    )
+    policies.register_service(
+        WIKI, privilege=Label.of("tw"), confidentiality=Label.of("tw")
+    )
+    policies.register_service(DOCS)
+    model = TextDisclosureModel(policies, TINY_CONFIG)
+    model.observe(ITOOL, "docA", [("docA#p0", SECRET_TEXT)])
+    model.observe(WIKI, "docW", [("docW#p0", OTHER_TEXT)])
+    # Exercise suppression so the audit log has content.
+    suppression = Suppression.of("ti", "alice", "approved")
+    decision = model.check_upload(
+        WIKI, "docB", [("docB#p0", SECRET_TEXT)],
+        suppressions={"docB#p0": [suppression], "docB": [suppression]},
+    )
+    model.commit_upload(WIKI, "docB", [("docB#p0", SECRET_TEXT)], decision)
+    return model
+
+
+class TestModelRoundtrip:
+    def test_labels_restored(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.label_of("docA#p0") == model.label_of("docA#p0")
+        # Suppressed tags survive — the accountability anchor.
+        assert Tag("ti") in restored.label_of("docB#p0").suppressed
+
+    def test_decisions_identical(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        before = model.check_upload(DOCS, "probe", [("probe#p0", SECRET_TEXT)])
+        after = restored.check_upload(DOCS, "probe", [("probe#p0", SECRET_TEXT)])
+        assert before.allowed == after.allowed
+        assert [v.segment_id for v in before.violations] == [
+            v.segment_id for v in after.violations
+        ]
+
+    def test_audit_restored(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        events = restored.audit.by_user("alice")
+        assert len(events) == len(model.audit.by_user("alice"))
+        assert events[0].justification == "approved"
+
+    def test_locations_restored(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.locations_of("docA#p0") == model.locations_of("docA#p0")
+
+    def test_policies_restored(self, model, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.policies.get(ITOOL).privilege == Label.of("ti")
+
+    def test_thresholds_restored(self, tmp_path):
+        policies = PolicyStore()
+        model = TextDisclosureModel(
+            policies, TINY_CONFIG, paragraph_threshold=0.3, document_threshold=0.7
+        )
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        assert restored.tracker.paragraph_threshold == 0.3
+        assert restored.tracker.document_threshold == 0.7
+
+    def test_encrypted_state(self, model, tmp_path):
+        path = tmp_path / "model.enc"
+        cipher = UploadCipher("disk-key")
+        save_model(model, path, cipher=cipher)
+        assert "docA" not in path.read_text()
+        restored = load_model(path, cipher=cipher)
+        assert restored.label_of("docA#p0") == model.label_of("docA#p0")
+
+    def test_encrypted_without_cipher_rejected(self, model, tmp_path):
+        path = tmp_path / "model.enc"
+        save_model(model, path, cipher=UploadCipher("disk-key"))
+        with pytest.raises(PolicyError):
+            load_model(path)
+
+    def test_unsupported_version_rejected(self, model):
+        data = model_to_dict(model)
+        data["version"] = 42
+        with pytest.raises(PolicyError):
+            model_from_dict(data)
+
+
+class TestRestartScenario:
+    def test_restart_mid_workflow(self, model, tmp_path):
+        """Save, 'restart', and continue: a violation that would fire
+        before the restart still fires after it."""
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        decision = restored.check_upload(
+            DOCS, "leak", [("leak#p0", SECRET_TEXT)]
+        )
+        assert not decision.allowed
+        # And new observations keep composing with restored state.
+        restored.observe(WIKI, "docNew", [("docNew#p0", SECRET_TEXT)])
+        label = restored.label_of("docNew#p0")
+        assert Tag("tw") in label.explicit
+        assert Tag("ti") in label.implicit

@@ -1,0 +1,52 @@
+"""Tests for security tags."""
+
+import pytest
+
+from repro.errors import TagError
+from repro.tdm.tags import Tag, as_tag
+
+
+class TestTag:
+    def test_valid_names(self):
+        for name in ("ti", "interview-data", "product_announcement.x", "a1"):
+            assert Tag(name).name == name
+
+    def test_invalid_names_rejected(self):
+        for name in ("", "UPPER", "has space", "-leading", "é"):
+            with pytest.raises(TagError):
+                Tag(name)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TagError):
+            Tag(42)  # type: ignore[arg-type]
+
+    def test_equality_by_name_only(self):
+        assert Tag("ti", owner="alice") == Tag("ti", owner="bob")
+        assert Tag("ti") != Tag("tw")
+
+    def test_hashable_by_name(self):
+        assert len({Tag("ti", owner="a"), Tag("ti", owner="b")}) == 1
+
+    def test_str(self):
+        assert str(Tag("interview-data")) == "interview-data"
+
+    def test_ordering(self):
+        assert Tag("a") < Tag("b")
+        assert sorted([Tag("c"), Tag("a")]) == [Tag("a"), Tag("c")]
+
+    def test_owner_recorded(self):
+        assert Tag("tn", owner="alice").owner == "alice"
+        assert Tag("ti").owner is None
+
+
+class TestAsTag:
+    def test_passthrough(self):
+        tag = Tag("ti")
+        assert as_tag(tag) is tag
+
+    def test_from_string(self):
+        assert as_tag("tw") == Tag("tw")
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TagError):
+            as_tag(3.14)

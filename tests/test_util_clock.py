@@ -1,0 +1,32 @@
+"""Tests for repro.util.clock."""
+
+from repro.util.clock import LogicalClock, SystemClock
+
+
+class TestLogicalClock:
+    def test_starts_at_zero(self):
+        assert LogicalClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert LogicalClock(start=10).now() == 10.0
+
+    def test_strictly_increasing(self):
+        clock = LogicalClock()
+        samples = [clock.now() for _ in range(100)]
+        assert all(b > a for a, b in zip(samples, samples[1:]))
+
+    def test_independent_instances(self):
+        a, b = LogicalClock(), LogicalClock()
+        a.now()
+        a.now()
+        assert b.now() == 0.0
+
+
+class TestSystemClock:
+    def test_returns_float(self):
+        assert isinstance(SystemClock().now(), float)
+
+    def test_non_decreasing(self):
+        clock = SystemClock()
+        samples = [clock.now() for _ in range(50)]
+        assert all(b >= a for a, b in zip(samples, samples[1:]))

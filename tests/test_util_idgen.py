@@ -1,0 +1,40 @@
+"""Tests for repro.util.idgen."""
+
+import itertools
+
+import pytest
+
+from repro.util.idgen import IdGenerator
+
+
+class TestIdGenerator:
+    def test_prefix_and_padding(self):
+        gen = IdGenerator("doc")
+        assert gen.next() == "doc-0001"
+        assert gen.next() == "doc-0002"
+
+    def test_custom_width(self):
+        gen = IdGenerator("p", width=2)
+        assert gen.next() == "p-01"
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IdGenerator("")
+
+    def test_uniqueness(self):
+        gen = IdGenerator("x")
+        ids = [gen.next() for _ in range(200)]
+        assert len(set(ids)) == 200
+
+    def test_lexicographic_matches_numeric_order(self):
+        gen = IdGenerator("seg")
+        ids = [gen.next() for _ in range(50)]
+        assert ids == sorted(ids)
+
+    def test_iterable_protocol(self):
+        gen = IdGenerator("it")
+        first_three = list(itertools.islice(gen, 3))
+        assert first_three == ["it-0001", "it-0002", "it-0003"]
+
+    def test_prefix_property(self):
+        assert IdGenerator("abc").prefix == "abc"

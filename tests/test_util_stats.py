@@ -1,0 +1,86 @@
+"""Tests for repro.util.stats."""
+
+import pytest
+
+from repro.util.stats import cdf_at, cdf_points, percentile, summarize
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_of_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_min_and_max(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_unsorted_input(self):
+        assert percentile([9, 1, 5], 50) == 5
+
+    def test_p95(self):
+        data = list(range(1, 101))
+        assert percentile(data, 95) == pytest.approx(95.05)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([1], -1)
+
+
+class TestCdfPoints:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_sorted_fractions(self):
+        points = cdf_points([3, 1, 2])
+        assert points == [(1, pytest.approx(1 / 3)), (2, pytest.approx(2 / 3)), (3, 1.0)]
+
+    def test_duplicates_collapse(self):
+        points = cdf_points([1, 1, 2])
+        assert points == [(1, pytest.approx(2 / 3)), (2, 1.0)]
+
+    def test_last_fraction_is_one(self):
+        assert cdf_points([5, 2, 8, 2])[-1][1] == 1.0
+
+
+class TestCdfAt:
+    def test_fraction_at_threshold(self):
+        assert cdf_at([1, 2, 3, 4], 2) == 0.5
+
+    def test_all_below(self):
+        assert cdf_at([1, 2], 10) == 1.0
+
+    def test_none_below(self):
+        assert cdf_at([5, 6], 1) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf_at([], 1)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+        assert summary["median"] == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_accepts_generator(self):
+        assert summarize(x for x in [1.0, 3.0])["mean"] == 2.0

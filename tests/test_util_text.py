@@ -1,0 +1,64 @@
+"""Tests for repro.util.text."""
+
+from repro.util.text import (
+    join_paragraphs,
+    split_paragraphs,
+    split_sentences,
+    word_count,
+)
+
+
+class TestSplitParagraphs:
+    def test_blank_line_separation(self):
+        assert split_paragraphs("one\n\ntwo") == ["one", "two"]
+
+    def test_multiple_blank_lines(self):
+        assert split_paragraphs("a\n\n\n\nb") == ["a", "b"]
+
+    def test_whitespace_only_separator(self):
+        assert split_paragraphs("a\n   \nb") == ["a", "b"]
+
+    def test_strips_whitespace(self):
+        assert split_paragraphs("  a  \n\n  b  ") == ["a", "b"]
+
+    def test_empty_input(self):
+        assert split_paragraphs("") == []
+
+    def test_whitespace_only_input(self):
+        assert split_paragraphs("  \n \n ") == []
+
+    def test_single_newline_does_not_split(self):
+        assert split_paragraphs("line one\nline two") == ["line one\nline two"]
+
+    def test_roundtrip_with_join(self):
+        paragraphs = ["first paragraph", "second paragraph", "third"]
+        assert split_paragraphs(join_paragraphs(paragraphs)) == paragraphs
+
+
+class TestSplitSentences:
+    def test_splits_on_terminal_punctuation(self):
+        assert split_sentences("One. Two! Three?") == ["One.", "Two!", "Three?"]
+
+    def test_no_terminal_punctuation(self):
+        assert split_sentences("no punctuation here") == ["no punctuation here"]
+
+    def test_empty(self):
+        assert split_sentences("") == []
+
+    def test_preserves_internal_punctuation(self):
+        result = split_sentences("Hello, world. Bye.")
+        assert result == ["Hello, world.", "Bye."]
+
+
+class TestWordCount:
+    def test_counts_words(self):
+        assert word_count("the quick brown fox") == 4
+
+    def test_empty(self):
+        assert word_count("") == 0
+
+    def test_punctuation_ignored(self):
+        assert word_count("one, two; three.") == 3
+
+    def test_apostrophes_stay_in_word(self):
+        assert word_count("it's a test") == 3
