@@ -25,6 +25,7 @@ def test_fingerprint_throughput(benchmark):
 
 
 def test_algorithm1_query(benchmark):
+    """The indexed single-sweep hot path (one O(1) owner lookup per hash)."""
     rng = random.Random("core-query")
     synth = TextSynthesizer("fiction", rng)
     engine = DisclosureEngine(PAPER_CONFIG)
@@ -32,6 +33,23 @@ def test_algorithm1_query(benchmark):
         engine.observe(f"s{i}", synth.paragraph(4, 7))
     target = engine.segment_db.get("s42").fingerprint
     result = benchmark(engine.disclosing_sources, fingerprint=target)
+    assert "s42" in result.source_ids()
+    # The indexed path must agree with the retained reference scan.
+    assert result == engine.disclosing_sources_reference(fingerprint=target)
+    stats = engine.stats()
+    for key in ("candidates_swept", "auth_cache_hits", "ownership_changes"):
+        benchmark.extra_info[key] = stats[key]
+
+
+def test_algorithm1_query_reference(benchmark):
+    """The pre-index per-candidate scan, kept for before/after comparison."""
+    rng = random.Random("core-query")
+    synth = TextSynthesizer("fiction", rng)
+    engine = DisclosureEngine(PAPER_CONFIG)
+    for i in range(300):
+        engine.observe(f"s{i}", synth.paragraph(4, 7))
+    target = engine.segment_db.get("s42").fingerprint
+    result = benchmark(engine.disclosing_sources_reference, fingerprint=target)
     assert "s42" in result.source_ids()
 
 

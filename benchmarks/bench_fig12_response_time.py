@@ -10,16 +10,17 @@ cache effect are the reproduction targets.
 """
 
 from repro.eval import figure12_response_times
-from repro.eval.reporting import format_cdf_summary
+from repro.eval.reporting import format_cdf_summary, format_counters
 from repro.fingerprint.config import PAPER_CONFIG
 from repro.util.stats import percentile
 
 
 def test_figure12_response_times(benchmark, report, ebook_corpus):
+    engine_stats = {}
     results = benchmark.pedantic(
         figure12_response_times,
         args=(ebook_corpus,),
-        kwargs=dict(config=PAPER_CONFIG, page_paragraphs=3),
+        kwargs=dict(config=PAPER_CONFIG, page_paragraphs=3, stats_out=engine_stats),
         iterations=1,
         rounds=1,
     )
@@ -33,6 +34,9 @@ def test_figure12_response_times(benchmark, report, ebook_corpus):
             f"  median={percentile(ms, 50):.3f} ms  p95={percentile(ms, 95):.3f} ms  "
             f"p99={percentile(ms, 99):.3f} ms"
         )
+    lines.append(
+        format_counters(engine_stats, title="Index/query counters after run:")
+    )
     report("\n".join(lines))
 
     mean = lambda xs: sum(xs) / len(xs)

@@ -7,15 +7,21 @@ database across loaded e-books and assert sub-linear growth.
 """
 
 from repro.eval import figure13_scalability
-from repro.eval.reporting import format_series
+from repro.eval.reporting import format_counters, format_series
 from repro.fingerprint.config import PAPER_CONFIG
 
 
 def test_figure13_scalability(benchmark, report, large_ebook_corpus):
+    engine_stats = {}
     series = benchmark.pedantic(
         figure13_scalability,
         args=(large_ebook_corpus,),
-        kwargs=dict(config=PAPER_CONFIG, steps=5, samples_per_step=15),
+        kwargs=dict(
+            config=PAPER_CONFIG,
+            steps=5,
+            samples_per_step=15,
+            stats_out=engine_stats,
+        ),
         iterations=1,
         rounds=1,
     )
@@ -37,6 +43,8 @@ def test_figure13_scalability(benchmark, report, large_ebook_corpus):
             title="(shape: flat/sub-linear as the database grows)",
             y_label="ms",
         )
+        + "\n"
+        + format_counters(engine_stats, title="Index/query counters after run:")
     )
     hashes = [n for n, _ in series]
     times = [ms for _, ms in series]

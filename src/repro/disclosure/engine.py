@@ -11,11 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.disclosure.metrics import (
-    authoritative_hashes,
-    meets_threshold,
-    raw_disclosure,
-)
+from repro.disclosure.metrics import meets_threshold, raw_disclosure
 from repro.disclosure.store import (
     DEFAULT_THRESHOLD,
     HashDatabase,
@@ -96,6 +92,18 @@ class DisclosureEngine:
         # is what makes per-keystroke queries cheap (paper §6.2).
         self._version = 0
         self._query_cache: Dict[str, Tuple[int, FrozenSet[int], DisclosureReport]] = {}
+        # segment → (owner epoch, frozen authoritative set). Valid while
+        # the hash database's owned set for the segment is unchanged:
+        # any ownership migration bumps the epoch, and fingerprint edits
+        # that could alter the set always move ownership too.
+        self._auth_cache: Dict[str, Tuple[int, FrozenSet[int]]] = {}
+        self._counters: Dict[str, int] = {
+            "queries": 0,
+            "query_cache_hits": 0,
+            "candidates_swept": 0,
+            "auth_cache_hits": 0,
+            "auth_cache_misses": 0,
+        }
 
     @property
     def config(self) -> FingerprintConfig:
@@ -186,6 +194,7 @@ class DisclosureEngine:
         if self.hash_db.discard_segment(segment_id):
             self._version += 1
         self._query_cache.pop(segment_id, None)
+        self._auth_cache.pop(segment_id, None)
 
     def set_threshold(self, segment_id: str, threshold: float) -> None:
         """Adjust a segment's disclosure threshold (paper §4.2)."""
@@ -218,9 +227,32 @@ class DisclosureEngine:
             total = len(source.fingerprint)
             if total == 0:
                 return 0.0
-            auth = authoritative_hashes(source, self.hash_db)
+            auth = self.authoritative_set(source)
             return len(auth & target.hashes) / total
         return raw_disclosure(source.fingerprint, target)
+
+    def authoritative_set(self, source: SegmentRecord) -> FrozenSet[int]:
+        """The §4.3 authoritative hash set of *source*, cached.
+
+        Served from a per-segment cache keyed on the hash database's
+        ownership epoch, so repeated queries cost O(1) instead of
+        rescanning the segment's fingerprint. The owned-hashes index is
+        intersected with the current fingerprint on a miss, which keeps
+        the result correct even if the databases were populated outside
+        this engine (e.g. hand-built in tests).
+        """
+        segment_id = source.segment_id
+        epoch = self.hash_db.owner_epoch(segment_id)
+        cached = self._auth_cache.get(segment_id)
+        if cached is not None and cached[0] == epoch:
+            self._counters["auth_cache_hits"] += 1
+            return cached[1]
+        self._counters["auth_cache_misses"] += 1
+        auth = frozenset(
+            self.hash_db.owned_hashes(segment_id) & source.fingerprint.hashes
+        )
+        self._auth_cache[segment_id] = (epoch, auth)
+        return auth
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -242,6 +274,7 @@ class DisclosureEngine:
         """
         if (target_id is None) == (fingerprint is None):
             raise DisclosureError("pass exactly one of target_id or fingerprint")
+        self._counters["queries"] += 1
         if target_id is not None:
             fingerprint = self.segment_db.get(target_id).fingerprint
             cached = self._query_cache.get(target_id)
@@ -250,6 +283,7 @@ class DisclosureEngine:
                 and cached[0] == self._version
                 and cached[1] == fingerprint.hashes
             ):
+                self._counters["query_cache_hits"] += 1
                 return cached[2]
         assert fingerprint is not None
 
@@ -258,7 +292,138 @@ class DisclosureEngine:
             self._query_cache[target_id] = (self._version, fingerprint.hashes, report)
         return report
 
-    def _candidates(self, fingerprint: Fingerprint) -> Iterable[str]:
+    def disclosing_sources_reference(
+        self,
+        target_id: Optional[str] = None,
+        *,
+        fingerprint: Optional[Fingerprint] = None,
+        exclude_doc: Optional[str] = None,
+    ) -> DisclosureReport:
+        """Algorithm 1 via the naive per-candidate scan, uncached.
+
+        The pre-index implementation, retained as the behavioural
+        reference: it recomputes oldest owners from the raw observation
+        maps and intersects full fingerprints per candidate. Differential
+        tests assert :meth:`disclosing_sources` returns identical
+        reports; benchmarks use it for before/after comparisons.
+        """
+        if (target_id is None) == (fingerprint is None):
+            raise DisclosureError("pass exactly one of target_id or fingerprint")
+        if target_id is not None:
+            fingerprint = self.segment_db.get(target_id).fingerprint
+        assert fingerprint is not None
+        return self._run_algorithm_reference(target_id, fingerprint, exclude_doc)
+
+    # ------------------------------------------------------------------
+    # Indexed single-sweep query (the hot path)
+    # ------------------------------------------------------------------
+
+    def _run_algorithm(
+        self,
+        target_id: Optional[str],
+        fingerprint: Fingerprint,
+        exclude_doc: Optional[str],
+    ) -> DisclosureReport:
+        """One sweep over the target's hashes against the inverted index.
+
+        Accumulates per-owner matched-hash counts in O(|F(target)|)
+        (authoritative mode; O(matching observations) otherwise), then
+        applies Algorithm 1's quick discard and threshold checks to the
+        accumulated counts — no per-candidate set intersections.
+        """
+        counts: Dict[str, int] = {}
+        matched: Dict[str, List[int]] = {}
+        if self._authoritative:
+            # Under §4.3 only a hash's oldest owner may count it towards
+            # its own disclosure, so one O(1) owner lookup per hash
+            # replaces the per-candidate authoritative-set intersection.
+            oldest_owner = self.hash_db.oldest_owner
+            for h in fingerprint.hashes:
+                owner = oldest_owner(h)
+                if owner is None:
+                    continue
+                if owner in counts:
+                    counts[owner] += 1
+                    matched[owner].append(h)
+                else:
+                    counts[owner] = 1
+                    matched[owner] = [h]
+        else:
+            observers = self.hash_db.observers
+            for h in fingerprint.hashes:
+                for owner in observers(h):
+                    if owner in counts:
+                        counts[owner] += 1
+                        matched[owner].append(h)
+                    else:
+                        counts[owner] = 1
+                        matched[owner] = [h]
+        self._counters["candidates_swept"] += len(counts)
+
+        results: List[SourceDisclosure] = []
+        checked = 0
+        target_size = len(fingerprint)
+        for owner, count in counts.items():
+            if owner == target_id:
+                continue
+            source = self.segment_db.find(owner)
+            if source is None:
+                # Historical owner whose segment was since removed.
+                continue
+            if exclude_doc is not None and (
+                source.doc_id == exclude_doc or source.segment_id == exclude_doc
+            ):
+                continue
+            checked += 1
+            t = source.threshold
+            origin_size = len(source.fingerprint)
+            # Quick discard from Algorithm 1: if the origin fingerprint
+            # is so large that even a full overlap with the target could
+            # not reach the threshold, skip it.
+            if origin_size * t > target_size:
+                continue
+            if origin_size == 0:
+                continue
+            score = count / origin_size
+            if score > 0.0 and meets_threshold(score, t):
+                results.append(
+                    SourceDisclosure(
+                        segment_id=source.segment_id,
+                        score=score,
+                        threshold=t,
+                        matched_hashes=frozenset(matched[owner]),
+                        kind=source.kind,
+                        doc_id=source.doc_id,
+                    )
+                )
+        results.sort(key=lambda s: (-s.score, s.segment_id))
+        return DisclosureReport(
+            target_id=target_id, sources=tuple(results), candidates_checked=checked
+        )
+
+    # ------------------------------------------------------------------
+    # Reference implementation (pre-index, kept for differential tests)
+    # ------------------------------------------------------------------
+
+    def _authoritative_hashes_reference(self, record: SegmentRecord) -> FrozenSet[int]:
+        """§4.3 authoritative set recomputed from raw observations."""
+        db = self.hash_db
+        return frozenset(
+            h
+            for h in record.fingerprint.hashes
+            if db.recompute_oldest_owner(h) == record.segment_id
+        )
+
+    def _score_reference(self, source: SegmentRecord, target: Fingerprint) -> float:
+        if self._authoritative:
+            total = len(source.fingerprint)
+            if total == 0:
+                return 0.0
+            auth = self._authoritative_hashes_reference(source)
+            return len(auth & target.hashes) / total
+        return raw_disclosure(source.fingerprint, target)
+
+    def _candidates_reference(self, fingerprint: Fingerprint) -> Iterable[str]:
         """Candidate source ids sharing at least one hash with the query.
 
         With the authoritative correction, only a hash's oldest owner can
@@ -269,7 +434,7 @@ class DisclosureEngine:
         seen = set()
         for h in fingerprint.hashes:
             if self._authoritative:
-                owner = self.hash_db.oldest_owner(h)
+                owner = self.hash_db.recompute_oldest_owner(h)
                 if owner is not None and owner not in seen:
                     seen.add(owner)
                     yield owner
@@ -279,7 +444,7 @@ class DisclosureEngine:
                         seen.add(owner)
                         yield owner
 
-    def _run_algorithm(
+    def _run_algorithm_reference(
         self,
         target_id: Optional[str],
         fingerprint: Fingerprint,
@@ -288,7 +453,7 @@ class DisclosureEngine:
         results: List[SourceDisclosure] = []
         checked = 0
         target_size = len(fingerprint)
-        for candidate_id in self._candidates(fingerprint):
+        for candidate_id in self._candidates_reference(fingerprint):
             if candidate_id == target_id:
                 continue
             source = self.segment_db.find(candidate_id)
@@ -307,11 +472,11 @@ class DisclosureEngine:
             # not reach the threshold, skip the authoritative scan.
             if origin_size * t > target_size:
                 continue
-            score = self._score(source, fingerprint)
+            score = self._score_reference(source, fingerprint)
             if score > 0.0 and meets_threshold(score, t):
                 if self._authoritative:
                     matched = (
-                        authoritative_hashes(source, self.hash_db)
+                        self._authoritative_hashes_reference(source)
                         & fingerprint.hashes
                     )
                 else:
@@ -332,11 +497,25 @@ class DisclosureEngine:
         )
 
     def stats(self) -> Dict[str, int]:
-        """Size counters for scalability experiments (Figure 13)."""
+        """Size and index/query counters (Figure 13 + cache behaviour).
+
+        ``segments``/``distinct_hashes``/``version`` describe database
+        state; the rest are monotonic counters: queries answered and
+        answered from the decision cache, candidates accumulated by the
+        index sweep, authoritative-set cache hits/misses, and ownership
+        transitions (each of which invalidates one segment's cached
+        authoritative set).
+        """
         return {
             "segments": len(self.segment_db),
             "distinct_hashes": len(self.hash_db),
             "version": self._version,
+            "queries": self._counters["queries"],
+            "query_cache_hits": self._counters["query_cache_hits"],
+            "candidates_swept": self._counters["candidates_swept"],
+            "auth_cache_hits": self._counters["auth_cache_hits"],
+            "auth_cache_misses": self._counters["auth_cache_misses"],
+            "ownership_changes": self.hash_db.ownership_changes,
         }
 
 

@@ -25,7 +25,18 @@ from repro.errors import DisclosureError
 from repro.fingerprint import Fingerprint, FingerprintConfig
 from repro.fingerprint.fingerprint import FingerprintHash
 from repro.plugin.crypto import UploadCipher
-from repro.util.clock import Clock
+from repro.util.clock import Clock, LogicalClock
+
+
+def _max_timestamp(data: dict) -> float:
+    """Largest timestamp anywhere in a snapshot (0.0 when empty)."""
+    latest = 0.0
+    for entry in data.get("segments", ()):
+        latest = max(latest, entry.get("last_updated", 0.0))
+    for owners in data.get("observations", {}).values():
+        for _segment_id, timestamp in owners:
+            latest = max(latest, timestamp)
+    return latest
 
 #: Snapshot format version; bump on incompatible changes.
 SNAPSHOT_VERSION = 1
@@ -51,7 +62,7 @@ def snapshot_engine(engine: DisclosureEngine) -> dict:
             }
         )
     observations = {}
-    for hash_value in list(engine.hash_db._observations):
+    for hash_value in engine.hash_db.hashes():
         owners = engine.hash_db.owners(hash_value)
         observations[str(hash_value)] = [[seg, ts] for seg, ts in owners]
     return {
@@ -82,6 +93,12 @@ def restore_engine(
             f"unsupported snapshot version {data.get('version')!r}"
         )
     config = FingerprintConfig(**data["config"])
+    if clock is None:
+        # Resume the logical clock past every persisted timestamp:
+        # otherwise a restarted process hands out timestamps at or
+        # before the snapshot's, letting post-restart observations
+        # steal authoritative ownership from the true first observers.
+        clock = LogicalClock(start=int(_max_timestamp(data)) + 1)
     engine = DisclosureEngine(
         config,
         clock,

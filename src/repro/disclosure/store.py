@@ -9,12 +9,27 @@ its *authoritative owner* — the overlap-correction mechanism of §4.3.
 last fingerprint computed for it, plus its disclosure threshold and
 metadata. Both are in-memory hash tables as the paper recommends for
 lookup performance.
+
+Both databases maintain *inverted indexes* incrementally so the paper's
+headline latency claim (Figures 12–13: decisions stay fast as the hash
+table grows to millions of entries "thanks to index data structures")
+holds for this implementation too:
+
+* ``hash → oldest owner`` is cached and updated in O(1) on ``record``
+  and in O(observers-of-hash) on ``remove_observation`` — never by
+  scanning the whole table;
+* ``segment → observed hashes`` lets ``discard_segment`` release a
+  segment's claims in O(|F(segment)|) instead of O(all hashes);
+* ``segment → authoritatively owned hashes`` makes the §4.3
+  authoritative set an O(1) lookup for the engine's single-sweep query;
+* ``doc → segment ids`` makes :meth:`SegmentDatabase.in_document`
+  independent of the number of tracked segments.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import UnknownSegmentError
 from repro.fingerprint import Fingerprint
@@ -58,10 +73,30 @@ class HashDatabase:
     an edit removed from its fingerprint, so authority migrates to the
     next-earliest observer that still holds the text (the Figure 6
     behaviour). Removing a segment entirely releases all its claims.
+
+    Ownership is indexed: :meth:`oldest_owner` is an O(1) dictionary
+    lookup against a cache maintained on every mutation, and
+    :meth:`owned_hashes` returns a segment's authoritative set without
+    touching the per-hash observation maps. :attr:`ownership_changes`
+    counts owner transitions (a hash gaining its first owner, changing
+    owner, or losing its last one) for the engine's cache-invalidation
+    stats.
     """
 
     def __init__(self) -> None:
         self._observations: Dict[int, Dict[str, float]] = {}
+        # hash → (first_seen, segment_id) of the current authoritative
+        # owner; the tuple ordering gives the deterministic tie-break.
+        self._oldest: Dict[int, Tuple[float, str]] = {}
+        # segment → hashes it currently observes (reverse index).
+        self._by_segment: Dict[str, Set[int]] = {}
+        # segment → hashes it authoritatively owns (oldest observer).
+        self._owned: Dict[str, Set[int]] = {}
+        # segment → bumped whenever its owned set changes; lets the
+        # engine cache frozen authoritative sets safely.
+        self._owner_epoch: Dict[str, int] = {}
+        #: Total number of ownership transitions since creation.
+        self.ownership_changes = 0
 
     def __len__(self) -> int:
         """Number of distinct hashes ever observed."""
@@ -69,6 +104,23 @@ class HashDatabase:
 
     def __contains__(self, hash_value: int) -> bool:
         return hash_value in self._observations
+
+    # ------------------------------------------------------------------
+    # Ownership index maintenance
+    # ------------------------------------------------------------------
+
+    def _claim(self, segment_id: str, hash_value: int) -> None:
+        self._owned.setdefault(segment_id, set()).add(hash_value)
+        self._owner_epoch[segment_id] = self._owner_epoch.get(segment_id, 0) + 1
+        self.ownership_changes += 1
+
+    def _release(self, segment_id: str, hash_value: int) -> None:
+        owned = self._owned.get(segment_id)
+        if owned is not None:
+            owned.discard(hash_value)
+            if not owned:
+                del self._owned[segment_id]
+        self._owner_epoch[segment_id] = self._owner_epoch.get(segment_id, 0) + 1
 
     def record(self, hash_value: int, segment_id: str, timestamp: float) -> bool:
         """Record that *segment_id* contains *hash_value*.
@@ -81,6 +133,16 @@ class HashDatabase:
         if segment_id in seen_by:
             return False
         seen_by[segment_id] = timestamp
+        self._by_segment.setdefault(segment_id, set()).add(hash_value)
+        current = self._oldest.get(hash_value)
+        claim = (timestamp, segment_id)
+        if current is None:
+            self._oldest[hash_value] = claim
+            self._claim(segment_id, hash_value)
+        elif claim < current:
+            self._oldest[hash_value] = claim
+            self._release(current[1], hash_value)
+            self._claim(segment_id, hash_value)
         return True
 
     def oldest_owner(self, hash_value: int) -> Optional[str]:
@@ -88,6 +150,16 @@ class HashDatabase:
 
         Ties on timestamp break towards the lexicographically smallest
         segment id so the result is deterministic under logical clocks.
+        O(1): served from the maintained ownership index.
+        """
+        entry = self._oldest.get(hash_value)
+        return entry[1] if entry is not None else None
+
+    def recompute_oldest_owner(self, hash_value: int) -> Optional[str]:
+        """Oldest owner recomputed from the raw observation map.
+
+        Deliberately ignores the ownership index — the reference path
+        for differential tests that prove the index stays consistent.
         """
         seen_by = self._observations.get(hash_value)
         if not seen_by:
@@ -99,9 +171,34 @@ class HashDatabase:
         seen_by = self._observations.get(hash_value, {})
         return sorted(seen_by.items(), key=lambda kv: (kv[1], kv[0]))
 
+    def observers(self, hash_value: int) -> Tuple[str, ...]:
+        """Segment ids observing *hash_value*, in no particular order.
+
+        Unlike :meth:`owners` this does not sort, so the non-authoritative
+        query sweep can accumulate counts without O(k log k) per hash.
+        """
+        seen_by = self._observations.get(hash_value)
+        return tuple(seen_by) if seen_by else ()
+
     def first_seen(self, hash_value: int, segment_id: str) -> Optional[float]:
         """When *segment_id* first contained *hash_value*, or None."""
         return self._observations.get(hash_value, {}).get(segment_id)
+
+    def hashes(self) -> List[int]:
+        """All distinct hash values currently observed."""
+        return list(self._observations)
+
+    def hashes_of(self, segment_id: str) -> Set[int]:
+        """The hashes *segment_id* currently observes (index lookup)."""
+        return set(self._by_segment.get(segment_id, ()))
+
+    def owned_hashes(self, segment_id: str) -> Set[int]:
+        """Hashes whose authoritative owner is *segment_id* (O(result))."""
+        return set(self._owned.get(segment_id, ()))
+
+    def owner_epoch(self, segment_id: str) -> int:
+        """Version of *segment_id*'s owned set; bumps on every change."""
+        return self._owner_epoch.get(segment_id, 0)
 
     def remove_observation(self, hash_value: int, segment_id: str) -> bool:
         """Release one (hash, segment) association.
@@ -117,33 +214,84 @@ class HashDatabase:
         if seen_by is None or segment_id not in seen_by:
             return False
         del seen_by[segment_id]
+        observed = self._by_segment.get(segment_id)
+        if observed is not None:
+            observed.discard(hash_value)
+            if not observed:
+                del self._by_segment[segment_id]
         if not seen_by:
+            # The removed segment was necessarily the sole owner.
             del self._observations[hash_value]
+            del self._oldest[hash_value]
+            self._release(segment_id, hash_value)
+            self.ownership_changes += 1
+        elif self._oldest[hash_value][1] == segment_id:
+            ts, seg = min((ts, seg) for seg, ts in seen_by.items())
+            self._oldest[hash_value] = (ts, seg)
+            self._release(segment_id, hash_value)
+            self._claim(seg, hash_value)
         return True
 
     def discard_segment(self, segment_id: str) -> int:
         """Remove every observation by *segment_id*; returns count removed.
 
-        Hashes left with no observers are dropped from the table.
+        Hashes left with no observers are dropped from the table. Runs
+        in O(|F(segment)|) via the segment → hashes reverse index, not
+        O(all hashes).
         """
+        hashes = self._by_segment.pop(segment_id, None)
+        if not hashes:
+            return 0
         removed = 0
-        empty_hashes = []
-        for hash_value, seen_by in self._observations.items():
-            if segment_id in seen_by:
-                del seen_by[segment_id]
-                removed += 1
-                if not seen_by:
-                    empty_hashes.append(hash_value)
-        for hash_value in empty_hashes:
-            del self._observations[hash_value]
+        for hash_value in hashes:
+            seen_by = self._observations[hash_value]
+            del seen_by[segment_id]
+            removed += 1
+            if not seen_by:
+                del self._observations[hash_value]
+                del self._oldest[hash_value]
+                self._release(segment_id, hash_value)
+                self.ownership_changes += 1
+            elif self._oldest[hash_value][1] == segment_id:
+                ts, seg = min((ts, seg) for seg, ts in seen_by.items())
+                self._oldest[hash_value] = (ts, seg)
+                self._release(segment_id, hash_value)
+                self._claim(seg, hash_value)
         return removed
+
+    def check_invariants(self) -> None:
+        """Assert the indexes agree with the raw observation map.
+
+        Test-only sanity pass (O(table)): every differential test calls
+        this so a silently-corrupt index cannot masquerade as a passing
+        equivalence check.
+        """
+        for hash_value, seen_by in self._observations.items():
+            assert seen_by, f"empty observer map retained for {hash_value}"
+            expected = min(seen_by.items(), key=lambda kv: (kv[1], kv[0]))
+            ts, seg = self._oldest[hash_value]
+            assert (seg, ts) == expected, (hash_value, (seg, ts), expected)
+        assert set(self._oldest) == set(self._observations)
+        observed: Dict[str, Set[int]] = {}
+        owned: Dict[str, Set[int]] = {}
+        for hash_value, seen_by in self._observations.items():
+            for seg in seen_by:
+                observed.setdefault(seg, set()).add(hash_value)
+            owned.setdefault(self._oldest[hash_value][1], set()).add(hash_value)
+        assert observed == self._by_segment, "segment reverse index drifted"
+        assert owned == self._owned, "ownership index drifted"
 
 
 class SegmentDatabase:
-    """DBpar: segment id → :class:`SegmentRecord` (latest fingerprint)."""
+    """DBpar: segment id → :class:`SegmentRecord` (latest fingerprint).
+
+    Maintains a doc_id → segment-ids index so :meth:`in_document` is
+    O(paragraphs of the document) instead of O(all records).
+    """
 
     def __init__(self) -> None:
         self._records: Dict[str, SegmentRecord] = {}
+        self._by_doc: Dict[str, Set[str]] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -155,7 +303,19 @@ class SegmentDatabase:
         return iter(self._records.values())
 
     def put(self, record: SegmentRecord) -> None:
+        old = self._records.get(record.segment_id)
+        if old is not None and old.doc_id != record.doc_id and old.doc_id is not None:
+            self._unindex_doc(old.doc_id, old.segment_id)
         self._records[record.segment_id] = record
+        if record.doc_id is not None:
+            self._by_doc.setdefault(record.doc_id, set()).add(record.segment_id)
+
+    def _unindex_doc(self, doc_id: str, segment_id: str) -> None:
+        members = self._by_doc.get(doc_id)
+        if members is not None:
+            members.discard(segment_id)
+            if not members:
+                del self._by_doc[doc_id]
 
     def get(self, segment_id: str) -> SegmentRecord:
         try:
@@ -169,13 +329,16 @@ class SegmentDatabase:
 
     def remove(self, segment_id: str) -> SegmentRecord:
         try:
-            return self._records.pop(segment_id)
+            record = self._records.pop(segment_id)
         except KeyError:
             raise UnknownSegmentError(segment_id) from None
+        if record.doc_id is not None:
+            self._unindex_doc(record.doc_id, segment_id)
+        return record
 
     def ids(self) -> List[str]:
         return list(self._records)
 
     def in_document(self, doc_id: str) -> List[SegmentRecord]:
-        """All paragraph records belonging to *doc_id*."""
-        return [r for r in self._records.values() if r.doc_id == doc_id]
+        """All paragraph records belonging to *doc_id* (index lookup)."""
+        return [self._records[sid] for sid in sorted(self._by_doc.get(doc_id, ()))]

@@ -321,6 +321,7 @@ def figure12_response_times(
     config: FingerprintConfig = PAPER_CONFIG,
     page_paragraphs: int = 3,
     seed: int = 2016,
+    stats_out: Optional[Dict[str, object]] = None,
 ) -> Dict[str, List[float]]:
     """Per-workflow decision latencies (seconds), paper §6.2:
 
@@ -359,6 +360,8 @@ def figure12_response_times(
         lookup, DOCS_SERVICE, doc_id, f"{doc_id}#w3",
         list(edit_toward(modified, page_text)),
     )
+    if stats_out is not None:
+        stats_out.update(lookup.stats())
     return results
 
 
@@ -374,6 +377,7 @@ def figure13_scalability(
     paste_chars: int = 500,
     samples_per_step: int = 30,
     seed: int = 2016,
+    stats_out: Optional[Dict[str, object]] = None,
 ) -> List[Tuple[int, float]]:
     """(distinct hashes in DB, 95th-percentile decision ms) per step.
 
@@ -430,4 +434,6 @@ def figure13_scalability(
                 gc.enable()
         n_hashes = model.tracker.paragraphs.stats()["distinct_hashes"]
         out.append((n_hashes, percentile(times, 95.0) * 1000.0))
+    if stats_out is not None:
+        stats_out.update(lookup.stats())
     return out

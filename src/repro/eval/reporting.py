@@ -68,6 +68,26 @@ def _downsample(
     return [points[i] for i in indices]
 
 
+def format_counters(
+    counters: Mapping[str, object], *, title: str = ""
+) -> str:
+    """Render a flat counter mapping as aligned ``name = value`` lines.
+
+    Used by the benchmark harness to print the engine's index/query
+    counters (candidates swept, cache hits, ownership invalidations)
+    next to the latency numbers. Floats print with two decimals.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not counters:
+        return "\n".join(lines + ["  (no counters)"])
+    width = max(len(name) for name in counters)
+    for name, value in counters.items():
+        lines.append(f"  {name.ljust(width)} = {_cell(value)}")
+    return "\n".join(lines)
+
+
 def format_cdf_summary(
     name: str, values_ms: Sequence[float], thresholds_ms: Sequence[float]
 ) -> str:

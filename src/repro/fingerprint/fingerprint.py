@@ -107,6 +107,12 @@ class Fingerprinter:
 
     def __init__(self, config: FingerprintConfig | None = None) -> None:
         self._config = config or FingerprintConfig()
+        # One hasher per fingerprinter: KarpRabin construction involves a
+        # modular pow() and a 256-entry table; rebuilding it per call
+        # dominated short-segment fingerprinting.
+        self._hasher = KarpRabin(
+            ngram_size=self._config.ngram_size, hash_bits=self._config.hash_bits
+        )
 
     @property
     def config(self) -> FingerprintConfig:
@@ -123,8 +129,7 @@ class Fingerprinter:
         normalized = normalize(text)
         if len(normalized.text) < config.ngram_size:
             return Fingerprint(hashes=frozenset(), selections=(), config=config)
-        hasher = KarpRabin(ngram_size=config.ngram_size, hash_bits=config.hash_bits)
-        values = list(hasher.hash_all(normalized.text))
+        values = self._hasher.hash_all_list(normalized.text)
         positions = winnow(values, config.window_size)
         selections = []
         for pos in positions:

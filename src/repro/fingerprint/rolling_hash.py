@@ -9,7 +9,7 @@ contribution, multiply by the base, add the new character.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator, List, Sequence
 
 from repro.errors import FingerprintError
 
@@ -37,6 +37,11 @@ class KarpRabin:
         self._base = base
         # base**(n-1) mod 2**bits: the weight of the outgoing character.
         self._lead_weight = pow(base, ngram_size - 1, self._mask + 1)
+        # Outgoing-byte contribution table for the bytes fast path:
+        # byte value → byte * lead_weight (pre-masked).
+        self._lead_table = [
+            (b * self._lead_weight) & self._mask for b in range(256)
+        ]
 
     @property
     def ngram_size(self) -> int:
@@ -64,10 +69,45 @@ class KarpRabin:
         Yields ``len(text) - ngram_size + 1`` values; nothing if the text
         is shorter than one n-gram.
         """
-        if len(text) < self._n:
-            return
-        h = self.hash_one(text[: self._n])
-        yield h
-        for i in range(self._n, len(text)):
-            h = self.roll(h, text[i - self._n], text[i])
-            yield h
+        return iter(self.hash_all_list(text))
+
+    def hash_all_list(self, text: str) -> List[int]:
+        """Every n-gram hash of *text* as a list — the hot-path variant.
+
+        When every code point fits in one byte the text is encoded to
+        ``bytes`` (Latin-1 preserves ``ord``) and rolled with a
+        precomputed outgoing-byte table, avoiding per-character ``ord``
+        calls and method dispatch. Texts with wider code points fall
+        back to the character-by-character roll; both produce identical
+        hashes.
+        """
+        n = self._n
+        if len(text) < n:
+            return []
+        try:
+            data = text.encode("latin-1")
+        except UnicodeEncodeError:
+            return self._hash_all_chars(text)
+        base = self._base
+        mask = self._mask
+        lead = self._lead_table
+        h = 0
+        for b in data[:n]:
+            h = (h * base + b) & mask
+        out = [h]
+        append = out.append
+        for i in range(n, len(data)):
+            h = ((h - lead[data[i - n]]) * base + data[i]) & mask
+            append(h)
+        return out
+
+    def _hash_all_chars(self, text: str) -> List[int]:
+        """Character-path roll for texts with code points above 255."""
+        n = self._n
+        h = self.hash_one(text[:n])
+        out = [h]
+        append = out.append
+        for i in range(n, len(text)):
+            h = self.roll(h, text[i - n], text[i])
+            append(h)
+        return out

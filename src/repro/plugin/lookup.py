@@ -11,7 +11,7 @@ keyed by fingerprint, which is what makes per-keystroke checks cheap
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.plugin.cache import DecisionCache
 from repro.tdm.model import FlowDecision, Suppression, TextDisclosureModel
@@ -65,3 +65,23 @@ class PolicyLookup:
         decision = self._model.check_upload(service_id, doc_id, paragraphs)
         self._cache.put(key, decision)
         return decision
+
+    def stats(self) -> Dict[str, object]:
+        """Decision-cache and engine index/query counters, one flat dict.
+
+        Engine counters are summed across the two granularities and
+        prefixed ``engine_``; decision-cache counters are prefixed
+        ``decision_cache_``. Benchmark harnesses print these next to the
+        latency numbers so cache behaviour is visible alongside timings.
+        """
+        tracker = self._model.tracker
+        combined: Dict[str, object] = {
+            "decision_cache_hits": self._cache.hits,
+            "decision_cache_misses": self._cache.misses,
+            "decision_cache_hit_rate": self._cache.hit_rate,
+        }
+        paragraph_stats = tracker.paragraphs.stats()
+        document_stats = tracker.documents.stats()
+        for key in paragraph_stats:
+            combined[f"engine_{key}"] = paragraph_stats[key] + document_stats.get(key, 0)
+        return combined

@@ -30,7 +30,9 @@ def percentile(values: Sequence[float], q: float) -> float:
     if lower == upper:
         return ordered[lower]
     frac = rank - lower
-    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+    # a + frac*(b-a) rather than a*(1-frac) + b*frac: the latter can
+    # underflow below min(values) for subnormal inputs.
+    return ordered[lower] + frac * (ordered[upper] - ordered[lower])
 
 
 def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:

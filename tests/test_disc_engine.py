@@ -242,9 +242,37 @@ class TestQueryCache:
 class TestStats:
     def test_counters(self, engine):
         stats = engine.stats()
-        assert stats == {"segments": 0, "distinct_hashes": 0, "version": 0}
+        assert stats["segments"] == 0
+        assert stats["distinct_hashes"] == 0
+        assert stats["version"] == 0
+        assert stats["queries"] == 0
         engine.observe("s", SECRET_TEXT)
         stats = engine.stats()
         assert stats["segments"] == 1
         assert stats["distinct_hashes"] > 0
         assert stats["version"] == 1
+
+    def test_query_counters(self, engine):
+        engine.observe("s", SECRET_TEXT)
+        engine.disclosing_sources("s")
+        stats = engine.stats()
+        assert stats["queries"] == 1
+        assert stats["query_cache_hits"] == 0
+        assert stats["candidates_swept"] >= 1
+        # Unchanged segment: second query is a decision-cache hit and
+        # does not sweep the index again.
+        engine.disclosing_sources("s")
+        stats = engine.stats()
+        assert stats["queries"] == 2
+        assert stats["query_cache_hits"] == 1
+        assert stats["candidates_swept"] == 1
+
+    def test_ownership_change_counter(self, engine):
+        engine.observe("old", SECRET_TEXT)
+        before = engine.stats()["ownership_changes"]
+        engine.observe("young", SECRET_TEXT)
+        # The younger twin claims nothing: no ownership transitions.
+        assert engine.stats()["ownership_changes"] == before
+        engine.observe("old", OTHER_TEXT)
+        # The edit withdraws "old"'s claims; authority migrates.
+        assert engine.stats()["ownership_changes"] > before

@@ -138,3 +138,25 @@ class TestRetention:
             fingerprint=engine.fingerprint(SECRET_TEXT)
         )
         assert not report.disclosing
+
+
+class TestClockResume:
+    def test_restored_clock_resumes_past_snapshot(self, engine, tmp_path):
+        """A restarted process must not hand out timestamps at or before
+        the snapshot's, or new observations would steal authoritative
+        ownership from the true first observers."""
+        path = tmp_path / "db.json"
+        save_engine(engine, path)
+        restored = load_engine(path)
+        # "aaa-newcomer" sorts before "a", so with a rewound clock the
+        # (timestamp, id) tie-break would hand it ownership.
+        restored.observe("aaa-newcomer", SECRET_TEXT)
+        for h in restored.segment_db.get("a").fingerprint.hashes:
+            assert restored.hash_db.oldest_owner(h) == "a"
+
+    def test_explicit_clock_still_respected(self, engine, tmp_path):
+        path = tmp_path / "db.json"
+        save_engine(engine, path)
+        restored = load_engine(path, clock=LogicalClock(start=100))
+        restored.observe("later", THIRD_TEXT)
+        assert restored.segment_db.get("later").last_updated == 100.0

@@ -123,6 +123,108 @@ class TestSegmentDatabase:
         db.put(record_for("p3", "paragraph in a different document entirely", doc_id="beta"))
         assert {r.segment_id for r in db.in_document("alpha")} == {"p1", "p2"}
 
+    def test_in_document_index_follows_updates(self):
+        db = SegmentDatabase()
+        db.put(record_for("p1", "paragraph one content inside document alpha", doc_id="alpha"))
+        # Re-homing a paragraph moves it between document buckets.
+        db.put(record_for("p1", "paragraph one content inside document alpha", doc_id="beta"))
+        assert db.in_document("alpha") == []
+        assert {r.segment_id for r in db.in_document("beta")} == {"p1"}
+
+    def test_in_document_index_follows_removal(self):
+        db = SegmentDatabase()
+        db.put(record_for("p1", "paragraph one content inside document alpha", doc_id="alpha"))
+        db.put(record_for("p2", "paragraph two content inside document alpha", doc_id="alpha"))
+        db.remove("p1")
+        assert {r.segment_id for r in db.in_document("alpha")} == {"p2"}
+        db.remove("p2")
+        assert db.in_document("alpha") == []
+
+    def test_in_document_ignores_docless_segments(self):
+        db = SegmentDatabase()
+        db.put(record_for("solo", "a standalone segment with no containing document"))
+        assert db.in_document("anything") == []
+
+
+class TestOwnershipIndexes:
+    def test_owned_hashes_tracks_claims(self):
+        db = HashDatabase()
+        db.record(1, "a", 0.0)
+        db.record(2, "a", 0.0)
+        db.record(1, "b", 1.0)
+        assert db.owned_hashes("a") == {1, 2}
+        assert db.owned_hashes("b") == set()
+
+    def test_owned_hashes_migrates_on_removal(self):
+        db = HashDatabase()
+        db.record(1, "a", 0.0)
+        db.record(1, "b", 1.0)
+        db.remove_observation(1, "a")
+        assert db.owned_hashes("a") == set()
+        assert db.owned_hashes("b") == {1}
+        assert db.oldest_owner(1) == "b"
+
+    def test_earlier_record_steals_ownership(self):
+        db = HashDatabase()
+        db.record(1, "late", 5.0)
+        assert db.oldest_owner(1) == "late"
+        db.record(1, "early", 1.0)
+        assert db.oldest_owner(1) == "early"
+        assert db.owned_hashes("late") == set()
+        assert db.owned_hashes("early") == {1}
+
+    def test_owner_epoch_bumps_on_changes(self):
+        db = HashDatabase()
+        before = db.owner_epoch("a")
+        db.record(1, "a", 0.0)
+        after_claim = db.owner_epoch("a")
+        assert after_claim > before
+        db.record(1, "b", 1.0)
+        # "b" never owned hash 1, so its epoch is untouched.
+        assert db.owner_epoch("b") == 0
+        db.remove_observation(1, "a")
+        assert db.owner_epoch("a") > after_claim
+        assert db.owner_epoch("b") > 0
+
+    def test_hashes_of_reverse_index(self):
+        db = HashDatabase()
+        db.record(1, "a", 0.0)
+        db.record(2, "a", 0.0)
+        db.record(2, "b", 1.0)
+        assert db.hashes_of("a") == {1, 2}
+        assert db.hashes_of("b") == {2}
+        db.discard_segment("a")
+        assert db.hashes_of("a") == set()
+        assert db.hashes_of("b") == {2}
+
+    def test_observers_unordered_view(self):
+        db = HashDatabase()
+        db.record(1, "a", 2.0)
+        db.record(1, "b", 1.0)
+        assert set(db.observers(1)) == {"a", "b"}
+        assert db.observers(99) == ()
+
+    def test_recompute_matches_cached(self):
+        db = HashDatabase()
+        db.record(1, "a", 2.0)
+        db.record(1, "b", 1.0)
+        db.record(2, "c", 0.0)
+        db.remove_observation(1, "b")
+        for h in db.hashes():
+            assert db.oldest_owner(h) == db.recompute_oldest_owner(h)
+        db.check_invariants()
+
+    def test_invariants_after_discard(self):
+        db = HashDatabase()
+        for h in range(10):
+            db.record(h, "a", 0.0)
+            if h % 2:
+                db.record(h, "b", 1.0)
+        db.discard_segment("a")
+        db.check_invariants()
+        for h in range(10):
+            assert db.oldest_owner(h) == ("b" if h % 2 else None)
+
 
 class TestSegmentRecord:
     def test_with_fingerprint(self):

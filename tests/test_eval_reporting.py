@@ -2,6 +2,7 @@
 
 from repro.eval.reporting import (
     format_cdf_summary,
+    format_counters,
     format_series,
     format_table,
 )
@@ -49,6 +50,20 @@ class TestFormatSeries:
 
     def test_title(self):
         assert format_series({}, title="Figure 9").startswith("Figure 9")
+
+
+class TestFormatCounters:
+    def test_aligned_lines(self):
+        text = format_counters(
+            {"queries": 12, "hit_rate": 0.5}, title="engine counters"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "engine counters"
+        assert "  queries  = 12" in lines
+        assert "  hit_rate = 0.50" in lines
+
+    def test_empty(self):
+        assert "(no counters)" in format_counters({})
 
 
 class TestFormatCdfSummary:

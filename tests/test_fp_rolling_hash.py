@@ -62,6 +62,34 @@ class TestRolling:
         assert list(kr.hash_all(text)) == direct
 
 
+class TestFastPath:
+    """The bytes/table-driven ``hash_all_list`` path (hot path)."""
+
+    def test_matches_direct_hashing(self):
+        kr = KarpRabin(ngram_size=6)
+        text = "the quick brown fox jumps over the lazy dog"
+        expected = [kr.hash_one(text[i:i + 6]) for i in range(len(text) - 5)]
+        assert kr.hash_all_list(text) == expected
+
+    def test_latin1_supplement_matches(self):
+        # Code points 128–255 survive the Latin-1 bytes encoding.
+        kr = KarpRabin(ngram_size=3)
+        text = "café crème brûlée"
+        expected = [kr.hash_one(text[i:i + 3]) for i in range(len(text) - 2)]
+        assert kr.hash_all_list(text) == expected
+
+    def test_wide_codepoint_fallback_matches(self):
+        # CJK / Greek force the character path; results must be equal.
+        kr = KarpRabin(ngram_size=3)
+        text = "αβγ mixed ascii 中文 tail"
+        expected = [kr.hash_one(text[i:i + 3]) for i in range(len(text) - 2)]
+        assert kr.hash_all_list(text) == expected
+        assert list(kr.hash_all(text)) == expected
+
+    def test_short_text_empty_list(self):
+        assert KarpRabin(ngram_size=9).hash_all_list("tiny") == []
+
+
 class TestValidation:
     def test_zero_ngram_rejected(self):
         with pytest.raises(FingerprintError):

@@ -80,3 +80,19 @@ class TestLookup:
         # declassified decision.
         decision2 = lookup.lookup(DST, "d", segments)
         assert not decision2.allowed
+
+
+class TestStats:
+    def test_combines_cache_and_engine_counters(self, lookup):
+        segments = [("d#p0", SECRET_TEXT)]
+        lookup.lookup(DST, "d", segments)
+        lookup.lookup(DST, "d", segments)
+        stats = lookup.stats()
+        assert stats["decision_cache_hits"] == 1
+        assert stats["decision_cache_misses"] == 1
+        assert stats["decision_cache_hit_rate"] == 0.5
+        # Engine counters sum both granularities and reflect the sweep.
+        assert stats["engine_segments"] >= 1
+        assert stats["engine_queries"] >= 1
+        assert stats["engine_candidates_swept"] >= 1
+        assert "engine_ownership_changes" in stats
