@@ -49,6 +49,9 @@ from repro.fingerprint.config import PAPER_CONFIG, TINY_CONFIG
 from repro.fingerprint.incremental import IncrementalFingerprinter
 from repro.plugin import (
     BrowserFlowPlugin,
+    FailureMode,
+    LookupClient,
+    LookupServer,
     PluginMode,
     UploadCipher,
     WarningEvent,
@@ -56,6 +59,7 @@ from repro.plugin import (
 from repro.plugin.adapters import EditorAdapter
 from repro.services import (
     DocsService,
+    FaultyNetwork,
     ForumService,
     InterviewTool,
     Network,
@@ -101,11 +105,15 @@ __all__ = [
     "TINY_CONFIG",
     # plugin
     "BrowserFlowPlugin",
+    "FailureMode",
+    "LookupClient",
+    "LookupServer",
     "PluginMode",
     "UploadCipher",
     "WarningEvent",
     # services
     "DocsService",
+    "FaultyNetwork",
     "ForumService",
     "InterviewTool",
     "Network",

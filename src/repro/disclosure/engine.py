@@ -4,6 +4,16 @@
 documents); :class:`DisclosureTracker` composes two engines to implement
 the paper's dual-granularity tracking (§4.1): disclosure is significant
 when either the document requirement or any paragraph requirement holds.
+
+Concurrency (DESIGN.md §8): every engine operation runs under a
+reader–writer lock — queries share it, observations and discards take
+it exclusively. A tracker shares *one* lock between its paragraph and
+document engines so a dual-granularity check observes both databases at
+a single consistent point; the lock is reentrant, so compound tracker
+operations nest engine acquisitions safely. The epoch-keyed caches
+(query cache, authoritative-set cache) are read *and* revalidated while
+the lock is held, which is what makes a concurrently-updated epoch
+unable to slip between validation and use.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from repro.disclosure.store import (
 from repro.errors import DisclosureError
 from repro.fingerprint import Fingerprint, FingerprintConfig, Fingerprinter
 from repro.util.clock import Clock, LogicalClock
+from repro.util.rwlock import RWLock
 
 
 @dataclass(frozen=True)
@@ -71,6 +82,9 @@ class DisclosureEngine:
         authoritative: apply the §4.3 overlap correction. Disable only
             for the ablation that measures its effect.
         kind: label recorded on segments ("paragraph" or "document").
+        lock: reader–writer lock guarding the databases and caches; a
+            private one is created when omitted. A tracker passes one
+            shared lock to both of its engines.
     """
 
     def __init__(
@@ -80,11 +94,18 @@ class DisclosureEngine:
         *,
         authoritative: bool = True,
         kind: str = "paragraph",
+        lock: Optional[RWLock] = None,
     ) -> None:
         self._fingerprinter = Fingerprinter(config)
         self._clock = clock or LogicalClock()
         self._authoritative = authoritative
         self._kind = kind
+        #: Guards hash_db, segment_db, and the engine caches. Queries
+        #: take the read side; observe/remove take the write side. The
+        #: databases themselves are unsynchronised on purpose — the hot
+        #: query sweep calls ``oldest_owner`` once per target hash, and
+        #: per-call locking there would cost more than the query.
+        self.lock = lock or RWLock()
         self.hash_db = HashDatabase()
         self.segment_db = SegmentDatabase()
         # Bumped whenever a new (hash, segment) observation lands; lets
@@ -152,65 +173,68 @@ class DisclosureEngine:
         """
         if not 0.0 <= threshold <= 1.0:
             raise DisclosureError(f"threshold must be in [0, 1], got {threshold}")
-        now = self._clock.now()
-        changed = False
-        existing = self.segment_db.find(segment_id)
-        for h in fingerprint.hashes:
-            if self.hash_db.record(h, segment_id, now):
-                changed = True
-        if existing is not None:
-            # An edit withdraws the segment's claim on hashes it no
-            # longer contains, so authority migrates to the oldest
-            # observer that still holds the text (paper Figure 6).
-            for h in existing.fingerprint.hashes - fingerprint.hashes:
-                if self.hash_db.remove_observation(h, segment_id):
+        with self.lock.write_locked():
+            now = self._clock.now()
+            changed = False
+            existing = self.segment_db.find(segment_id)
+            for h in fingerprint.hashes:
+                if self.hash_db.record(h, segment_id, now):
                     changed = True
-        if changed:
-            self._version += 1
-        if existing is not None:
-            record = SegmentRecord(
-                segment_id=segment_id,
-                fingerprint=fingerprint,
-                threshold=threshold,
-                kind=existing.kind,
-                doc_id=doc_id if doc_id is not None else existing.doc_id,
-                last_updated=now,
-            )
-        else:
-            record = SegmentRecord(
-                segment_id=segment_id,
-                fingerprint=fingerprint,
-                threshold=threshold,
-                kind=self._kind,
-                doc_id=doc_id,
-                last_updated=now,
-            )
-        self.segment_db.put(record)
-        return record
+            if existing is not None:
+                # An edit withdraws the segment's claim on hashes it no
+                # longer contains, so authority migrates to the oldest
+                # observer that still holds the text (paper Figure 6).
+                for h in existing.fingerprint.hashes - fingerprint.hashes:
+                    if self.hash_db.remove_observation(h, segment_id):
+                        changed = True
+            if changed:
+                self._version += 1
+            if existing is not None:
+                record = SegmentRecord(
+                    segment_id=segment_id,
+                    fingerprint=fingerprint,
+                    threshold=threshold,
+                    kind=existing.kind,
+                    doc_id=doc_id if doc_id is not None else existing.doc_id,
+                    last_updated=now,
+                )
+            else:
+                record = SegmentRecord(
+                    segment_id=segment_id,
+                    fingerprint=fingerprint,
+                    threshold=threshold,
+                    kind=self._kind,
+                    doc_id=doc_id,
+                    last_updated=now,
+                )
+            self.segment_db.put(record)
+            return record
 
     def remove(self, segment_id: str) -> None:
         """Forget a segment entirely, releasing its hash ownership."""
-        self.segment_db.remove(segment_id)
-        if self.hash_db.discard_segment(segment_id):
-            self._version += 1
-        self._query_cache.pop(segment_id, None)
-        self._auth_cache.pop(segment_id, None)
+        with self.lock.write_locked():
+            self.segment_db.remove(segment_id)
+            if self.hash_db.discard_segment(segment_id):
+                self._version += 1
+            self._query_cache.pop(segment_id, None)
+            self._auth_cache.pop(segment_id, None)
 
     def set_threshold(self, segment_id: str, threshold: float) -> None:
         """Adjust a segment's disclosure threshold (paper §4.2)."""
         if not 0.0 <= threshold <= 1.0:
             raise DisclosureError(f"threshold must be in [0, 1], got {threshold}")
-        record = self.segment_db.get(segment_id)
-        self.segment_db.put(
-            SegmentRecord(
-                segment_id=record.segment_id,
-                fingerprint=record.fingerprint,
-                threshold=threshold,
-                kind=record.kind,
-                doc_id=record.doc_id,
-                last_updated=record.last_updated,
+        with self.lock.write_locked():
+            record = self.segment_db.get(segment_id)
+            self.segment_db.put(
+                SegmentRecord(
+                    segment_id=record.segment_id,
+                    fingerprint=record.fingerprint,
+                    threshold=threshold,
+                    kind=record.kind,
+                    doc_id=record.doc_id,
+                    last_updated=record.last_updated,
+                )
             )
-        )
 
     # ------------------------------------------------------------------
     # Pairwise disclosure
@@ -218,9 +242,10 @@ class DisclosureEngine:
 
     def disclosure_between(self, source_id: str, target_id: str) -> float:
         """D(source, target) for two tracked segments."""
-        source = self.segment_db.get(source_id)
-        target = self.segment_db.get(target_id)
-        return self._score(source, target.fingerprint)
+        with self.lock.read_locked():
+            source = self.segment_db.get(source_id)
+            target = self.segment_db.get(target_id)
+            return self._score(source, target.fingerprint)
 
     def _score(self, source: SegmentRecord, target: Fingerprint) -> float:
         if self._authoritative:
@@ -240,19 +265,24 @@ class DisclosureEngine:
         intersected with the current fingerprint on a miss, which keeps
         the result correct even if the databases were populated outside
         this engine (e.g. hand-built in tests).
+
+        Epoch read, validation, and (on a miss) recomputation all happen
+        under the read lock, so a concurrent ownership migration — which
+        needs the write lock — cannot invalidate the entry mid-use.
         """
         segment_id = source.segment_id
-        epoch = self.hash_db.owner_epoch(segment_id)
-        cached = self._auth_cache.get(segment_id)
-        if cached is not None and cached[0] == epoch:
-            self._counters["auth_cache_hits"] += 1
-            return cached[1]
-        self._counters["auth_cache_misses"] += 1
-        auth = frozenset(
-            self.hash_db.owned_hashes(segment_id) & source.fingerprint.hashes
-        )
-        self._auth_cache[segment_id] = (epoch, auth)
-        return auth
+        with self.lock.read_locked():
+            epoch = self.hash_db.owner_epoch(segment_id)
+            cached = self._auth_cache.get(segment_id)
+            if cached is not None and cached[0] == epoch:
+                self._counters["auth_cache_hits"] += 1
+                return cached[1]
+            self._counters["auth_cache_misses"] += 1
+            auth = frozenset(
+                self.hash_db.owned_hashes(segment_id) & source.fingerprint.hashes
+            )
+            self._auth_cache[segment_id] = (epoch, auth)
+            return auth
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -274,23 +304,28 @@ class DisclosureEngine:
         """
         if (target_id is None) == (fingerprint is None):
             raise DisclosureError("pass exactly one of target_id or fingerprint")
-        self._counters["queries"] += 1
-        if target_id is not None:
-            fingerprint = self.segment_db.get(target_id).fingerprint
-            cached = self._query_cache.get(target_id)
-            if (
-                cached is not None
-                and cached[0] == self._version
-                and cached[1] == fingerprint.hashes
-            ):
-                self._counters["query_cache_hits"] += 1
-                return cached[2]
-        assert fingerprint is not None
+        with self.lock.read_locked():
+            self._counters["queries"] += 1
+            if target_id is not None:
+                fingerprint = self.segment_db.get(target_id).fingerprint
+                cached = self._query_cache.get(target_id)
+                if (
+                    cached is not None
+                    and cached[0] == self._version
+                    and cached[1] == fingerprint.hashes
+                ):
+                    self._counters["query_cache_hits"] += 1
+                    return cached[2]
+            assert fingerprint is not None
 
-        report = self._run_algorithm(target_id, fingerprint, exclude_doc)
-        if target_id is not None:
-            self._query_cache[target_id] = (self._version, fingerprint.hashes, report)
-        return report
+            report = self._run_algorithm(target_id, fingerprint, exclude_doc)
+            if target_id is not None:
+                self._query_cache[target_id] = (
+                    self._version,
+                    fingerprint.hashes,
+                    report,
+                )
+            return report
 
     def disclosing_sources_reference(
         self,
@@ -309,10 +344,11 @@ class DisclosureEngine:
         """
         if (target_id is None) == (fingerprint is None):
             raise DisclosureError("pass exactly one of target_id or fingerprint")
-        if target_id is not None:
-            fingerprint = self.segment_db.get(target_id).fingerprint
-        assert fingerprint is not None
-        return self._run_algorithm_reference(target_id, fingerprint, exclude_doc)
+        with self.lock.read_locked():
+            if target_id is not None:
+                fingerprint = self.segment_db.get(target_id).fingerprint
+            assert fingerprint is not None
+            return self._run_algorithm_reference(target_id, fingerprint, exclude_doc)
 
     # ------------------------------------------------------------------
     # Indexed single-sweep query (the hot path)
@@ -505,6 +541,13 @@ class DisclosureEngine:
         index sweep, authoritative-set cache hits/misses, and ownership
         transitions (each of which invalidates one segment's cached
         authoritative set).
+
+        Concurrency note (DESIGN.md §8): write-path values (``version``,
+        ``ownership_changes``, the db sizes) are exact — they only move
+        under the write lock. Query-path counters are incremented by
+        concurrent readers without mutual exclusion and are therefore
+        monotonic but *approximate* under contention; they exist for
+        reporting, never for control flow.
         """
         return {
             "segments": len(self.segment_db),
@@ -560,11 +603,22 @@ class DisclosureTracker:
         authoritative: bool = True,
     ) -> None:
         shared_clock = clock or LogicalClock()
+        #: One lock for both granularities: a dual-granularity check or
+        #: observation is atomic with respect to concurrent updates.
+        self.lock = RWLock()
         self.paragraphs = DisclosureEngine(
-            config, shared_clock, authoritative=authoritative, kind="paragraph"
+            config,
+            shared_clock,
+            authoritative=authoritative,
+            kind="paragraph",
+            lock=self.lock,
         )
         self.documents = DisclosureEngine(
-            config, shared_clock, authoritative=authoritative, kind="document"
+            config,
+            shared_clock,
+            authoritative=authoritative,
+            kind="document",
+            lock=self.lock,
         )
         self._paragraph_threshold = paragraph_threshold
         self._document_threshold = document_threshold
@@ -600,10 +654,13 @@ class DisclosureTracker:
             if document_threshold is not None
             else self._document_threshold
         )
-        for par_id, text in paragraphs:
-            self.paragraphs.observe(par_id, text, threshold=p_thresh, doc_id=doc_id)
-        doc_text = "\n\n".join(text for _pid, text in paragraphs)
-        self.documents.observe(doc_id, doc_text, threshold=d_thresh)
+        with self.lock.write_locked():
+            for par_id, text in paragraphs:
+                self.paragraphs.observe(
+                    par_id, text, threshold=p_thresh, doc_id=doc_id
+                )
+            doc_text = "\n\n".join(text for _pid, text in paragraphs)
+            self.documents.observe(doc_id, doc_text, threshold=d_thresh)
 
     def check_document(
         self, doc_id: str, paragraphs: Sequence[Tuple[str, str]]
@@ -616,17 +673,18 @@ class DisclosureTracker:
         """
         fingerprinter = self.paragraphs.fingerprinter
         par_reports = []
-        for par_id, text in paragraphs:
-            fp = fingerprinter.fingerprint(text)
-            report = self.paragraphs.disclosing_sources(
-                fingerprint=fp, exclude_doc=doc_id
+        with self.lock.read_locked():
+            for par_id, text in paragraphs:
+                fp = fingerprinter.fingerprint(text)
+                report = self.paragraphs.disclosing_sources(
+                    fingerprint=fp, exclude_doc=doc_id
+                )
+                par_reports.append((par_id, report))
+            doc_text = "\n\n".join(text for _pid, text in paragraphs)
+            doc_fp = self.documents.fingerprinter.fingerprint(doc_text)
+            doc_report = self.documents.disclosing_sources(
+                fingerprint=doc_fp, exclude_doc=doc_id
             )
-            par_reports.append((par_id, report))
-        doc_text = "\n\n".join(text for _pid, text in paragraphs)
-        doc_fp = self.documents.fingerprinter.fingerprint(doc_text)
-        doc_report = self.documents.disclosing_sources(
-            fingerprint=doc_fp, exclude_doc=doc_id
-        )
         # A document must not be reported as disclosing itself.
         doc_report = DisclosureReport(
             target_id=None,
@@ -641,9 +699,10 @@ class DisclosureTracker:
 
     def remove_document(self, doc_id: str) -> None:
         """Forget a document and all of its paragraphs."""
-        for record in self.documents.segment_db.in_document(doc_id):
-            self.documents.remove(record.segment_id)
-        if self.documents.segment_db.find(doc_id) is not None:
-            self.documents.remove(doc_id)
-        for record in self.paragraphs.segment_db.in_document(doc_id):
-            self.paragraphs.remove(record.segment_id)
+        with self.lock.write_locked():
+            for record in self.documents.segment_db.in_document(doc_id):
+                self.documents.remove(record.segment_id)
+            if self.documents.segment_db.find(doc_id) is not None:
+                self.documents.remove(doc_id)
+            for record in self.paragraphs.segment_db.in_document(doc_id):
+                self.paragraphs.remove(record.segment_id)

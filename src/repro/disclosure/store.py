@@ -24,6 +24,14 @@ holds for this implementation too:
   authoritative set an O(1) lookup for the engine's single-sweep query;
 * ``doc → segment ids`` makes :meth:`SegmentDatabase.in_document`
   independent of the number of tracked segments.
+
+Concurrency contract (DESIGN.md §8): the databases are *externally
+synchronised* by the owning engine's reader–writer lock. They carry no
+locks of their own because the engine's hot query sweep makes one
+``oldest_owner`` call per target hash — per-call locking here would
+dominate the query. Code that touches a database outside its engine
+(persistence snapshots, tests) must hold the engine's lock, read side
+for lookups and write side for any mutation.
 """
 
 from __future__ import annotations

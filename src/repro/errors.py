@@ -69,6 +69,52 @@ class DisclosureViolation(PolicyError):
         self.offending_tags = offending
 
 
+class LookupFault(ReproError):
+    """Base class for shared-lookup-service availability failures.
+
+    The shared hash database sits behind the network (paper Fig. 1), so
+    a disclosure decision can fail for reasons that have nothing to do
+    with policy: the request can be dropped, time out against the
+    client's latency budget (§6.2), or be refused by an overloaded
+    backend. These faults are retried by :class:`~repro.plugin.server.
+    LookupClient`; when retries are exhausted the configured
+    fail-open / fail-closed degradation mode decides the upload's fate.
+    """
+
+
+class LookupTimeout(LookupFault):
+    """A lookup request exceeded the client's per-request timeout."""
+
+    def __init__(self, timeout: float, kind: str = "timeout") -> None:
+        super().__init__(f"lookup timed out after {timeout:.3f}s ({kind})")
+        self.timeout = timeout
+        self.kind = kind
+
+
+class LookupRejected(LookupFault):
+    """The lookup backend refused the request with a server error."""
+
+    def __init__(self, status: int) -> None:
+        super().__init__(f"lookup service returned HTTP {status}")
+        self.status = status
+
+
+class LookupUnavailable(LookupFault):
+    """The lookup service stayed unavailable through all retries.
+
+    Recorded in the audit log as a degradation event; under fail-closed
+    enforcement the associated upload is blocked, under fail-open it is
+    allowed with a logged warning.
+    """
+
+    def __init__(self, service_id: str, attempts: int) -> None:
+        super().__init__(
+            f"lookup for {service_id!r} unavailable after {attempts} attempt(s)"
+        )
+        self.service_id = service_id
+        self.attempts = attempts
+
+
 class BrowserError(ReproError):
     """Raised by the simulated browser substrate."""
 

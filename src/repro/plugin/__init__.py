@@ -14,6 +14,12 @@ from repro.plugin.crypto import UploadCipher
 from repro.plugin.enforcement import EnforcementAction, PolicyEnforcement, PluginMode
 from repro.plugin.lookup import PolicyLookup
 from repro.plugin.plugin import BrowserFlowPlugin, WarningEvent
+from repro.plugin.server import (
+    FailureMode,
+    LookupClient,
+    LookupOutcome,
+    LookupServer,
+)
 from repro.plugin.ui import Highlighter
 
 __all__ = [
@@ -25,5 +31,9 @@ __all__ = [
     "PolicyLookup",
     "BrowserFlowPlugin",
     "WarningEvent",
+    "FailureMode",
+    "LookupClient",
+    "LookupOutcome",
+    "LookupServer",
     "Highlighter",
 ]

@@ -8,27 +8,41 @@ The cache key is (service, segment, fingerprint-hash-set, model
 version): a keystroke that leaves the winnowed hashes unchanged hits the
 cache; any change to the fingerprint — or any new observation in the
 disclosure databases — misses.
+
+The cache is shared by every client of the lookup service, so all
+operations are guarded by one mutex (an LRU update mutates the ordered
+dict even on reads, so a reader–writer split would buy nothing here).
+``evictions`` counts entries dropped for *capacity* only — version
+misses leave their stale entries in place until LRU pressure removes
+them — so ``stats()`` consumers can tell an undersized cache from a
+fast-moving model version.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import FrozenSet, Hashable, Optional, Tuple
 
 
 class DecisionCache:
-    """A bounded LRU map from decision keys to decisions."""
+    """A bounded, thread-safe LRU map from decision keys to decisions."""
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self._capacity = capacity
+        self._mutex = threading.RLock()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Entries dropped because the cache was full (capacity misses),
+        #: as opposed to entries orphaned by a model-version bump.
+        self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     @staticmethod
     def key(
@@ -37,22 +51,26 @@ class DecisionCache:
         return (service_id, segment_id, hashes, version)
 
     def get(self, key: Hashable) -> Optional[object]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Hashable, value: object) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
 
     @property
     def hit_rate(self) -> float:

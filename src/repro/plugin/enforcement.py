@@ -13,6 +13,15 @@ Three modes cover the paper's deployment options:
   the offending tags.
 * ``ENCRYPT`` — let the request proceed with the violating text
   replaced by ciphertext, so the untrusted service stores no plaintext.
+
+Degraded decisions: when the shared lookup service is unavailable, a
+fail-closed :class:`~repro.plugin.server.LookupClient` hands enforcement
+a disallowed decision carrying a synthetic ``granularity="lookup"``
+violation. ADVISORY still lets it proceed (warn-only deployments stay
+warn-only when the backend is down), ENFORCE blocks it, and ENCRYPT
+blocks it too — there is no policy verdict saying *which* text
+violates, so encrypting is impossible and the safe action is to hold
+the upload (paper §6.2: the admin chooses which way lookups fail).
 """
 
 from __future__ import annotations
@@ -89,6 +98,10 @@ class PolicyEnforcement:
         if self._mode is PluginMode.ENCRYPT:
             if self._cipher is None:
                 raise ValueError("ENCRYPT mode requires a cipher")
+            if any(v.granularity == "lookup" for v in decision.violations):
+                # Degraded fail-closed decision: the lookup never ran, so
+                # there is no violating text to encrypt — block instead.
+                return EnforcementAction(proceed=False, decision=decision, rewrites={})
             rewrites = {}
             for violation in decision.violations:
                 text = segment_texts.get(violation.segment_id)

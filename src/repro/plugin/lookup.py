@@ -53,35 +53,51 @@ class PolicyLookup:
                 service_id, doc_id, paragraphs, suppressions=suppressions
             )
 
-        engine = self._model.tracker.paragraphs
-        fingerprints = tuple(
-            engine.fingerprinter.fingerprint(text).hashes for _pid, text in paragraphs
-        )
-        version = engine.stats()["version"] + self._model.tracker.documents.stats()["version"]
-        key = (service_id, doc_id, fingerprints, version)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached  # type: ignore[return-value]
-        decision = self._model.check_upload(service_id, doc_id, paragraphs)
-        self._cache.put(key, decision)
-        return decision
+        # The version read and the recomputation must see the same model
+        # state, so the whole path holds the tracker's read lock: without
+        # it a concurrent observation between the two could cache a
+        # decision computed on newer state under the older version key.
+        with self._model.lock.read_locked():
+            engine = self._model.tracker.paragraphs
+            fingerprints = tuple(
+                engine.fingerprinter.fingerprint(text).hashes
+                for _pid, text in paragraphs
+            )
+            version = (
+                engine.stats()["version"]
+                + self._model.tracker.documents.stats()["version"]
+            )
+            key = (service_id, doc_id, fingerprints, version)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+            decision = self._model.check_upload(service_id, doc_id, paragraphs)
+            self._cache.put(key, decision)
+            return decision
 
     def stats(self) -> Dict[str, object]:
         """Decision-cache and engine index/query counters, one flat dict.
 
         Engine counters are summed across the two granularities and
         prefixed ``engine_``; decision-cache counters are prefixed
-        ``decision_cache_``. Benchmark harnesses print these next to the
-        latency numbers so cache behaviour is visible alongside timings.
+        ``decision_cache_`` (``evictions`` counts capacity drops only,
+        so capacity misses are distinguishable from version misses);
+        reader–writer lock counters come from the tracker's shared lock
+        and are prefixed ``lock_``. Benchmark harnesses print these next
+        to the latency numbers so cache and lock behaviour is visible
+        alongside timings.
         """
         tracker = self._model.tracker
         combined: Dict[str, object] = {
             "decision_cache_hits": self._cache.hits,
             "decision_cache_misses": self._cache.misses,
+            "decision_cache_evictions": self._cache.evictions,
             "decision_cache_hit_rate": self._cache.hit_rate,
         }
         paragraph_stats = tracker.paragraphs.stats()
         document_stats = tracker.documents.stats()
         for key in paragraph_stats:
             combined[f"engine_{key}"] = paragraph_stats[key] + document_stats.get(key, 0)
+        for key, value in tracker.lock.stats().items():
+            combined[f"lock_{key}"] = value
         return combined

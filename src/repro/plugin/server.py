@@ -1,0 +1,364 @@
+"""The shared lookup service (paper §5, Fig. 1, §6.2).
+
+The paper deploys one hash database per enterprise, consulted by every
+user's plug-in on every upload and keystroke. This module is that
+deployment shape in miniature: a :class:`LookupServer` fronts one shared
+:class:`~repro.plugin.lookup.PolicyLookup` (and therefore one shared
+engine, guarded by its reader–writer lock) for N concurrent clients,
+and a :class:`LookupClient` gives each simulated plug-in the
+availability machinery §6.2 demands — a per-request timeout so a slow
+lookup cannot wedge the editor, bounded retry with exponential backoff,
+and an explicit *degradation mode* for when the service stays down:
+
+* **fail-closed** — the upload is blocked: the degraded decision is
+  disallowed and carries a synthetic ``granularity="lookup"`` violation,
+  so :class:`~repro.plugin.enforcement.PolicyEnforcement` blocks it in
+  ENFORCE mode (and refuses to "encrypt" text it never saw in ENCRYPT
+  mode). An audited :class:`~repro.tdm.audit.DegradationEvent` records
+  the denial.
+* **fail-open** — the upload is allowed with a logged warning and the
+  same audit event; the admin has chosen availability over containment.
+
+Which way to fail is an admin choice exactly like the plug-in mode:
+advisory deployments pair naturally with fail-open, enforcing ones with
+fail-closed (DESIGN.md §8 has the decision table).
+
+Faults are injected deterministically through a
+:class:`~repro.util.faults.FaultInjector`; latency faults are *compared*
+against the client's timeout budget rather than slept, so fault tests
+assert exact retry/timeout counters and run in microseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import LookupRejected, LookupTimeout, LookupUnavailable
+from repro.plugin.lookup import PolicyLookup
+from repro.tdm.audit import DegradationEvent
+from repro.tdm.labels import Label, SegmentLabel
+from repro.tdm.model import FlowDecision, FlowViolation, Suppression
+from repro.util.clock import Clock, LogicalClock
+from repro.util.faults import Fault, FaultInjector
+
+logger = logging.getLogger(__name__)
+
+#: Granularity marker on the synthetic violation of a fail-closed
+#: degraded decision; enforcement treats it as unencryptable.
+DEGRADED_GRANULARITY = "lookup"
+
+#: Tag name reported as "offending" by a fail-closed degraded decision.
+UNAVAILABLE_TAG = "lookup-unavailable"
+
+
+class FailureMode(enum.Enum):
+    """What a client does when the lookup service stays unavailable."""
+
+    FAIL_OPEN = "fail-open"
+    FAIL_CLOSED = "fail-closed"
+
+
+@dataclass(frozen=True)
+class LookupOutcome:
+    """One client request's result, degraded or not.
+
+    Attributes:
+        decision: the policy decision handed to enforcement. For a
+            degraded request this is synthesised by the failure mode,
+            not computed from the databases.
+        degraded: True when every attempt failed and the failure mode
+            decided the outcome.
+        attempts: lookup attempts made (1 on clean success).
+        retries: attempts minus one, capped by the client's budget.
+        faults: per-failed-attempt fault descriptions in attempt order,
+            e.g. ``("timeout", "http-503")``.
+        waited: backoff delays (seconds) applied between attempts.
+        latency: simulated service latency of the successful attempt
+            (0.0 for degraded requests).
+    """
+
+    decision: FlowDecision
+    degraded: bool
+    attempts: int
+    retries: int
+    faults: Tuple[str, ...]
+    waited: Tuple[float, ...]
+    latency: float
+
+
+class LookupServer:
+    """One shared policy-lookup service for many concurrent clients.
+
+    Thread safety comes from the layers below: the shared
+    :class:`PolicyLookup` holds the model's reader–writer lock across
+    each decision (queries share, observations exclude) and the decision
+    cache carries its own mutex. The server adds fault injection at the
+    request boundary and exact request counters under a private mutex.
+
+    Args:
+        lookup: the shared lookup module (one per enterprise).
+        faults: optional deterministic fault source; healthy if omitted.
+        clock: timestamp source for audit events; kept separate from the
+            engine's observation clock so degradations do not perturb
+            first-seen timestamps.
+    """
+
+    def __init__(
+        self,
+        lookup: PolicyLookup,
+        *,
+        faults: Optional[FaultInjector] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self._lookup = lookup
+        self._faults = faults
+        self._clock = clock or LogicalClock()
+        self._mutex = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "requests": 0,
+            "served": 0,
+            "observes": 0,
+            "dropped": 0,
+            "rejected": 0,
+            "timed_out": 0,
+        }
+
+    @property
+    def lookup(self) -> PolicyLookup:
+        return self._lookup
+
+    def now(self) -> float:
+        return self._clock.now()
+
+    def _count(self, name: str) -> None:
+        with self._mutex:
+            self._counters[name] += 1
+
+    # ------------------------------------------------------------------
+    # Request paths
+    # ------------------------------------------------------------------
+
+    def handle(
+        self,
+        service_id: str,
+        doc_id: str,
+        paragraphs: Sequence[Tuple[str, str]],
+        *,
+        timeout: float,
+        suppressions: Optional[Mapping[str, Sequence[Suppression]]] = None,
+    ) -> Tuple[FlowDecision, float]:
+        """Answer one lookup request; returns (decision, latency).
+
+        The latency is the injected service latency in seconds (0.0 when
+        healthy). Raises :class:`LookupTimeout` when the request is
+        dropped or its injected latency exceeds *timeout*, and
+        :class:`LookupRejected` for an injected backend 5xx — in both
+        cases *before* touching the shared engine, like a real frontend
+        shedding load.
+        """
+        self._count("requests")
+        fault = self._faults.next_fault() if self._faults is not None else Fault.none()
+        if fault.kind == "drop":
+            self._count("dropped")
+            raise LookupTimeout(timeout, kind="drop")
+        if fault.kind == "error":
+            self._count("rejected")
+            raise LookupRejected(fault.status)
+        if fault.kind == "latency" and fault.latency > timeout:
+            self._count("timed_out")
+            raise LookupTimeout(timeout, kind="latency")
+        decision = self._lookup.lookup(
+            service_id, doc_id, paragraphs, suppressions=suppressions
+        )
+        self._count("served")
+        return decision, fault.latency
+
+    def observe(
+        self,
+        service_id: str,
+        doc_id: str,
+        paragraphs: Sequence[Tuple[str, str]],
+    ) -> None:
+        """Record text observed in a service (exclusive write path)."""
+        self._count("observes")
+        self._lookup.model.observe(service_id, doc_id, paragraphs)
+
+    def stats(self) -> Dict[str, object]:
+        """Server request counters + injector + lookup/engine/lock stats."""
+        with self._mutex:
+            combined: Dict[str, object] = {
+                f"server_{name}": value for name, value in self._counters.items()
+            }
+        if self._faults is not None:
+            combined.update(self._faults.stats())
+        combined.update(self._lookup.stats())
+        return combined
+
+
+class LookupClient:
+    """One simulated plug-in's view of the shared lookup service.
+
+    Args:
+        server: the shared :class:`LookupServer`.
+        timeout: per-request latency budget in seconds (§6.2).
+        max_retries: additional attempts after the first failure.
+        backoff: initial retry delay in seconds.
+        backoff_multiplier: exponential backoff factor.
+        failure_mode: fail-open or fail-closed degradation.
+        sleep: optional callable invoked with each backoff delay; tests
+            pass a recorder, production could pass ``time.sleep``. By
+            default delays are recorded in the outcome but not slept,
+            keeping simulations deterministic and fast.
+    """
+
+    def __init__(
+        self,
+        server: LookupServer,
+        *,
+        timeout: float = 0.2,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        backoff_multiplier: float = 2.0,
+        failure_mode: FailureMode = FailureMode.FAIL_CLOSED,
+        sleep=None,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff < 0 or backoff_multiplier < 1.0:
+            raise ValueError("backoff must be >= 0 and multiplier >= 1")
+        self._server = server
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._backoff = backoff
+        self._backoff_multiplier = backoff_multiplier
+        self.failure_mode = failure_mode
+        self._sleep = sleep
+        self._mutex = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "requests": 0,
+            "attempts": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "server_errors": 0,
+            "degraded": 0,
+            "fail_open_allowed": 0,
+            "fail_closed_blocked": 0,
+        }
+
+    @property
+    def timeout(self) -> float:
+        return self._timeout
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        with self._mutex:
+            self._counters[name] += delta
+
+    def lookup(
+        self,
+        service_id: str,
+        doc_id: str,
+        paragraphs: Sequence[Tuple[str, str]],
+        *,
+        suppressions: Optional[Mapping[str, Sequence[Suppression]]] = None,
+    ) -> LookupOutcome:
+        """Resolve a decision with retries; degrade if the service stays down."""
+        self._count("requests")
+        faults: List[str] = []
+        waited: List[float] = []
+        for attempt in range(1, self._max_retries + 2):
+            self._count("attempts")
+            try:
+                decision, latency = self._server.handle(
+                    service_id,
+                    doc_id,
+                    paragraphs,
+                    timeout=self._timeout,
+                    suppressions=suppressions,
+                )
+            except LookupTimeout:
+                self._count("timeouts")
+                faults.append("timeout")
+            except LookupRejected as exc:
+                self._count("server_errors")
+                faults.append(f"http-{exc.status}")
+            else:
+                return LookupOutcome(
+                    decision=decision,
+                    degraded=False,
+                    attempts=attempt,
+                    retries=attempt - 1,
+                    faults=tuple(faults),
+                    waited=tuple(waited),
+                    latency=latency,
+                )
+            if attempt <= self._max_retries:
+                delay = self._backoff * self._backoff_multiplier ** (attempt - 1)
+                waited.append(delay)
+                self._count("retries")
+                if self._sleep is not None:
+                    self._sleep(delay)
+        return self._degrade(service_id, doc_id, faults, waited)
+
+    def _degrade(
+        self,
+        service_id: str,
+        doc_id: str,
+        faults: List[str],
+        waited: List[float],
+    ) -> LookupOutcome:
+        attempts = self._max_retries + 1
+        self._count("degraded")
+        error = LookupUnavailable(service_id, attempts)
+        self._server.lookup.model.audit.record(
+            DegradationEvent(
+                kind="lookup_unavailable",
+                failure_mode=self.failure_mode.value,
+                service_id=service_id,
+                doc_id=doc_id,
+                attempts=attempts,
+                faults=tuple(faults),
+                timestamp=self._server.now(),
+            )
+        )
+        if self.failure_mode is FailureMode.FAIL_OPEN:
+            self._count("fail_open_allowed")
+            logger.warning(
+                "fail-open: allowing upload of %r to %r without a policy "
+                "decision (%s)", doc_id, service_id, error
+            )
+            decision = FlowDecision(service_id=service_id, allowed=True, labels={})
+        else:
+            self._count("fail_closed_blocked")
+            decision = FlowDecision(
+                service_id=service_id,
+                allowed=False,
+                violations=(
+                    FlowViolation(
+                        segment_id=doc_id,
+                        label=SegmentLabel(),
+                        offending=Label.of(UNAVAILABLE_TAG),
+                        granularity=DEGRADED_GRANULARITY,
+                    ),
+                ),
+                labels={},
+            )
+        return LookupOutcome(
+            decision=decision,
+            degraded=True,
+            attempts=attempts,
+            retries=attempts - 1,
+            faults=tuple(faults),
+            waited=tuple(waited),
+            latency=0.0,
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Exact per-client request/retry/timeout/degradation counters."""
+        with self._mutex:
+            return dict(self._counters)

@@ -20,7 +20,7 @@ from repro.services.base import Backend, CloudService, StoredDocument
 from repro.services.docs import DocsEditor, DocsService
 from repro.services.forum import ForumService
 from repro.services.interview import InterviewTool
-from repro.services.network import Network
+from repro.services.network import FaultyNetwork, Network
 from repro.services.notes import NotebookView, NotesService
 from repro.services.static import StaticSite
 from repro.services.wiki import WikiService
@@ -33,6 +33,7 @@ __all__ = [
     "DocsService",
     "ForumService",
     "InterviewTool",
+    "FaultyNetwork",
     "Network",
     "NotebookView",
     "NotesService",

@@ -1,4 +1,11 @@
-"""The simulated network: routes requests and page loads to services."""
+"""The simulated network: routes requests and page loads to services.
+
+:class:`FaultyNetwork` wraps a healthy :class:`Network` with seeded
+fault injection (latency, drops, 5xx) so integration tests and the
+concurrent load driver can exercise the degradation paths of §6.2 —
+a dropped or slow upload must surface as a client-visible failure, not
+a silent hang.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.browser.dom import Document
 from repro.browser.http import HttpRequest, HttpResponse
 from repro.errors import NetworkError
+from repro.util.faults import FaultInjector
 
 
 class Network:
@@ -71,3 +79,68 @@ class Network:
 
     def requests_to(self, origin: str) -> List[HttpRequest]:
         return [req for req, _resp in self.request_log if req.origin == origin]
+
+
+class FaultyNetwork:
+    """A :class:`Network` proxy that injects deterministic faults.
+
+    Each delivery consults the injector *before* the wrapped network:
+
+    * ``drop`` — the request is lost; the caller sees a
+      :class:`NetworkError` and the backend never runs (nothing is
+      appended to the wrapped request log).
+    * ``error`` — the caller gets an HTTP 5xx response synthesised at
+      the "edge"; the backend never runs.
+    * ``latency`` — the injected delay is recorded in
+      :attr:`latencies` (and optionally slept via *sleep*), then the
+      request is delivered normally.
+
+    Everything else (service registry, page rendering, request log)
+    delegates to the wrapped network, so a ``FaultyNetwork`` can stand
+    in anywhere a ``Network`` is expected.
+    """
+
+    def __init__(self, network: Network, faults: FaultInjector, *, sleep=None) -> None:
+        self._network = network
+        self._faults = faults
+        self._sleep = sleep
+        #: Injected latencies in delivery order, for exact assertions.
+        self.latencies: List[float] = []
+        self._counters: Dict[str, int] = {
+            "delivered": 0,
+            "dropped": 0,
+            "errored": 0,
+            "delayed": 0,
+        }
+
+    @property
+    def wrapped(self) -> Network:
+        return self._network
+
+    def deliver(self, request: HttpRequest) -> HttpResponse:
+        fault = self._faults.next_fault()
+        if fault.kind == "drop":
+            self._counters["dropped"] += 1
+            raise NetworkError(f"request to {request.url!r} dropped (injected fault)")
+        if fault.kind == "error":
+            self._counters["errored"] += 1
+            return HttpResponse(
+                status=fault.status, body=f"injected fault: HTTP {fault.status}"
+            )
+        if fault.kind == "latency":
+            self._counters["delayed"] += 1
+            self.latencies.append(fault.latency)
+            if self._sleep is not None:
+                self._sleep(fault.latency)
+        self._counters["delivered"] += 1
+        return self._network.deliver(request)
+
+    def stats(self) -> Dict[str, int]:
+        """Delivery/fault counters plus the injector's per-kind counts."""
+        combined = dict(self._counters)
+        combined.update(self._faults.stats())
+        return combined
+
+    def __getattr__(self, name: str):
+        # register / service_at / render_page / request_log / ...
+        return getattr(self._network, name)

@@ -10,7 +10,7 @@ of the service's ``Lp``. Users may *suppress* tags case-by-case
 to restrict propagation further.
 """
 
-from repro.tdm.audit import AuditLog, SuppressionEvent
+from repro.tdm.audit import AuditLog, DegradationEvent, SuppressionEvent
 from repro.tdm.labels import EMPTY_LABEL, Label, SegmentLabel
 from repro.tdm.model import FlowDecision, FlowViolation, TextDisclosureModel
 from repro.tdm.policy import PolicyStore, ServicePolicy
@@ -18,6 +18,7 @@ from repro.tdm.tags import Tag
 
 __all__ = [
     "AuditLog",
+    "DegradationEvent",
     "SuppressionEvent",
     "EMPTY_LABEL",
     "Label",

@@ -1,15 +1,22 @@
-"""Audit trail for tag suppression (paper §3.1).
+"""Audit trail for tag suppression (paper §3.1) and service degradation.
 
 "Tag suppression incurs an audit trail because it may result in sensitive
 data disclosure. ... Along with a suppressed tag, we also store an
 identifier of the user who initiated the suppression and a justification
 to facilitate future audits."
+
+The shared lookup service extends the same trail with *degradation*
+events: when the lookup backend stays unavailable through every retry,
+the fail-open/fail-closed decision that was taken in its place is itself
+a security-relevant act (fail-open may disclose, fail-closed denies
+service) and must be auditable afterwards.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.tdm.tags import Tag
 
@@ -26,29 +33,67 @@ class SuppressionEvent:
     target_service: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One lookup-unavailable incident and the degradation applied.
+
+    Attributes:
+        kind: what went wrong; currently always ``"lookup_unavailable"``.
+        failure_mode: ``"fail-open"`` or ``"fail-closed"``.
+        service_id: target service of the upload being checked.
+        doc_id: document whose upload hit the degraded path.
+        attempts: lookup attempts made before degrading (1 + retries).
+        faults: per-attempt fault descriptions, e.g. ``("timeout",
+            "http-503")``, in attempt order.
+        timestamp: when the degradation decision was taken.
+    """
+
+    kind: str
+    failure_mode: str
+    service_id: str
+    doc_id: str
+    attempts: int
+    faults: Tuple[str, ...]
+    timestamp: float
+
+
 class AuditLog:
-    """Append-only log of suppression events with simple queries."""
+    """Append-only, thread-safe log of audit events with simple queries.
+
+    Suppression and degradation events share one chronological log;
+    the typed accessors below split them back out.
+    """
 
     def __init__(self) -> None:
-        self._events: List[SuppressionEvent] = []
+        self._mutex = threading.Lock()
+        self._events: List[object] = []
 
-    def record(self, event: SuppressionEvent) -> None:
-        self._events.append(event)
+    def record(self, event) -> None:
+        with self._mutex:
+            self._events.append(event)
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._mutex:
+            return len(self._events)
 
     def __iter__(self):
-        return iter(self._events)
+        return iter(self.events())
 
-    def events(self) -> List[SuppressionEvent]:
-        return list(self._events)
+    def events(self) -> List[object]:
+        with self._mutex:
+            return list(self._events)
+
+    def suppressions(self) -> List[SuppressionEvent]:
+        return [e for e in self.events() if isinstance(e, SuppressionEvent)]
+
+    def degradations(self) -> List[DegradationEvent]:
+        return [e for e in self.events() if isinstance(e, DegradationEvent)]
 
     def by_user(self, user: str) -> List[SuppressionEvent]:
-        return [e for e in self._events if e.user == user]
+        return [e for e in self.suppressions() if e.user == user]
 
     def by_tag(self, tag: Tag) -> List[SuppressionEvent]:
-        return [e for e in self._events if e.tag == tag]
+        return [e for e in self.suppressions() if e.tag == tag]
 
     def by_segment(self, segment_id: str) -> List[SuppressionEvent]:
-        return [e for e in self._events if e.segment_id == segment_id]
+        return [e for e in self.suppressions() if e.segment_id == segment_id]

@@ -113,6 +113,10 @@ class TextDisclosureModel:
             authoritative=authoritative,
         )
         self.audit = AuditLog()
+        #: The tracker's reader–writer lock, shared by both granularity
+        #: engines; model operations reuse it (reentrantly) so label and
+        #: location maps stay consistent with the disclosure databases.
+        self.lock = self.tracker.lock
         self._labels: Dict[str, SegmentLabel] = {}
         self._locations: Dict[str, set] = {}
 
@@ -153,41 +157,44 @@ class TextDisclosureModel:
         ``doc_id``).
         """
         policy = self.policies.get(service_id)
-        # Look up disclosure *before* observing, so a segment is not
-        # matched against the copy of itself we are about to store.
-        report = self.tracker.check_document(doc_id, paragraphs)
-        resolved: Dict[str, SegmentLabel] = {}
+        # The whole check-then-store sequence runs under the write lock:
+        # the disclosure lookup must see the databases *without* the copy
+        # we are about to store, and no concurrent client may observe the
+        # labels before the fingerprints (or vice versa).
+        with self.lock.write_locked():
+            report = self.tracker.check_document(doc_id, paragraphs)
+            resolved: Dict[str, SegmentLabel] = {}
 
-        for (par_id, _text), (_pid, par_report) in zip(
-            paragraphs, report.paragraph_reports
-        ):
-            label = self._labels.get(par_id)
-            if label is None:
-                label = SegmentLabel.of(explicit=policy.confidentiality)
-            inherited = self._inherited_tags(par_report.sources)
-            label = label.add_implicit(inherited)
-            self._labels[par_id] = label
-            self._locations.setdefault(par_id, set()).add(service_id)
-            resolved[par_id] = label
+            for (par_id, _text), (_pid, par_report) in zip(
+                paragraphs, report.paragraph_reports
+            ):
+                label = self._labels.get(par_id)
+                if label is None:
+                    label = SegmentLabel.of(explicit=policy.confidentiality)
+                inherited = self._inherited_tags(par_report.sources)
+                label = label.add_implicit(inherited)
+                self._labels[par_id] = label
+                self._locations.setdefault(par_id, set()).add(service_id)
+                resolved[par_id] = label
 
-        doc_label = self._labels.get(doc_id)
-        if doc_label is None:
-            doc_label = SegmentLabel.of(explicit=policy.confidentiality)
-        if report.document_report is not None:
-            doc_label = doc_label.add_implicit(
-                self._inherited_tags(report.document_report.sources)
+            doc_label = self._labels.get(doc_id)
+            if doc_label is None:
+                doc_label = SegmentLabel.of(explicit=policy.confidentiality)
+            if report.document_report is not None:
+                doc_label = doc_label.add_implicit(
+                    self._inherited_tags(report.document_report.sources)
+                )
+            self._labels[doc_id] = doc_label
+            self._locations.setdefault(doc_id, set()).add(service_id)
+            resolved[doc_id] = doc_label
+
+            self.tracker.observe_document(
+                doc_id,
+                paragraphs,
+                paragraph_threshold=paragraph_threshold,
+                document_threshold=document_threshold,
             )
-        self._labels[doc_id] = doc_label
-        self._locations.setdefault(doc_id, set()).add(service_id)
-        resolved[doc_id] = doc_label
-
-        self.tracker.observe_document(
-            doc_id,
-            paragraphs,
-            paragraph_threshold=paragraph_threshold,
-            document_threshold=document_threshold,
-        )
-        return resolved
+            return resolved
 
     def _inherited_tags(self, sources: Iterable[SourceDisclosure]) -> FrozenSet[Tag]:
         tags: set = set()
@@ -216,52 +223,56 @@ class TextDisclosureModel:
         """
         policy = self.policies.get(service_id)
         suppressions = suppressions or {}
-        report = self.tracker.check_document(doc_id, paragraphs)
-        violations: List[FlowViolation] = []
-        resolved: Dict[str, SegmentLabel] = {}
+        # Read lock: the dual-granularity report and the label resolution
+        # below must describe one consistent database state. Suppression
+        # audit appends are safe under the shared lock (append-only log).
+        with self.lock.read_locked():
+            report = self.tracker.check_document(doc_id, paragraphs)
+            violations: List[FlowViolation] = []
+            resolved: Dict[str, SegmentLabel] = {}
 
-        for (par_id, _text), (_pid, par_report) in zip(
-            paragraphs, report.paragraph_reports
-        ):
-            label = self._resolve_for_check(
-                par_id, par_report.sources, policy, suppressions.get(par_id, ())
+            for (par_id, _text), (_pid, par_report) in zip(
+                paragraphs, report.paragraph_reports
+            ):
+                label = self._resolve_for_check(
+                    par_id, par_report.sources, policy, suppressions.get(par_id, ())
+                )
+                resolved[par_id] = label
+                if not label.flows_to(policy.privilege):
+                    violations.append(
+                        FlowViolation(
+                            segment_id=par_id,
+                            label=label,
+                            offending=label.offending_tags(policy.privilege),
+                            sources=par_report.sources,
+                            granularity="paragraph",
+                        )
+                    )
+
+            doc_sources = (
+                report.document_report.sources if report.document_report else ()
             )
-            resolved[par_id] = label
-            if not label.flows_to(policy.privilege):
+            doc_label = self._resolve_for_check(
+                doc_id, doc_sources, policy, suppressions.get(doc_id, ())
+            )
+            resolved[doc_id] = doc_label
+            if not doc_label.flows_to(policy.privilege):
                 violations.append(
                     FlowViolation(
-                        segment_id=par_id,
-                        label=label,
-                        offending=label.offending_tags(policy.privilege),
-                        sources=par_report.sources,
-                        granularity="paragraph",
+                        segment_id=doc_id,
+                        label=doc_label,
+                        offending=doc_label.offending_tags(policy.privilege),
+                        sources=doc_sources,
+                        granularity="document",
                     )
                 )
 
-        doc_sources = (
-            report.document_report.sources if report.document_report else ()
-        )
-        doc_label = self._resolve_for_check(
-            doc_id, doc_sources, policy, suppressions.get(doc_id, ())
-        )
-        resolved[doc_id] = doc_label
-        if not doc_label.flows_to(policy.privilege):
-            violations.append(
-                FlowViolation(
-                    segment_id=doc_id,
-                    label=doc_label,
-                    offending=doc_label.offending_tags(policy.privilege),
-                    sources=doc_sources,
-                    granularity="document",
-                )
+            return FlowDecision(
+                service_id=service_id,
+                allowed=not violations,
+                violations=tuple(violations),
+                labels=resolved,
             )
-
-        return FlowDecision(
-            service_id=service_id,
-            allowed=not violations,
-            violations=tuple(violations),
-            labels=resolved,
-        )
 
     def _resolve_for_check(
         self,
@@ -309,11 +320,12 @@ class TextDisclosureModel:
             )
         # Once stored, the text is "created within" the target service
         # too, so it additionally carries that service's Lc (§3.1).
-        confidentiality = self.policies.get(service_id).confidentiality
-        for segment_id, label in decision.labels.items():
-            self._labels[segment_id] = label.add_explicit(confidentiality)
-            self._locations.setdefault(segment_id, set()).add(service_id)
-        self.tracker.observe_document(doc_id, paragraphs)
+        with self.lock.write_locked():
+            confidentiality = self.policies.get(service_id).confidentiality
+            for segment_id, label in decision.labels.items():
+                self._labels[segment_id] = label.add_explicit(confidentiality)
+                self._locations.setdefault(segment_id, set()).add(service_id)
+            self.tracker.observe_document(doc_id, paragraphs)
 
     # ------------------------------------------------------------------
     # Custom tags (§3.1)
@@ -331,9 +343,10 @@ class TextDisclosureModel:
         text never cuts off services that legitimately hold it.
         """
         tag = as_tag(tag)
-        label = self.label_of(segment_id).add_explicit([tag])
-        self._labels[segment_id] = label
-        for service_id in self.locations_of(segment_id):
-            policy = self.policies.get(service_id)
-            if tag not in policy.privilege:
-                self.policies.register(policy.with_privilege_tag(tag))
+        with self.lock.write_locked():
+            label = self.label_of(segment_id).add_explicit([tag])
+            self._labels[segment_id] = label
+            for service_id in self.locations_of(segment_id):
+                policy = self.policies.get(service_id)
+                if tag not in policy.privilege:
+                    self.policies.register(policy.with_privilege_tag(tag))

@@ -1,7 +1,9 @@
-"""Shared utilities: logical clocks, id generation, text and stats helpers."""
+"""Shared utilities: clocks, ids, text/stats helpers, locks, faults."""
 
 from repro.util.clock import Clock, LogicalClock, SystemClock
+from repro.util.faults import Fault, FaultInjector
 from repro.util.idgen import IdGenerator
+from repro.util.rwlock import RWLock
 from repro.util.stats import cdf_points, percentile, summarize
 from repro.util.text import split_paragraphs, split_sentences, word_count
 
@@ -9,7 +11,10 @@ __all__ = [
     "Clock",
     "LogicalClock",
     "SystemClock",
+    "Fault",
+    "FaultInjector",
     "IdGenerator",
+    "RWLock",
     "cdf_points",
     "percentile",
     "summarize",

@@ -1,0 +1,159 @@
+"""A write-preferring, reentrant reader–writer lock with counters.
+
+The shared lookup service serves many clients from one set of
+disclosure databases (paper §5: one hash database per enterprise,
+consulted by every user's plug-in). Queries vastly outnumber updates —
+one observation per page load or committed upload versus one decision
+per keystroke — so the databases are guarded by a reader–writer lock:
+disclosure queries share the lock, observations and discards take it
+exclusively.
+
+Design points:
+
+* **Write-preferring**: new readers queue behind a waiting writer, so a
+  steady stream of per-keystroke queries cannot starve an observation.
+* **Reentrant**: a thread holding the write lock may re-enter both the
+  write and the read side (the engine's compound operations — observe,
+  check-document — nest reads inside writes on the same lock), and a
+  reader may re-enter the read side. A read→write *upgrade* is refused
+  with ``RuntimeError`` because two upgrading readers would deadlock.
+* **Counted**: acquisition and contention counters feed the engine's
+  ``stats()`` → ``format_counters`` reporting path so lock behaviour is
+  visible next to latency numbers. Counter increments happen under the
+  lock's own condition variable, so they are exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class RWLock:
+    """Reader–writer lock: shared readers, one exclusive writer."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        # thread ident → read recursion depth (readers only).
+        self._readers: Dict[int, int] = {}
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+        self._waiting_writers = 0
+        #: Exact acquisition counters (maintained under the condition).
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+        #: Acquisitions that had to wait at least once.
+        self.read_contended = 0
+        self.write_contended = 0
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or me in self._readers:
+                # Reentrant read (including read-inside-write): must not
+                # queue behind waiting writers or the thread deadlocks
+                # against itself.
+                self._readers[me] = self._readers.get(me, 0) + 1
+                self.read_acquisitions += 1
+                return
+            contended = False
+            while self._writer is not None or self._waiting_writers:
+                contended = True
+                self._cond.wait()
+            self._readers[me] = 1
+            self.read_acquisitions += 1
+            if contended:
+                self.read_contended += 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            depth = self._readers.get(me)
+            if depth is None:
+                raise RuntimeError("release_read without a matching acquire_read")
+            if depth == 1:
+                del self._readers[me]
+                if not self._readers:
+                    self._cond.notify_all()
+            else:
+                self._readers[me] = depth - 1
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                self.write_acquisitions += 1
+                return
+            if me in self._readers:
+                raise RuntimeError(
+                    "read->write upgrade would deadlock; acquire the write "
+                    "lock before the read lock"
+                )
+            self._waiting_writers += 1
+            contended = False
+            try:
+                while self._writer is not None or self._readers:
+                    contended = True
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            self._writer_depth = 1
+            self.write_acquisitions += 1
+            if contended:
+                self.write_contended += 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write by a thread not holding the lock")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Context managers and introspection
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def held_for_write(self) -> bool:
+        """True iff the *calling thread* holds the write lock."""
+        with self._cond:
+            return self._writer == threading.get_ident()
+
+    def stats(self) -> Dict[str, int]:
+        """Exact acquisition/contention counters for reporting."""
+        with self._cond:
+            return {
+                "read_acquisitions": self.read_acquisitions,
+                "write_acquisitions": self.write_acquisitions,
+                "read_contended": self.read_contended,
+                "write_contended": self.write_contended,
+            }

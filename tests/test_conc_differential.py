@@ -1,0 +1,211 @@
+"""Deterministic concurrency differential test for the shared engine.
+
+Eight threads drive a shared :class:`DisclosureEngine` through a seeded,
+barrier-scheduled plan of observe / edit / discard / query operations.
+The schedule makes the outcome deterministic without giving up real
+concurrency:
+
+* **query rounds** — all eight threads issue disclosure queries at the
+  same time (sharing the read lock); there is no writer in the round,
+  so every report must be *field-identical* to replaying the linearised
+  op log on a serial reference engine;
+* **write rounds** — exactly one thread mutates (observe / edit /
+  discard, taking the write lock) while the other seven hammer
+  concurrent "noise" queries. Those queries race the write by design,
+  so they are checked structurally (no dead segments, sane scores), not
+  against the replay;
+* barriers separate rounds, so the op log order *is* the round order
+  and the logical clock ticks identically in the replay.
+
+No sleeps anywhere: scheduling is entirely barrier-driven, so the test
+is exactly repeatable for a fixed seed. Seeds come from
+``BF_CONC_SEEDS`` (comma-separated) so the CI stress job can run the
+same test under many distinct schedules with a deadlock timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+
+import pytest
+
+from repro.disclosure import DisclosureEngine
+from repro.fingerprint.config import FingerprintConfig
+
+CONFIG = FingerprintConfig(ngram_size=4, window_size=3)
+N_THREADS = 8
+N_ROUNDS = 25  # 8 threads x 25 rounds = 200 ops
+SEGMENT_POOL = [f"seg-{i}" for i in range(12)]
+WORDS = [
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+    "hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+]
+
+SEEDS = [
+    int(s)
+    for s in os.environ.get("BF_CONC_SEEDS", "2016,2017").split(",")
+    if s.strip()
+]
+
+
+def _text(rng: random.Random) -> str:
+    return " ".join(rng.choice(WORDS) for _ in range(rng.randint(5, 20)))
+
+
+def _build_plan(seed: int):
+    """The full deterministic schedule: one action per (round, thread).
+
+    Actions:
+        ("observe", seg, text)  — create or edit (write lock)
+        ("remove", seg)         — discard (write lock)
+        ("query_fp", text)      — checked query by fingerprint
+        ("query_target", seg)   — checked query by tracked id
+        ("noise", text)         — unchecked query racing a write
+    """
+    rng = random.Random(seed)
+    live: set = set()
+    plan = []
+    for _round in range(N_ROUNDS):
+        write_round = rng.random() < 0.45 or not live
+        actions = {}
+        if write_round:
+            writer = rng.randrange(N_THREADS)
+            choice = rng.random()
+            if live and choice < 0.2:
+                seg = rng.choice(sorted(live))
+                actions[writer] = ("remove", seg)
+                live.discard(seg)
+            elif live and choice < 0.55:
+                seg = rng.choice(sorted(live))  # edit in place
+                actions[writer] = ("observe", seg, _text(rng))
+            else:
+                seg = rng.choice(SEGMENT_POOL)
+                actions[writer] = ("observe", seg, _text(rng))
+                live.add(seg)
+            for tid in range(N_THREADS):
+                if tid != writer:
+                    actions[tid] = ("noise", _text(rng))
+        else:
+            for tid in range(N_THREADS):
+                if live and rng.random() < 0.5:
+                    actions[tid] = ("query_target", rng.choice(sorted(live)))
+                else:
+                    actions[tid] = ("query_fp", _text(rng))
+        plan.append(actions)
+    return plan
+
+
+def _apply(engine: DisclosureEngine, action):
+    """Run one action; returns the report for checked queries, else None."""
+    kind = action[0]
+    if kind == "observe":
+        engine.observe(action[1], action[2], threshold=0.5)
+        return None
+    if kind == "remove":
+        engine.remove(action[1])
+        return None
+    if kind == "query_target":
+        return engine.disclosing_sources(action[1])
+    # query_fp and noise
+    return engine.disclosing_sources(fingerprint=engine.fingerprint(action[1]))
+
+
+def _assert_reports_identical(actual, expected, context):
+    assert actual.target_id == expected.target_id, context
+    assert actual.candidates_checked == expected.candidates_checked, context
+    assert len(actual.sources) == len(expected.sources), context
+    for got, want in zip(actual.sources, expected.sources):
+        assert got.segment_id == want.segment_id, context
+        assert got.score == want.score, context
+        assert got.threshold == want.threshold, context
+        assert got.matched_hashes == want.matched_hashes, context
+        assert got.kind == want.kind, context
+        assert got.doc_id == want.doc_id, context
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_concurrent_engine_matches_serial_replay(seed):
+    plan = _build_plan(seed)
+    shared = DisclosureEngine(CONFIG)
+    outputs = {}  # (round, tid) -> report, for checked queries
+    errors = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def worker(tid: int) -> None:
+        try:
+            for r, actions in enumerate(plan):
+                barrier.wait(timeout=30)
+                action = actions[tid]
+                report = _apply(shared, action)
+                if action[0] in ("query_fp", "query_target"):
+                    outputs[(r, tid)] = report
+                elif action[0] == "noise" and report is not None:
+                    # Races the round's writer: check structure only.
+                    assert set(report.source_ids()) <= set(SEGMENT_POOL)
+                    for source in report.sources:
+                        assert 0.0 < source.score <= 1.0
+                barrier.wait(timeout=30)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append((tid, exc))
+            barrier.abort()
+
+    threads = [threading.Thread(target=worker, args=(tid,)) for tid in range(N_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors, errors
+    assert not any(t.is_alive() for t in threads), "worker deadlocked"
+
+    # The shared engine's indexes survived 8-thread contention intact.
+    shared.hash_db.check_invariants()
+
+    # Replay the linearised op log on a serial reference engine. Write
+    # rounds contribute exactly one mutation each, so round order *is*
+    # the linearisation; query-round reports must match field-for-field.
+    serial = DisclosureEngine(CONFIG)
+    for r, actions in enumerate(plan):
+        kinds = {a[0] for a in actions.values()}
+        if "observe" in kinds or "remove" in kinds:
+            for action in actions.values():
+                if action[0] in ("observe", "remove"):
+                    _apply(serial, action)
+        else:
+            for tid in range(N_THREADS):
+                expected = _apply(serial, actions[tid])
+                _assert_reports_identical(
+                    outputs[(r, tid)], expected, f"seed={seed} round={r} tid={tid}"
+                )
+
+    # End-state equivalence: same segments, same hash table, same owners,
+    # and field-identical reports for every live segment.
+    assert sorted(shared.segment_db.ids()) == sorted(serial.segment_db.ids())
+    assert set(shared.hash_db.hashes()) == set(serial.hash_db.hashes())
+    for h in serial.hash_db.hashes():
+        assert shared.hash_db.oldest_owner(h) == serial.hash_db.oldest_owner(h)
+    for seg in serial.segment_db.ids():
+        _assert_reports_identical(
+            shared.disclosing_sources(seg),
+            serial.disclosing_sources(seg),
+            f"seed={seed} final segment={seg}",
+        )
+
+    # Lock accounting is exact: one write acquisition per mutation, one
+    # read acquisition per query (checked, noise, and final sweep).
+    n_writes = sum(
+        1
+        for actions in plan
+        for a in actions.values()
+        if a[0] in ("observe", "remove")
+    )
+    n_queries = sum(
+        1
+        for actions in plan
+        for a in actions.values()
+        if a[0] in ("query_fp", "query_target", "noise")
+    )
+    stats = shared.lock.stats()
+    assert stats["write_acquisitions"] == n_writes
+    assert stats["read_acquisitions"] == n_queries + len(serial.segment_db.ids())

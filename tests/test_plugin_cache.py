@@ -1,5 +1,7 @@
 """Tests for the decision cache."""
 
+import threading
+
 import pytest
 
 from repro.plugin.cache import DecisionCache
@@ -62,3 +64,67 @@ class TestDecisionCache:
         cache.get("a")
         cache.get("missing")
         assert cache.hit_rate == 0.5
+
+
+class TestEvictions:
+    def test_counts_capacity_drops_exactly(self):
+        cache = DecisionCache(capacity=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert cache.evictions == 7
+
+    def test_update_in_place_does_not_evict(self):
+        cache = DecisionCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 3)  # overwrite, still 2 entries
+        assert cache.evictions == 0
+        assert cache.get("a") == 3
+
+    def test_clear_does_not_count_as_eviction(self):
+        cache = DecisionCache(capacity=2)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.evictions == 0
+
+    def test_version_miss_leaves_entry_until_lru_pressure(self):
+        # A model-version bump orphans the old entry without evicting it;
+        # only capacity pressure removes it (and counts it).
+        cache = DecisionCache(capacity=2)
+        k0 = cache.key("svc", "seg", frozenset({1}), 0)
+        k1 = cache.key("svc", "seg", frozenset({1}), 1)
+        cache.put(k0, "old")
+        cache.put(k1, "new")
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        cache.put("other", "x")  # now the stale k0 is LRU-dropped
+        assert cache.evictions == 1
+        assert cache.get(k1) == "new"
+
+
+class TestThreadSafety:
+    def test_concurrent_puts_stay_bounded_and_accounted(self):
+        cache = DecisionCache(capacity=16)
+        barrier = threading.Barrier(4, timeout=5)
+
+        def hammer(tid):
+            barrier.wait()
+            for i in range(250):
+                key = (tid, i)
+                cache.put(key, i)
+                cache.get(key)
+                cache.get(("missing", tid, i))
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        assert len(cache) == 16
+        # Every counter is mutex-guarded, so totals are exact even under
+        # contention: 1000 puts leave 16 entries -> 984 evictions, and
+        # hits/misses partition the 2000 gets.
+        assert cache.evictions == 4 * 250 - 16
+        assert cache.hits + cache.misses == 4 * 250 * 2
+        assert cache.misses >= 4 * 250  # every "missing" get missed

@@ -96,3 +96,22 @@ class TestStats:
         assert stats["engine_queries"] >= 1
         assert stats["engine_candidates_swept"] >= 1
         assert "engine_ownership_changes" in stats
+
+    def test_surfaces_evictions_and_lock_counters(self):
+        from repro.plugin.cache import DecisionCache
+
+        policies = PolicyStore()
+        policies.register_service(DST)
+        model = TextDisclosureModel(policies, TINY_CONFIG)
+        lookup = PolicyLookup(model, cache=DecisionCache(capacity=1))
+        lookup.lookup(DST, "d", [("d#p0", SECRET_TEXT)])
+        lookup.lookup(DST, "d", [("d#p0", OTHER_TEXT)])
+        stats = lookup.stats()
+        # Two distinct fingerprints through a 1-entry cache: the second
+        # put must have dropped the first for capacity.
+        assert stats["decision_cache_evictions"] == 1
+        assert stats["decision_cache_misses"] == 2
+        # The tracker's reader-writer lock counters ride along (nested
+        # reentrant acquisitions each count, so >= one per lookup).
+        assert stats["lock_read_acquisitions"] >= 2
+        assert stats["lock_write_acquisitions"] == 0

@@ -1,0 +1,246 @@
+"""Fault-mode tests for the shared lookup service (paper §6.2).
+
+Under injected lookup faults the client must degrade exactly as
+configured: fail-closed blocks the upload with an audited
+``lookup_unavailable`` event, fail-open allows it with a logged
+warning, and the retry/backoff counters match the injected fault
+schedule exactly (the injector is schedule-driven, so every number
+below is forced, not approximate).
+"""
+
+import logging
+
+import pytest
+
+from repro.errors import LookupRejected, LookupTimeout
+from repro.fingerprint.config import TINY_CONFIG
+from repro.plugin.enforcement import PluginMode, PolicyEnforcement
+from repro.plugin.lookup import PolicyLookup
+from repro.plugin.server import (
+    DEGRADED_GRANULARITY,
+    FailureMode,
+    LookupClient,
+    LookupServer,
+)
+from repro.plugin.crypto import UploadCipher
+from repro.tdm import Label, PolicyStore, TextDisclosureModel
+from repro.util.faults import Fault, FaultInjector
+
+from conftest import OTHER_TEXT, SECRET_TEXT
+
+SRC = "https://src.example.com"
+DST = "https://dst.example.com"
+SEGMENTS = [("d#p0", SECRET_TEXT)]
+
+
+def make_lookup() -> PolicyLookup:
+    policies = PolicyStore()
+    policies.register_service(
+        SRC, privilege=Label.of("s"), confidentiality=Label.of("s")
+    )
+    policies.register_service(DST)
+    model = TextDisclosureModel(policies, TINY_CONFIG)
+    model.observe(SRC, "doc-src", [("doc-src#p0", SECRET_TEXT)])
+    return PolicyLookup(model)
+
+
+def make_server(*faults: Fault) -> LookupServer:
+    return LookupServer(
+        make_lookup(), faults=FaultInjector(schedule=list(faults))
+    )
+
+
+class TestHealthyPath:
+    def test_clean_lookup_round_trip(self):
+        server = make_server()
+        client = LookupClient(server)
+        outcome = client.lookup(DST, "d", SEGMENTS)
+        assert not outcome.degraded
+        assert outcome.attempts == 1
+        assert outcome.retries == 0
+        assert outcome.faults == ()
+        assert not outcome.decision.allowed  # the secret really violates
+        allowed = client.lookup(DST, "d", [("d#p0", OTHER_TEXT)])
+        assert allowed.decision.allowed
+        assert server.stats()["server_served"] == 2
+
+    def test_latency_within_budget_is_served(self):
+        server = make_server(Fault.slow(0.05))
+        client = LookupClient(server, timeout=0.2)
+        outcome = client.lookup(DST, "d", SEGMENTS)
+        assert not outcome.degraded
+        assert outcome.latency == 0.05
+        assert client.stats()["timeouts"] == 0
+
+    def test_transient_faults_recovered_by_retry(self):
+        server = make_server(Fault.error(503), Fault.drop(), Fault.none())
+        client = LookupClient(server, max_retries=2, backoff=0.01)
+        outcome = client.lookup(DST, "d", SEGMENTS)
+        assert not outcome.degraded
+        assert outcome.attempts == 3
+        assert outcome.retries == 2
+        assert outcome.faults == ("http-503", "timeout")
+        assert outcome.waited == (0.01, 0.02)
+        assert not outcome.decision.allowed
+        stats = client.stats()
+        assert stats["server_errors"] == 1
+        assert stats["timeouts"] == 1
+        assert stats["degraded"] == 0
+
+
+class TestFailClosed:
+    def test_timeouts_block_with_audited_event(self):
+        server = make_server(Fault.drop(), Fault.slow(9.0), Fault.drop())
+        client = LookupClient(
+            server,
+            timeout=0.1,
+            max_retries=2,
+            backoff=0.05,
+            failure_mode=FailureMode.FAIL_CLOSED,
+        )
+        outcome = client.lookup(DST, "d", SEGMENTS)
+        assert outcome.degraded
+        assert not outcome.decision.allowed
+        assert outcome.attempts == 3
+        assert outcome.faults == ("timeout", "timeout", "timeout")
+        assert outcome.waited == (0.05, 0.1)
+        [violation] = outcome.decision.violations
+        assert violation.granularity == DEGRADED_GRANULARITY
+        # Audited LookupUnavailable event.
+        audit = server.lookup.model.audit
+        [event] = audit.degradations()
+        assert event.kind == "lookup_unavailable"
+        assert event.failure_mode == "fail-closed"
+        assert event.service_id == DST
+        assert event.attempts == 3
+        assert event.faults == ("timeout", "timeout", "timeout")
+        # Counters match the schedule exactly: 1 drop + 1 over-budget
+        # latency + 1 drop, zero requests served.
+        stats = server.stats()
+        assert stats["server_requests"] == 3
+        assert stats["server_dropped"] == 2
+        assert stats["server_timed_out"] == 1
+        assert stats["server_served"] == 0
+        cstats = client.stats()
+        assert cstats["timeouts"] == 3
+        assert cstats["retries"] == 2
+        assert cstats["degraded"] == 1
+        assert cstats["fail_closed_blocked"] == 1
+        assert cstats["fail_open_allowed"] == 0
+
+    def test_5xx_block_with_audited_event(self):
+        server = make_server(Fault.error(500), Fault.error(502))
+        client = LookupClient(
+            server, max_retries=1, failure_mode=FailureMode.FAIL_CLOSED
+        )
+        outcome = client.lookup(DST, "d", SEGMENTS)
+        assert outcome.degraded
+        assert not outcome.decision.allowed
+        assert outcome.faults == ("http-500", "http-502")
+        [event] = server.lookup.model.audit.degradations()
+        assert event.faults == ("http-500", "http-502")
+        assert server.stats()["server_rejected"] == 2
+        assert client.stats()["server_errors"] == 2
+
+    def test_enforce_mode_blocks_degraded_upload(self):
+        server = make_server(Fault.drop())
+        client = LookupClient(
+            server, max_retries=0, failure_mode=FailureMode.FAIL_CLOSED
+        )
+        outcome = client.lookup(DST, "d", SEGMENTS)
+        action = PolicyEnforcement(PluginMode.ENFORCE).enforce(
+            outcome.decision, dict(SEGMENTS)
+        )
+        assert not action.proceed
+
+    def test_encrypt_mode_blocks_degraded_upload(self):
+        # There is no verdict saying which text violates, so ENCRYPT
+        # cannot substitute ciphertext and must hold the upload.
+        server = make_server(Fault.drop())
+        client = LookupClient(
+            server, max_retries=0, failure_mode=FailureMode.FAIL_CLOSED
+        )
+        outcome = client.lookup(DST, "d", SEGMENTS)
+        action = PolicyEnforcement(
+            PluginMode.ENCRYPT, UploadCipher(key="sixteen-byte-key")
+        ).enforce(outcome.decision, dict(SEGMENTS))
+        assert not action.proceed
+        assert action.rewrites == {}
+
+
+class TestFailOpen:
+    def test_timeouts_allow_with_logged_warning(self, caplog):
+        server = make_server(Fault.drop(), Fault.drop())
+        client = LookupClient(
+            server, max_retries=1, backoff=0.02, failure_mode=FailureMode.FAIL_OPEN
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.plugin.server"):
+            outcome = client.lookup(DST, "d", SEGMENTS)
+        assert outcome.degraded
+        assert outcome.decision.allowed
+        assert outcome.waited == (0.02,)
+        assert any("fail-open" in record.message for record in caplog.records)
+        # Still audited: fail-open is a security-relevant act.
+        [event] = server.lookup.model.audit.degradations()
+        assert event.failure_mode == "fail-open"
+        cstats = client.stats()
+        assert cstats["fail_open_allowed"] == 1
+        assert cstats["fail_closed_blocked"] == 0
+        # Enforcement lets the degraded-allow through in every mode.
+        action = PolicyEnforcement(PluginMode.ENFORCE).enforce(
+            outcome.decision, dict(SEGMENTS)
+        )
+        assert action.proceed
+
+
+class TestServerPrimitives:
+    def test_drop_raises_timeout_before_engine(self):
+        server = make_server(Fault.drop())
+        before = server.stats()["engine_queries"]
+        with pytest.raises(LookupTimeout):
+            server.handle(DST, "d", SEGMENTS, timeout=0.1)
+        # The dropped request never reached the shared engine.
+        assert server.stats()["engine_queries"] == before
+        assert server.stats()["server_served"] == 0
+
+    def test_error_raises_rejected_with_status(self):
+        server = make_server(Fault.error(502))
+        with pytest.raises(LookupRejected) as exc_info:
+            server.handle(DST, "d", SEGMENTS, timeout=0.1)
+        assert exc_info.value.status == 502
+
+    def test_observe_path_counts(self):
+        server = make_server()
+        server.observe(DST, "doc-new", [("doc-new#p0", OTHER_TEXT)])
+        assert server.stats()["server_observes"] == 1
+
+    def test_stats_expose_injector_and_lock_counters(self):
+        server = make_server(Fault.drop())
+        client = LookupClient(server, max_retries=0)
+        client.lookup(DST, "d", SEGMENTS)
+        stats = server.stats()
+        assert stats["injected_drop"] == 1
+        assert "lock_read_acquisitions" in stats
+        assert "decision_cache_evictions" in stats
+
+    def test_client_parameter_validation(self):
+        server = make_server()
+        with pytest.raises(ValueError):
+            LookupClient(server, timeout=0.0)
+        with pytest.raises(ValueError):
+            LookupClient(server, max_retries=-1)
+        with pytest.raises(ValueError):
+            LookupClient(server, backoff_multiplier=0.5)
+
+    def test_backoff_sleep_hook_receives_delays(self):
+        server = make_server(Fault.drop(), Fault.drop(), Fault.drop())
+        slept = []
+        client = LookupClient(
+            server,
+            max_retries=2,
+            backoff=0.01,
+            backoff_multiplier=3.0,
+            sleep=slept.append,
+        )
+        client.lookup(DST, "d", SEGMENTS)
+        assert slept == [0.01, 0.03]

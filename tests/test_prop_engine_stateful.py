@@ -7,6 +7,11 @@ checked against a simple reference model on every step:
 * a removed segment is never reported;
 * authoritative hash sets stay pairwise disjoint;
 * the databases' size counters stay consistent.
+
+A second machine interleaves plain and suppression-consuming policy
+lookups through :class:`PolicyLookup` and checks that every suppression
+is consumed — and audited — exactly once per lookup, even when the
+decision cache is hot with the unsuppressed (violating) decision.
 """
 
 import string
@@ -18,6 +23,11 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 from repro.disclosure import DisclosureEngine
 from repro.disclosure.metrics import authoritative_hashes
 from repro.fingerprint.config import FingerprintConfig
+from repro.plugin.lookup import PolicyLookup
+from repro.tdm import Label, PolicyStore, TextDisclosureModel
+from repro.tdm.model import Suppression
+
+from conftest import SECRET_TEXT
 
 CONFIG = FingerprintConfig(ngram_size=4, window_size=3)
 
@@ -89,3 +99,91 @@ EngineMachine.TestCase.settings = settings(
     max_examples=25, stateful_step_count=30, deadline=None
 )
 TestEngineStateful = EngineMachine.TestCase
+
+
+SRC = "https://src.example.com"
+DST = "https://dst.example.com"
+UPLOAD = [("up#p0", SECRET_TEXT)]
+
+users = st.sampled_from(["alice", "bob", "carol"])
+justifications = st.sampled_from(["legal review", "redacted copy", "audit"])
+
+
+class SuppressionLookupMachine(RuleBasedStateMachine):
+    """Interleaves plain and suppression-consuming lookups.
+
+    The upload is always the same secret text, so the plain decision is
+    always the same violation and quickly becomes cache-resident; the
+    machine checks that suppressed lookups never touch that cache entry
+    and that each one appends exactly one audit event per suppressed
+    segment, no matter how the rules interleave.
+    """
+
+    def __init__(self):
+        super().__init__()
+        policies = PolicyStore()
+        policies.register_service(
+            SRC, privilege=Label.of("s"), confidentiality=Label.of("s")
+        )
+        policies.register_service(DST)
+        self.model = TextDisclosureModel(policies, CONFIG)
+        self.model.observe(SRC, "doc-src", [("doc-src#p0", SECRET_TEXT)])
+        self.lookup = PolicyLookup(self.model)
+        self.noise = 0
+
+    @rule()
+    def plain_lookup(self):
+        # Never audited, never allowed — a prior suppression must not
+        # have stuck to the segment or leaked into the cache.
+        before = len(self.model.audit.suppressions())
+        decision = self.lookup.lookup(DST, "up", UPLOAD)
+        assert not decision.allowed
+        assert len(self.model.audit.suppressions()) == before
+
+    @rule(user=users, justification=justifications)
+    def suppressed_lookup(self, user, justification):
+        # Make sure the violating decision is cache-resident first.
+        probe = self.lookup.lookup(DST, "up", UPLOAD)
+        targets = probe.violating_segments()
+        assert targets
+        suppression = Suppression.of("s", user, justification)
+        before = len(self.model.audit.suppressions())
+        hits = self.lookup.cache.hits
+        misses = self.lookup.cache.misses
+        decision = self.lookup.lookup(
+            DST, "up", UPLOAD,
+            suppressions={seg: [suppression] for seg in targets},
+        )
+        # Consumed: the suppression lifted every violation this once.
+        assert decision.allowed
+        # Audited exactly once per suppressed segment.
+        fresh = self.model.audit.suppressions()[before:]
+        assert len(fresh) == len(targets)
+        assert sorted(e.segment_id for e in fresh) == sorted(targets)
+        assert all(e.user == user for e in fresh)
+        assert all(e.justification == justification for e in fresh)
+        # The hot decision cache was bypassed entirely: no hit could have
+        # served the stale violating decision, and the allowed decision
+        # must not be memoised for later plain lookups.
+        assert self.lookup.cache.hits == hits
+        assert self.lookup.cache.misses == misses
+
+    @rule(text=texts)
+    def observe_churn(self, text):
+        # Unrelated writes bump the engine version and churn the cache;
+        # suppression semantics must not depend on cache temperature.
+        self.noise += 1
+        doc = f"noise-{self.noise}"
+        self.model.observe(SRC, doc, [(f"{doc}#p0", text)])
+
+    @invariant()
+    def audit_is_append_only_and_scoped(self):
+        for event in self.model.audit.suppressions():
+            assert event.tag.name == "s"
+            assert event.target_service == DST
+
+
+SuppressionLookupMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+TestSuppressionLookupStateful = SuppressionLookupMachine.TestCase

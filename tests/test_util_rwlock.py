@@ -1,0 +1,182 @@
+"""Tests for the reader–writer lock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.util.rwlock import RWLock
+
+
+class TestBasics:
+    def test_read_then_write_sequential(self):
+        lock = RWLock()
+        with lock.read_locked():
+            pass
+        with lock.write_locked():
+            assert lock.held_for_write()
+        assert not lock.held_for_write()
+        assert lock.read_acquisitions == 1
+        assert lock.write_acquisitions == 1
+
+    def test_reentrant_read(self):
+        lock = RWLock()
+        with lock.read_locked():
+            with lock.read_locked():
+                pass
+        # Fully released: a writer can proceed.
+        with lock.write_locked():
+            pass
+
+    def test_reentrant_write(self):
+        lock = RWLock()
+        with lock.write_locked():
+            with lock.write_locked():
+                assert lock.held_for_write()
+        assert not lock.held_for_write()
+
+    def test_read_inside_write(self):
+        lock = RWLock()
+        with lock.write_locked():
+            with lock.read_locked():
+                assert lock.held_for_write()
+        with lock.write_locked():
+            pass
+
+    def test_upgrade_refused(self):
+        lock = RWLock()
+        with lock.read_locked():
+            with pytest.raises(RuntimeError):
+                lock.acquire_write()
+
+    def test_unbalanced_release_refused(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class TestExclusion:
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        order = []
+        ready = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                ready.set()
+                release.wait(timeout=5)
+                order.append("write-done")
+
+        def reader():
+            ready.wait(timeout=5)
+            with lock.read_locked():
+                order.append("read")
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        w.start()
+        r.start()
+        ready.wait(timeout=5)
+        release.set()
+        w.join(timeout=5)
+        r.join(timeout=5)
+        assert order == ["write-done", "read"]
+        assert lock.stats()["read_contended"] == 1
+
+    def test_readers_share(self):
+        lock = RWLock()
+        barrier = threading.Barrier(4, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                # All four readers must be inside simultaneously to pass
+                # the barrier; a mutex here would deadlock (and trip the
+                # barrier timeout).
+                barrier.wait()
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert lock.stats()["read_acquisitions"] == 4
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = RWLock()
+        in_read = threading.Event()
+        release_read = threading.Event()
+        order = []
+
+        def holder():
+            with lock.read_locked():
+                in_read.set()
+                release_read.wait(timeout=5)
+
+        def writer():
+            with lock.write_locked():
+                order.append("writer")
+
+        def late_reader():
+            # Started once the writer is queued; write preference makes
+            # it wait behind the writer despite an active reader.
+            with lock.read_locked():
+                order.append("late-reader")
+
+        h = threading.Thread(target=holder)
+        h.start()
+        in_read.wait(timeout=5)
+        w = threading.Thread(target=writer)
+        w.start()
+        # Poll until the writer is queued on the lock.
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            with lock._cond:
+                if lock._waiting_writers == 1:
+                    break
+            time.sleep(0.001)
+        late = threading.Thread(target=late_reader)
+        late.start()
+        release_read.set()
+        for t in (h, w, late):
+            t.join(timeout=5)
+        assert order[0] == "writer"
+
+
+class TestStats:
+    def test_stats_keys(self):
+        lock = RWLock()
+        stats = lock.stats()
+        assert set(stats) == {
+            "read_acquisitions",
+            "write_acquisitions",
+            "read_contended",
+            "write_contended",
+        }
+
+    def test_write_contention_counted(self):
+        lock = RWLock()
+        in_read = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock.read_locked():
+                in_read.set()
+                release.wait(timeout=5)
+
+        h = threading.Thread(target=holder)
+        h.start()
+        in_read.wait(timeout=5)
+
+        def writer():
+            with lock.write_locked():
+                pass
+
+        w = threading.Thread(target=writer)
+        w.start()
+        release.set()
+        h.join(timeout=5)
+        w.join(timeout=5)
+        assert lock.stats()["write_contended"] == 1
