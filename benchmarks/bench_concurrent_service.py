@@ -17,8 +17,9 @@ import random
 import threading
 import time
 
-from repro.eval.reporting import format_cdf_summary, format_counters
+from repro.eval.reporting import format_cdf_summary, format_counters, format_snapshot
 from repro.fingerprint.config import PAPER_CONFIG
+from repro.obs import diff_snapshots
 from repro.plugin.lookup import PolicyLookup
 from repro.plugin.server import FailureMode, LookupClient, LookupServer
 from repro.tdm import Label, PolicyStore, TextDisclosureModel
@@ -119,6 +120,7 @@ def test_concurrent_lookup_service(benchmark, report, ebook_corpus):
     requests_per_client = scaled(30, minimum=10)
     server = _build_server(ebook_corpus)
     lock_writes_before = server.lookup.stats()["lock_write_acquisitions"]
+    snapshot_before = server.registry.snapshot()
 
     latencies, outcomes, client_stats = benchmark.pedantic(
         _drive,
@@ -140,6 +142,11 @@ def test_concurrent_lookup_service(benchmark, report, ebook_corpus):
         f"p95={percentile(all_ms, 95):.3f} ms  p99={percentile(all_ms, 99):.3f} ms",
         format_counters(server_stats, title="Server / engine / lock counters:"),
         format_counters(client_stats, title="Aggregated client counters:"),
+        format_snapshot(
+            diff_snapshots(snapshot_before, server.registry.snapshot()),
+            title="Shared-registry snapshot delta over the run "
+            "(server + engines + lock + decision cache):",
+        ),
     ]
     report("\n".join(lines))
 

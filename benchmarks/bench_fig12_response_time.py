@@ -10,17 +10,23 @@ cache effect are the reproduction targets.
 """
 
 from repro.eval import figure12_response_times
-from repro.eval.reporting import format_cdf_summary, format_counters
+from repro.eval.reporting import format_cdf_summary, format_counters, format_histograms
 from repro.fingerprint.config import PAPER_CONFIG
 from repro.util.stats import percentile
 
 
 def test_figure12_response_times(benchmark, report, ebook_corpus):
     engine_stats = {}
+    registry_snapshot = {}
     results = benchmark.pedantic(
         figure12_response_times,
         args=(ebook_corpus,),
-        kwargs=dict(config=PAPER_CONFIG, page_paragraphs=3, stats_out=engine_stats),
+        kwargs=dict(
+            config=PAPER_CONFIG,
+            page_paragraphs=3,
+            stats_out=engine_stats,
+            snapshot_out=registry_snapshot,
+        ),
         iterations=1,
         rounds=1,
     )
@@ -37,7 +43,18 @@ def test_figure12_response_times(benchmark, report, ebook_corpus):
     lines.append(
         format_counters(engine_stats, title="Index/query counters after run:")
     )
+    lines.append(
+        format_histograms(
+            registry_snapshot,
+            title="Per-stage latency breakdown (registry histograms):",
+        )
+    )
     report("\n".join(lines))
+    # The end-to-end decision times decompose into registry stages: the
+    # Algorithm-1 sweep histogram must have recorded real queries.
+    algo = registry_snapshot["engine.paragraph.algorithm1_seconds"]
+    assert algo["count"] > 0
+    assert registry_snapshot["engine.paragraph.queries"] >= algo["count"]
 
     mean = lambda xs: sum(xs) / len(xs)
     w1 = mean(results["creation-with-overlap"])

@@ -7,12 +7,13 @@ database across loaded e-books and assert sub-linear growth.
 """
 
 from repro.eval import figure13_scalability
-from repro.eval.reporting import format_counters, format_series
+from repro.eval.reporting import format_counters, format_histograms, format_series
 from repro.fingerprint.config import PAPER_CONFIG
 
 
 def test_figure13_scalability(benchmark, report, large_ebook_corpus):
     engine_stats = {}
+    registry_snapshot = {}
     series = benchmark.pedantic(
         figure13_scalability,
         args=(large_ebook_corpus,),
@@ -21,6 +22,7 @@ def test_figure13_scalability(benchmark, report, large_ebook_corpus):
             steps=5,
             samples_per_step=15,
             stats_out=engine_stats,
+            snapshot_out=registry_snapshot,
         ),
         iterations=1,
         rounds=1,
@@ -45,6 +47,11 @@ def test_figure13_scalability(benchmark, report, large_ebook_corpus):
         )
         + "\n"
         + format_counters(engine_stats, title="Index/query counters after run:")
+        + "\n"
+        + format_histograms(
+            registry_snapshot,
+            title="Per-stage latency breakdown (registry histograms):",
+        )
     )
     hashes = [n for n, _ in series]
     times = [ms for _, ms in series]

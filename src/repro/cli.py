@@ -10,12 +10,17 @@ Usage (installed as ``python -m repro``):
   does the file disclose;
 * ``python -m repro corpus`` — dataset statistics (Table 1, small scale);
 * ``python -m repro experiment NAME`` — run one paper experiment at a
-  reduced scale and print its rows/series.
+  reduced scale and print its rows/series;
+* ``python -m repro stats --db db.json [--scan FILE]`` — print the
+  metrics-registry snapshot of a database (optionally after one scan);
+* ``python -m repro trace --db db.json FILE`` — run one scan under a
+  tracer and emit the pipeline span tree as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -23,6 +28,7 @@ from typing import List, Optional
 from repro.disclosure import DisclosureEngine
 from repro.disclosure.persistence import load_engine, save_engine
 from repro.fingerprint import FingerprintConfig, Fingerprinter
+from repro.obs.trace import Tracer, span, tracing
 from repro.plugin.crypto import UploadCipher
 
 
@@ -108,6 +114,61 @@ def cmd_scan(args) -> int:
         print(f"discloses {source.segment_id}  D = {source.score:.3f}  "
               f"(threshold {source.threshold})")
     return 1
+
+
+def cmd_stats(args) -> int:
+    """Print the registry snapshot for a database, as JSON.
+
+    With ``--scan FILE`` one disclosure query runs first, so the
+    query-path counters and latency histograms are populated; without
+    it the snapshot shows database state (gauges) and zeroed counters.
+    """
+    db_path = Path(args.db)
+    if not db_path.exists():
+        print(f"error: no database at {args.db}", file=sys.stderr)
+        return 2
+    engine = load_engine(db_path, cipher=_cipher_from_args(args))
+    if args.scan:
+        fp = engine.fingerprint(_read_text(args.scan))
+        engine.disclosing_sources(fingerprint=fp)
+    print(json.dumps(engine.registry.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one scan under a tracer and emit the span tree as JSON.
+
+    The tree covers the pipeline stages of a disclosure decision:
+    ``scan`` (root) → ``intercept`` (reading the upload candidate) →
+    ``fingerprint`` (with nested ``normalize``) → ``algorithm1`` →
+    ``decision``. CI validates the output against
+    ``docs/trace_schema.json``.
+    """
+    db_path = Path(args.db)
+    if not db_path.exists():
+        print(f"error: no database at {args.db}", file=sys.stderr)
+        return 2
+    engine = load_engine(db_path, cipher=_cipher_from_args(args))
+    tracer = Tracer()
+    with tracing(tracer):
+        with tracer.span("scan", file=args.file, db=args.db):
+            with span("intercept", kind="cli") as isp:
+                text = _read_text(args.file)
+                isp.set(chars=len(text))
+            fp = engine.fingerprint(text)
+            report = engine.disclosing_sources(fingerprint=fp)
+            with span("decision") as dsp:
+                dsp.set(
+                    disclosing=report.disclosing,
+                    sources=len(report.sources),
+                )
+    document = tracer.to_json(indent=2)
+    if args.output:
+        Path(args.output).write_text(document + "\n", encoding="utf-8")
+        print(f"trace written to {args.output}")
+    else:
+        print(document)
+    return 0
 
 
 def cmd_corpus(args) -> int:
@@ -243,6 +304,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--key", help="database decryption key")
     _add_config_options(p)
     p.set_defaults(func=cmd_scan)
+
+    p = sub.add_parser("stats", help="print a database's metrics snapshot")
+    p.add_argument("--db", required=True)
+    p.add_argument("--scan", metavar="FILE",
+                   help="run one disclosure query on FILE first")
+    p.add_argument("--key", help="database decryption key")
+    _add_config_options(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("trace", help="trace one scan's pipeline as JSON spans")
+    p.add_argument("file")
+    p.add_argument("--db", required=True)
+    p.add_argument("--key", help="database decryption key")
+    p.add_argument("--output", metavar="PATH", help="write JSON here "
+                   "instead of stdout")
+    _add_config_options(p)
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("corpus", help="print Table 1 for the synthetic corpora")
     p.add_argument("--revisions", type=int, default=20)

@@ -30,6 +30,8 @@ from repro.disclosure.store import (
 )
 from repro.errors import DisclosureError
 from repro.fingerprint import Fingerprint, FingerprintConfig, Fingerprinter
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import span
 from repro.util.clock import Clock, LogicalClock
 from repro.util.rwlock import RWLock
 
@@ -85,6 +87,13 @@ class DisclosureEngine:
         lock: reader–writer lock guarding the databases and caches; a
             private one is created when omitted. A tracker passes one
             shared lock to both of its engines.
+        registry: metrics registry for the engine's counters, derived
+            gauges, and per-stage latency histograms. A private one is
+            created when omitted; a tracker shares one registry across
+            both granularities (scoped ``engine.paragraph.`` /
+            ``engine.document.``). Pass
+            :data:`~repro.obs.registry.NULL_REGISTRY` for the
+            counters-off path.
     """
 
     def __init__(
@@ -95,17 +104,23 @@ class DisclosureEngine:
         authoritative: bool = True,
         kind: str = "paragraph",
         lock: Optional[RWLock] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self._fingerprinter = Fingerprinter(config)
         self._clock = clock or LogicalClock()
         self._authoritative = authoritative
         self._kind = kind
+        #: Registry holding every instrument below; ``metrics`` is this
+        #: engine's scope within it (one registry may serve several
+        #: engines, the shared lock, and the plugin layers above).
+        self.registry = registry or MetricsRegistry()
+        self.metrics = self.registry.scope(f"engine.{kind}.")
         #: Guards hash_db, segment_db, and the engine caches. Queries
         #: take the read side; observe/remove take the write side. The
         #: databases themselves are unsynchronised on purpose — the hot
         #: query sweep calls ``oldest_owner`` once per target hash, and
         #: per-call locking there would cost more than the query.
-        self.lock = lock or RWLock()
+        self.lock = lock or RWLock(scope=self.registry.scope("lock."))
         self.hash_db = HashDatabase()
         self.segment_db = SegmentDatabase()
         # Bumped whenever a new (hash, segment) observation lands; lets
@@ -118,13 +133,25 @@ class DisclosureEngine:
         # any ownership migration bumps the epoch, and fingerprint edits
         # that could alter the set always move ownership too.
         self._auth_cache: Dict[str, Tuple[int, FrozenSet[int]]] = {}
-        self._counters: Dict[str, int] = {
-            "queries": 0,
-            "query_cache_hits": 0,
-            "candidates_swept": 0,
-            "auth_cache_hits": 0,
-            "auth_cache_misses": 0,
-        }
+        # Query-path counters (incremented under the read lock, so
+        # monotonic but approximate under contention, as before) plus
+        # derived gauges over database state. Legacy ``stats()`` reads
+        # these same instruments — the field-identity contract.
+        scope = self.metrics
+        self._c_queries = scope.counter("queries")
+        self._c_query_cache_hits = scope.counter("query_cache_hits")
+        self._c_candidates_swept = scope.counter("candidates_swept")
+        self._c_auth_cache_hits = scope.counter("auth_cache_hits")
+        self._c_auth_cache_misses = scope.counter("auth_cache_misses")
+        scope.gauge("segments", fn=lambda: len(self.segment_db))
+        scope.gauge("distinct_hashes", fn=lambda: len(self.hash_db))
+        scope.gauge("version", fn=lambda: self._version)
+        scope.gauge(
+            "ownership_changes", fn=lambda: self.hash_db.ownership_changes
+        )
+        # Per-stage latency histograms (registry clock, fixed buckets).
+        self._h_algorithm1 = scope.histogram("algorithm1_seconds")
+        self._h_fingerprint = scope.histogram("fingerprint_seconds")
 
     @property
     def config(self) -> FingerprintConfig:
@@ -138,7 +165,11 @@ class DisclosureEngine:
         return len(self.segment_db)
 
     def fingerprint(self, text: str) -> Fingerprint:
-        return self._fingerprinter.fingerprint(text)
+        clock = self.registry.clock
+        start = clock.now()
+        fingerprint = self._fingerprinter.fingerprint(text)
+        self._h_fingerprint.observe(clock.now() - start)
+        return fingerprint
 
     # ------------------------------------------------------------------
     # Observation (DB maintenance)
@@ -275,9 +306,9 @@ class DisclosureEngine:
             epoch = self.hash_db.owner_epoch(segment_id)
             cached = self._auth_cache.get(segment_id)
             if cached is not None and cached[0] == epoch:
-                self._counters["auth_cache_hits"] += 1
+                self._c_auth_cache_hits.inc()
                 return cached[1]
-            self._counters["auth_cache_misses"] += 1
+            self._c_auth_cache_misses.inc()
             auth = frozenset(
                 self.hash_db.owned_hashes(segment_id) & source.fingerprint.hashes
             )
@@ -305,27 +336,38 @@ class DisclosureEngine:
         if (target_id is None) == (fingerprint is None):
             raise DisclosureError("pass exactly one of target_id or fingerprint")
         with self.lock.read_locked():
-            self._counters["queries"] += 1
-            if target_id is not None:
-                fingerprint = self.segment_db.get(target_id).fingerprint
-                cached = self._query_cache.get(target_id)
-                if (
-                    cached is not None
-                    and cached[0] == self._version
-                    and cached[1] == fingerprint.hashes
-                ):
-                    self._counters["query_cache_hits"] += 1
-                    return cached[2]
-            assert fingerprint is not None
+            self._c_queries.inc()
+            with span("algorithm1", granularity=self._kind) as sp:
+                if target_id is not None:
+                    fingerprint = self.segment_db.get(target_id).fingerprint
+                    cached = self._query_cache.get(target_id)
+                    if (
+                        cached is not None
+                        and cached[0] == self._version
+                        and cached[1] == fingerprint.hashes
+                    ):
+                        self._c_query_cache_hits.inc()
+                        sp.set(cache_hit=True, sources=len(cached[2].sources))
+                        return cached[2]
+                assert fingerprint is not None
 
-            report = self._run_algorithm(target_id, fingerprint, exclude_doc)
-            if target_id is not None:
-                self._query_cache[target_id] = (
-                    self._version,
-                    fingerprint.hashes,
-                    report,
+                clock = self.registry.clock
+                start = clock.now()
+                report = self._run_algorithm(target_id, fingerprint, exclude_doc)
+                self._h_algorithm1.observe(clock.now() - start)
+                if target_id is not None:
+                    self._query_cache[target_id] = (
+                        self._version,
+                        fingerprint.hashes,
+                        report,
+                    )
+                sp.set(
+                    cache_hit=False,
+                    target_hashes=len(fingerprint.hashes),
+                    candidates_checked=report.candidates_checked,
+                    sources=len(report.sources),
                 )
-            return report
+                return report
 
     def disclosing_sources_reference(
         self,
@@ -394,7 +436,7 @@ class DisclosureEngine:
                     else:
                         counts[owner] = 1
                         matched[owner] = [h]
-        self._counters["candidates_swept"] += len(counts)
+        self._c_candidates_swept.inc(len(counts))
 
         results: List[SourceDisclosure] = []
         checked = 0
@@ -548,16 +590,25 @@ class DisclosureEngine:
         concurrent readers without mutual exclusion and are therefore
         monotonic but *approximate* under contention; they exist for
         reporting, never for control flow.
+
+        This is a thin view over the engine's registry scope: counter
+        fields read the same :class:`~repro.obs.registry.Counter`
+        instruments the query path increments, so the dict stays
+        field-identical to ``metrics.snapshot()`` (differential-tested).
+        Database-state fields read their sources directly — not via the
+        derived gauges — so the dict remains correct even under
+        :data:`~repro.obs.registry.NULL_REGISTRY` (``version`` keys the
+        plugin's decision cache and must never flatten to zero).
         """
         return {
             "segments": len(self.segment_db),
             "distinct_hashes": len(self.hash_db),
             "version": self._version,
-            "queries": self._counters["queries"],
-            "query_cache_hits": self._counters["query_cache_hits"],
-            "candidates_swept": self._counters["candidates_swept"],
-            "auth_cache_hits": self._counters["auth_cache_hits"],
-            "auth_cache_misses": self._counters["auth_cache_misses"],
+            "queries": self._c_queries.value,
+            "query_cache_hits": self._c_query_cache_hits.value,
+            "candidates_swept": self._c_candidates_swept.value,
+            "auth_cache_hits": self._c_auth_cache_hits.value,
+            "auth_cache_misses": self._c_auth_cache_misses.value,
             "ownership_changes": self.hash_db.ownership_changes,
         }
 
@@ -601,17 +652,23 @@ class DisclosureTracker:
         paragraph_threshold: float = DEFAULT_THRESHOLD,
         document_threshold: float = DEFAULT_THRESHOLD,
         authoritative: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         shared_clock = clock or LogicalClock()
+        #: One registry for both granularities (and the shared lock):
+        #: ``engine.paragraph.*`` and ``engine.document.*`` instruments
+        #: land side by side in one snapshot.
+        self.registry = registry or MetricsRegistry()
         #: One lock for both granularities: a dual-granularity check or
         #: observation is atomic with respect to concurrent updates.
-        self.lock = RWLock()
+        self.lock = RWLock(scope=self.registry.scope("lock."))
         self.paragraphs = DisclosureEngine(
             config,
             shared_clock,
             authoritative=authoritative,
             kind="paragraph",
             lock=self.lock,
+            registry=self.registry,
         )
         self.documents = DisclosureEngine(
             config,
@@ -619,6 +676,7 @@ class DisclosureTracker:
             authoritative=authoritative,
             kind="document",
             lock=self.lock,
+            registry=self.registry,
         )
         self._paragraph_threshold = paragraph_threshold
         self._document_threshold = document_threshold

@@ -14,14 +14,16 @@ measured motivation for in-browser interception.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.browser.http import HttpRequest
 from repro.disclosure import DisclosureEngine
 from repro.dlp.extractor import extract_wire_text
 from repro.errors import RequestBlocked
 from repro.fingerprint import FingerprintConfig
+from repro.obs.registry import MetricsRegistry
 
 
 class DlpMode(enum.Enum):
@@ -40,7 +42,17 @@ class Detection:
 
 
 class NetworkDlpFirewall:
-    """Similarity-scanning middlebox, usable as a network interceptor."""
+    """Similarity-scanning middlebox, usable as a network interceptor.
+
+    Args:
+        config: fingerprinting parameters for the internal engine.
+        threshold: disclosure threshold for registered documents.
+        mode: MONITOR (record only) or BLOCK (veto violating requests).
+        registry: metrics registry; the firewall's counters register
+            under ``dlp_firewall.`` and the internal engine's under
+            ``engine.paragraph.``. A private one is created when
+            omitted.
+    """
 
     def __init__(
         self,
@@ -48,12 +60,20 @@ class NetworkDlpFirewall:
         *,
         threshold: float = 0.5,
         mode: DlpMode = DlpMode.MONITOR,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        self._engine = DisclosureEngine(config)
+        self.registry = registry or MetricsRegistry()
+        self.metrics = self.registry.scope("dlp_firewall.")
+        self._engine = DisclosureEngine(config, registry=self.registry)
         self._threshold = threshold
         self.mode = mode
         self.detections: List[Detection] = []
-        self.requests_seen = 0
+        self._c_requests_seen = self.metrics.counter("requests_seen")
+        self.metrics.gauge("detections", fn=lambda: len(self.detections))
+
+    @property
+    def requests_seen(self) -> int:
+        return self._c_requests_seen.value
 
     def register_sensitive(self, document_id: str, text: str) -> None:
         """Add a document to the firewall's sensitive-content corpus."""
@@ -83,7 +103,7 @@ class NetworkDlpFirewall:
 
     def __call__(self, request: HttpRequest) -> None:
         """Interceptor protocol: inspect and (in BLOCK mode) veto."""
-        self.requests_seen += 1
+        self._c_requests_seen.inc()
         found = self.scan_request(request)
         self.detections.extend(found)
         if found and self.mode is DlpMode.BLOCK:
@@ -92,5 +112,25 @@ class NetworkDlpFirewall:
                 f"DLP: wire content discloses {found[0].document_id!r}",
             )
 
-    def stats(self) -> Tuple[int, int]:
+    def stats(self) -> Dict[str, int]:
+        """Named counters for reporting, a thin view over the registry.
+
+        Previously returned a bare ``(requests_seen, detections)``
+        tuple; callers that unpacked it positionally should move to the
+        named fields (:meth:`stats_tuple` keeps the old shape during
+        the transition).
+        """
+        return {
+            "requests_seen": self._c_requests_seen.value,
+            "detections": len(self.detections),
+        }
+
+    def stats_tuple(self) -> Tuple[int, int]:
+        """Deprecated: the pre-dict ``(requests_seen, detections)`` shape."""
+        warnings.warn(
+            "NetworkDlpFirewall.stats_tuple() is deprecated; use the "
+            "named fields of stats()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.requests_seen, len(self.detections)

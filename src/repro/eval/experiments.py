@@ -322,6 +322,7 @@ def figure12_response_times(
     page_paragraphs: int = 3,
     seed: int = 2016,
     stats_out: Optional[Dict[str, object]] = None,
+    snapshot_out: Optional[Dict[str, object]] = None,
 ) -> Dict[str, List[float]]:
     """Per-workflow decision latencies (seconds), paper §6.2:
 
@@ -331,8 +332,13 @@ def figure12_response_times(
       text with the corpus;
     * W3 ``modification`` — edit a modified book page back towards the
       original.
+
+    When *snapshot_out* is given it receives the model registry's full
+    metrics snapshot after the run — including the per-stage latency
+    histograms (fingerprint / Algorithm 1 / decision) behind the
+    end-to-end times this function returns.
     """
-    lookup, _model = _library_lookup(ebooks, config)
+    lookup, model = _library_lookup(ebooks, config)
     rng = random.Random(f"{seed}:fig12")
     doc_id = f"{DOCS_SERVICE}|new-doc"
     results: Dict[str, List[float]] = {}
@@ -362,6 +368,8 @@ def figure12_response_times(
     )
     if stats_out is not None:
         stats_out.update(lookup.stats())
+    if snapshot_out is not None:
+        snapshot_out.update(model.registry.snapshot())
     return results
 
 
@@ -378,6 +386,7 @@ def figure13_scalability(
     samples_per_step: int = 30,
     seed: int = 2016,
     stats_out: Optional[Dict[str, object]] = None,
+    snapshot_out: Optional[Dict[str, object]] = None,
 ) -> List[Tuple[int, float]]:
     """(distinct hashes in DB, 95th-percentile decision ms) per step.
 
@@ -436,4 +445,6 @@ def figure13_scalability(
         out.append((n_hashes, percentile(times, 95.0) * 1000.0))
     if stats_out is not None:
         stats_out.update(lookup.stats())
+    if snapshot_out is not None:
+        snapshot_out.update(model.registry.snapshot())
     return out

@@ -88,6 +88,64 @@ def format_counters(
     return "\n".join(lines)
 
 
+def format_histograms(
+    snapshot: Mapping[str, object], *, title: str = ""
+) -> str:
+    """Render the histogram entries of a registry snapshot.
+
+    Accepts a :meth:`MetricsRegistry.snapshot` mapping (or a
+    ``diff_snapshots`` delta) and prints one block per histogram —
+    observation count, mean in milliseconds, and the non-empty latency
+    buckets — giving benchmarks a per-stage latency breakdown
+    (``engine.*.algorithm1_seconds``, ``plugin.decision_seconds``, …)
+    next to the end-to-end numbers. Non-histogram entries are skipped.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    histograms = {
+        name: value for name, value in snapshot.items() if isinstance(value, Mapping)
+    }
+    if not histograms:
+        return "\n".join(lines + ["  (no histograms)"])
+    for name, hist in histograms.items():
+        count = hist.get("count", 0)
+        total = hist.get("sum", 0.0)
+        mean_ms = 1000.0 * total / count if count else 0.0
+        lines.append(f"  [{name}] n={count} mean={mean_ms:.3f} ms")
+        buckets = hist.get("buckets", {})
+        occupied = [(bucket, n) for bucket, n in buckets.items() if n]
+        if occupied:
+            lines.append(
+                "    " + "  ".join(f"{bucket}:{n}" for bucket, n in occupied)
+            )
+    return "\n".join(lines)
+
+
+def format_snapshot(
+    snapshot: Mapping[str, object], *, title: str = ""
+) -> str:
+    """Render a full registry snapshot (or snapshot delta).
+
+    Scalar instruments (counters, gauges) print as aligned
+    ``name = value`` lines; histograms follow as per-stage latency
+    breakdowns via :func:`format_histograms`.
+    """
+    scalars = {
+        name: value
+        for name, value in snapshot.items()
+        if not isinstance(value, Mapping)
+    }
+    has_histograms = any(isinstance(v, Mapping) for v in snapshot.values())
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(format_counters(scalars))
+    if has_histograms:
+        parts.append(format_histograms(snapshot))
+    return "\n".join(parts)
+
+
 def format_cdf_summary(
     name: str, values_ms: Sequence[float], thresholds_ms: Sequence[float]
 ) -> str:

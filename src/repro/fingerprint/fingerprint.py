@@ -17,6 +17,7 @@ from repro.fingerprint.ngram import PositionedHash, ngram_hashes
 from repro.fingerprint.normalize import normalize
 from repro.fingerprint.rolling_hash import KarpRabin
 from repro.fingerprint.winnowing import winnow
+from repro.obs.trace import span
 
 
 @dataclass(frozen=True)
@@ -126,22 +127,26 @@ class Fingerprinter:
         fingerprinting large corpora (the e-book experiments) cheap.
         """
         config = self._config
-        normalized = normalize(text)
-        if len(normalized.text) < config.ngram_size:
-            return Fingerprint(hashes=frozenset(), selections=(), config=config)
-        values = self._hasher.hash_all_list(normalized.text)
-        positions = winnow(values, config.window_size)
-        selections = []
-        for pos in positions:
-            orig_start, orig_end = normalized.original_span(
-                pos, pos + config.ngram_size
+        with span("fingerprint", chars=len(text)) as sp:
+            with span("normalize") as nsp:
+                normalized = normalize(text)
+                nsp.set(kept=len(normalized.text))
+            if len(normalized.text) < config.ngram_size:
+                sp.set(hashes=0)
+                return Fingerprint(hashes=frozenset(), selections=(), config=config)
+            values = self._hasher.hash_all_list(normalized.text)
+            positions = winnow(values, config.window_size)
+            selections = []
+            for pos in positions:
+                orig_start, orig_end = normalized.original_span(
+                    pos, pos + config.ngram_size
+                )
+                selections.append(FingerprintHash(values[pos], orig_start, orig_end))
+            hashes = frozenset(values[pos] for pos in positions)
+            sp.set(hashes=len(hashes))
+            return Fingerprint(
+                hashes=hashes, selections=tuple(selections), config=config
             )
-            selections.append(FingerprintHash(values[pos], orig_start, orig_end))
-        return Fingerprint(
-            hashes=frozenset(values[pos] for pos in positions),
-            selections=tuple(selections),
-            config=config,
-        )
 
     def fingerprint_document(self, paragraphs: List[str]) -> Fingerprint:
         """Fingerprint of a whole document given its paragraphs.

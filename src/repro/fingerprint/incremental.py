@@ -22,6 +22,7 @@ from typing import Deque, List, Set
 
 from repro.fingerprint.config import FingerprintConfig
 from repro.fingerprint.fingerprint import Fingerprint, FingerprintHash
+from repro.fingerprint.normalize import _is_kept
 from repro.fingerprint.rolling_hash import KarpRabin
 
 
@@ -43,6 +44,11 @@ class IncrementalFingerprinter:
         # Selected positions (deque path) in order, deduplicated.
         self._selected: List[int] = []
         self._selected_set: Set[int] = set()
+        # Positions already counted by an append() return value; the
+        # partial-window selection and the deque phase both report
+        # through this set, so the count==window_size transition cannot
+        # double-count the position both paths select.
+        self._reported: Set[int] = set()
 
     @property
     def config(self) -> FingerprintConfig:
@@ -53,15 +59,31 @@ class IncrementalFingerprinter:
         return self._original_length
 
     def append(self, suffix: str) -> int:
-        """Extend the text; returns how many new hashes were selected."""
-        n = self._config.ngram_size
+        """Extend the text; returns how many newly selected positions
+        this append produced.
+
+        The count covers the partial-window phase too: as soon as the
+        text yields its first n-gram, :meth:`current` selects the
+        rightmost-minimum hash, and that selection is reported here —
+        not silently deferred until a full winnowing window exists. A
+        position is counted at most once across all appends, so the
+        return values reconcile with :meth:`current` at every prefix
+        (including the transition at ``count == window_size``, where
+        the deque selects the same position the partial scan did).
+        """
         w = self._config.window_size
         base = self._original_length
         for i, ch in enumerate(suffix):
-            if ch.isalnum():
-                self._norm_chars.append(ch.lower())
-                self._offsets.append(base + i)
-                self._new_ngram_hash()
+            if _is_kept(ch):
+                # Per produced character, as in batch normalize():
+                # str.lower() may expand one code point into several
+                # (U+0130 İ), and non-alphanumeric expansion products
+                # (the combining dot) are dropped.
+                for lowered in ch.lower():
+                    if _is_kept(lowered):
+                        self._norm_chars.append(lowered)
+                        self._offsets.append(base + i)
+                        self._new_ngram_hash()
         self._original_length += len(suffix)
 
         # Advance the winnowing deque over any values not yet consumed.
@@ -80,7 +102,25 @@ class IncrementalFingerprinter:
                     self._selected.append(pos)
                     self._selected_set.add(pos)
         self._consumed = len(self._values)
-        return len(self._selected) - before
+
+        newly = 0
+        count = len(self._values)
+        if count and count <= w:
+            # Partial window: the rightmost minimum is selected (same
+            # rule as _selection_positions / the batch path).
+            best = 0
+            for i in range(1, count):
+                if self._values[i] <= self._values[best]:
+                    best = i
+            if best not in self._reported:
+                self._reported.add(best)
+                newly += 1
+        else:
+            for pos in self._selected[before:]:
+                if pos not in self._reported:
+                    self._reported.add(pos)
+                    newly += 1
+        return newly
 
     def _new_ngram_hash(self) -> None:
         n = self._config.ngram_size

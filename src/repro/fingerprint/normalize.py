@@ -52,15 +52,29 @@ class NormalizedText:
 def normalize(text: str) -> NormalizedText:
     """Normalise *text* per step S1, keeping the offset map.
 
+    Lowercasing is per produced character, not per input character:
+    ``str.lower()`` may expand one code point into several (U+0130 İ
+    lowers to ``'i'`` + U+0307 combining dot above), so each expansion
+    product is filtered through the keep predicate and recorded with
+    its own offset entry — the ``len(offsets) == len(text)`` invariant
+    holds for every input. Products that are not alphanumeric (the
+    combining dot) are dropped, which also keeps normalisation
+    idempotent: every output character survives a second pass
+    unchanged.
+
     >>> normalize("Hello World!").text
     'helloworld'
+    >>> normalize("İstanbul").text
+    'istanbul'
     """
     kept_chars = []
     offsets = []
     for i, ch in enumerate(text):
         if _is_kept(ch):
-            kept_chars.append(ch.lower())
-            offsets.append(i)
+            for lowered in ch.lower():
+                if _is_kept(lowered):
+                    kept_chars.append(lowered)
+                    offsets.append(i)
     return NormalizedText(
         text="".join(kept_chars),
         offsets=tuple(offsets),

@@ -1,0 +1,171 @@
+"""Structured trace spans for the interception pipeline.
+
+One disclosure decision crosses five layers — interception, text
+normalisation/fingerprinting, the Algorithm-1 sweep, the TDM label
+check, and the enforcement decision — and until now the only visible
+output was a single end-to-end latency. A :class:`Tracer` records one
+nested span tree per pipeline operation so ``repro trace`` (and the
+Figure-12/13 benchmark harness) can show where a decision spent its
+time and what each stage concluded.
+
+Instrumented code never receives a tracer explicitly: it calls the
+module-level :func:`span` helper, which consults a ``ContextVar``. With
+no tracer active (the common case — every hot-path caller) the helper
+returns a shared no-op span whose context-manager enter/exit does
+nothing, so tracing costs one context-variable read per stage when off.
+Activation is scoped with :func:`tracing`::
+
+    tracer = Tracer()
+    with tracing(tracer):
+        engine.disclosing_sources(fingerprint=fp)
+    print(json.dumps(tracer.export()))
+
+Timestamps come from the tracer's :class:`~repro.util.clock.Clock`
+(never ``time.*`` directly); tests pass a ``LogicalClock`` and get
+deterministic start/duration values.
+
+The ``ContextVar`` gives each thread (and asyncio task) its own
+activation and span stack, so two threads tracing concurrently cannot
+interleave their trees.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional
+
+from repro.util.clock import Clock, SystemClock
+
+#: Version stamp on exported trace documents; bump on schema changes.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceSpan:
+    """One pipeline stage: name, timing, attributes, child spans."""
+
+    __slots__ = ("name", "start", "end", "attributes", "children")
+
+    def __init__(self, name: str, start: float) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, object] = {}
+        self.children: List["TraceSpan"] = []
+
+    def set(self, **attributes: object) -> "TraceSpan":
+        """Attach result attributes (candidate counts, verdicts, …)."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def walk(self) -> Iterator["TraceSpan"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned when no tracer is active."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records span trees; one finished root per traced operation."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock = clock or SystemClock()
+        #: Finished root spans in completion order.
+        self.roots: List[TraceSpan] = []
+        # Per-thread/task open-span stack: ContextVar default is shared
+        # across threads, so each stack access copies-on-write.
+        self._stack: ContextVar[tuple] = ContextVar(
+            "repro-trace-stack", default=()
+        )
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[TraceSpan]:
+        """Open a span; nests under the innermost open span, if any."""
+        opened = TraceSpan(name, self._clock.now())
+        opened.attributes.update(attributes)
+        stack = self._stack.get()
+        token = self._stack.set(stack + (opened,))
+        try:
+            yield opened
+        finally:
+            opened.end = self._clock.now()
+            self._stack.reset(token)
+            if stack:
+                stack[-1].children.append(opened)
+            else:
+                self.roots.append(opened)
+
+    def export(self) -> Dict[str, object]:
+        """The finished span forest as a JSON-ready document."""
+        return {
+            "version": TRACE_SCHEMA_VERSION,
+            "spans": [root.to_dict() for root in self.roots],
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.export(), indent=indent, sort_keys=True)
+
+
+_ACTIVE: ContextVar[Optional[Tracer]] = ContextVar("repro-tracer", default=None)
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer active in this context, or None."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Activate *tracer* for the duration of the block."""
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+
+
+def span(name: str, **attributes: object):
+    """A span on the active tracer, or a shared no-op when tracing is off.
+
+    The instrumentation entry point: pipeline stages wrap themselves in
+    ``with span("algorithm1") as sp: ... sp.set(candidates=n)`` and pay
+    one ``ContextVar`` read when no tracer is active.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attributes)

@@ -16,6 +16,12 @@ dict even on reads, so a reader–writer split would buy nothing here).
 misses leave their stale entries in place until LRU pressure removes
 them — so ``stats()`` consumers can tell an undersized cache from a
 fast-moving model version.
+
+The hit/miss/eviction counters live in a
+:class:`~repro.obs.registry.MetricsRegistry` scope (conventionally
+``decision_cache.``); the public ``hits``/``misses``/``evictions``
+attributes are thin views over those instruments. Increments happen
+under the cache mutex, so they are exact.
 """
 
 from __future__ import annotations
@@ -24,21 +30,51 @@ import threading
 from collections import OrderedDict
 from typing import FrozenSet, Hashable, Optional, Tuple
 
+from repro.obs.registry import MetricsRegistry, MetricsScope
+
 
 class DecisionCache:
-    """A bounded, thread-safe LRU map from decision keys to decisions."""
+    """A bounded, thread-safe LRU map from decision keys to decisions.
 
-    def __init__(self, capacity: int = 4096) -> None:
+    Args:
+        capacity: maximum entries before LRU eviction.
+        scope: metrics scope for the cache counters. A private registry
+            under the conventional ``decision_cache.`` prefix is created
+            when omitted; owners sharing one registry (the plug-in, the
+            lookup server) pass their own scope.
+    """
+
+    def __init__(
+        self, capacity: int = 4096, *, scope: Optional[MetricsScope] = None
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self._capacity = capacity
         self._mutex = threading.RLock()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        if scope is None:
+            scope = MetricsRegistry().scope("decision_cache.")
+        self.metrics = scope
+        self._hits = scope.counter("hits")
+        self._misses = scope.counter("misses")
         #: Entries dropped because the cache was full (capacity misses),
         #: as opposed to entries orphaned by a model-version bump.
-        self.evictions = 0
+        self._evictions = scope.counter("evictions")
+        scope.gauge("size", fn=lambda: len(self._entries))
+
+    # Legacy public counter attributes, now views over the registry.
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     def __len__(self) -> int:
         with self._mutex:
@@ -54,10 +90,10 @@ class DecisionCache:
         with self._mutex:
             entry = self._entries.get(key)
             if entry is None:
-                self.misses += 1
+                self._misses.inc()
                 return None
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._hits.inc()
             return entry
 
     def put(self, key: Hashable, value: object) -> None:
@@ -66,7 +102,7 @@ class DecisionCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                self._evictions.inc()
 
     def clear(self) -> None:
         with self._mutex:

@@ -30,6 +30,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.obs.trace import span
 from repro.plugin.crypto import UploadCipher
 from repro.tdm.model import FlowDecision
 
@@ -89,6 +90,18 @@ class PolicyEnforcement:
         *segment_texts* maps segment ids to the outgoing plaintext; only
         consulted in ENCRYPT mode to build the rewrites.
         """
+        with span("enforcement", mode=self._mode.value) as sp:
+            action = self._enforce(decision, segment_texts)
+            sp.set(
+                allowed=decision.allowed,
+                proceed=action.proceed,
+                rewrites=len(action.rewrites),
+            )
+            return action
+
+    def _enforce(
+        self, decision: FlowDecision, segment_texts: Dict[str, str]
+    ) -> EnforcementAction:
         if decision.allowed:
             return EnforcementAction(proceed=True, decision=decision, rewrites={})
 

@@ -13,18 +13,28 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.trace import span
 from repro.plugin.cache import DecisionCache
 from repro.tdm.model import FlowDecision, Suppression, TextDisclosureModel
 
 
 class PolicyLookup:
-    """Resolves flow decisions for outgoing text, with caching."""
+    """Resolves flow decisions for outgoing text, with caching.
+
+    A cache created here (none passed) registers its counters in the
+    model's registry under ``decision_cache.``, so one snapshot covers
+    the whole lookup path.
+    """
 
     def __init__(
         self, model: TextDisclosureModel, cache: Optional[DecisionCache] = None
     ) -> None:
         self._model = model
-        self._cache = cache if cache is not None else DecisionCache()
+        self._cache = (
+            cache
+            if cache is not None
+            else DecisionCache(scope=model.registry.scope("decision_cache."))
+        )
 
     @property
     def model(self) -> TextDisclosureModel:
@@ -57,7 +67,9 @@ class PolicyLookup:
         # state, so the whole path holds the tracker's read lock: without
         # it a concurrent observation between the two could cache a
         # decision computed on newer state under the older version key.
-        with self._model.lock.read_locked():
+        with self._model.lock.read_locked(), span(
+            "lookup", service=service_id, doc=doc_id
+        ) as sp:
             engine = self._model.tracker.paragraphs
             fingerprints = tuple(
                 engine.fingerprinter.fingerprint(text).hashes
@@ -70,9 +82,11 @@ class PolicyLookup:
             key = (service_id, doc_id, fingerprints, version)
             cached = self._cache.get(key)
             if cached is not None:
+                sp.set(cache_hit=True, allowed=cached.allowed)  # type: ignore[union-attr]
                 return cached  # type: ignore[return-value]
             decision = self._model.check_upload(service_id, doc_id, paragraphs)
             self._cache.put(key, decision)
+            sp.set(cache_hit=False, allowed=decision.allowed)
             return decision
 
     def stats(self) -> Dict[str, object]:

@@ -27,6 +27,7 @@ from repro.browser.http import HttpResponse
 from repro.browser.mutation import MutationObserver, MutationRecord
 from repro.browser.readability import extract_main_text
 from repro.errors import RequestBlocked
+from repro.obs.trace import span
 from repro.plugin.adapters import DEFAULT_ADAPTERS, EditorAdapter
 from repro.plugin.cache import DecisionCache
 from repro.plugin.crypto import UploadCipher
@@ -82,13 +83,22 @@ class BrowserFlowPlugin:
         #: Editor adapters: how editable segments are found per service
         #: family (§5.2 "minimal effort" extension point).
         self.adapters: List[EditorAdapter] = list(DEFAULT_ADAPTERS)
-        self.cache = DecisionCache()
+        #: The model's registry: the plug-in's own instruments and the
+        #: decision cache register here, next to the engine counters.
+        self.registry = model.registry
+        self.cache = DecisionCache(
+            scope=self.registry.scope("decision_cache.")
+        )
         self.lookup = PolicyLookup(model, self.cache)
         self.enforcement = PolicyEnforcement(mode, cipher)
         self.ui = Highlighter()
         self.warnings: List[WarningEvent] = []
         #: Disclosure-decision latencies in seconds (paper §6.2).
         self.response_times: List[float] = []
+        plugin_scope = self.registry.scope("plugin.")
+        plugin_scope.gauge("decisions", fn=lambda: len(self.response_times))
+        plugin_scope.gauge("warnings", fn=lambda: len(self.warnings))
+        self._h_decision = plugin_scope.histogram("decision_seconds")
         self._pending_suppressions: Dict[str, List[Suppression]] = {}
         self._observers: List[MutationObserver] = []
         self._patched_windows: List = []
@@ -210,14 +220,19 @@ class BrowserFlowPlugin:
             suppressions = self._take_suppressions(
                 [seg_id for seg_id, _text in segments] + [doc_id]
             )
-        started = time.perf_counter()
-        decision = self.lookup.lookup(
-            service_id, doc_id, segments, suppressions=suppressions or None
-        )
-        decision = self._apply_secret_tracker(service_id, segments, decision)
-        action = self.enforcement.enforce(decision, dict(segments))
-        elapsed = time.perf_counter() - started
+        with span(
+            "decision", service=service_id, doc=doc_id, segments=len(segments)
+        ) as sp:
+            started = time.perf_counter()
+            decision = self.lookup.lookup(
+                service_id, doc_id, segments, suppressions=suppressions or None
+            )
+            decision = self._apply_secret_tracker(service_id, segments, decision)
+            action = self.enforcement.enforce(decision, dict(segments))
+            elapsed = time.perf_counter() - started
+            sp.set(allowed=decision.allowed, proceed=action.proceed)
         self.response_times.append(elapsed)
+        self._h_decision.observe(elapsed)
         return action, elapsed
 
     def _apply_secret_tracker(
@@ -293,7 +308,10 @@ class BrowserFlowPlugin:
             if parsed is None:
                 return original_send(xhr, body)
             doc_id, segment_id, text = parsed
-            action, _elapsed = self._decide(service_id, doc_id, [(segment_id, text)])
+            with span("intercept", kind="xhr", service=service_id):
+                action, _elapsed = self._decide(
+                    service_id, doc_id, [(segment_id, text)]
+                )
             self._mark_editor_paragraph(window.document, segment_id, action)
             if not action.proceed:
                 self._record_warnings(service_id, doc_id, action.decision, False)
@@ -438,7 +456,8 @@ class BrowserFlowPlugin:
             doc_id, segments = self._segments_from_form(service_id, form)
             if not segments:
                 return
-            action, _elapsed = self._decide(service_id, doc_id, segments)
+            with span("intercept", kind="form", service=service_id):
+                action, _elapsed = self._decide(service_id, doc_id, segments)
             if not action.proceed:
                 event.prevent_default()
                 self.ui.mark_violation(form)

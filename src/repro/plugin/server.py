@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import LookupRejected, LookupTimeout, LookupUnavailable
+from repro.obs.registry import MetricsRegistry, MetricsScope
 from repro.plugin.lookup import PolicyLookup
 from repro.tdm.audit import DegradationEvent
 from repro.tdm.labels import Label, SegmentLabel
@@ -118,14 +119,23 @@ class LookupServer:
         self._faults = faults
         self._clock = clock or LogicalClock()
         self._mutex = threading.Lock()
-        self._counters: Dict[str, int] = {
-            "requests": 0,
-            "served": 0,
-            "observes": 0,
-            "dropped": 0,
-            "rejected": 0,
-            "timed_out": 0,
+        #: The model's registry (shared down the whole stack); server
+        #: request counters register under ``server.`` beside the engine
+        #: and decision-cache instruments.
+        self.registry = lookup.model.registry
+        self.metrics = self.registry.scope("server.")
+        self._counters = {
+            name: self.metrics.counter(name)
+            for name in (
+                "requests",
+                "served",
+                "observes",
+                "dropped",
+                "rejected",
+                "timed_out",
+            )
         }
+        self._h_handle = self.metrics.histogram("handle_seconds")
 
     @property
     def lookup(self) -> PolicyLookup:
@@ -136,7 +146,7 @@ class LookupServer:
 
     def _count(self, name: str) -> None:
         with self._mutex:
-            self._counters[name] += 1
+            self._counters[name].inc()
 
     # ------------------------------------------------------------------
     # Request paths
@@ -171,9 +181,12 @@ class LookupServer:
         if fault.kind == "latency" and fault.latency > timeout:
             self._count("timed_out")
             raise LookupTimeout(timeout, kind="latency")
+        clock = self.registry.clock
+        start = clock.now()
         decision = self._lookup.lookup(
             service_id, doc_id, paragraphs, suppressions=suppressions
         )
+        self._h_handle.observe(clock.now() - start)
         self._count("served")
         return decision, fault.latency
 
@@ -188,10 +201,15 @@ class LookupServer:
         self._lookup.model.observe(service_id, doc_id, paragraphs)
 
     def stats(self) -> Dict[str, object]:
-        """Server request counters + injector + lookup/engine/lock stats."""
+        """Server request counters + injector + lookup/engine/lock stats.
+
+        A thin view over the shared registry (plus the injector's own
+        scope): every field reads the same instrument a snapshot would.
+        """
         with self._mutex:
             combined: Dict[str, object] = {
-                f"server_{name}": value for name, value in self._counters.items()
+                f"server_{name}": counter.value
+                for name, counter in self._counters.items()
             }
         if self._faults is not None:
             combined.update(self._faults.stats())
@@ -213,6 +231,11 @@ class LookupClient:
             pass a recorder, production could pass ``time.sleep``. By
             default delays are recorded in the outcome but not slept,
             keeping simulations deterministic and fast.
+        scope: metrics scope for the client counters. Each client gets a
+            *private* registry under ``client.`` when omitted — clients
+            must not share instruments or their exact per-client
+            counters would merge; a load driver that wants N clients in
+            one registry passes distinct scopes (``client.0.`` …).
     """
 
     def __init__(
@@ -225,6 +248,7 @@ class LookupClient:
         backoff_multiplier: float = 2.0,
         failure_mode: FailureMode = FailureMode.FAIL_CLOSED,
         sleep=None,
+        scope: Optional[MetricsScope] = None,
     ) -> None:
         if timeout <= 0:
             raise ValueError("timeout must be positive")
@@ -240,15 +264,21 @@ class LookupClient:
         self.failure_mode = failure_mode
         self._sleep = sleep
         self._mutex = threading.Lock()
-        self._counters: Dict[str, int] = {
-            "requests": 0,
-            "attempts": 0,
-            "retries": 0,
-            "timeouts": 0,
-            "server_errors": 0,
-            "degraded": 0,
-            "fail_open_allowed": 0,
-            "fail_closed_blocked": 0,
+        if scope is None:
+            scope = MetricsRegistry().scope("client.")
+        self.metrics = scope
+        self._counters = {
+            name: scope.counter(name)
+            for name in (
+                "requests",
+                "attempts",
+                "retries",
+                "timeouts",
+                "server_errors",
+                "degraded",
+                "fail_open_allowed",
+                "fail_closed_blocked",
+            )
         }
 
     @property
@@ -257,7 +287,7 @@ class LookupClient:
 
     def _count(self, name: str, delta: int = 1) -> None:
         with self._mutex:
-            self._counters[name] += delta
+            self._counters[name].inc(delta)
 
     def lookup(
         self,
@@ -359,6 +389,10 @@ class LookupClient:
         )
 
     def stats(self) -> Dict[str, int]:
-        """Exact per-client request/retry/timeout/degradation counters."""
+        """Exact per-client request/retry/timeout/degradation counters.
+
+        A thin view over the client's registry scope, field-identical to
+        ``metrics.snapshot()`` by construction.
+        """
         with self._mutex:
-            return dict(self._counters)
+            return {name: counter.value for name, counter in self._counters.items()}

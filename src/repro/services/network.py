@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.browser.dom import Document
 from repro.browser.http import HttpRequest, HttpResponse
 from repro.errors import NetworkError
+from repro.obs.registry import MetricsRegistry, MetricsScope
 from repro.util.faults import FaultInjector
 
 
@@ -100,17 +101,28 @@ class FaultyNetwork:
     in anywhere a ``Network`` is expected.
     """
 
-    def __init__(self, network: Network, faults: FaultInjector, *, sleep=None) -> None:
+    def __init__(
+        self,
+        network: Network,
+        faults: FaultInjector,
+        *,
+        sleep=None,
+        scope: Optional[MetricsScope] = None,
+    ) -> None:
         self._network = network
         self._faults = faults
         self._sleep = sleep
         #: Injected latencies in delivery order, for exact assertions.
         self.latencies: List[float] = []
-        self._counters: Dict[str, int] = {
-            "delivered": 0,
-            "dropped": 0,
-            "errored": 0,
-            "delayed": 0,
+        # Delivery counters in a registry scope (private ``network.``
+        # prefix unless the load driver passes a shared one); stats()
+        # is a thin view over the same instruments.
+        if scope is None:
+            scope = MetricsRegistry().scope("network.")
+        self.metrics = scope
+        self._counters = {
+            name: scope.counter(name)
+            for name in ("delivered", "dropped", "errored", "delayed")
         }
 
     @property
@@ -120,24 +132,28 @@ class FaultyNetwork:
     def deliver(self, request: HttpRequest) -> HttpResponse:
         fault = self._faults.next_fault()
         if fault.kind == "drop":
-            self._counters["dropped"] += 1
+            self._counters["dropped"].inc()
             raise NetworkError(f"request to {request.url!r} dropped (injected fault)")
         if fault.kind == "error":
-            self._counters["errored"] += 1
+            self._counters["errored"].inc()
             return HttpResponse(
                 status=fault.status, body=f"injected fault: HTTP {fault.status}"
             )
         if fault.kind == "latency":
-            self._counters["delayed"] += 1
+            self._counters["delayed"].inc()
             self.latencies.append(fault.latency)
             if self._sleep is not None:
                 self._sleep(fault.latency)
-        self._counters["delivered"] += 1
+        self._counters["delivered"].inc()
         return self._network.deliver(request)
 
     def stats(self) -> Dict[str, int]:
-        """Delivery/fault counters plus the injector's per-kind counts."""
-        combined = dict(self._counters)
+        """Delivery/fault counters plus the injector's per-kind counts.
+
+        The delivery fields are a thin view over the network's registry
+        scope, field-identical to ``metrics.snapshot()``.
+        """
+        combined = {name: c.value for name, c in self._counters.items()}
         combined.update(self._faults.stats())
         return combined
 

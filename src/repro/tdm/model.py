@@ -23,6 +23,8 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 from repro.disclosure import DisclosureTracker, SourceDisclosure
 from repro.errors import PolicyError, SuppressionError
 from repro.fingerprint import FingerprintConfig
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import span
 from repro.tdm.audit import AuditLog, SuppressionEvent
 from repro.tdm.labels import Label, SegmentLabel
 from repro.tdm.policy import PolicyStore, ServicePolicy
@@ -91,6 +93,9 @@ class TextDisclosureModel:
         clock: timestamp source shared by disclosure DBs and audit log.
         paragraph_threshold / document_threshold: default Tpar and Tdoc.
         authoritative: apply the §4.3 overlap correction.
+        registry: metrics registry shared down the stack (both engines,
+            the shared lock, and — via the plug-in — the decision
+            cache). A private one is created when omitted.
     """
 
     def __init__(
@@ -102,6 +107,7 @@ class TextDisclosureModel:
         paragraph_threshold: float = 0.5,
         document_threshold: float = 0.5,
         authoritative: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.policies = policies or PolicyStore()
         self._clock = clock or LogicalClock()
@@ -111,7 +117,12 @@ class TextDisclosureModel:
             paragraph_threshold=paragraph_threshold,
             document_threshold=document_threshold,
             authoritative=authoritative,
+            registry=registry,
         )
+        #: The tracker's registry — the composition root's single
+        #: namespace, reused by the plug-in's decision cache and the
+        #: lookup service above.
+        self.registry = self.tracker.registry
         self.audit = AuditLog()
         #: The tracker's reader–writer lock, shared by both granularity
         #: engines; model operations reuse it (reentrantly) so label and
@@ -226,7 +237,9 @@ class TextDisclosureModel:
         # Read lock: the dual-granularity report and the label resolution
         # below must describe one consistent database state. Suppression
         # audit appends are safe under the shared lock (append-only log).
-        with self.lock.read_locked():
+        with self.lock.read_locked(), span(
+            "label_check", service=service_id, doc=doc_id
+        ) as sp:
             report = self.tracker.check_document(doc_id, paragraphs)
             violations: List[FlowViolation] = []
             resolved: Dict[str, SegmentLabel] = {}
@@ -267,6 +280,11 @@ class TextDisclosureModel:
                     )
                 )
 
+            sp.set(
+                allowed=not violations,
+                violations=len(violations),
+                segments=len(resolved),
+            )
             return FlowDecision(
                 service_id=service_id,
                 allowed=not violations,

@@ -19,7 +19,10 @@ from __future__ import annotations
 import random
 import threading
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # deferred at runtime: obs.registry imports util.clock
+    from repro.obs.registry import MetricsScope
 
 #: Fault kinds, in reporting order.
 KINDS = ("none", "latency", "drop", "error")
@@ -74,7 +77,11 @@ class FaultInjector:
       order; the injector serialises draws under a mutex so concurrent
       clients cannot tear the RNG state.
 
-    ``injected`` counts decisions per kind (exact, mutex-guarded).
+    ``injected`` counts decisions per kind (exact, mutex-guarded). The
+    counts live in a :class:`~repro.obs.registry.MetricsRegistry` scope
+    (a private ``faults.``-prefixed one unless the owner passes its
+    own); ``injected`` and ``stats()`` are thin views over those
+    instruments.
     """
 
     def __init__(
@@ -87,6 +94,7 @@ class FaultInjector:
         latency_rate: float = 0.0,
         latency_range: Tuple[float, float] = (0.0, 0.0),
         statuses: Sequence[int] = (500, 502, 503),
+        scope: Optional["MetricsScope"] = None,
     ) -> None:
         for name, rate in (
             ("drop_rate", drop_rate),
@@ -106,13 +114,26 @@ class FaultInjector:
         self._latency_rate = latency_rate
         self._latency_range = latency_range
         self._statuses = tuple(statuses)
-        self.injected: Dict[str, int] = {kind: 0 for kind in KINDS}
+        if scope is None:
+            from repro.obs.registry import MetricsRegistry
+
+            scope = MetricsRegistry().scope("faults.")
+        self.metrics = scope
+        self._injected = {
+            kind: scope.counter(f"injected_{kind}") for kind in KINDS
+        }
+
+    @property
+    def injected(self) -> Dict[str, int]:
+        """Per-kind injected counts (legacy view over the registry)."""
+        with self._mutex:
+            return {kind: c.value for kind, c in self._injected.items()}
 
     def next_fault(self) -> Fault:
         """The fault decision for the next request (thread-safe)."""
         with self._mutex:
             fault = self._draw()
-            self.injected[fault.kind] += 1
+            self._injected[fault.kind].inc()
             return fault
 
     def _draw(self) -> Fault:
@@ -134,6 +155,10 @@ class FaultInjector:
         return Fault.none()
 
     def stats(self) -> Dict[str, int]:
-        """Injected-fault counts per kind, prefixed for reporting."""
+        """Injected-fault counts per kind, prefixed for reporting.
+
+        A thin view over the injector's registry scope, field-identical
+        to ``metrics.snapshot()`` by construction.
+        """
         with self._mutex:
-            return {f"injected_{kind}": n for kind, n in self.injected.items()}
+            return {f"injected_{kind}": c.value for kind, c in self._injected.items()}

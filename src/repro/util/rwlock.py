@@ -20,32 +20,69 @@ Design points:
 * **Counted**: acquisition and contention counters feed the engine's
   ``stats()`` → ``format_counters`` reporting path so lock behaviour is
   visible next to latency numbers. Counter increments happen under the
-  lock's own condition variable, so they are exact.
+  lock's own condition variable, so they are exact. The counters live
+  in a :class:`~repro.obs.registry.MetricsRegistry` scope (a private
+  one unless the owner passes a shared scope), and ``stats()`` plus the
+  legacy public attributes are thin views over those instruments.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
+
+if TYPE_CHECKING:  # deferred at runtime: obs.registry imports util.clock
+    from repro.obs.registry import MetricsScope
 
 
 class RWLock:
-    """Reader–writer lock: shared readers, one exclusive writer."""
+    """Reader–writer lock: shared readers, one exclusive writer.
 
-    def __init__(self) -> None:
+    Args:
+        scope: metrics scope for the acquisition counters. A private
+            registry under the conventional ``lock.`` prefix is created
+            when omitted, so standalone locks behave exactly as before;
+            owners that share one registry (a tracker, the CLI) pass
+            their own scope instead.
+    """
+
+    def __init__(self, *, scope: Optional["MetricsScope"] = None) -> None:
         self._cond = threading.Condition()
         # thread ident → read recursion depth (readers only).
         self._readers: Dict[int, int] = {}
         self._writer: Optional[int] = None
         self._writer_depth = 0
         self._waiting_writers = 0
-        #: Exact acquisition counters (maintained under the condition).
-        self.read_acquisitions = 0
-        self.write_acquisitions = 0
+        if scope is None:
+            from repro.obs.registry import MetricsRegistry
+
+            scope = MetricsRegistry().scope("lock.")
+        self.metrics = scope
+        #: Exact acquisition counters (incremented under the condition).
+        self._read_acquisitions = scope.counter("read_acquisitions")
+        self._write_acquisitions = scope.counter("write_acquisitions")
         #: Acquisitions that had to wait at least once.
-        self.read_contended = 0
-        self.write_contended = 0
+        self._read_contended = scope.counter("read_contended")
+        self._write_contended = scope.counter("write_contended")
+
+    # Legacy public counter attributes, now views over the registry.
+
+    @property
+    def read_acquisitions(self) -> int:
+        return self._read_acquisitions.value
+
+    @property
+    def write_acquisitions(self) -> int:
+        return self._write_acquisitions.value
+
+    @property
+    def read_contended(self) -> int:
+        return self._read_contended.value
+
+    @property
+    def write_contended(self) -> int:
+        return self._write_contended.value
 
     # ------------------------------------------------------------------
     # Read side
@@ -59,16 +96,16 @@ class RWLock:
                 # queue behind waiting writers or the thread deadlocks
                 # against itself.
                 self._readers[me] = self._readers.get(me, 0) + 1
-                self.read_acquisitions += 1
+                self._read_acquisitions.inc()
                 return
             contended = False
             while self._writer is not None or self._waiting_writers:
                 contended = True
                 self._cond.wait()
             self._readers[me] = 1
-            self.read_acquisitions += 1
+            self._read_acquisitions.inc()
             if contended:
-                self.read_contended += 1
+                self._read_contended.inc()
 
     def release_read(self) -> None:
         me = threading.get_ident()
@@ -92,7 +129,7 @@ class RWLock:
         with self._cond:
             if self._writer == me:
                 self._writer_depth += 1
-                self.write_acquisitions += 1
+                self._write_acquisitions.inc()
                 return
             if me in self._readers:
                 raise RuntimeError(
@@ -109,9 +146,9 @@ class RWLock:
                 self._waiting_writers -= 1
             self._writer = me
             self._writer_depth = 1
-            self.write_acquisitions += 1
+            self._write_acquisitions.inc()
             if contended:
-                self.write_contended += 1
+                self._write_contended.inc()
 
     def release_write(self) -> None:
         me = threading.get_ident()
@@ -149,11 +186,15 @@ class RWLock:
             return self._writer == threading.get_ident()
 
     def stats(self) -> Dict[str, int]:
-        """Exact acquisition/contention counters for reporting."""
+        """Exact acquisition/contention counters for reporting.
+
+        A thin view over the lock's registry scope: field-identical to
+        ``metrics.snapshot()`` by construction (differential-tested).
+        """
         with self._cond:
             return {
-                "read_acquisitions": self.read_acquisitions,
-                "write_acquisitions": self.write_acquisitions,
-                "read_contended": self.read_contended,
-                "write_contended": self.write_contended,
+                "read_acquisitions": self._read_acquisitions.value,
+                "write_acquisitions": self._write_acquisitions.value,
+                "read_contended": self._read_contended.value,
+                "write_contended": self._write_contended.value,
             }

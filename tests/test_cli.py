@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -130,3 +132,77 @@ class TestExperimentSubcommands:
         out = capsys.readouterr().out
         assert "Figure 9" in out
         assert "Chicago" in out
+
+
+class TestStatsAndTrace:
+    """The observability subcommands: `repro stats` and `repro trace`."""
+
+    @pytest.fixture
+    def observed_db(self, files):
+        a, _b, tmp = files
+        db = tmp / "db.json"
+        assert main(["observe", str(a), "--db", str(db), "--id", "doc-a"]) == 0
+        return db
+
+    def test_stats_outputs_registry_snapshot(self, files, observed_db, capsys):
+        assert main(["stats", "--db", str(observed_db)]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["engine.paragraph.segments"] == 1
+        assert snapshot["engine.paragraph.queries"] == 0
+        assert "engine.paragraph.algorithm1_seconds" in snapshot
+
+    def test_stats_scan_populates_query_instruments(self, files, observed_db, capsys):
+        a, _b, _tmp = files
+        assert main(["stats", "--db", str(observed_db), "--scan", str(a)]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["engine.paragraph.queries"] == 1
+        hist = snapshot["engine.paragraph.algorithm1_seconds"]
+        assert hist["count"] == 1
+        assert sum(hist["buckets"].values()) == 1
+
+    def test_stats_missing_db_fails(self, files, capsys):
+        _a, _b, tmp = files
+        assert main(["stats", "--db", str(tmp / "nope.json")]) == 2
+        assert "no database" in capsys.readouterr().err
+
+    def test_trace_emits_nested_pipeline_spans(self, files, observed_db, capsys):
+        a, _b, _tmp = files
+        assert main(["trace", str(a), "--db", str(observed_db)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        (root,) = document["spans"]
+        assert root["name"] == "scan"
+        names = set()
+
+        def walk(entry):
+            names.add(entry["name"])
+            for child in entry["children"]:
+                walk(child)
+
+        walk(root)
+        # The acceptance bar: a tree covering >= 4 distinct stages.
+        assert {"scan", "intercept", "fingerprint", "algorithm1"} <= names
+        assert len(names) >= 4
+        decision = next(c for c in root["children"] if c["name"] == "decision")
+        assert decision["attributes"]["disclosing"] is True
+
+    def test_trace_output_file_validates_against_schema(
+        self, files, observed_db, tmp_path
+    ):
+        import pathlib
+        import sys
+
+        tools = pathlib.Path(__file__).resolve().parent.parent / "tools"
+        sys.path.insert(0, str(tools))
+        try:
+            from validate_trace import main as validate_main
+        finally:
+            sys.path.remove(str(tools))
+
+        a, _b, _tmp = files
+        out = tmp_path / "trace.json"
+        assert main(
+            ["trace", str(a), "--db", str(observed_db), "--output", str(out)]
+        ) == 0
+        assert (
+            validate_main([str(out), "--min-stages", "4"]) == 0
+        )

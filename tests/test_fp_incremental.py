@@ -21,6 +21,17 @@ chunks = st.lists(
     max_size=12,
 )
 
+#: Full-Unicode chunk alphabet: the lone lower-expanding code point
+#: (U+0130 İ), capital sharp s, ligatures, accented letters, CJK.
+UNICODE_ALPHABET = (
+    string.ascii_letters + string.digits + " .,!" + "İıẞßﬁﬂÄäÖöÑñÇçÉé北京"
+)
+unicode_chunks = st.lists(
+    st.text(alphabet=UNICODE_ALPHABET, min_size=0, max_size=25),
+    min_size=0,
+    max_size=12,
+)
+
 
 class TestIncremental:
     def test_single_append_equals_batch(self):
@@ -81,6 +92,23 @@ class TestIncremental:
         assert current.hashes == expected.hashes
         assert current.selections == expected.selections
 
+    @given(unicode_chunks)
+    @settings(max_examples=60, deadline=None)
+    def test_property_equivalence_unicode_chunks(self, pieces):
+        """Batch == incremental on full-Unicode input, including the
+        lower-expanding İ (the fingerprint-pipeline crash regression)."""
+        config = FingerprintConfig(ngram_size=4, window_size=3)
+        inc = IncrementalFingerprinter(config)
+        batch = Fingerprinter(config)
+        text = ""
+        for piece in pieces:
+            text += piece
+            inc.append(piece)
+        expected = batch.fingerprint(text)
+        current = inc.current()
+        assert current.hashes == expected.hashes
+        assert current.selections == expected.selections
+
     @given(chunks)
     @settings(max_examples=30, deadline=None)
     def test_property_spans_map_into_original(self, pieces):
@@ -92,3 +120,70 @@ class TestIncremental:
             inc.append(piece)
         for selection in inc.current().selections:
             assert 0 <= selection.orig_start < selection.orig_end <= len(text)
+
+
+class TestUnicodeRegression:
+    """The lowercase-expansion crash: 'İ'.lower() is two code points."""
+
+    def test_dotted_capital_i_append_does_not_crash(self):
+        # Before the fix, the incremental normaliser appended both
+        # expansion products but one offset entry, so current() died
+        # mapping selections back to original offsets.
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append("İ" * 10)
+        assert inc.current().hashes == BATCH.fingerprint("İ" * 10).hashes
+
+    def test_char_by_char_unicode_equals_batch(self):
+        text = "İstanbul ve İzmir: STRAẞE ﬁle ﬂow, naïve 北京 2024!"
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        prefix = ""
+        for ch in text:
+            prefix += ch
+            inc.append(ch)
+            assert inc.current().hashes == BATCH.fingerprint(prefix).hashes
+        assert inc.current().selections == BATCH.fingerprint(text).selections
+
+    def test_combining_dot_product_is_dropped(self):
+        # Normalised stream must match the batch normaliser exactly:
+        # one 'i' per İ, never the combining dot.
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append("İİ")
+        assert inc._norm_chars == ["i", "i"]
+        assert inc._offsets == [0, 1]
+
+
+class TestAppendCountBoundary:
+    """append()'s return value must reconcile with current()."""
+
+    def test_partial_window_reports_first_selection(self):
+        # Bug: with fewer hashes than window_size, append() returned 0
+        # while current() already reported one selected hash.
+        inc = IncrementalFingerprinter(TINY_CONFIG)  # ngram 6, window 3
+        reported = inc.append("abcdef")  # exactly one n-gram hash
+        assert len(inc.current()) == 1
+        assert reported == 1
+
+    def test_count_equals_window_size_boundary(self):
+        # 8 chars under TINY_CONFIG yield exactly window_size hashes:
+        # the deque phase's first selection is the same rightmost
+        # minimum the partial scans already reported — counted once.
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        total = 0
+        for ch in "abcdefgh":
+            total += inc.append(ch)
+        assert len(inc._values) == TINY_CONFIG.window_size
+        assert total == len(inc._reported)  # at-most-once per position
+        assert total >= len(inc.current().selections)
+
+    @given(chunks)
+    @settings(max_examples=60, deadline=None)
+    def test_counts_cover_current_selection_at_every_prefix(self, pieces):
+        config = FingerprintConfig(ngram_size=4, window_size=3)
+        inc = IncrementalFingerprinter(config)
+        total = 0
+        for piece in pieces:
+            total += inc.append(piece)
+            # Everything current() reports has been counted by some
+            # append() — including during the partial window.
+            assert total >= len(inc.current().selections)
+        assert total == len(inc._reported)

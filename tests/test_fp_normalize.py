@@ -42,6 +42,52 @@ class TestNormalize:
         assert normalize("a b c").original_length == 5
 
 
+class TestUnicodeExpansion:
+    """Characters whose ``str.lower()`` expands or needs filtering.
+
+    U+0130 (İ, Turkish dotted capital I) is the only code point whose
+    ``lower()`` grows: ``'i'`` plus U+0307 combining dot above. The dot
+    is not alphanumeric, so it must be filtered per *produced*
+    character — keeping ``len(offsets) == len(text)`` and idempotence.
+    """
+
+    def test_dotted_capital_i_expands_then_filters(self):
+        assert len("İ".lower()) == 2  # the expansion this class is about
+        result = normalize("İ")
+        assert result.text == "i"
+        assert result.offsets == (0,)
+
+    def test_istanbul(self):
+        result = normalize("İstanbul")
+        assert result.text == "istanbul"
+        assert len(result.offsets) == len(result.text)
+
+    def test_capital_sharp_s(self):
+        # U+1E9E ẞ lowers to U+00DF ß without expansion; both survive.
+        result = normalize("STRAẞE")
+        assert result.text == "straße"
+        assert len(result.offsets) == 6
+
+    def test_ligatures_kept_verbatim(self):
+        # ﬁ/ﬂ are alphanumeric and only unfold under casefold(), which
+        # normalisation deliberately does not use.
+        assert normalize("ﬁle ﬂow").text == "ﬁleﬂow"
+
+    def test_idempotent_on_expanding_input(self):
+        once = normalize("İİİ DIŞ BÜTÇE")
+        twice = normalize(once.text)
+        assert twice.text == once.text
+        assert len(once.offsets) == len(once.text)
+
+    def test_offsets_point_to_producing_original_char(self):
+        source = "İzmir & İstanbul!"
+        result = normalize(source)
+        assert len(result.offsets) == len(result.text)
+        for norm_index, orig_index in enumerate(result.offsets):
+            produced = [c for c in source[orig_index].lower() if c.isalnum()]
+            assert result.text[norm_index] in produced
+
+
 class TestOffsetMap:
     def test_offsets_point_to_original_chars(self):
         source = "He said: Hello!"

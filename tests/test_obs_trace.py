@@ -1,0 +1,158 @@
+"""Unit tests for the pipeline trace spans."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    TraceSpan,
+    current_tracer,
+    span,
+    tracing,
+)
+from repro.obs.trace import _NULL_SPAN
+from repro.util.clock import LogicalClock
+
+
+class TestTraceSpan:
+    def test_duration_requires_closed_span(self):
+        open_span = TraceSpan("x", start=1.0)
+        with pytest.raises(ValueError, match="still open"):
+            open_span.duration
+        open_span.end = 3.5
+        assert open_span.duration == 2.5
+
+    def test_set_returns_self_and_accumulates(self):
+        s = TraceSpan("x", start=0.0)
+        assert s.set(a=1).set(b=2) is s
+        assert s.attributes == {"a": 1, "b": 2}
+
+    def test_walk_is_depth_first(self):
+        root = TraceSpan("root", 0.0)
+        a, b, c = TraceSpan("a", 1.0), TraceSpan("b", 2.0), TraceSpan("c", 3.0)
+        root.children = [a, b]
+        a.children = [c]
+        assert [s.name for s in root.walk()] == ["root", "a", "c", "b"]
+
+
+class TestTracer:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer(clock=LogicalClock())
+        with tracer.span("scan"):
+            with tracer.span("fingerprint"):
+                with tracer.span("normalize"):
+                    pass
+            with tracer.span("algorithm1"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "scan"
+        assert [c.name for c in root.children] == ["fingerprint", "algorithm1"]
+        assert root.children[0].children[0].name == "normalize"
+
+    def test_logical_clock_gives_deterministic_timings(self):
+        def run():
+            tracer = Tracer(clock=LogicalClock())
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+            return tracer.to_json()
+
+        assert run() == run()
+
+    def test_sibling_roots_in_completion_order(self):
+        tracer = Tracer(clock=LogicalClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_span_closed_even_on_exception(self):
+        tracer = Tracer(clock=LogicalClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                raise RuntimeError("boom")
+        assert tracer.roots[0].end is not None
+
+    def test_export_shape_matches_schema(self):
+        tracer = Tracer(clock=LogicalClock())
+        with tracer.span("scan", file="x.txt") as sp:
+            sp.set(chars=10)
+        doc = tracer.export()
+        assert doc["version"] == TRACE_SCHEMA_VERSION
+        (root,) = doc["spans"]
+        assert set(root) == {"name", "start", "duration", "attributes", "children"}
+        assert root["attributes"] == {"file": "x.txt", "chars": 10}
+        json.dumps(doc)  # JSON-ready
+
+    def test_validator_accepts_export(self, tmp_path):
+        import pathlib
+        import sys
+
+        tools = pathlib.Path(__file__).resolve().parent.parent / "tools"
+        sys.path.insert(0, str(tools))
+        try:
+            from validate_trace import distinct_stages, validate
+        finally:
+            sys.path.remove(str(tools))
+
+        tracer = Tracer(clock=LogicalClock())
+        with tracer.span("scan"):
+            with tracer.span("fingerprint"):
+                pass
+        schema = json.loads(
+            (tools.parent / "docs" / "trace_schema.json").read_text()
+        )
+        doc = tracer.export()
+        validate(doc, schema)  # must not raise
+        assert distinct_stages(doc) == {"scan", "fingerprint"}
+
+
+class TestModuleLevelSpan:
+    def test_no_active_tracer_returns_shared_null_span(self):
+        assert current_tracer() is None
+        sp = span("anything", key="value")
+        assert sp is _NULL_SPAN
+        with sp as inner:
+            inner.set(more=1)  # no-op, no error
+
+    def test_tracing_scopes_activation(self):
+        tracer = Tracer(clock=LogicalClock())
+        with tracing(tracer) as active:
+            assert active is tracer
+            assert current_tracer() is tracer
+            with span("op") as sp:
+                sp.set(done=True)
+        assert current_tracer() is None
+        assert tracer.roots[0].attributes == {"done": True}
+
+    def test_threads_do_not_interleave_trees(self):
+        tracer = Tracer(clock=LogicalClock())
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def worker(tag):
+            try:
+                with tracing(tracer):
+                    with span(f"outer-{tag}"):
+                        barrier.wait(timeout=10)
+                        with span(f"inner-{tag}"):
+                            pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Each root holds exactly its own inner span, never the sibling's.
+        assert len(tracer.roots) == 2
+        for root in tracer.roots:
+            tag = root.name.split("-")[1]
+            assert [c.name for c in root.children] == [f"inner-{tag}"]

@@ -21,6 +21,18 @@ prose = st.text(
     min_size=0,
     max_size=300,
 )
+#: Full-Unicode prose: the lone lower-expanding code point (U+0130 İ,
+#: whose lower() is 'i' + a non-alphanumeric combining dot), capital
+#: sharp s (U+1E9E ẞ), ligatures (only casefold unfolds them), accented
+#: Latin, Greek/Cyrillic (case-mapped), and CJK (caseless).
+unicode_prose = st.text(
+    alphabet=(
+        string.ascii_letters + string.digits + " .,!?-\n"
+        + "İıẞßﬁﬂÆæÇçÉéÑñÖöÜüΣσЖж北京"
+    ),
+    min_size=0,
+    max_size=300,
+)
 words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10)
 
 
@@ -45,6 +57,40 @@ class TestNormalizeProperties:
     def test_offsets_strictly_increasing(self, text):
         offsets = normalize(text).offsets
         assert all(b > a for a, b in zip(offsets, offsets[1:]))
+
+
+class TestUnicodeNormalizeProperties:
+    """The S1 invariants on a full-Unicode alphabet (İ, ẞ, ligatures).
+
+    The lowercase-expansion regression: İ's lower() products must be
+    filtered individually, or ``len(offsets) == len(text)`` breaks and
+    the fingerprint pipeline crashes downstream.
+    """
+
+    @given(unicode_prose)
+    def test_idempotent(self, text):
+        once = normalize(text).text
+        assert normalize(once).text == once
+
+    @given(unicode_prose)
+    def test_output_alphanumeric_lowercase(self, text):
+        result = normalize(text).text
+        assert all(c.isalnum() and not c.isupper() for c in result)
+
+    @given(unicode_prose)
+    def test_offset_invariant_holds(self, text):
+        result = normalize(text)
+        assert len(result.offsets) == len(result.text)
+        assert all(0 <= o < len(text) for o in result.offsets)
+        # Only İ expands, and its second product is dropped — so
+        # offsets stay strictly increasing even on Unicode input.
+        assert all(
+            b > a for a, b in zip(result.offsets, result.offsets[1:])
+        )
+
+    @given(unicode_prose)
+    def test_fingerprint_never_crashes_and_is_deterministic(self, text):
+        assert FP.fingerprint(text).hashes == FP.fingerprint(text).hashes
 
 
 class TestRollingHashProperties:

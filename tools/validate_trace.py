@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a `repro trace` JSON document against the checked-in schema.
+
+A dependency-free validator for the subset of JSON Schema the trace
+schema uses — ``type``, ``required``, ``properties``, ``items``,
+``minItems``, and ``$ref`` into ``#/definitions/…`` — so CI can verify
+trace output without installing ``jsonschema``. Also enforces the trace
+contract the schema alone cannot express: with ``--min-stages N`` the
+document must contain at least N *distinct* span names across the whole
+forest (the "one scan produces a multi-stage pipeline tree" guarantee).
+
+Usage::
+
+    python tools/validate_trace.py trace.json \
+        --schema docs/trace_schema.json --min-stages 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def _resolve(schema: dict, root: dict) -> dict:
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref {ref!r} (only internal refs)")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(instance, schema: dict, root: dict = None, path: str = "$") -> None:
+    """Raise ValueError at the first point *instance* violates *schema*."""
+    if root is None:
+        root = schema
+    schema = _resolve(schema, root)
+
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        # bool is an int subclass; a True "integer" would be a type bug.
+        if isinstance(instance, bool) and expected in ("integer", "number"):
+            raise ValueError(f"{path}: expected {expected}, got boolean")
+        if not isinstance(instance, python_type):
+            raise ValueError(
+                f"{path}: expected {expected}, got {type(instance).__name__}"
+            )
+
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise ValueError(f"{path}: missing required property {name!r}")
+        for name, subschema in schema.get("properties", {}).items():
+            if name in instance:
+                validate(instance[name], subschema, root, f"{path}.{name}")
+
+    if isinstance(instance, list):
+        min_items = schema.get("minItems")
+        if min_items is not None and len(instance) < min_items:
+            raise ValueError(
+                f"{path}: expected at least {min_items} items, got {len(instance)}"
+            )
+        items = schema.get("items")
+        if items is not None:
+            for i, element in enumerate(instance):
+                validate(element, items, root, f"{path}[{i}]")
+
+
+def distinct_stages(document: dict) -> set:
+    """All span names in the document's span forest."""
+    names = set()
+
+    def walk(spans):
+        for entry in spans:
+            names.add(entry.get("name"))
+            walk(entry.get("children", ()))
+
+    walk(document.get("spans", ()))
+    return names
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace JSON file to validate")
+    parser.add_argument(
+        "--schema",
+        default=str(Path(__file__).resolve().parent.parent / "docs" / "trace_schema.json"),
+        help="schema path (default: docs/trace_schema.json)",
+    )
+    parser.add_argument(
+        "--min-stages",
+        type=int,
+        default=0,
+        metavar="N",
+        help="require at least N distinct span names in the document",
+    )
+    args = parser.parse_args(argv)
+
+    document = json.loads(Path(args.trace).read_text(encoding="utf-8"))
+    schema = json.loads(Path(args.schema).read_text(encoding="utf-8"))
+    try:
+        validate(document, schema)
+    except ValueError as exc:
+        print(f"schema violation: {exc}", file=sys.stderr)
+        return 1
+
+    stages = distinct_stages(document)
+    if len(stages) < args.min_stages:
+        print(
+            f"expected >= {args.min_stages} distinct pipeline stages, "
+            f"got {len(stages)}: {sorted(str(s) for s in stages)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(
+        f"{args.trace}: valid (version {document.get('version')}, "
+        f"{len(stages)} distinct stages)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
