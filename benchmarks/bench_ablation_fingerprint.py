@@ -9,9 +9,10 @@ reduce spurious matches but miss shorter copied passages.
 import random
 
 from repro.datasets.synthesis import EditModel, TextSynthesizer
-from repro.eval.reporting import format_table
+from repro.eval.reporting import format_histograms, format_table
 from repro.fingerprint import Fingerprinter
 from repro.fingerprint.config import FingerprintConfig
+from repro.obs.registry import MetricsRegistry
 
 CONFIGS = [
     FingerprintConfig(ngram_size=5, window_size=10),
@@ -22,8 +23,8 @@ CONFIGS = [
 ]
 
 
-def _evaluate(paragraphs, edited, config):
-    fp = Fingerprinter(config)
+def _evaluate(paragraphs, edited, config, registry=None):
+    fp = Fingerprinter(config, registry=registry)
     density = 0
     chars = 0
     robustness = []
@@ -59,13 +60,22 @@ def test_ablation_fingerprint_parameters(benchmark, report):
             ]
         )
 
-    # Time the paper configuration's evaluation as the benchmark body.
-    benchmark(_evaluate, paragraphs, edited, CONFIGS[2])
+    # Time the paper configuration's evaluation as the benchmark body,
+    # collecting the per-ingest-stage histograms into a registry.
+    registry = MetricsRegistry()
+    benchmark(_evaluate, paragraphs, edited, CONFIGS[2], registry)
+    snapshot = registry.snapshot()
+    for stage in ("normalize", "hash", "winnow"):
+        assert snapshot[f"fingerprint.{stage}"]["count"] > 0
     report(
         format_table(
             ["Config", "Guarantee (chars)", "Hashes/kchar", "Containment after 8% edit"],
             rows,
             title="Ablation: fingerprint parameters (paper uses n=15 w=30)",
+        )
+        + "\n"
+        + format_histograms(
+            snapshot, title="Per-stage ingest latency at the paper config:"
         )
     )
 

@@ -1,0 +1,95 @@
+"""Ingest throughput — reference pipeline vs fused kernel (MB/s).
+
+The paper's S1–S4 ingest sits on the hot path of every observed page
+and corpus load. This benchmark measures per-stage and end-to-end
+throughput of the three ingest paths over the Wikipedia and manuals
+corpora, proves the kernels hash-identical to the reference pipeline
+before timing anything, and surfaces the per-stage latency histograms
+the fingerprinter records into a shared registry.
+
+``tools/bench_to_json.py`` runs the same measurement (same module) to
+refresh the committed ``BENCH_fingerprint.json`` trajectory file.
+"""
+
+from repro.eval.ingest_bench import (
+    available_paths,
+    check_equivalence,
+    corpus_texts,
+    measure_corpus,
+)
+from repro.eval.reporting import format_histograms, format_table
+from repro.fingerprint import Fingerprinter, HAS_NUMPY
+from repro.fingerprint.config import PAPER_CONFIG
+from repro.obs.registry import MetricsRegistry
+
+# Smoke-mode CI measures tiny corpora where MB/s is noisy, so the
+# asserted floors sit well under the speedups a real run shows
+# (BENCH_fingerprint.json: pure ≈ 2.3–3×, numpy ≈ 6–20×).
+PURE_SPEEDUP_FLOOR = 1.5
+NUMPY_SPEEDUP_FLOOR = 3.0
+
+
+def _report_corpus(name, texts, report):
+    config = PAPER_CONFIG
+    compared = check_equivalence(texts, config, sample=25)
+    results = measure_corpus(texts, config)
+    rows = []
+    for path in available_paths(config):
+        block = results["paths"][path]
+        rows.append(
+            [
+                path,
+                block["normalize_mbps"],
+                block["hash_mbps"],
+                block["winnow_mbps"],
+                block["total_mbps"],
+                results["speedup"].get(path, 1.0),
+            ]
+        )
+    report(
+        format_table(
+            ["Path", "S1 MB/s", "S2 MB/s", "S3/S4 MB/s", "Total MB/s", "Speedup"],
+            rows,
+            title=(
+                f"Ingest throughput: {name} "
+                f"({results['bytes']} bytes, {results['texts']} texts, "
+                f"equivalence checked on {compared})"
+            ),
+        )
+    )
+    return results
+
+
+def test_ingest_wikipedia(benchmark, report, wikipedia_corpus):
+    texts = corpus_texts(wikipedia_corpus)
+    results = _report_corpus("wikipedia", texts, report)
+    speedup = results["speedup"]
+    assert speedup["kernel_pure"] >= PURE_SPEEDUP_FLOOR
+    if HAS_NUMPY:
+        assert speedup["kernel_numpy"] >= NUMPY_SPEEDUP_FLOOR
+
+    fingerprinter = Fingerprinter(PAPER_CONFIG)
+    sample = texts[: max(1, len(texts) // 20)]
+    benchmark(lambda: [fingerprinter.fingerprint(t) for t in sample])
+
+
+def test_ingest_manuals(benchmark, report, manuals_corpus):
+    texts = corpus_texts(manuals_corpus)
+    results = _report_corpus("manuals", texts, report)
+    assert results["speedup"]["kernel_pure"] >= PURE_SPEEDUP_FLOOR
+
+    # The per-stage histograms the satellite wires through the registry:
+    # a Fingerprinter built over a registry lands S1/S2/S3-4 latency in
+    # fingerprint.normalize / .hash / .winnow.
+    registry = MetricsRegistry()
+    fingerprinter = Fingerprinter(PAPER_CONFIG, registry=registry)
+    benchmark(lambda: [fingerprinter.fingerprint(t) for t in texts])
+    snapshot = registry.snapshot()
+    for stage in ("normalize", "hash", "winnow"):
+        name = f"fingerprint.{stage}"
+        assert name in snapshot and snapshot[name]["count"] > 0
+    report(
+        format_histograms(
+            snapshot, title="Per-stage ingest latency (kernel path)"
+        )
+    )

@@ -106,7 +106,6 @@ class DisclosureEngine:
         lock: Optional[RWLock] = None,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        self._fingerprinter = Fingerprinter(config)
         self._clock = clock or LogicalClock()
         self._authoritative = authoritative
         self._kind = kind
@@ -115,6 +114,11 @@ class DisclosureEngine:
         #: engines, the shared lock, and the plugin layers above).
         self.registry = registry or MetricsRegistry()
         self.metrics = self.registry.scope(f"engine.{kind}.")
+        # The fingerprinter records per-ingest-stage latency under this
+        # engine's scope (engine.<kind>.fingerprint.normalize/hash/winnow).
+        self._fingerprinter = Fingerprinter(
+            config, scope=self.registry.scope(f"engine.{kind}.fingerprint.")
+        )
         #: Guards hash_db, segment_db, and the engine caches. Queries
         #: take the read side; observe/remove take the write side. The
         #: databases themselves are unsynchronised on purpose — the hot

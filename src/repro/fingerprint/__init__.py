@@ -12,10 +12,16 @@ S3/S4 :mod:`repro.fingerprint.winnowing` — slide a window of *w*
 :mod:`repro.fingerprint.fingerprint` packages the selected hashes, with
 the source positions needed for passage attribution, into an immutable
 :class:`Fingerprint` value.
+
+:mod:`repro.fingerprint.kernel` fuses S1–S4 into batched C-level (and
+optionally numpy-vectorised) passes for byte-narrow text;
+:class:`Fingerprinter` dispatches to it automatically and the reference
+submodules above remain the differential oracle.
 """
 
 from repro.fingerprint.config import FingerprintConfig
 from repro.fingerprint.fingerprint import Fingerprint, FingerprintHash, Fingerprinter
+from repro.fingerprint.kernel import HAS_NUMPY, IngestKernel, skipscan_winnow
 from repro.fingerprint.ngram import ngram_hashes
 from repro.fingerprint.normalize import NormalizedText, normalize
 from repro.fingerprint.rolling_hash import KarpRabin
@@ -26,10 +32,13 @@ __all__ = [
     "Fingerprint",
     "FingerprintHash",
     "Fingerprinter",
+    "HAS_NUMPY",
+    "IngestKernel",
     "KarpRabin",
     "NormalizedText",
     "ngram_hashes",
     "normalize",
     "select_winnowed",
+    "skipscan_winnow",
     "winnow",
 ]

@@ -10,7 +10,7 @@ substring shorter than ``ngram_size`` characters is ever detected.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import FingerprintError
 
@@ -24,11 +24,19 @@ class FingerprintConfig:
         window_size: number of consecutive n-gram hashes per winnowing
             window (paper: 30).
         hash_bits: width of the Karp–Rabin hash values (paper: 32).
+        use_kernel: dispatch byte-narrow (Latin-1) text to the fused
+            ingest kernel (:mod:`repro.fingerprint.kernel`); wide text
+            always takes the reference character path. The kernel is
+            proven hash-identical to the reference pipeline, so this is
+            a performance switch, not a semantic one — it is excluded
+            from equality/hash so fingerprints computed either way
+            compare as same-config.
     """
 
     ngram_size: int = 15
     window_size: int = 30
     hash_bits: int = 32
+    use_kernel: bool = field(default=True, compare=False)
 
     def __post_init__(self) -> None:
         if self.ngram_size < 1:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, List, Tuple
 
 from repro.fingerprint.config import FingerprintConfig
+from repro.fingerprint.kernel import IngestKernel
 from repro.fingerprint.ngram import PositionedHash, ngram_hashes
 from repro.fingerprint.normalize import normalize
 from repro.fingerprint.rolling_hash import KarpRabin
@@ -106,7 +107,27 @@ class Fingerprinter:
         False
     """
 
-    def __init__(self, config: FingerprintConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: FingerprintConfig | None = None,
+        *,
+        registry=None,
+        scope=None,
+        kernel_mode: str = "auto",
+    ) -> None:
+        """Args:
+            config: fingerprint parameters; paper defaults when omitted.
+            registry: optional :class:`~repro.obs.registry.MetricsRegistry`;
+                per-stage ingest latency lands in its
+                ``fingerprint.normalize`` / ``fingerprint.hash`` /
+                ``fingerprint.winnow`` histograms.
+            scope: optional :class:`~repro.obs.registry.MetricsScope` to
+                use instead of *registry* — composition roots (the
+                engine) pass an already-prefixed scope so a shared
+                registry keeps namespaces apart. Wins over *registry*.
+            kernel_mode: forwarded to :class:`IngestKernel` (``"auto"``,
+                ``"pure"``, ``"numpy"``); benchmarks pin the path here.
+        """
         self._config = config or FingerprintConfig()
         # One hasher per fingerprinter: KarpRabin construction involves a
         # modular pow() and a 256-entry table; rebuilding it per call
@@ -114,28 +135,93 @@ class Fingerprinter:
         self._hasher = KarpRabin(
             ngram_size=self._config.ngram_size, hash_bits=self._config.hash_bits
         )
+        if scope is None and registry is not None:
+            scope = registry.scope("fingerprint.")
+        self._scope = scope
+        self._kernel = (
+            IngestKernel(
+                self._config, self._hasher, mode=kernel_mode, scope=scope
+            )
+            if self._config.use_kernel
+            else None
+        )
 
     @property
     def config(self) -> FingerprintConfig:
         return self._config
 
+    @property
+    def kernel(self) -> IngestKernel | None:
+        """The fused ingest kernel, or None when disabled by config."""
+        return self._kernel
+
     def fingerprint(self, text: str) -> Fingerprint:
         """Run S1–S4 on *text* and return its fingerprint.
 
-        The hash stream is computed as plain integers and positions are
-        materialised only for the winnowed selections, which keeps
-        fingerprinting large corpora (the e-book experiments) cheap.
+        Byte-narrow text (everything Latin-1 — the ASCII corpora, most
+        European prose) dispatches to the fused ingest kernel; text with
+        wider code points takes :meth:`fingerprint_reference`. The two
+        paths are hash- and span-identical by construction and by
+        property test, so callers never observe which one ran (except
+        in the per-stage latency histograms).
         """
+        kernel = self._kernel
+        if kernel is not None:
+            data = kernel.encode(text)
+            if data is not None:
+                return self._fingerprint_kernel(text, data, kernel)
+        return self.fingerprint_reference(text)
+
+    def _fingerprint_kernel(
+        self, text: str, data: bytes, kernel: IngestKernel
+    ) -> Fingerprint:
         config = self._config
         with span("fingerprint", chars=len(text)) as sp:
             with span("normalize") as nsp:
-                normalized = normalize(text)
+                norm, offsets = kernel.normalize(data)
+                nsp.set(kept=len(norm))
+            selections = tuple(
+                FingerprintHash(value, orig_start, orig_end)
+                for value, orig_start, orig_end in kernel.selections_from(
+                    norm, offsets
+                )
+            )
+            hashes = frozenset(s.value for s in selections)
+            sp.set(hashes=len(hashes))
+            return Fingerprint(
+                hashes=hashes, selections=selections, config=config
+            )
+
+    def fingerprint_reference(self, text: str) -> Fingerprint:
+        """The reference S1–S4 pipeline — the differential oracle.
+
+        Handles the full Unicode range (including lower-expanding code
+        points like U+0130). The ingest benchmark and the kernel's
+        property suite measure and verify against this path; it must
+        stay the straightforward composition of :func:`normalize`,
+        :meth:`KarpRabin.hash_all_list` and :func:`winnow`.
+        """
+        config = self._config
+        scope = self._scope
+        with span("fingerprint", chars=len(text)) as sp:
+            with span("normalize") as nsp:
+                if scope is None:
+                    normalized = normalize(text)
+                else:
+                    with scope.timer("normalize"):
+                        normalized = normalize(text)
                 nsp.set(kept=len(normalized.text))
             if len(normalized.text) < config.ngram_size:
                 sp.set(hashes=0)
                 return Fingerprint(hashes=frozenset(), selections=(), config=config)
-            values = self._hasher.hash_all_list(normalized.text)
-            positions = winnow(values, config.window_size)
+            if scope is None:
+                values = self._hasher.hash_all_list(normalized.text)
+                positions = winnow(values, config.window_size)
+            else:
+                with scope.timer("hash"):
+                    values = self._hasher.hash_all_list(normalized.text)
+                with scope.timer("winnow"):
+                    positions = winnow(values, config.window_size)
             selections = []
             for pos in positions:
                 orig_start, orig_end = normalized.original_span(

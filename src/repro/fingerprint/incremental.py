@@ -13,15 +13,27 @@ Equivalence with the batch pipeline is exact (property-tested): at any
 point, :meth:`current` returns the same fingerprint the batch
 :class:`~repro.fingerprint.fingerprint.Fingerprinter` would produce for
 the accumulated text.
+
+Appends of byte-narrow (Latin-1) text stream through the fused ingest
+kernel's primitives: each suffix is normalised with one
+``bytes.translate`` pass, its offsets recovered with one ``compress``
+pass, and only the *new* n-gram hashes are rolled — the retained tail
+is never re-normalised or re-hashed. The first suffix containing a wide
+code point permanently converts the state to the per-character path
+(the conversion is a decode, not a recompute — hashes and selections
+carry over untouched), so mixed documents degrade gracefully instead of
+failing over per append.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from itertools import compress, count as icount
 from typing import Deque, List, Set
 
 from repro.fingerprint.config import FingerprintConfig
 from repro.fingerprint.fingerprint import Fingerprint, FingerprintHash
+from repro.fingerprint.kernel import _DELETE_BYTES, _KEEP01_TABLE, _LOWER_TABLE
 from repro.fingerprint.normalize import _is_kept
 from repro.fingerprint.rolling_hash import KarpRabin
 
@@ -35,7 +47,13 @@ class IncrementalFingerprinter:
             ngram_size=self._config.ngram_size, hash_bits=self._config.hash_bits
         )
         self._original_length = 0
-        # Normalised characters and their offsets into the original text.
+        # Byte mode streams appends through the kernel's translate
+        # tables; the first wide-Unicode suffix converts to char mode
+        # for good (config.use_kernel=False starts there).
+        self._byte_mode = self._config.use_kernel
+        self._norm_bytes = bytearray()
+        # Normalised characters and their offsets into the original text
+        # (char mode only; byte mode keeps `_norm_bytes` instead).
         self._norm_chars: List[str] = []
         self._offsets: List[int] = []
         # The full n-gram hash stream and the winnowing deque over it.
@@ -44,6 +62,13 @@ class IncrementalFingerprinter:
         # Selected positions (deque path) in order, deduplicated.
         self._selected: List[int] = []
         self._selected_set: Set[int] = set()
+        # Materialised selections, mirroring _selected 1:1, so current()
+        # never rebuilds FingerprintHash objects it already made; the
+        # last Fingerprint is cached until a new position is selected.
+        self._sel_fp: List[FingerprintHash] = []
+        self._sel_hash_set: Set[int] = set()
+        self._cached_fp: Fingerprint | None = None
+        self._cached_sel_count = -1
         # Positions already counted by an append() return value; the
         # partial-window selection and the deque phase both report
         # through this set, so the count==window_size transition cannot
@@ -73,22 +98,41 @@ class IncrementalFingerprinter:
         """
         w = self._config.window_size
         base = self._original_length
-        for i, ch in enumerate(suffix):
-            if _is_kept(ch):
-                # Per produced character, as in batch normalize():
-                # str.lower() may expand one code point into several
-                # (U+0130 İ), and non-alphanumeric expansion products
-                # (the combining dot) are dropped.
-                for lowered in ch.lower():
-                    if _is_kept(lowered):
-                        self._norm_chars.append(lowered)
-                        self._offsets.append(base + i)
-                        self._new_ngram_hash()
+        data = None
+        if self._byte_mode:
+            try:
+                data = suffix.encode("latin-1")
+            except UnicodeEncodeError:
+                self._to_char_mode()
+        if data is not None:
+            # Streaming kernel path: batch-normalise the suffix and roll
+            # only the new hashes; the retained tail is untouched.
+            norm_new = data.translate(_LOWER_TABLE, _DELETE_BYTES)
+            if norm_new:
+                self._offsets.extend(
+                    compress(icount(base), data.translate(_KEEP01_TABLE))
+                )
+                self._norm_bytes += norm_new
+                self._extend_hashes_from_bytes()
+        else:
+            for i, ch in enumerate(suffix):
+                if _is_kept(ch):
+                    # Per produced character, as in batch normalize():
+                    # str.lower() may expand one code point into several
+                    # (U+0130 İ), and non-alphanumeric expansion products
+                    # (the combining dot) are dropped.
+                    for lowered in ch.lower():
+                        if _is_kept(lowered):
+                            self._norm_chars.append(lowered)
+                            self._offsets.append(base + i)
+                            self._new_ngram_hash()
         self._original_length += len(suffix)
 
         # Advance the winnowing deque over any values not yet consumed.
         before = len(self._selected)
         start = getattr(self, "_consumed", 0)
+        n = self._config.ngram_size
+        offsets = self._offsets
         for i in range(start, len(self._values)):
             value = self._values[i]
             while self._window and self._values[self._window[-1]] >= value:
@@ -101,6 +145,13 @@ class IncrementalFingerprinter:
                 if not self._selected or self._selected[-1] != pos:
                     self._selected.append(pos)
                     self._selected_set.add(pos)
+                    sel_value = self._values[pos]
+                    self._sel_fp.append(
+                        FingerprintHash(
+                            sel_value, offsets[pos], offsets[pos + n - 1] + 1
+                        )
+                    )
+                    self._sel_hash_set.add(sel_value)
         self._consumed = len(self._values)
 
         newly = 0
@@ -121,6 +172,31 @@ class IncrementalFingerprinter:
                     self._reported.add(pos)
                     newly += 1
         return newly
+
+    def _to_char_mode(self) -> None:
+        """Permanent byte→char conversion on the first wide suffix.
+
+        Latin-1 decode restores the exact normalised characters, so the
+        hash stream, deque, and selection state all remain valid — only
+        the representation of the normalised text changes.
+        """
+        self._norm_chars = list(self._norm_bytes.decode("latin-1"))
+        self._norm_bytes = bytearray()
+        self._byte_mode = False
+
+    def _extend_hashes_from_bytes(self) -> None:
+        """Roll the n-gram hashes the last byte-append made possible.
+
+        Hash ``j`` depends only on ``norm[j : j+n]``, so hashing the
+        slice from the first missing position yields exactly the missing
+        suffix of the stream — one O(n) warm-up, then O(1) per new hash.
+        """
+        n = self._config.ngram_size
+        have = len(self._values)
+        if len(self._norm_bytes) - have < n:
+            return
+        tail = bytes(self._norm_bytes[have:])
+        self._values += self._hasher.hash_all_bytes(tail)
 
     def _new_ngram_hash(self) -> None:
         n = self._config.ngram_size
@@ -154,6 +230,26 @@ class IncrementalFingerprinter:
     def current(self) -> Fingerprint:
         """The fingerprint of the text accumulated so far."""
         n = self._config.ngram_size
+        w = self._config.window_size
+        if len(self._values) > w:
+            # Deque phase: selections only ever append, so the last
+            # Fingerprint stays valid until _sel_fp grows. Per-keystroke
+            # callers (the §4.3 pipeline) hit the cache on most presses.
+            if (
+                self._cached_fp is not None
+                and self._cached_sel_count == len(self._sel_fp)
+            ):
+                return self._cached_fp
+            fp = Fingerprint(
+                hashes=frozenset(self._sel_hash_set),
+                selections=tuple(self._sel_fp),
+                config=self._config,
+            )
+            self._cached_fp = fp
+            self._cached_sel_count = len(self._sel_fp)
+            return fp
+        # Short-text phase: the single rightmost-minimum selection can
+        # move on any keystroke, so it is recomputed (O(window) at most).
         positions = self._selection_positions()
         selections = []
         for pos in positions:

@@ -42,10 +42,24 @@ class KarpRabin:
         self._lead_table = [
             (b * self._lead_weight) & self._mask for b in range(256)
         ]
+        # Exit table with the roll's multiply folded in:
+        # (h - lead[o])*base + c  ==  h*base + exit[o] + c  (mod 2**bits),
+        # so the byte loop does one multiply instead of two per step.
+        self._exit_table = [
+            (-t * base) & self._mask for t in self._lead_table
+        ]
 
     @property
     def ngram_size(self) -> int:
         return self._n
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    @property
+    def mask(self) -> int:
+        return self._mask
 
     def hash_one(self, ngram: Sequence) -> int:
         """Hash a single n-gram directly (non-incremental reference)."""
@@ -81,24 +95,38 @@ class KarpRabin:
         back to the character-by-character roll; both produce identical
         hashes.
         """
-        n = self._n
-        if len(text) < n:
+        if len(text) < self._n:
             return []
         try:
             data = text.encode("latin-1")
         except UnicodeEncodeError:
             return self._hash_all_chars(text)
+        return self.hash_all_bytes(data)
+
+    def hash_all_bytes(self, data: bytes) -> List[int]:
+        """Every n-gram hash of an already-encoded Latin-1 buffer.
+
+        The kernel and repeated-fingerprint callers hold normalised
+        ``bytes`` already; re-encoding per call (the old
+        ``hash_all_list`` behaviour) wasted a full copy of the text.
+        The roll runs inside a single list comprehension with the
+        premultiplied exit table, the fastest shape CPython offers for
+        this loop. Accepts ``bytes`` or ``bytearray``.
+        """
+        n = self._n
+        if len(data) < n:
+            return []
         base = self._base
         mask = self._mask
-        lead = self._lead_table
         h = 0
         for b in data[:n]:
             h = (h * base + b) & mask
         out = [h]
-        append = out.append
-        for i in range(n, len(data)):
-            h = ((h - lead[data[i - n]]) * base + data[i]) & mask
-            append(h)
+        exit_table = self._exit_table
+        out += [
+            h := (h * base + exit_table[o] + c) & mask
+            for o, c in zip(data, memoryview(data)[n:])
+        ]
         return out
 
     def _hash_all_chars(self, text: str) -> List[int]:

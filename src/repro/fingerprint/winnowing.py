@@ -34,25 +34,14 @@ def winnow(values: Sequence[int], window_size: int) -> List[int]:
     """
     if window_size < 1:
         raise ValueError(f"window_size must be >= 1, got {window_size}")
-    n = len(values)
-    if n == 0:
+    if not values:
         return []
-    if n <= window_size:
-        # A single (possibly partial) window: pick its rightmost minimum.
-        # The paper's algorithm produces no fingerprint for segments
-        # shorter than one full window; we follow the common practical
-        # variant (also used by Moss) of selecting from the partial
-        # window so short-but-not-tiny paragraphs still fingerprint.
-        best = 0
-        for i in range(1, n):
-            if values[i] <= values[best]:
-                best = i
-        return [best]
-
     selected: List[int] = []
     # Deque holds indices with increasing position and increasing value;
-    # front is the current window minimum. Using <= when popping keeps
-    # the rightmost of equal values at the front.
+    # front is the current window minimum. Using >= when popping keeps
+    # the rightmost of equal values at the front, so the one tie-break
+    # rule lives in exactly one place — including the partial-window
+    # case below, which reads the same deque front.
     window: Deque[int] = deque()
     for i, v in enumerate(values):
         while window and values[window[-1]] >= v:
@@ -64,6 +53,14 @@ def winnow(values: Sequence[int], window_size: int) -> List[int]:
             pos = window[0]
             if not selected or selected[-1] != pos:
                 selected.append(pos)
+    if not selected:
+        # Input shorter than one window. The paper's algorithm produces
+        # no fingerprint for such segments; we follow the common
+        # practical variant (also used by Moss) of selecting from the
+        # partial window so short-but-not-tiny paragraphs still
+        # fingerprint. The deque front is already the rightmost minimum
+        # of everything seen.
+        selected.append(window[0])
     return selected
 
 

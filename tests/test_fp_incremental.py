@@ -187,3 +187,99 @@ class TestAppendCountBoundary:
             # append() — including during the partial window.
             assert total >= len(inc.current().selections)
         assert total == len(inc._reported)
+
+
+class TestByteModeStreaming:
+    """The kernel-backed streaming path and its char-mode conversion.
+
+    ``use_kernel=True`` (the default) starts appends in byte mode:
+    suffixes are batch-normalised with the kernel's translate tables
+    and only new hashes are rolled. The first wide-Unicode suffix
+    converts the state to the per-character path permanently. Both
+    modes — and the transition — must equal from-scratch batch
+    refingerprinting at every prefix.
+    """
+
+    def test_starts_in_byte_mode_by_default(self):
+        assert IncrementalFingerprinter(TINY_CONFIG)._byte_mode
+
+    def test_use_kernel_false_starts_in_char_mode(self):
+        config = FingerprintConfig(
+            ngram_size=TINY_CONFIG.ngram_size,
+            window_size=TINY_CONFIG.window_size,
+            use_kernel=False,
+        )
+        inc = IncrementalFingerprinter(config)
+        assert not inc._byte_mode
+        inc.append(SECRET_TEXT)
+        assert inc.current().hashes == BATCH.fingerprint(SECRET_TEXT).hashes
+
+    def test_wide_suffix_converts_permanently(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append("latin-1 prefix kept as bytes ")
+        assert inc._byte_mode
+        inc.append("İstanbul ")
+        assert not inc._byte_mode
+        inc.append("back to ascii, but char mode stays")
+        assert not inc._byte_mode
+
+    def test_conversion_preserves_equivalence(self):
+        text_parts = [
+            "The µ-service café ",  # byte mode (Latin-1)
+            "meets İstanbul ẞ ",  # triggers conversion
+            "and continues in plain ascii after that.",
+        ]
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        accumulated = ""
+        for part in text_parts:
+            inc.append(part)
+            accumulated += part
+            batch = BATCH.fingerprint(accumulated)
+            current = inc.current()
+            assert current.hashes == batch.hashes
+            assert current.selections == batch.selections
+
+    @given(chunks)
+    @settings(max_examples=60)
+    def test_byte_mode_equals_batch_at_every_prefix(self, pieces):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        accumulated = ""
+        for piece in pieces:
+            inc.append(piece)
+            accumulated += piece
+            assert inc._byte_mode  # ascii chunks never convert
+            batch = BATCH.fingerprint(accumulated)
+            current = inc.current()
+            assert current.hashes == batch.hashes
+            assert current.selections == batch.selections
+
+    @given(chunks)
+    @settings(max_examples=40)
+    def test_byte_mode_equals_char_mode_at_every_prefix(self, pieces):
+        """Differential: the two streaming modes against each other."""
+        char_config = FingerprintConfig(
+            ngram_size=TINY_CONFIG.ngram_size,
+            window_size=TINY_CONFIG.window_size,
+            use_kernel=False,
+        )
+        byte_inc = IncrementalFingerprinter(TINY_CONFIG)
+        char_inc = IncrementalFingerprinter(char_config)
+        for piece in pieces:
+            assert byte_inc.append(piece) == char_inc.append(piece)
+            assert byte_inc.current().hashes == char_inc.current().hashes
+            assert (
+                byte_inc.current().selections == char_inc.current().selections
+            )
+
+    @given(unicode_chunks)
+    @settings(max_examples=60)
+    def test_mixed_mode_equals_batch_at_every_prefix(self, pieces):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        accumulated = ""
+        for piece in pieces:
+            inc.append(piece)
+            accumulated += piece
+            batch = BATCH.fingerprint(accumulated)
+            current = inc.current()
+            assert current.hashes == batch.hashes
+            assert current.selections == batch.selections

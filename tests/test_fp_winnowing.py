@@ -41,6 +41,28 @@ class TestWinnow:
     def test_shorter_than_window_selects_rightmost_min(self):
         assert winnow([5, 1, 3], 10) == [1]
 
+    def test_partial_window_rightmost_minimum_pinned(self):
+        """Regression for the unified partial-window path.
+
+        The special-case scan for ``n <= window_size`` was folded into
+        the deque loop; this pins its contract — the *rightmost*
+        minimum of the partial window — across sizes and tie layouts,
+        so any future tie-break drift in either phrasing fails here.
+        """
+        import random
+
+        rng = random.Random(314)
+        for _ in range(200):
+            n = rng.randint(1, 12)
+            w = rng.randint(n, 16)  # every case is a partial window
+            values = [rng.randrange(4) for _ in range(n)]
+            minimum = min(values)
+            expected = max(i for i, v in enumerate(values) if v == minimum)
+            assert winnow(values, w) == [expected], (values, w)
+
+    def test_partial_window_all_ties(self):
+        assert winnow([7, 7, 7, 7], 9) == [3]
+
     def test_paper_example(self):
         # §4.1: hashes {52, 40, 53, 13, 22}, window 3 -> fingerprint {40, 13}
         values = [52, 40, 53, 13, 22]

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Produce or validate the BENCH_fingerprint.json ingest trajectory.
+
+The committed ``BENCH_fingerprint.json`` records per-stage ingest
+throughput (MB/s for normalise / hash / winnow / end-to-end) of the
+reference pipeline, the pure-Python kernel, and — when numpy is
+importable — the vectorised kernel, over the Wikipedia and manuals
+corpora. Re-running this tool after a perf-relevant PR and committing
+the refreshed file makes the trajectory visible in git history.
+
+Standard library only; the kernel's numpy path is reached through its
+own guarded import, so the tool runs (and validates) with or without
+numpy installed.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_to_json.py --out BENCH_fingerprint.json
+    PYTHONPATH=src python tools/bench_to_json.py --smoke --out /tmp/b.json
+    PYTHONPATH=src python tools/bench_to_json.py --validate BENCH_fingerprint.json
+    PYTHONPATH=src python tools/bench_to_json.py --validate /tmp/b.json \
+        --gate-pure 1.8 --gate-numpy 3.0
+
+``--smoke`` shrinks the corpora for CI; measured MB/s is noisier there,
+which is why the CI gates sit well under the real-corpus speedups.
+Validation checks the schema shape and, with ``--gate-*``, that every
+corpus' kernel speedup clears the floor. Equivalence (kernel fingerprints
+== reference fingerprints, hashes and spans) is always asserted before a
+file is written, so a trajectory entry can never come from a wrong
+kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.eval.ingest_bench import (  # noqa: E402
+    SCHEMA_VERSION,
+    available_paths,
+    check_equivalence,
+    corpus_texts,
+    measure_corpus,
+)
+from repro.fingerprint import HAS_NUMPY  # noqa: E402
+from repro.fingerprint.config import PAPER_CONFIG  # noqa: E402
+
+#: Required numeric keys of each per-path measurement block.
+PATH_KEYS = (
+    "bytes",
+    "seconds",
+    "total_mbps",
+    "normalize_mbps",
+    "hash_mbps",
+    "winnow_mbps",
+)
+
+
+def build_corpora(smoke: bool, seed: int):
+    from repro.datasets import ManualsCorpus, WikipediaCorpus
+
+    if smoke:
+        wikipedia = WikipediaCorpus.generate(
+            n_extra_articles=2, n_revisions=6, seed=seed
+        )
+        manuals = ManualsCorpus.generate(seed=seed, scale=0.5)
+    else:
+        wikipedia = WikipediaCorpus.generate(
+            n_extra_articles=12, n_revisions=100, seed=seed
+        )
+        manuals = ManualsCorpus.generate(seed=seed, scale=1.0)
+    return {"wikipedia": wikipedia, "manuals": manuals}
+
+
+def run(smoke: bool, seed: int) -> dict:
+    config = PAPER_CONFIG
+    corpora = {}
+    for name, corpus in build_corpora(smoke, seed).items():
+        texts = corpus_texts(corpus)
+        compared = check_equivalence(texts, config, sample=25)
+        print(
+            f"[{name}] equivalence ok on {compared} texts; measuring "
+            f"{sum(len(t) for t in texts)} bytes over "
+            f"{', '.join(available_paths(config))}",
+            file=sys.stderr,
+        )
+        corpora[name] = measure_corpus(texts, config)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "fingerprint_ingest",
+        "smoke": smoke,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": HAS_NUMPY,
+        "config": {
+            "ngram_size": config.ngram_size,
+            "window_size": config.window_size,
+            "hash_bits": config.hash_bits,
+        },
+        "corpora": corpora,
+    }
+
+
+def validate(document: dict, gate_pure: float, gate_numpy: float) -> list:
+    """Return a list of problems (empty == valid)."""
+    problems = []
+
+    def need(cond: bool, message: str) -> None:
+        if not cond:
+            problems.append(message)
+
+    need(document.get("schema_version") == SCHEMA_VERSION, "schema_version mismatch")
+    need(document.get("bench") == "fingerprint_ingest", "bench name mismatch")
+    need(isinstance(document.get("smoke"), bool), "smoke must be a boolean")
+    need(isinstance(document.get("numpy"), bool), "numpy must be a boolean")
+    config = document.get("config")
+    need(
+        isinstance(config, dict)
+        and {"ngram_size", "window_size", "hash_bits"} <= set(config or {}),
+        "config must carry ngram_size/window_size/hash_bits",
+    )
+    corpora = document.get("corpora")
+    need(isinstance(corpora, dict) and corpora, "corpora must be a non-empty object")
+    for name, corpus in (corpora or {}).items():
+        paths = corpus.get("paths") if isinstance(corpus, dict) else None
+        need(isinstance(paths, dict), f"{name}: paths must be an object")
+        if not isinstance(paths, dict):
+            continue
+        need("reference" in paths, f"{name}: missing reference path")
+        need("kernel_pure" in paths, f"{name}: missing kernel_pure path")
+        for path_name, block in paths.items():
+            for key in PATH_KEYS:
+                value = block.get(key) if isinstance(block, dict) else None
+                need(
+                    isinstance(value, (int, float)) and value >= 0,
+                    f"{name}.{path_name}.{key} must be a non-negative number",
+                )
+        speedup = corpus.get("speedup", {})
+        if gate_pure:
+            actual = speedup.get("kernel_pure", 0)
+            need(
+                actual >= gate_pure,
+                f"{name}: kernel_pure speedup {actual} < gate {gate_pure}",
+            )
+        if gate_numpy and "kernel_numpy" in paths:
+            actual = speedup.get("kernel_numpy", 0)
+            need(
+                actual >= gate_numpy,
+                f"{name}: kernel_numpy speedup {actual} < gate {gate_numpy}",
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, help="write a fresh measurement here")
+    parser.add_argument(
+        "--smoke", action="store_true", help="small corpora for CI"
+    )
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--validate", type=Path, help="schema-check an existing file"
+    )
+    parser.add_argument(
+        "--gate-pure",
+        type=float,
+        default=0.0,
+        help="with --validate: minimum kernel_pure speedup per corpus",
+    )
+    parser.add_argument(
+        "--gate-numpy",
+        type=float,
+        default=0.0,
+        help="with --validate: minimum kernel_numpy speedup per corpus",
+    )
+    args = parser.parse_args(argv)
+    if not args.out and not args.validate:
+        parser.error("nothing to do: pass --out and/or --validate")
+
+    if args.out:
+        document = run(smoke=args.smoke, seed=args.seed)
+        problems = validate(document, 0.0, 0.0)
+        if problems:  # a tool bug, not a perf regression — fail loudly
+            for problem in problems:
+                print(f"self-check: {problem}", file=sys.stderr)
+            return 2
+        args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.validate:
+        document = json.loads(args.validate.read_text())
+        problems = validate(document, args.gate_pure, args.gate_numpy)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.validate} valid", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
