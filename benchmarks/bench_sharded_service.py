@@ -1,0 +1,97 @@
+"""Sharded + batched lookup tier vs the single-engine ``LookupServer``.
+
+The deployment question of the sharded tier (DESIGN.md §11): eight
+plug-in clients hammering one shared enterprise lookup service — is
+hash-range sharding plus a batched wire protocol worth deploying over
+the plain single-engine server? The measurement itself lives in
+``repro.eval.shard_bench`` (shared with ``tools/bench_to_json.py``, so
+this benchmark and the committed ``BENCH_shard.json`` can never use
+different protocols): best-of-rounds fleet throughput at 8 clients and
+uncontended per-check service latency, behind a mandatory equivalence
+check — batched-sharded decisions must equal the single-engine
+reference item for item before anything is timed.
+
+Gates (the ISSUE 7 acceptance bar, enforced in CI smoke mode too):
+throughput >= 2x the single-engine server, service p95 no worse.
+
+Scale with ``BF_BENCH_SCALE`` as usual; anything below 1.0 selects the
+smoke corpus.
+"""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_counters
+from repro.eval.shard_bench import measure
+
+from conftest import SCALE, SEED, scaled
+
+#: The acceptance bar: fleet throughput ratio and service-p95 ratio.
+GATE_THROUGHPUT = 2.0
+GATE_P95 = 1.0
+
+
+def test_sharded_batched_vs_single_engine(benchmark, report):
+    """8 clients, 4 shards, batched round trips vs one request per item."""
+    smoke = SCALE < 1.0
+
+    document = benchmark.pedantic(
+        lambda: measure(
+            smoke,
+            SEED,
+            requests_per_client=scaled(200, minimum=48),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+
+    single = document["single"]
+    sharded = document["sharded_batched"]
+    latency = document["service_latency"]
+    speedup = document["speedup"]
+    lines = [
+        "sharded+batched lookup tier vs single-engine server "
+        f"(equivalence checked on {document['equivalence_checked']} decisions)",
+        format_counters(
+            {
+                key: document["config"][key]
+                for key in ("n_clients", "n_shards", "batch_size", "rounds")
+            },
+            title="config",
+        ),
+        format_counters(
+            {
+                "single": round(single["throughput_rps"]),
+                "sharded_batched": round(sharded["throughput_rps"]),
+                "ratio_x100": round(speedup["throughput"] * 100),
+            },
+            title="fleet throughput (req/s)",
+        ),
+        format_counters(
+            {
+                "single": round(latency["single"]["p95_ms"] * 1000),
+                "sharded_batched": round(
+                    latency["sharded_batched"]["p95_ms"] * 1000
+                ),
+                "ratio_x100": round(speedup["p95"] * 100),
+            },
+            title="service latency p95 (us)",
+        ),
+    ]
+    report("\n".join(lines))
+
+    # The acceptance gates. Equivalence already held (measure() raises
+    # otherwise), so these are pure performance assertions.
+    assert speedup["throughput"] >= GATE_THROUGHPUT, (
+        f"sharded+batched tier sustained only "
+        f"{speedup['throughput']:.2f}x the single-engine throughput "
+        f"(gate {GATE_THROUGHPUT}x)"
+    )
+    assert speedup["p95"] >= GATE_P95, (
+        f"sharded+batched service p95 is worse than single-engine: "
+        f"ratio {speedup['p95']:.2f} (gate {GATE_P95})"
+    )
+    # The batch endpoint actually carried the load: every sharded-tier
+    # item travelled inside a batch round trip.
+    stats = document["server_stats"]["sharded_batched"]
+    assert stats["server_batch_items"] == sharded["requests"]
+    assert stats["server_batches"] < stats["server_batch_items"]

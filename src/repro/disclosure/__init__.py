@@ -12,6 +12,8 @@ from?
 * :mod:`repro.disclosure.engine` — Algorithm 1 and incremental updates.
 * :mod:`repro.disclosure.attribution` — maps matched hashes back to the
   source/target character spans that caused a disclosure report.
+* :mod:`repro.disclosure.sharding` — hash-range sharding of DBhash with
+  a scatter/gather sweep (DESIGN.md §11).
 """
 
 from repro.disclosure.attribution import AttributedMatch, attribute_disclosure
@@ -25,6 +27,12 @@ from repro.disclosure.metrics import (
     authoritative_hashes,
     authoritative_disclosure,
     raw_disclosure,
+)
+from repro.disclosure.sharding import (
+    ShardedDisclosureEngine,
+    ShardedHashDatabase,
+    partition,
+    shard_of,
 )
 from repro.disclosure.store import HashDatabase, SegmentDatabase, SegmentRecord
 
@@ -41,4 +49,8 @@ __all__ = [
     "HashDatabase",
     "SegmentDatabase",
     "SegmentRecord",
+    "ShardedDisclosureEngine",
+    "ShardedHashDatabase",
+    "partition",
+    "shard_of",
 ]

@@ -210,18 +210,13 @@ class DisclosureEngine:
             raise DisclosureError(f"threshold must be in [0, 1], got {threshold}")
         with self.lock.write_locked():
             now = self._clock.now()
-            changed = False
             existing = self.segment_db.find(segment_id)
-            for h in fingerprint.hashes:
-                if self.hash_db.record(h, segment_id, now):
-                    changed = True
-            if existing is not None:
-                # An edit withdraws the segment's claim on hashes it no
-                # longer contains, so authority migrates to the oldest
-                # observer that still holds the text (paper Figure 6).
-                for h in existing.fingerprint.hashes - fingerprint.hashes:
-                    if self.hash_db.remove_observation(h, segment_id):
-                        changed = True
+            changed = self._apply_fingerprint_delta(
+                segment_id,
+                fingerprint.hashes,
+                existing.fingerprint.hashes if existing is not None else frozenset(),
+                now,
+            )
             if changed:
                 self._version += 1
             if existing is not None:
@@ -244,6 +239,30 @@ class DisclosureEngine:
                 )
             self.segment_db.put(record)
             return record
+
+    def _apply_fingerprint_delta(
+        self,
+        segment_id: str,
+        new_hashes: FrozenSet[int],
+        old_hashes: FrozenSet[int],
+        now: float,
+    ) -> bool:
+        """Record the new hashes and withdraw the removed ones.
+
+        An edit withdraws the segment's claim on hashes it no longer
+        contains, so authority migrates to the oldest observer that
+        still holds the text (paper Figure 6). Returns True when any
+        (hash, segment) association actually changed. The sharded
+        engine overrides this with batched per-shard application.
+        """
+        changed = False
+        for h in new_hashes:
+            if self.hash_db.record(h, segment_id, now):
+                changed = True
+        for h in old_hashes - new_hashes:
+            if self.hash_db.remove_observation(h, segment_id):
+                changed = True
+        return changed
 
     def remove(self, segment_id: str) -> None:
         """Forget a segment entirely, releasing its hash ownership."""
@@ -373,6 +392,55 @@ class DisclosureEngine:
                 )
                 return report
 
+    def disclosing_sources_many(
+        self,
+        queries: Sequence[Tuple[Fingerprint, Optional[str]]],
+    ) -> List[DisclosureReport]:
+        """Batched Algorithm 1 over standalone fingerprints.
+
+        *queries* is a sequence of ``(fingerprint, exclude_doc)`` pairs;
+        the result list is aligned with it. Equivalent to calling
+        :meth:`disclosing_sources` once per query (the threshold pass is
+        the same code), but the whole batch shares one lock acquisition,
+        one trace span, and one fused sweep: the union of the queries'
+        hashes is probed once per distinct hash and matches are
+        redistributed to the queries that contained them
+        (:meth:`_sweep_targets`). The per-target query cache does not
+        apply — batch queries are standalone fingerprints with no
+        ``target_id`` to key on.
+        """
+        if not queries:
+            return []
+        with self.lock.read_locked():
+            self._c_queries.inc(len(queries))
+            with span(
+                "algorithm1", granularity=self._kind, batch=len(queries)
+            ) as sp:
+                clock = self.registry.clock
+                start = clock.now()
+                matched_list = self._sweep_targets(
+                    [fingerprint.hashes for fingerprint, _excl in queries]
+                )
+                candidates = 0
+                reports: List[DisclosureReport] = []
+                for (fingerprint, exclude_doc), matched in zip(
+                    queries, matched_list
+                ):
+                    candidates += len(matched)
+                    reports.append(
+                        self._threshold_pass(
+                            None, fingerprint, exclude_doc, matched
+                        )
+                    )
+                self._c_candidates_swept.inc(candidates)
+                self._h_algorithm1.observe(clock.now() - start)
+                sp.set(
+                    cache_hit=False,
+                    candidates_checked=candidates,
+                    sources=sum(len(r.sources) for r in reports),
+                )
+                return reports
+
     def disclosing_sources_reference(
         self,
         target_id: Optional[str] = None,
@@ -413,7 +481,6 @@ class DisclosureEngine:
         applies Algorithm 1's quick discard and threshold checks to the
         accumulated counts — no per-candidate set intersections.
         """
-        counts: Dict[str, int] = {}
         matched: Dict[str, List[int]] = {}
         if self._authoritative:
             # Under §4.3 only a hash's oldest owner may count it towards
@@ -424,28 +491,96 @@ class DisclosureEngine:
                 owner = oldest_owner(h)
                 if owner is None:
                     continue
-                if owner in counts:
-                    counts[owner] += 1
+                if owner in matched:
                     matched[owner].append(h)
                 else:
-                    counts[owner] = 1
                     matched[owner] = [h]
         else:
             observers = self.hash_db.observers
             for h in fingerprint.hashes:
                 for owner in observers(h):
-                    if owner in counts:
-                        counts[owner] += 1
+                    if owner in matched:
                         matched[owner].append(h)
                     else:
-                        counts[owner] = 1
                         matched[owner] = [h]
-        self._c_candidates_swept.inc(len(counts))
+        self._c_candidates_swept.inc(len(matched))
+        return self._threshold_pass(target_id, fingerprint, exclude_doc, matched)
 
+    def _sweep_targets(
+        self, targets: Sequence[FrozenSet[int]]
+    ) -> List[Dict[str, List[int]]]:
+        """Fused sweep for a batch of targets; one matched dict each.
+
+        Builds the union of the targets' hashes, probes the inverted
+        index once per *distinct* hash, and redistributes each match to
+        every target that contained the hash — so a batch of uploads
+        sharing phrasing pays for the shared hashes once. Per-target
+        results are exactly what the per-target sweep would produce
+        (ownership of a hash does not depend on which batch asked).
+
+        The sharded engine overrides this with the scatter/gather
+        equivalent over its shards.
+        """
+        matched_list: List[Dict[str, List[int]]] = [{} for _ in targets]
+        # hash -> owning target index, promoted to a list only when the
+        # hash appears in more than one target (the common case is one).
+        items_of: Dict[int, object] = {}
+        get = items_of.get
+        for i, target in enumerate(targets):
+            for h in target:
+                prev = get(h)
+                if prev is None:
+                    items_of[h] = i
+                elif type(prev) is list:
+                    prev.append(i)
+                else:
+                    items_of[h] = [prev, i]
+
+        def credit(h: int, owner: str) -> None:
+            entry = items_of[h]
+            if type(entry) is int:
+                item_ids = (entry,)
+            else:
+                item_ids = entry
+            for i in item_ids:
+                matched = matched_list[i]
+                if owner in matched:
+                    matched[owner].append(h)
+                else:
+                    matched[owner] = [h]
+
+        if self._authoritative:
+            oldest_owner = self.hash_db.oldest_owner
+            for h in items_of:
+                owner = oldest_owner(h)
+                if owner is not None:
+                    credit(h, owner)
+        else:
+            observers = self.hash_db.observers
+            for h in items_of:
+                for owner in observers(h):
+                    credit(h, owner)
+        return matched_list
+
+    def _threshold_pass(
+        self,
+        target_id: Optional[str],
+        fingerprint: Fingerprint,
+        exclude_doc: Optional[str],
+        matched: Dict[str, List[int]],
+    ) -> DisclosureReport:
+        """Algorithm 1's quick-discard + threshold test over swept counts.
+
+        *matched* maps each candidate owner to the target hashes it
+        counted during the sweep; the sharded engine reuses this pass
+        verbatim after merging per-shard counts, which is what makes the
+        router's merge rule provably equivalent to the single sweep.
+        """
         results: List[SourceDisclosure] = []
         checked = 0
         target_size = len(fingerprint)
-        for owner, count in counts.items():
+        for owner, owner_matched in matched.items():
+            count = len(owner_matched)
             if owner == target_id:
                 continue
             source = self.segment_db.find(owner)
@@ -473,7 +608,7 @@ class DisclosureEngine:
                         segment_id=source.segment_id,
                         score=score,
                         threshold=t,
-                        matched_hashes=frozenset(matched[owner]),
+                        matched_hashes=frozenset(owner_matched),
                         kind=source.kind,
                         doc_id=source.doc_id,
                     )
@@ -657,7 +792,18 @@ class DisclosureTracker:
         document_threshold: float = DEFAULT_THRESHOLD,
         authoritative: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        n_shards: Optional[int] = None,
+        router=None,
     ) -> None:
+        """``n_shards=None`` (default) builds the classic single-store
+        engines; any integer >= 1 builds
+        :class:`~repro.disclosure.sharding.ShardedDisclosureEngine`
+        pairs whose hash databases are hash-range partitioned into that
+        many independently locked shards. ``router`` (an object with a
+        ``map(fn, items)`` method, e.g.
+        :class:`~repro.plugin.router.ShardRouter`) is handed to both
+        sharded engines to scatter per-shard sweeps; ignored unsharded.
+        """
         shared_clock = clock or LogicalClock()
         #: One registry for both granularities (and the shared lock):
         #: ``engine.paragraph.*`` and ``engine.document.*`` instruments
@@ -666,21 +812,32 @@ class DisclosureTracker:
         #: One lock for both granularities: a dual-granularity check or
         #: observation is atomic with respect to concurrent updates.
         self.lock = RWLock(scope=self.registry.scope("lock."))
-        self.paragraphs = DisclosureEngine(
+        if n_shards is None:
+            engine_factory = DisclosureEngine
+            extra: Dict[str, object] = {}
+        else:
+            # Deferred import: sharding builds on this module.
+            from repro.disclosure.sharding import ShardedDisclosureEngine
+
+            engine_factory = ShardedDisclosureEngine
+            extra = {"n_shards": n_shards, "router": router}
+        self.paragraphs = engine_factory(
             config,
             shared_clock,
             authoritative=authoritative,
             kind="paragraph",
             lock=self.lock,
             registry=self.registry,
+            **extra,
         )
-        self.documents = DisclosureEngine(
+        self.documents = engine_factory(
             config,
             shared_clock,
             authoritative=authoritative,
             kind="document",
             lock=self.lock,
             registry=self.registry,
+            **extra,
         )
         self._paragraph_threshold = paragraph_threshold
         self._document_threshold = document_threshold
@@ -725,25 +882,48 @@ class DisclosureTracker:
             self.documents.observe(doc_id, doc_text, threshold=d_thresh)
 
     def check_document(
-        self, doc_id: str, paragraphs: Sequence[Tuple[str, str]]
+        self,
+        doc_id: str,
+        paragraphs: Sequence[Tuple[str, str]],
+        *,
+        fingerprints: Optional[Sequence[Fingerprint]] = None,
     ) -> TrackerReport:
         """Query, without observing, what a document would disclose.
 
         Each paragraph is checked against the paragraph engine and the
         whole text against the document engine; the document itself and
         its own paragraphs are excluded as sources.
+
+        ``fingerprints`` optionally carries precomputed per-paragraph
+        fingerprints aligned with *paragraphs* (the batch lookup path
+        computes them once for its cache keys and passes them down, so
+        a batched item is fingerprinted once instead of three times).
+        For a single-paragraph document the document fingerprint is the
+        paragraph fingerprint — the document text *is* the paragraph
+        text — so it is reused too.
         """
+        if fingerprints is not None and len(fingerprints) != len(paragraphs):
+            raise DisclosureError(
+                f"got {len(fingerprints)} fingerprints for "
+                f"{len(paragraphs)} paragraphs"
+            )
         fingerprinter = self.paragraphs.fingerprinter
         par_reports = []
         with self.lock.read_locked():
-            for par_id, text in paragraphs:
-                fp = fingerprinter.fingerprint(text)
+            if fingerprints is None:
+                fingerprints = [
+                    fingerprinter.fingerprint(text) for _pid, text in paragraphs
+                ]
+            for (par_id, _text), fp in zip(paragraphs, fingerprints):
                 report = self.paragraphs.disclosing_sources(
                     fingerprint=fp, exclude_doc=doc_id
                 )
                 par_reports.append((par_id, report))
-            doc_text = "\n\n".join(text for _pid, text in paragraphs)
-            doc_fp = self.documents.fingerprinter.fingerprint(doc_text)
+            if len(paragraphs) == 1:
+                doc_fp = fingerprints[0]
+            else:
+                doc_text = "\n\n".join(text for _pid, text in paragraphs)
+                doc_fp = self.documents.fingerprinter.fingerprint(doc_text)
             doc_report = self.documents.disclosing_sources(
                 fingerprint=doc_fp, exclude_doc=doc_id
             )
@@ -758,6 +938,78 @@ class DisclosureTracker:
         return TrackerReport(
             paragraph_reports=tuple(par_reports), document_report=doc_report
         )
+
+    def check_documents(
+        self,
+        docs: Sequence[Tuple[str, Sequence[Tuple[str, str]]]],
+        *,
+        fingerprints: Optional[Sequence[Sequence[Fingerprint]]] = None,
+    ) -> List[TrackerReport]:
+        """Batched :meth:`check_document`: same reports, fused queries.
+
+        All documents' paragraph queries go to the paragraph engine in
+        one :meth:`~DisclosureEngine.disclosing_sources_many` call (and
+        likewise the document-granularity queries), so the whole batch
+        shares two engine lock acquisitions and two fused sweeps instead
+        of two per document. One tracker read lock covers the batch: all
+        reports describe the same database state.
+
+        ``fingerprints`` optionally carries per-document lists of
+        precomputed paragraph fingerprints, aligned with *docs*.
+        """
+        if fingerprints is not None and len(fingerprints) != len(docs):
+            raise DisclosureError(
+                f"got {len(fingerprints)} fingerprint lists for "
+                f"{len(docs)} documents"
+            )
+        fingerprinter = self.paragraphs.fingerprinter
+        with self.lock.read_locked():
+            if fingerprints is None:
+                fingerprints = [
+                    [fingerprinter.fingerprint(text) for _pid, text in paragraphs]
+                    for _doc_id, paragraphs in docs
+                ]
+            par_queries: List[Tuple[Fingerprint, Optional[str]]] = []
+            doc_queries: List[Tuple[Fingerprint, Optional[str]]] = []
+            for (doc_id, paragraphs), fps in zip(docs, fingerprints):
+                if len(fps) != len(paragraphs):
+                    raise DisclosureError(
+                        f"got {len(fps)} fingerprints for "
+                        f"{len(paragraphs)} paragraphs of {doc_id!r}"
+                    )
+                for fp in fps:
+                    par_queries.append((fp, doc_id))
+                if len(paragraphs) == 1:
+                    doc_fp = fps[0]
+                else:
+                    doc_text = "\n\n".join(text for _pid, text in paragraphs)
+                    doc_fp = self.documents.fingerprinter.fingerprint(doc_text)
+                doc_queries.append((doc_fp, doc_id))
+            par_flat = self.paragraphs.disclosing_sources_many(par_queries)
+            doc_flat = self.documents.disclosing_sources_many(doc_queries)
+        reports: List[TrackerReport] = []
+        cursor = 0
+        for (doc_id, paragraphs), doc_report in zip(docs, doc_flat):
+            par_reports = tuple(
+                (par_id, report)
+                for (par_id, _text), report in zip(
+                    paragraphs, par_flat[cursor : cursor + len(paragraphs)]
+                )
+            )
+            cursor += len(paragraphs)
+            doc_report = DisclosureReport(
+                target_id=None,
+                sources=tuple(
+                    s for s in doc_report.sources if s.segment_id != doc_id
+                ),
+                candidates_checked=doc_report.candidates_checked,
+            )
+            reports.append(
+                TrackerReport(
+                    paragraph_reports=par_reports, document_report=doc_report
+                )
+            )
+        return reports
 
     def remove_document(self, doc_id: str) -> None:
         """Forget a document and all of its paragraphs."""

@@ -1,0 +1,613 @@
+"""Hash-range sharding of the hash database (DESIGN.md §11).
+
+The §7 indexes are keyed per-hash, so ``DBhash`` partitions cleanly:
+:class:`ShardedHashDatabase` splits the hash space ``[0, 2**hash_bits)``
+into N contiguous ranges, one independently-locked
+:class:`~repro.disclosure.store.HashDatabase` per range. Every
+observation of a given hash value lands on the same shard, which makes
+the §4.3 oldest-owner relation *local by construction* — a shard holds
+every (segment, timestamp) claim on each of its hashes, so no
+cross-shard reconciliation step is ever needed, not even for the
+Figure 6 ownership-migration case (withdrawing a hash and re-awarding it
+to the next-earliest observer both happen on that hash's home shard).
+
+The query side is a scatter/gather: partition the target's hashes by
+shard, sweep each shard under its *own* read lock, and merge the
+per-owner matched-hash lists by concatenation. The merge is exact
+because the partition makes per-shard contributions disjoint — a hash
+is counted by exactly one shard — so the merged counts equal the
+unsharded single sweep's counts and the engine's unchanged
+quick-discard/threshold pass produces field-identical reports
+(differential-tested at shard counts 1/2/4/8).
+
+Locking (DESIGN.md §11): unlike the plain externally-synchronised
+``HashDatabase``, the sharded database is *internally* synchronised —
+that is the point, observes on different ranges must not serialise.
+Mutations take the write locks of only the shards they touch, queries
+take per-shard read locks one at a time. Lock order is always ascending
+shard index, and the owning engine's segment lock (when held) is
+acquired strictly before any shard lock, so the hierarchy is acyclic.
+
+Per-shard fault injectors (installable after setup via
+:meth:`ShardedHashDatabase.set_faults`) let tests and benchmarks
+degrade a single shard: a drop or error on a shard raises
+:class:`~repro.errors.ShardDegraded` from the sweep, but only for
+queries whose target hashes actually route there.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.disclosure.engine import DisclosureEngine, DisclosureReport
+from repro.disclosure.store import HashDatabase
+from repro.errors import DisclosureError, ShardDegraded
+from repro.fingerprint import Fingerprint, FingerprintConfig
+from repro.obs.registry import MetricsRegistry, MetricsScope
+from repro.util.clock import Clock
+from repro.util.faults import FaultInjector
+from repro.util.rwlock import RWLock
+
+
+#: Fibonacci multiplier (odd, ≈ 2**32/φ) used to mix hash values before
+#: range-partitioning. Winnowing stores the *minimum* hash of each
+#: window, so stored hash magnitudes skew towards the low end of the
+#: space (with window w, minima concentrate in roughly the lowest 1/w) —
+#: partitioning raw values by range would pile everything onto shard 0.
+#: The multiply is a bijection on the hash space (odd multiplier), so
+#: distinct hashes stay distinct and the mixed keys spread evenly.
+_MIX_MULTIPLIER = 2654435761
+
+
+def shard_of(hash_value: int, n_shards: int, hash_bits: int) -> int:
+    """Home shard of *hash_value*: range partition over the mixed key.
+
+    The mixed key space ``[0, 2**hash_bits)`` is cut into ``n_shards``
+    near-equal contiguous ranges; the fixed-point multiply maps key k to
+    shard ``k * n >> hash_bits`` exactly, with no modulo bias. The
+    Fibonacci pre-mix (see :data:`_MIX_MULTIPLIER`) is what makes the
+    ranges balance for winnowed, magnitude-skewed hash values.
+    """
+    mask = (1 << hash_bits) - 1
+    return (((hash_value * _MIX_MULTIPLIER) & mask) * n_shards) >> hash_bits
+
+
+def partition(
+    hashes: Iterable[int], n_shards: int, hash_bits: int
+) -> List[Tuple[int, List[int]]]:
+    """Group *hashes* by home shard; only non-empty groups are returned."""
+    mask = (1 << hash_bits) - 1
+    buckets: List[List[int]] = [[] for _ in range(n_shards)]
+    for h in hashes:
+        buckets[(((h * _MIX_MULTIPLIER) & mask) * n_shards) >> hash_bits].append(h)
+    return [(index, group) for index, group in enumerate(buckets) if group]
+
+
+class _InlineRouter:
+    """Default scatter strategy: sweep shards sequentially in-thread."""
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        return [fn(item) for item in items]
+
+
+class ShardedHashDatabase:
+    """``DBhash`` hash-partitioned into N independently-locked shards.
+
+    Mirrors the :class:`~repro.disclosure.store.HashDatabase` surface
+    (single-hash calls route to the home shard; whole-table views
+    aggregate across shards) and adds the batched mutation and
+    scatter/gather sweep entry points the sharded engine uses.
+
+    Unlike the plain database this one is internally synchronised: each
+    shard carries its own write-preferring rwlock, taken in ascending
+    shard order for multi-shard mutations. Callers may still hold an
+    engine-level lock above — shard locks always nest inside it.
+
+    Args:
+        n_shards: number of shards (>= 1).
+        hash_bits: width of the hash space being partitioned (the
+            fingerprint config's ``hash_bits``).
+        scope: metrics scope; per-shard instruments land under
+            ``<scope>.<i>.`` (lock counters, sweeps, hashes swept).
+            A private registry scope is created when omitted.
+        router: object with ``map(fn, items)`` used to scatter per-shard
+            sweep jobs (e.g. :class:`~repro.plugin.router.ShardRouter`);
+            in-thread sequential scatter when omitted.
+        faults: optional per-shard fault injectors, one per shard; see
+            :meth:`set_faults`.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        hash_bits: int = 32,
+        scope: Optional[MetricsScope] = None,
+        router=None,
+        faults: Optional[Sequence[FaultInjector]] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise DisclosureError(f"n_shards must be >= 1, got {n_shards}")
+        if hash_bits < 1:
+            raise DisclosureError(f"hash_bits must be >= 1, got {hash_bits}")
+        self.n_shards = n_shards
+        self.hash_bits = hash_bits
+        if scope is None:
+            scope = MetricsRegistry().scope("shard.")
+        self.metrics = scope
+        registry = scope.registry
+        self.shards: Tuple[HashDatabase, ...] = tuple(
+            HashDatabase() for _ in range(n_shards)
+        )
+        self.locks: Tuple[RWLock, ...] = tuple(
+            RWLock(scope=registry.scope(f"{scope.prefix}{i}.lock."))
+            for i in range(n_shards)
+        )
+        self._c_sweeps = tuple(
+            registry.counter(f"{scope.prefix}{i}.sweeps") for i in range(n_shards)
+        )
+        self._c_hashes_swept = tuple(
+            registry.counter(f"{scope.prefix}{i}.hashes_swept")
+            for i in range(n_shards)
+        )
+        for i in range(n_shards):
+            registry.gauge(
+                f"{scope.prefix}{i}.distinct_hashes",
+                fn=lambda i=i: len(self.shards[i]),
+            )
+        self._router = router if router is not None else _InlineRouter()
+        self._faults: Optional[Tuple[FaultInjector, ...]] = None
+        if faults is not None:
+            self.set_faults(faults)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def shard_of(self, hash_value: int) -> int:
+        return shard_of(hash_value, self.n_shards, self.hash_bits)
+
+    def partition(self, hashes: Iterable[int]) -> List[Tuple[int, List[int]]]:
+        return partition(hashes, self.n_shards, self.hash_bits)
+
+    def set_faults(self, faults: Optional[Sequence[FaultInjector]]) -> None:
+        """Install (or clear) per-shard fault injectors.
+
+        Installable after the database is populated, so test setup
+        traffic does not consume scheduled faults. ``faults[i]`` is
+        consulted once per sweep that routes at least one hash to shard
+        i: a drop or error decision raises
+        :class:`~repro.errors.ShardDegraded`; latency decisions are
+        counted by the injector but not simulated here (the lookup
+        server owns the latency budget).
+        """
+        if faults is None:
+            self._faults = None
+            return
+        if len(faults) != self.n_shards:
+            raise DisclosureError(
+                f"got {len(faults)} injectors for {self.n_shards} shards"
+            )
+        self._faults = tuple(faults)
+
+    def set_router(self, router) -> None:
+        """Swap the scatter strategy (``None`` restores in-thread)."""
+        self._router = router if router is not None else _InlineRouter()
+
+    # ------------------------------------------------------------------
+    # Batched mutation (the engine's delta application)
+    # ------------------------------------------------------------------
+
+    def record_fingerprint(
+        self, segment_id: str, hashes: Iterable[int], timestamp: float
+    ) -> bool:
+        """Record all *hashes* for *segment_id*; True if any were new.
+
+        Takes only the write locks of the shards the hashes land on, in
+        ascending shard order — concurrent observes whose fingerprints
+        route to disjoint shards no longer serialise.
+        """
+        changed = False
+        for index, group in self.partition(hashes):
+            with self.locks[index].write_locked():
+                shard = self.shards[index]
+                for h in group:
+                    if shard.record(h, segment_id, timestamp):
+                        changed = True
+        return changed
+
+    def withdraw(self, segment_id: str, hashes: Iterable[int]) -> bool:
+        """Release the segment's claim on *hashes*; True if any released."""
+        changed = False
+        for index, group in self.partition(hashes):
+            with self.locks[index].write_locked():
+                shard = self.shards[index]
+                for h in group:
+                    if shard.remove_observation(h, segment_id):
+                        changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # Scatter/gather sweep (the engine's Algorithm-1 accumulation)
+    # ------------------------------------------------------------------
+
+    def sweep(
+        self, hashes: Iterable[int], *, authoritative: bool = True
+    ) -> Dict[str, List[int]]:
+        """Per-owner matched target hashes, merged across shards.
+
+        The scatter/gather core: partition the target hashes, sweep each
+        shard under its own read lock (dispatched through the router),
+        and merge by concatenating per-owner lists. Contributions are
+        disjoint across shards — each hash is counted by exactly its
+        home shard — so the merged counts equal an unsharded sweep's.
+
+        Raises :class:`~repro.errors.ShardDegraded` if a consulted
+        shard's fault injector decides drop or error.
+        """
+        jobs = self.partition(hashes)
+        if not jobs:
+            return {}
+        if len(jobs) == 1:
+            return self._sweep_shard((jobs[0][0], jobs[0][1], authoritative))
+        scattered = self._router.map(
+            self._sweep_shard,
+            [(index, group, authoritative) for index, group in jobs],
+        )
+        merged: Dict[str, List[int]] = scattered[0]
+        for part in scattered[1:]:
+            for owner, owner_matched in part.items():
+                if owner in merged:
+                    merged[owner].extend(owner_matched)
+                else:
+                    merged[owner] = owner_matched
+        return merged
+
+    def _sweep_shard(
+        self, job: Tuple[int, List[int], bool]
+    ) -> Dict[str, List[int]]:
+        index, group, authoritative = job
+        if self._faults is not None:
+            fault = self._faults[index].next_fault()
+            if fault.kind == "drop":
+                raise ShardDegraded(index, "drop")
+            if fault.kind == "error":
+                raise ShardDegraded(index, "error", fault.status)
+            # Latency decisions are counted by the injector; the lookup
+            # server compares injected latency to its budget, not us.
+        matched: Dict[str, List[int]] = {}
+        self._c_sweeps[index].inc()
+        self._c_hashes_swept[index].inc(len(group))
+        with self.locks[index].read_locked():
+            shard = self.shards[index]
+            if authoritative:
+                oldest_owner = shard.oldest_owner
+                for h in group:
+                    owner = oldest_owner(h)
+                    if owner is None:
+                        continue
+                    if owner in matched:
+                        matched[owner].append(h)
+                    else:
+                        matched[owner] = [h]
+            else:
+                observers = shard.observers
+                for h in group:
+                    for owner in observers(h):
+                        if owner in matched:
+                            matched[owner].append(h)
+                        else:
+                            matched[owner] = [h]
+        return matched
+
+    def sweep_many(
+        self,
+        targets: Sequence[Iterable[int]],
+        *,
+        authoritative: bool = True,
+    ) -> List[Dict[str, List[int]]]:
+        """One fused scatter/gather for many targets; one result each.
+
+        Equivalent to ``[self.sweep(t) for t in targets]`` but the whole
+        batch is a single scatter: the *union* of target hashes is
+        partitioned once, each touched shard is visited once (one read
+        lock, one fault decision, one index probe per distinct hash),
+        and matches are redistributed to the targets that asked for the
+        hash. Duplicate hashes across targets — common when a batch of
+        uploads shares phrasing — are probed once instead of once per
+        target.
+
+        Raises :class:`~repro.errors.ShardDegraded` exactly like
+        :meth:`sweep`: the batch is one routed operation, so a degraded
+        shard fails every target that routes to it (and the caller
+        treats the whole batch as degraded, mirroring the wire protocol
+        where a batch is one request).
+        """
+        matched_list: List[Dict[str, List[int]]] = [{} for _ in targets]
+        # hash -> owning target index, promoted to a list only when the
+        # hash appears in more than one target (the common case is one).
+        items_of: Dict[int, object] = {}
+        get = items_of.get
+        for i, target in enumerate(targets):
+            for h in target:
+                prev = get(h)
+                if prev is None:
+                    items_of[h] = i
+                elif type(prev) is list:
+                    prev.append(i)
+                else:
+                    items_of[h] = [prev, i]
+        if not items_of:
+            return matched_list
+        jobs = [
+            (index, group, authoritative)
+            for index, group in self.partition(items_of.keys())
+        ]
+        if len(jobs) == 1:
+            scattered = [self._sweep_shard_pairs(jobs[0])]
+        else:
+            scattered = self._router.map(self._sweep_shard_pairs, jobs)
+        # Redistribute in shard order: deterministic, and each hash's
+        # contribution lands in exactly the targets that contained it.
+        for pairs in scattered:
+            for h, owner in pairs:
+                entry = items_of[h]
+                if type(entry) is int:
+                    matched = matched_list[entry]
+                    if owner in matched:
+                        matched[owner].append(h)
+                    else:
+                        matched[owner] = [h]
+                else:
+                    for i in entry:
+                        matched = matched_list[i]
+                        if owner in matched:
+                            matched[owner].append(h)
+                        else:
+                            matched[owner] = [h]
+        return matched_list
+
+    def _sweep_shard_pairs(
+        self, job: Tuple[int, List[int], bool]
+    ) -> List[Tuple[int, str]]:
+        """Sweep one shard for a fused batch; returns (hash, owner) pairs.
+
+        Same fault and counter semantics as :meth:`_sweep_shard`, but
+        ownership is reported per hash (not yet grouped per owner) so the
+        caller can redistribute matches to the batch's targets. The lock
+        is taken directly rather than through the context manager — this
+        is the hot path of the batched tier and the generator-based
+        ``read_locked`` costs more than the probe loop it guards.
+        """
+        index, group, _authoritative = job
+        if self._faults is not None:
+            fault = self._faults[index].next_fault()
+            if fault.kind == "drop":
+                raise ShardDegraded(index, "drop")
+            if fault.kind == "error":
+                raise ShardDegraded(index, "error", fault.status)
+        pairs: List[Tuple[int, str]] = []
+        self._c_sweeps[index].inc()
+        self._c_hashes_swept[index].inc(len(group))
+        lock = self.locks[index]
+        lock.acquire_read()
+        try:
+            shard = self.shards[index]
+            if _authoritative:
+                oldest_owner = shard.oldest_owner
+                for h in group:
+                    owner = oldest_owner(h)
+                    if owner is not None:
+                        pairs.append((h, owner))
+            else:
+                observers = shard.observers
+                for h in group:
+                    for owner in observers(h):
+                        pairs.append((h, owner))
+        finally:
+            lock.release_read()
+        return pairs
+
+    # ------------------------------------------------------------------
+    # HashDatabase-compatible surface (routed / aggregated)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, hash_value: int) -> bool:
+        index = self.shard_of(hash_value)
+        with self.locks[index].read_locked():
+            return hash_value in self.shards[index]
+
+    def record(self, hash_value: int, segment_id: str, timestamp: float) -> bool:
+        index = self.shard_of(hash_value)
+        with self.locks[index].write_locked():
+            return self.shards[index].record(hash_value, segment_id, timestamp)
+
+    def oldest_owner(self, hash_value: int) -> Optional[str]:
+        index = self.shard_of(hash_value)
+        with self.locks[index].read_locked():
+            return self.shards[index].oldest_owner(hash_value)
+
+    def recompute_oldest_owner(self, hash_value: int) -> Optional[str]:
+        index = self.shard_of(hash_value)
+        with self.locks[index].read_locked():
+            return self.shards[index].recompute_oldest_owner(hash_value)
+
+    def owners(self, hash_value: int) -> List[Tuple[str, float]]:
+        index = self.shard_of(hash_value)
+        with self.locks[index].read_locked():
+            return self.shards[index].owners(hash_value)
+
+    def observers(self, hash_value: int) -> Tuple[str, ...]:
+        index = self.shard_of(hash_value)
+        with self.locks[index].read_locked():
+            return self.shards[index].observers(hash_value)
+
+    def first_seen(self, hash_value: int, segment_id: str) -> Optional[float]:
+        index = self.shard_of(hash_value)
+        with self.locks[index].read_locked():
+            return self.shards[index].first_seen(hash_value, segment_id)
+
+    def remove_observation(self, hash_value: int, segment_id: str) -> bool:
+        index = self.shard_of(hash_value)
+        with self.locks[index].write_locked():
+            return self.shards[index].remove_observation(hash_value, segment_id)
+
+    def discard_segment(self, segment_id: str) -> int:
+        """Remove the segment's observations from every shard it touches."""
+        removed = 0
+        for index in range(self.n_shards):
+            with self.locks[index].write_locked():
+                removed += self.shards[index].discard_segment(segment_id)
+        return removed
+
+    def hashes(self) -> List[int]:
+        out: List[int] = []
+        for index in range(self.n_shards):
+            with self.locks[index].read_locked():
+                out.extend(self.shards[index].hashes())
+        return out
+
+    def hashes_of(self, segment_id: str) -> Set[int]:
+        out: Set[int] = set()
+        for index in range(self.n_shards):
+            with self.locks[index].read_locked():
+                out |= self.shards[index].hashes_of(segment_id)
+        return out
+
+    def owned_hashes(self, segment_id: str) -> Set[int]:
+        out: Set[int] = set()
+        for index in range(self.n_shards):
+            with self.locks[index].read_locked():
+                out |= self.shards[index].owned_hashes(segment_id)
+        return out
+
+    def owner_epoch(self, segment_id: str) -> int:
+        """Sum of per-shard epochs — bumps whenever any shard's does."""
+        total = 0
+        for index in range(self.n_shards):
+            with self.locks[index].read_locked():
+                total += self.shards[index].owner_epoch(segment_id)
+        return total
+
+    @property
+    def ownership_changes(self) -> int:
+        return sum(shard.ownership_changes for shard in self.shards)
+
+    def shard_sizes(self) -> List[int]:
+        """Distinct-hash count per shard (balance reporting)."""
+        return [len(shard) for shard in self.shards]
+
+    def check_invariants(self) -> None:
+        """Per-shard index invariants plus hash-placement discipline."""
+        for index, shard in enumerate(self.shards):
+            with self.locks[index].read_locked():
+                shard.check_invariants()
+                for h in shard.hashes():
+                    assert self.shard_of(h) == index, (
+                        f"hash {h} stored on shard {index}, "
+                        f"routes to {self.shard_of(h)}"
+                    )
+
+
+class ShardedDisclosureEngine(DisclosureEngine):
+    """A :class:`DisclosureEngine` whose ``DBhash`` is sharded.
+
+    Behaviourally identical to the base engine (differential-tested at
+    shard counts 1/2/4/8): the sweep accumulation is scattered across
+    shards and merged, then handed to the *same*
+    ``_threshold_pass`` the unsharded engine runs, and delta application
+    becomes two batched per-shard passes (record new, withdraw removed).
+
+    Queries still run under the engine/tracker read lock and mutations
+    under its write lock — the segment database, caches, and version
+    counter need it, and it keeps the consistency contract identical to
+    the unsharded engine. What sharding changes is the *inner* hash-table
+    locking: shard locks are independent, so a multi-engine deployment
+    (or a future finer-grained tracker lock) stops serialising hash-table
+    traffic on one lock. Shard locks always nest inside the engine lock,
+    in ascending shard order (DESIGN.md §11 lock hierarchy).
+    """
+
+    def __init__(
+        self,
+        config: Optional[FingerprintConfig] = None,
+        clock: Optional[Clock] = None,
+        *,
+        authoritative: bool = True,
+        kind: str = "paragraph",
+        lock: Optional[RWLock] = None,
+        registry: Optional[MetricsRegistry] = None,
+        n_shards: int = 4,
+        router=None,
+        shard_faults: Optional[Sequence[FaultInjector]] = None,
+    ) -> None:
+        super().__init__(
+            config,
+            clock,
+            authoritative=authoritative,
+            kind=kind,
+            lock=lock,
+            registry=registry,
+        )
+        # Replace the plain hash database; the base engine's derived
+        # gauges close over ``self.hash_db`` dynamically, so they track
+        # the sharded aggregate from here on.
+        self.hash_db = ShardedHashDatabase(
+            n_shards,
+            hash_bits=self.config.hash_bits,
+            scope=self.registry.scope(f"engine.{kind}.shard."),
+            router=router,
+            faults=shard_faults,
+        )
+        self.metrics.gauge("shards", fn=lambda: self.hash_db.n_shards)
+
+    @property
+    def n_shards(self) -> int:
+        return self.hash_db.n_shards
+
+    def _apply_fingerprint_delta(
+        self,
+        segment_id: str,
+        new_hashes,
+        old_hashes,
+        now: float,
+    ) -> bool:
+        recorded = self.hash_db.record_fingerprint(segment_id, new_hashes, now)
+        withdrawn = self.hash_db.withdraw(segment_id, old_hashes - new_hashes)
+        return recorded or withdrawn
+
+    def _run_algorithm(
+        self,
+        target_id: Optional[str],
+        fingerprint: Fingerprint,
+        exclude_doc: Optional[str],
+    ) -> DisclosureReport:
+        """Scatter/gather sweep, then the inherited threshold pass."""
+        matched = self.hash_db.sweep(
+            fingerprint.hashes, authoritative=self._authoritative
+        )
+        self._c_candidates_swept.inc(len(matched))
+        return self._threshold_pass(target_id, fingerprint, exclude_doc, matched)
+
+    def _sweep_targets(self, targets):
+        """Fused batch sweep: one scatter/gather for the whole batch."""
+        return self.hash_db.sweep_many(
+            targets, authoritative=self._authoritative
+        )
+
+    def stats(self) -> Dict[str, int]:
+        out = super().stats()
+        out["shards"] = self.hash_db.n_shards
+        return out

@@ -1,0 +1,450 @@
+"""Throughput measurement for the sharded, batched lookup tier.
+
+One module owns the comparison so the pytest benchmark
+(``benchmarks/bench_sharded_service.py``) and the trajectory tool
+(``tools/bench_to_json.py``) cannot drift apart: both call
+:func:`measure` and report the same numbers, and both go through
+:func:`check_equivalence` first, so a throughput figure is never
+produced for a sharded tier that disagrees with the single-engine
+reference on any decision.
+
+The comparison is the deployment question ISSUE 7 asks: N plug-in
+clients hammering one shared enterprise service — is the *sharded
+engine + batched wire protocol* worth deploying over the plain
+single-engine ``LookupServer``? Both sides answer the identical
+workload (same texts, same per-item decisions, healthy injectors, cold
+decision cache) on the same thread count; what differs is the tier:
+
+* **single** — one :class:`~repro.plugin.server.LookupClient` request
+  per item against an unsharded engine: each item pays a read-lock
+  acquisition, a trace span, a version read, and fingerprints its text
+  twice (cache key + engine check).
+* **sharded_batched** — items travel ``batch_size`` per round trip to a
+  server whose hash store is partitioned across ``n_shards`` shards;
+  the batch amortises the per-request machinery and each text is
+  fingerprinted exactly once, with the fingerprint handed down the
+  stack.
+
+Per-item latency for a batch is the round-trip wall time divided by the
+batch size — the amortised figure a queueing plug-in actually pays per
+paragraph it needed checked.
+
+Timing protocol: each tier is driven for several independent rounds
+(fresh server, cold decision cache, garbage collector paused during the
+timed section) and the best round per tier is reported — the standard
+microbenchmark convention for suppressing scheduler and allocator
+noise, applied symmetrically to both tiers.
+
+Throughput comes from the 8-client fleet; the latency percentiles that
+gate "p95 no worse" come from a separate single-client run. The two
+loads answer different questions and mixing them corrupts the second:
+under the contended fleet a closed-loop thread's per-item stopwatch
+mostly measures interpreter scheduling — whichever thread holds the
+GIL completes a convoy of sub-millisecond checks while the rest wait,
+so a handful of items absorb multi-millisecond waits and the single
+tier's p95 flips between ~0.3 ms and ~12 ms run to run depending on
+whether the convoy fraction crosses 5%. (The fleet sections still
+record their percentiles for inspection; the single tier's fleet p99
+— tens of milliseconds of convoy wait — is why they are not the
+gate.) The uncontended run measures the service itself: what one
+plug-in pays per checked paragraph when a millisecond means a
+millisecond.
+
+Everything here is standard library, so ``tools/bench_to_json.py``
+stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import gc
+import platform
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets import EbookCorpus
+from repro.fingerprint.config import PAPER_CONFIG
+from repro.plugin.lookup import PolicyLookup
+from repro.plugin.server import BatchLookupClient, LookupClient, LookupServer
+from repro.tdm import Label, PolicyStore, TextDisclosureModel
+from repro.util.stats import percentile
+
+#: Schema version of BENCH_shard.json; bump on shape changes.
+SCHEMA_VERSION = 1
+
+#: The measured deployment shape (acceptance gate configuration).
+N_CLIENTS = 8
+N_SHARDS = 4
+BATCH_SIZE = 32
+
+#: Timed rounds per tier; the best round is reported.
+ROUNDS = 3
+
+LIBRARY = "https://library.example.com"
+DOCS = "https://docs.example.com"
+
+WorkItem = Tuple[str, str]  # (doc_id, text)
+
+
+def build_corpus(smoke: bool, seed: int) -> EbookCorpus:
+    if smoke:
+        return EbookCorpus.generate(n_books=4, paragraphs_per_book=25, seed=seed)
+    return EbookCorpus.generate(n_books=10, paragraphs_per_book=60, seed=seed)
+
+
+def build_server(
+    corpus: EbookCorpus,
+    *,
+    n_shards: Optional[int] = None,
+    router=None,
+) -> LookupServer:
+    """A healthy (no injected faults) lookup service over *corpus*."""
+    policies = PolicyStore()
+    policies.register_service(
+        LIBRARY, privilege=Label.of("lib"), confidentiality=Label.of("lib")
+    )
+    policies.register_service(DOCS)
+    model = TextDisclosureModel(
+        policies, PAPER_CONFIG, n_shards=n_shards, router=router
+    )
+    for book in corpus:
+        doc_id = f"{LIBRARY}|{book.book_id}"
+        model.observe(
+            LIBRARY,
+            doc_id,
+            [(f"{doc_id}#p{i}", text) for i, text in enumerate(book.paragraphs)],
+        )
+    return LookupServer(PolicyLookup(model))
+
+
+def _sentences(corpus: EbookCorpus) -> List[str]:
+    """Sentence-sized fragments of the observed corpus (checkable units).
+
+    The plug-in's hot path is the per-keystroke / per-edit check (paper
+    §6.2): what travels to the lookup tier is the short segment under
+    the cursor, not whole documents. Sentence-sized uploads make the
+    workload match that, and they are where the tiers differ most —
+    per-request machinery dominates short checks, so batching it
+    matters.
+    """
+    out: List[str] = []
+    for book in corpus:
+        for paragraph in book.paragraphs:
+            for sentence in paragraph.split("."):
+                sentence = sentence.strip()
+                if len(sentence) > 40:
+                    out.append(sentence + ".")
+    return out
+
+
+def build_workloads(
+    corpus: EbookCorpus, seed: int, requests_per_client: int
+) -> List[List[WorkItem]]:
+    """Per-client edit-check streams: half disclosure hits, half misses.
+
+    Each item is one sentence being edited — either verbatim from an
+    observed book (library n-grams match) or the same words shuffled
+    (same vocabulary, fresh fingerprint). Every item carries a unique
+    doc_id, so the decision cache never short-circuits the comparison —
+    both tiers do the full fingerprint and sweep for every item.
+    """
+    import random
+
+    sentences = _sentences(corpus)
+    workloads: List[List[WorkItem]] = []
+    for cid in range(N_CLIENTS):
+        rng = random.Random(f"{seed}:client:{cid}")
+        items: List[WorkItem] = []
+        for i in range(requests_per_client):
+            sentence = sentences[rng.randrange(len(sentences))]
+            if rng.random() < 0.5:
+                text = sentence  # verbatim edit: library n-grams match
+            else:
+                words = sentence.split()
+                rng.shuffle(words)  # same vocabulary, fresh fingerprint
+                text = " ".join(words)
+            items.append((f"{DOCS}|c{cid}-d{i}", text))
+        workloads.append(items)
+    return workloads
+
+
+def _chunks(items: Sequence[WorkItem], size: int):
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+def check_equivalence(
+    corpus: EbookCorpus,
+    workloads: Sequence[Sequence[WorkItem]],
+    *,
+    n_shards: int = N_SHARDS,
+    router=None,
+    sample: int = 40,
+) -> int:
+    """Assert batched-sharded decisions == single-engine decisions.
+
+    Takes a fresh server pair (so the timing runs later start with cold
+    caches) and compares a deterministic sample of the workload item by
+    item. Returns the number of decisions compared. Raises
+    ``AssertionError`` on the first diverging decision — a throughput
+    number must never be reported for a diverging tier.
+    """
+    single = build_server(corpus)
+    sharded = build_server(corpus, n_shards=n_shards, router=router)
+    flat = [item for workload in workloads for item in workload]
+    sampled = flat[:: max(1, len(flat) // sample)][:sample]
+    batched = sharded.lookup.lookup_batch(
+        DOCS, [(doc_id, [(f"{doc_id}#p0", text)]) for doc_id, text in sampled]
+    )
+    for (doc_id, text), got in zip(sampled, batched):
+        want = single.lookup.lookup(DOCS, doc_id, [(f"{doc_id}#p0", text)])
+        assert got == want, (
+            f"sharded/batched decision diverges from single-engine "
+            f"reference for {doc_id}: {got} != {want}"
+        )
+    return len(sampled)
+
+
+def _run_threads(worker, n_clients: int) -> float:
+    """Start one thread per client, return wall seconds across the fleet."""
+    errors: List[Tuple[int, Exception]] = []
+    barrier = threading.Barrier(n_clients + 1)
+
+    def wrapped(cid: int) -> None:
+        try:
+            barrier.wait(timeout=60)
+            worker(cid)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append((cid, exc))
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=wrapped, args=(cid,)) for cid in range(n_clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait(timeout=60)  # release the fleet; timing starts now
+    start = time.perf_counter()
+    for t in threads:
+        t.join(timeout=600)
+    seconds = time.perf_counter() - start
+    assert not errors, errors
+    assert not any(t.is_alive() for t in threads), "client wedged"
+    return seconds
+
+
+def drive_single(
+    server: LookupServer, workloads: Sequence[Sequence[WorkItem]]
+) -> Tuple[List[float], float]:
+    """One request per item; returns (per-item latencies ms, wall seconds)."""
+    latencies: List[List[float]] = [[] for _ in workloads]
+
+    def worker(cid: int) -> None:
+        client = LookupClient(server)
+        for doc_id, text in workloads[cid]:
+            start = time.perf_counter()
+            outcome = client.lookup(DOCS, doc_id, [(f"{doc_id}#p0", text)])
+            latencies[cid].append((time.perf_counter() - start) * 1000.0)
+            assert not outcome.degraded
+
+    seconds = _run_threads(worker, len(workloads))
+    return [ms for per_client in latencies for ms in per_client], seconds
+
+
+def drive_batched(
+    server: LookupServer,
+    workloads: Sequence[Sequence[WorkItem]],
+    *,
+    batch_size: int = BATCH_SIZE,
+) -> Tuple[List[float], float]:
+    """batch_size items per round trip; per-item latency is amortised."""
+    latencies: List[List[float]] = [[] for _ in workloads]
+
+    def worker(cid: int) -> None:
+        client = BatchLookupClient(server)
+        for chunk in _chunks(workloads[cid], batch_size):
+            items = [(doc_id, [(f"{doc_id}#p0", text)]) for doc_id, text in chunk]
+            start = time.perf_counter()
+            outcomes = client.lookup_batch(DOCS, items)
+            per_item_ms = (time.perf_counter() - start) * 1000.0 / len(chunk)
+            latencies[cid].extend([per_item_ms] * len(chunk))
+            assert all(not outcome.degraded for outcome in outcomes)
+
+    seconds = _run_threads(worker, len(workloads))
+    return [ms for per_client in latencies for ms in per_client], seconds
+
+
+def serial_single(
+    server: LookupServer, items: Sequence[WorkItem]
+) -> Tuple[List[float], float]:
+    """Uncontended per-check latency through a ``LookupClient``."""
+    client = LookupClient(server)
+    latencies: List[float] = []
+    begin = time.perf_counter()
+    for doc_id, text in items:
+        start = time.perf_counter()
+        outcome = client.lookup(DOCS, doc_id, [(f"{doc_id}#p0", text)])
+        latencies.append((time.perf_counter() - start) * 1000.0)
+        assert not outcome.degraded
+    return latencies, time.perf_counter() - begin
+
+
+def serial_batched(
+    server: LookupServer,
+    items: Sequence[WorkItem],
+    *,
+    batch_size: int = BATCH_SIZE,
+) -> Tuple[List[float], float]:
+    """Uncontended amortised per-check latency via batched round trips."""
+    client = BatchLookupClient(server)
+    latencies: List[float] = []
+    begin = time.perf_counter()
+    for chunk in _chunks(items, batch_size):
+        batch = [(doc_id, [(f"{doc_id}#p0", text)]) for doc_id, text in chunk]
+        start = time.perf_counter()
+        outcomes = client.lookup_batch(DOCS, batch)
+        per_item_ms = (time.perf_counter() - start) * 1000.0 / len(chunk)
+        latencies.extend([per_item_ms] * len(chunk))
+        assert all(not outcome.degraded for outcome in outcomes)
+    return latencies, time.perf_counter() - begin
+
+
+def _summarise(latencies_ms: List[float], seconds: float) -> Dict[str, float]:
+    return {
+        "requests": len(latencies_ms),
+        "seconds": seconds,
+        "throughput_rps": len(latencies_ms) / seconds if seconds > 0 else 0.0,
+        "p50_ms": percentile(latencies_ms, 50),
+        "p95_ms": percentile(latencies_ms, 95),
+        "p99_ms": percentile(latencies_ms, 99),
+    }
+
+
+def _best_round(build, drive, rounds: int, *, by: str = "throughput_rps"):
+    """Drive *rounds* fresh servers, return (summary, server) of the best.
+
+    Each round gets a cold server (empty decision cache — items reuse
+    doc_ids across rounds, so a warm server would answer from cache)
+    and runs with the garbage collector paused, so neither tier is
+    charged for collector pauses or for the other round's leftovers.
+    Best round = highest throughput (or lowest p95 for latency runs);
+    both tiers get the identical treatment.
+    """
+    best = None
+    for _ in range(max(1, rounds)):
+        server = build()
+        gc.collect()
+        gc.disable()
+        try:
+            latencies_ms, seconds = drive(server)
+        finally:
+            gc.enable()
+        summary = _summarise(latencies_ms, seconds)
+        better = (
+            summary[by] > best[0][by]
+            if by == "throughput_rps"
+            else summary[by] < best[0][by]
+        ) if best is not None else True
+        if better:
+            best = (summary, server)
+    return best
+
+
+def measure(
+    smoke: bool,
+    seed: int,
+    *,
+    requests_per_client: Optional[int] = None,
+    n_shards: int = N_SHARDS,
+    batch_size: int = BATCH_SIZE,
+    router=None,
+    rounds: int = ROUNDS,
+) -> dict:
+    """The full comparison document (the BENCH_shard.json payload)."""
+    if requests_per_client is None:
+        requests_per_client = 64 if smoke else 200
+    corpus = build_corpus(smoke, seed)
+    workloads = build_workloads(corpus, seed, requests_per_client)
+    compared = check_equivalence(
+        corpus, workloads, n_shards=n_shards, router=router
+    )
+
+    single, single_server = _best_round(
+        lambda: build_server(corpus),
+        lambda server: drive_single(server, workloads),
+        rounds,
+    )
+    sharded_batched, sharded_server = _best_round(
+        lambda: build_server(corpus, n_shards=n_shards, router=router),
+        lambda server: drive_batched(server, workloads, batch_size=batch_size),
+        rounds,
+    )
+
+    # Uncontended service latency (the "p95 no worse" gate): one client,
+    # same items, fresh servers so the decision cache stays cold.
+    flat = [item for workload in workloads for item in workload]
+    latency_single, _ = _best_round(
+        lambda: build_server(corpus),
+        lambda server: serial_single(server, flat),
+        rounds,
+        by="p95_ms",
+    )
+    latency_batched, _ = _best_round(
+        lambda: build_server(corpus, n_shards=n_shards, router=router),
+        lambda server: serial_batched(server, flat, batch_size=batch_size),
+        rounds,
+        by="p95_ms",
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "sharded_lookup",
+        "smoke": smoke,
+        "seed": seed,
+        "python": platform.python_version(),
+        "config": {
+            "n_clients": N_CLIENTS,
+            "n_shards": n_shards,
+            "batch_size": batch_size,
+            "rounds": rounds,
+            "ngram_size": PAPER_CONFIG.ngram_size,
+            "window_size": PAPER_CONFIG.window_size,
+            "hash_bits": PAPER_CONFIG.hash_bits,
+        },
+        "workload": {
+            "requests_per_client": requests_per_client,
+            "total_requests": N_CLIENTS * requests_per_client,
+            "corpus_bytes": corpus.total_bytes(),
+            "corpus_paragraphs": corpus.total_paragraphs(),
+        },
+        "equivalence_checked": compared,
+        "single": single,
+        "sharded_batched": sharded_batched,
+        "service_latency": {
+            "single": latency_single,
+            "sharded_batched": latency_batched,
+        },
+        "speedup": {
+            "throughput": (
+                sharded_batched["throughput_rps"] / single["throughput_rps"]
+                if single["throughput_rps"] > 0
+                else 0.0
+            ),
+            "p95": (
+                latency_single["p95_ms"] / latency_batched["p95_ms"]
+                if latency_batched["p95_ms"] > 0
+                else 0.0
+            ),
+        },
+        "server_stats": {
+            "single": {
+                k: v
+                for k, v in single_server.stats().items()
+                if isinstance(v, int)
+            },
+            "sharded_batched": {
+                k: v
+                for k, v in sharded_server.stats().items()
+                if isinstance(v, int)
+            },
+        },
+    }

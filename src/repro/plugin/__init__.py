@@ -12,9 +12,11 @@ cache, an upload-encryption fallback, and the paragraph-highlighting UI.
 from repro.plugin.cache import DecisionCache
 from repro.plugin.crypto import UploadCipher
 from repro.plugin.enforcement import EnforcementAction, PolicyEnforcement, PluginMode
-from repro.plugin.lookup import PolicyLookup
+from repro.plugin.lookup import BatchItem, PolicyLookup
 from repro.plugin.plugin import BrowserFlowPlugin, WarningEvent
+from repro.plugin.router import ShardRouter
 from repro.plugin.server import (
+    BatchLookupClient,
     FailureMode,
     LookupClient,
     LookupOutcome,
@@ -28,12 +30,15 @@ __all__ = [
     "EnforcementAction",
     "PolicyEnforcement",
     "PluginMode",
+    "BatchItem",
     "PolicyLookup",
     "BrowserFlowPlugin",
     "WarningEvent",
+    "BatchLookupClient",
     "FailureMode",
     "LookupClient",
     "LookupOutcome",
     "LookupServer",
+    "ShardRouter",
     "Highlighter",
 ]

@@ -11,11 +11,14 @@ keyed by fingerprint, which is what makes per-keystroke checks cheap
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.trace import span
 from repro.plugin.cache import DecisionCache
 from repro.tdm.model import FlowDecision, Suppression, TextDisclosureModel
+
+#: One batch-lookup item: (doc_id, [(paragraph_id, text), ...]).
+BatchItem = Tuple[str, Sequence[Tuple[str, str]]]
 
 
 class PolicyLookup:
@@ -88,6 +91,71 @@ class PolicyLookup:
             self._cache.put(key, decision)
             sp.set(cache_hit=False, allowed=decision.allowed)
             return decision
+
+    def lookup_batch(
+        self, service_id: str, items: Sequence[BatchItem]
+    ) -> List[FlowDecision]:
+        """Resolve many uploads' decisions under one lock acquisition.
+
+        Equivalent to calling :meth:`lookup` per item (same cache, same
+        key scheme, so batch and single traffic interoperate), but the
+        amortisation is real: one read-lock acquisition, one version
+        read, and one trace span cover the batch; each item's paragraphs
+        are fingerprinted *once* — the fingerprints computed for the
+        cache key are passed down through
+        :meth:`~repro.tdm.model.TextDisclosureModel.check_uploads` — and
+        all cache misses resolve through one fused engine sweep per
+        granularity instead of two per item. Suppressions are
+        deliberately not accepted here: a suppression must be consumed
+        and audited exactly once, which the uncached single path
+        guarantees.
+        """
+        with self._model.lock.read_locked(), span(
+            "lookup_batch", service=service_id, items=len(items)
+        ) as sp:
+            tracker = self._model.tracker
+            fingerprinter = tracker.paragraphs.fingerprinter
+            version = (
+                tracker.paragraphs.stats()["version"]
+                + tracker.documents.stats()["version"]
+            )
+            decisions: List[Optional[FlowDecision]] = [None] * len(items)
+            misses: List[int] = []
+            miss_fps: List[List] = []
+            keys: List[Tuple] = [()] * len(items)
+            hits = 0
+            for i, (doc_id, paragraphs) in enumerate(items):
+                fingerprints = [
+                    fingerprinter.fingerprint(text) for _pid, text in paragraphs
+                ]
+                key = (
+                    service_id,
+                    doc_id,
+                    tuple(fp.hashes for fp in fingerprints),
+                    version,
+                )
+                cached = self._cache.get(key)
+                if cached is not None:
+                    hits += 1
+                    decisions[i] = cached  # type: ignore[assignment]
+                    continue
+                keys[i] = key
+                misses.append(i)
+                miss_fps.append(fingerprints)
+            if misses:
+                # One fused model call for every miss: one label-check
+                # span, one tracker lock, and one batched sweep per
+                # engine cover the whole batch.
+                computed = self._model.check_uploads(
+                    service_id,
+                    [items[i] for i in misses],
+                    fingerprints=miss_fps,
+                )
+                for i, decision in zip(misses, computed):
+                    self._cache.put(keys[i], decision)
+                    decisions[i] = decision
+            sp.set(cache_hits=hits)
+            return decisions  # type: ignore[return-value]
 
     def stats(self) -> Dict[str, object]:
         """Decision-cache and engine index/query counters, one flat dict.

@@ -33,13 +33,17 @@ from __future__ import annotations
 
 import enum
 import logging
-import threading
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import LookupRejected, LookupTimeout, LookupUnavailable
+from repro.errors import (
+    LookupRejected,
+    LookupTimeout,
+    LookupUnavailable,
+    ShardDegraded,
+)
 from repro.obs.registry import MetricsRegistry, MetricsScope
-from repro.plugin.lookup import PolicyLookup
+from repro.plugin.lookup import BatchItem, PolicyLookup
 from repro.tdm.audit import DegradationEvent
 from repro.tdm.labels import Label, SegmentLabel
 from repro.tdm.model import FlowDecision, FlowViolation, Suppression
@@ -98,7 +102,11 @@ class LookupServer:
     :class:`PolicyLookup` holds the model's reader–writer lock across
     each decision (queries share, observations exclude) and the decision
     cache carries its own mutex. The server adds fault injection at the
-    request boundary and exact request counters under a private mutex.
+    request boundary and request counters — registry counters are
+    already thread-safe, so the hot request path takes no server-level
+    lock at all (the counters are exact when each is owned by one
+    logical stream, monotonic-approximate under contention, same
+    contract as the engine's query counters).
 
     Args:
         lookup: the shared lookup module (one per enterprise).
@@ -118,7 +126,6 @@ class LookupServer:
         self._lookup = lookup
         self._faults = faults
         self._clock = clock or LogicalClock()
-        self._mutex = threading.Lock()
         #: The model's registry (shared down the whole stack); server
         #: request counters register under ``server.`` beside the engine
         #: and decision-cache instruments.
@@ -133,9 +140,16 @@ class LookupServer:
                 "dropped",
                 "rejected",
                 "timed_out",
+                "batches",
+                "batch_items",
+                "shard_degraded",
             )
         }
         self._h_handle = self.metrics.histogram("handle_seconds")
+        # Items-per-batch distribution; count buckets, not latency ones.
+        self._h_batch_size = self.metrics.histogram(
+            "batch_size", (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+        )
 
     @property
     def lookup(self) -> PolicyLookup:
@@ -144,9 +158,24 @@ class LookupServer:
     def now(self) -> float:
         return self._clock.now()
 
-    def _count(self, name: str) -> None:
-        with self._mutex:
-            self._counters[name].inc()
+    def _count(self, name: str, delta: int = 1) -> None:
+        self._counters[name].inc(delta)
+
+    def _shard_fault(self, exc: ShardDegraded, timeout: float) -> Exception:
+        """Translate a degraded shard into the equivalent network fault.
+
+        A shard that dropped its part of the scatter looks to the client
+        like a timed-out request; a shard that refused looks like a
+        backend 5xx. Either way the client's ordinary retry and
+        fail-open/fail-closed machinery takes over — only requests whose
+        target hashes actually route to the degraded shard ever get here.
+        """
+        self._count("shard_degraded")
+        if exc.kind == "error":
+            self._count("rejected")
+            return LookupRejected(exc.status)
+        self._count("dropped")
+        return LookupTimeout(timeout, kind=f"shard-{exc.kind}")
 
     # ------------------------------------------------------------------
     # Request paths
@@ -183,12 +212,56 @@ class LookupServer:
             raise LookupTimeout(timeout, kind="latency")
         clock = self.registry.clock
         start = clock.now()
-        decision = self._lookup.lookup(
-            service_id, doc_id, paragraphs, suppressions=suppressions
-        )
+        try:
+            decision = self._lookup.lookup(
+                service_id, doc_id, paragraphs, suppressions=suppressions
+            )
+        except ShardDegraded as exc:
+            raise self._shard_fault(exc, timeout) from exc
         self._h_handle.observe(clock.now() - start)
         self._count("served")
         return decision, fault.latency
+
+    def handle_batch(
+        self,
+        service_id: str,
+        items: Sequence[BatchItem],
+        *,
+        timeout: float,
+    ) -> Tuple[List[FlowDecision], float]:
+        """Answer many lookups in one round trip; (decisions, latency).
+
+        The batch is *one* request on the wire: one fault decision (and
+        so one injection point) covers all items — a dropped or refused
+        batch fails every item together, and an injected latency is paid
+        once rather than per item. ``served`` counts decisions, so for
+        batch traffic it exceeds ``requests`` (round trips);
+        ``batch_items`` and the ``batch_size`` histogram record the
+        amortisation factor.
+        """
+        self._count("requests")
+        self._count("batches")
+        self._count("batch_items", len(items))
+        self._h_batch_size.observe(float(len(items)))
+        fault = self._faults.next_fault() if self._faults is not None else Fault.none()
+        if fault.kind == "drop":
+            self._count("dropped")
+            raise LookupTimeout(timeout, kind="drop")
+        if fault.kind == "error":
+            self._count("rejected")
+            raise LookupRejected(fault.status)
+        if fault.kind == "latency" and fault.latency > timeout:
+            self._count("timed_out")
+            raise LookupTimeout(timeout, kind="latency")
+        clock = self.registry.clock
+        start = clock.now()
+        try:
+            decisions = self._lookup.lookup_batch(service_id, items)
+        except ShardDegraded as exc:
+            raise self._shard_fault(exc, timeout) from exc
+        self._h_handle.observe(clock.now() - start)
+        self._count("served", len(items))
+        return decisions, fault.latency
 
     def observe(
         self,
@@ -206,11 +279,10 @@ class LookupServer:
         A thin view over the shared registry (plus the injector's own
         scope): every field reads the same instrument a snapshot would.
         """
-        with self._mutex:
-            combined: Dict[str, object] = {
-                f"server_{name}": counter.value
-                for name, counter in self._counters.items()
-            }
+        combined: Dict[str, object] = {
+            f"server_{name}": counter.value
+            for name, counter in self._counters.items()
+        }
         if self._faults is not None:
             combined.update(self._faults.stats())
         combined.update(self._lookup.stats())
@@ -263,7 +335,6 @@ class LookupClient:
         self._backoff_multiplier = backoff_multiplier
         self.failure_mode = failure_mode
         self._sleep = sleep
-        self._mutex = threading.Lock()
         if scope is None:
             scope = MetricsRegistry().scope("client.")
         self.metrics = scope
@@ -286,8 +357,7 @@ class LookupClient:
         return self._timeout
 
     def _count(self, name: str, delta: int = 1) -> None:
-        with self._mutex:
-            self._counters[name].inc(delta)
+        self._counters[name].inc(delta)
 
     def lookup(
         self,
@@ -392,7 +462,75 @@ class LookupClient:
         """Exact per-client request/retry/timeout/degradation counters.
 
         A thin view over the client's registry scope, field-identical to
-        ``metrics.snapshot()`` by construction.
+        ``metrics.snapshot()`` by construction. Registry counters are
+        thread-safe on their own, so no client-level lock is taken —
+        each client's counters are exact because a client is driven by
+        one plug-in thread.
         """
-        with self._mutex:
-            return {name: counter.value for name, counter in self._counters.items()}
+        return {name: counter.value for name, counter in self._counters.items()}
+
+
+class BatchLookupClient(LookupClient):
+    """A lookup client that carries many items per round trip.
+
+    :meth:`lookup_batch` resolves N ``(doc_id, paragraphs)`` items with
+    the retry/degradation machinery applied to the *batch*: one timeout
+    budget, one bounded retry loop, one fault-injection point per wire
+    attempt. When the service stays down the whole batch degrades
+    together, but the audit trail stays per item — each item records its
+    own :class:`~repro.tdm.audit.DegradationEvent` and fail-open /
+    fail-closed decision, exactly as if it had been looked up alone.
+
+    Counter semantics: ``requests`` counts *items* (so it remains
+    comparable with a single-request client doing the same work),
+    ``batches`` counts round trips, and ``attempts``/``retries``/
+    ``timeouts``/``server_errors`` count wire-level events as before.
+    """
+
+    def __init__(self, server: LookupServer, **kwargs) -> None:
+        super().__init__(server, **kwargs)
+        self._counters["batches"] = self.metrics.counter("batches")
+
+    def lookup_batch(
+        self, service_id: str, items: Sequence[BatchItem]
+    ) -> List[LookupOutcome]:
+        """Resolve decisions for all *items*; one outcome per item."""
+        self._count("batches")
+        self._count("requests", len(items))
+        faults: List[str] = []
+        waited: List[float] = []
+        for attempt in range(1, self._max_retries + 2):
+            self._count("attempts")
+            try:
+                decisions, latency = self._server.handle_batch(
+                    service_id, items, timeout=self._timeout
+                )
+            except LookupTimeout:
+                self._count("timeouts")
+                faults.append("timeout")
+            except LookupRejected as exc:
+                self._count("server_errors")
+                faults.append(f"http-{exc.status}")
+            else:
+                return [
+                    LookupOutcome(
+                        decision=decision,
+                        degraded=False,
+                        attempts=attempt,
+                        retries=attempt - 1,
+                        faults=tuple(faults),
+                        waited=tuple(waited),
+                        latency=latency,
+                    )
+                    for decision in decisions
+                ]
+            if attempt <= self._max_retries:
+                delay = self._backoff * self._backoff_multiplier ** (attempt - 1)
+                waited.append(delay)
+                self._count("retries")
+                if self._sleep is not None:
+                    self._sleep(delay)
+        return [
+            self._degrade(service_id, doc_id, list(faults), list(waited))
+            for doc_id, _paragraphs in items
+        ]

@@ -22,7 +22,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.disclosure import DisclosureTracker, SourceDisclosure
 from repro.errors import PolicyError, SuppressionError
-from repro.fingerprint import FingerprintConfig
+from repro.fingerprint import Fingerprint, FingerprintConfig
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import span
 from repro.tdm.audit import AuditLog, SuppressionEvent
@@ -96,6 +96,11 @@ class TextDisclosureModel:
         registry: metrics registry shared down the stack (both engines,
             the shared lock, and — via the plug-in — the decision
             cache). A private one is created when omitted.
+        n_shards: hash-range shard the disclosure databases into this
+            many independently locked shards (DESIGN.md §11); None keeps
+            the classic single-store engines.
+        router: scatter strategy for sharded sweeps (an object with
+            ``map(fn, items)``); ignored when unsharded.
     """
 
     def __init__(
@@ -108,6 +113,8 @@ class TextDisclosureModel:
         document_threshold: float = 0.5,
         authoritative: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        n_shards: Optional[int] = None,
+        router=None,
     ) -> None:
         self.policies = policies or PolicyStore()
         self._clock = clock or LogicalClock()
@@ -118,6 +125,8 @@ class TextDisclosureModel:
             document_threshold=document_threshold,
             authoritative=authoritative,
             registry=registry,
+            n_shards=n_shards,
+            router=router,
         )
         #: The tracker's registry — the composition root's single
         #: namespace, reused by the plug-in's decision cache and the
@@ -224,6 +233,7 @@ class TextDisclosureModel:
         paragraphs: Paragraphs,
         *,
         suppressions: Optional[Mapping[str, Sequence[Suppression]]] = None,
+        fingerprints: Optional[Sequence[Fingerprint]] = None,
     ) -> FlowDecision:
         """Decide whether uploading *paragraphs* to *service_id* complies.
 
@@ -231,6 +241,11 @@ class TextDisclosureModel:
         each segment's label (own label plus implicit tags from detected
         disclosure), apply any one-shot suppressions (audited), then
         check the effective label against the service's ``Lp``.
+
+        ``fingerprints`` optionally carries precomputed per-paragraph
+        fingerprints (aligned with *paragraphs*); the batch lookup path
+        passes the ones it computed for its cache keys so each item is
+        fingerprinted once end to end.
         """
         policy = self.policies.get(service_id)
         suppressions = suppressions or {}
@@ -240,57 +255,117 @@ class TextDisclosureModel:
         with self.lock.read_locked(), span(
             "label_check", service=service_id, doc=doc_id
         ) as sp:
-            report = self.tracker.check_document(doc_id, paragraphs)
-            violations: List[FlowViolation] = []
-            resolved: Dict[str, SegmentLabel] = {}
+            report = self.tracker.check_document(
+                doc_id, paragraphs, fingerprints=fingerprints
+            )
+            decision = self._decision_for(
+                policy, service_id, doc_id, paragraphs, report, suppressions
+            )
+            sp.set(
+                allowed=decision.allowed,
+                violations=len(decision.violations),
+                segments=len(decision.labels),
+            )
+            return decision
 
-            for (par_id, _text), (_pid, par_report) in zip(
-                paragraphs, report.paragraph_reports
-            ):
-                label = self._resolve_for_check(
-                    par_id, par_report.sources, policy, suppressions.get(par_id, ())
+    def check_uploads(
+        self,
+        service_id: str,
+        docs: Sequence[Tuple[str, Paragraphs]],
+        *,
+        fingerprints: Optional[Sequence[Sequence[Fingerprint]]] = None,
+    ) -> List[FlowDecision]:
+        """Batched :meth:`check_upload`: one decision per document.
+
+        Field-identical to checking each document alone (the label
+        resolution and violation assembly are the same code), but the
+        whole batch shares one read-lock acquisition, one trace span,
+        and the tracker's fused engine queries
+        (:meth:`~repro.disclosure.engine.DisclosureTracker.check_documents`).
+        Suppressions are deliberately not accepted: a suppression is a
+        one-shot audited consume that the single path owns.
+
+        ``fingerprints`` optionally carries per-document lists of
+        precomputed paragraph fingerprints, aligned with *docs*.
+        """
+        policy = self.policies.get(service_id)
+        with self.lock.read_locked(), span(
+            "label_check", service=service_id, batch=len(docs)
+        ) as sp:
+            reports = self.tracker.check_documents(
+                docs, fingerprints=fingerprints
+            )
+            decisions = [
+                self._decision_for(
+                    policy, service_id, doc_id, paragraphs, report, {}
                 )
-                resolved[par_id] = label
-                if not label.flows_to(policy.privilege):
-                    violations.append(
-                        FlowViolation(
-                            segment_id=par_id,
-                            label=label,
-                            offending=label.offending_tags(policy.privilege),
-                            sources=par_report.sources,
-                            granularity="paragraph",
-                        )
-                    )
+                for (doc_id, paragraphs), report in zip(docs, reports)
+            ]
+            sp.set(
+                allowed=sum(1 for d in decisions if d.allowed),
+                violations=sum(len(d.violations) for d in decisions),
+            )
+            return decisions
 
-            doc_sources = (
-                report.document_report.sources if report.document_report else ()
+    def _decision_for(
+        self,
+        policy: ServicePolicy,
+        service_id: str,
+        doc_id: str,
+        paragraphs: Paragraphs,
+        report,
+        suppressions: Mapping[str, Sequence[Suppression]],
+    ) -> FlowDecision:
+        """Assemble one document's flow decision from its tracker report.
+
+        The shared core of :meth:`check_upload` and
+        :meth:`check_uploads`; the caller holds the read lock.
+        """
+        violations: List[FlowViolation] = []
+        resolved: Dict[str, SegmentLabel] = {}
+
+        for (par_id, _text), (_pid, par_report) in zip(
+            paragraphs, report.paragraph_reports
+        ):
+            label = self._resolve_for_check(
+                par_id, par_report.sources, policy, suppressions.get(par_id, ())
             )
-            doc_label = self._resolve_for_check(
-                doc_id, doc_sources, policy, suppressions.get(doc_id, ())
-            )
-            resolved[doc_id] = doc_label
-            if not doc_label.flows_to(policy.privilege):
+            resolved[par_id] = label
+            if not label.flows_to(policy.privilege):
                 violations.append(
                     FlowViolation(
-                        segment_id=doc_id,
-                        label=doc_label,
-                        offending=doc_label.offending_tags(policy.privilege),
-                        sources=doc_sources,
-                        granularity="document",
+                        segment_id=par_id,
+                        label=label,
+                        offending=label.offending_tags(policy.privilege),
+                        sources=par_report.sources,
+                        granularity="paragraph",
                     )
                 )
 
-            sp.set(
-                allowed=not violations,
-                violations=len(violations),
-                segments=len(resolved),
+        doc_sources = (
+            report.document_report.sources if report.document_report else ()
+        )
+        doc_label = self._resolve_for_check(
+            doc_id, doc_sources, policy, suppressions.get(doc_id, ())
+        )
+        resolved[doc_id] = doc_label
+        if not doc_label.flows_to(policy.privilege):
+            violations.append(
+                FlowViolation(
+                    segment_id=doc_id,
+                    label=doc_label,
+                    offending=doc_label.offending_tags(policy.privilege),
+                    sources=doc_sources,
+                    granularity="document",
+                )
             )
-            return FlowDecision(
-                service_id=service_id,
-                allowed=not violations,
-                violations=tuple(violations),
-                labels=resolved,
-            )
+
+        return FlowDecision(
+            service_id=service_id,
+            allowed=not violations,
+            violations=tuple(violations),
+            labels=resolved,
+        )
 
     def _resolve_for_check(
         self,

@@ -1,0 +1,285 @@
+"""Unit tests for hash-range sharding (DESIGN.md §11).
+
+The sharded hash database must behave exactly like one
+:class:`~repro.disclosure.store.HashDatabase` — the plain database *is*
+the oracle here: every routed call and every scatter/gather sweep is
+compared against the same operations applied unsharded. The sharding-
+specific machinery (routing, per-shard locks and metrics, per-shard
+fault injectors) is tested on top.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.disclosure import HashDatabase, ShardedHashDatabase, partition, shard_of
+from repro.disclosure.sharding import ShardedDisclosureEngine
+from repro.errors import DisclosureError, ShardDegraded
+from repro.fingerprint.config import FingerprintConfig
+from repro.util.faults import Fault, FaultInjector
+
+CONFIG = FingerprintConfig(ngram_size=4, window_size=3)
+HASH_BITS = 32
+
+
+def unsharded_sweep(db: HashDatabase, hashes, authoritative: bool):
+    """The engine's sweep accumulation, run directly on a plain DB."""
+    matched = {}
+    for h in hashes:
+        if authoritative:
+            owner = db.oldest_owner(h)
+            owners = () if owner is None else (owner,)
+        else:
+            owners = db.observers(h)
+        for owner in owners:
+            matched.setdefault(owner, []).append(h)
+    return matched
+
+
+def canon(matched):
+    return {owner: sorted(hs) for owner, hs in matched.items()}
+
+
+class TestShardKey:
+    def test_shard_of_in_range_and_deterministic(self):
+        rng = random.Random(7)
+        for n in (1, 2, 3, 4, 8, 16):
+            for _ in range(200):
+                h = rng.randrange(1 << HASH_BITS)
+                index = shard_of(h, n, HASH_BITS)
+                assert 0 <= index < n
+                assert index == shard_of(h, n, HASH_BITS)
+
+    def test_partition_is_a_complete_disjoint_cover(self):
+        rng = random.Random(11)
+        hashes = [rng.randrange(1 << HASH_BITS) for _ in range(500)]
+        groups = partition(hashes, 8, HASH_BITS)
+        assert [i for i, _g in groups] == sorted({i for i, _g in groups})
+        flat = [h for _i, group in groups for h in group]
+        assert sorted(flat) == sorted(hashes)  # nothing lost or invented
+        for index, group in groups:
+            assert all(shard_of(h, 8, HASH_BITS) == index for h in group)
+
+    def test_low_magnitude_hashes_still_balance(self):
+        # Winnowing stores window *minima*, so real hash values skew
+        # small; the Fibonacci pre-mix must spread even a worst-case
+        # consecutive-integer range (raw range-partitioning would put
+        # all of these on shard 0).
+        counts = [0] * 8
+        for h in range(4096):
+            counts[shard_of(h, 8, HASH_BITS)] += 1
+        assert min(counts) > 0
+        assert max(counts) < 2 * (4096 // 8)
+
+    def test_single_shard_routes_everything_to_zero(self):
+        for h in (0, 1, 2**31, 2**32 - 1):
+            assert shard_of(h, 1, HASH_BITS) == 0
+
+
+class TestShardedHashDatabaseOracle:
+    """Random op sequences: sharded DB ≡ plain DB, at several widths."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+    def test_random_ops_match_plain_database(self, n_shards):
+        rng = random.Random(n_shards * 1000 + 13)
+        plain = HashDatabase()
+        sharded = ShardedHashDatabase(n_shards, hash_bits=HASH_BITS)
+        segments = [f"seg-{i}" for i in range(6)]
+        pool = [rng.randrange(1 << HASH_BITS) for _ in range(80)]
+
+        for step in range(400):
+            op = rng.random()
+            if op < 0.6:
+                h, seg, ts = rng.choice(pool), rng.choice(segments), float(step)
+                assert sharded.record(h, seg, ts) == plain.record(h, seg, ts)
+            elif op < 0.85:
+                h, seg = rng.choice(pool), rng.choice(segments)
+                assert sharded.remove_observation(h, seg) == (
+                    plain.remove_observation(h, seg)
+                )
+            else:
+                seg = rng.choice(segments)
+                assert sharded.discard_segment(seg) == plain.discard_segment(seg)
+
+        assert len(sharded) == len(plain)
+        assert sorted(sharded.hashes()) == sorted(plain.hashes())
+        for h in pool:
+            assert (h in sharded) == (h in plain)
+            assert sharded.oldest_owner(h) == plain.oldest_owner(h)
+            assert sharded.recompute_oldest_owner(h) == (
+                plain.recompute_oldest_owner(h)
+            )
+            assert sharded.owners(h) == plain.owners(h)
+            assert sorted(sharded.observers(h)) == sorted(plain.observers(h))
+        for seg in segments:
+            assert sharded.hashes_of(seg) == plain.hashes_of(seg)
+            assert sharded.owned_hashes(seg) == plain.owned_hashes(seg)
+            assert sharded.first_seen(pool[0], seg) == plain.first_seen(
+                pool[0], seg
+            )
+        assert sharded.ownership_changes == plain.ownership_changes
+        sharded.check_invariants()
+        plain.check_invariants()
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+    @pytest.mark.parametrize("authoritative", [True, False])
+    def test_sweep_merge_equals_unsharded_sweep(self, n_shards, authoritative):
+        rng = random.Random(n_shards * 7 + int(authoritative))
+        plain = HashDatabase()
+        sharded = ShardedHashDatabase(n_shards, hash_bits=HASH_BITS)
+        pool = [rng.randrange(1 << HASH_BITS) for _ in range(60)]
+        for step in range(200):
+            h, seg, ts = (
+                rng.choice(pool),
+                f"seg-{rng.randrange(5)}",
+                float(step % 9),
+            )
+            plain.record(h, seg, ts)
+            sharded.record(h, seg, ts)
+        for _ in range(20):
+            query = frozenset(rng.sample(pool, rng.randint(0, 30)))
+            expected = unsharded_sweep(plain, query, authoritative)
+            got = sharded.sweep(query, authoritative=authoritative)
+            assert canon(got) == canon(expected)
+
+    def test_record_fingerprint_and_withdraw_batch_paths(self):
+        plain = HashDatabase()
+        sharded = ShardedHashDatabase(4, hash_bits=HASH_BITS)
+        old = frozenset(range(0, 40))
+        new = frozenset(range(20, 60))
+        for h in old:
+            plain.record(h, "a", 1.0)
+        assert sharded.record_fingerprint("a", old, 1.0) is True
+        assert sharded.record_fingerprint("a", old, 2.0) is False  # no-op re-observe
+        for h in new:
+            plain.record(h, "a", 3.0)
+        sharded.record_fingerprint("a", new, 3.0)
+        for h in old - new:
+            plain.remove_observation(h, "a")
+        assert sharded.withdraw("a", old - new) is True
+        assert sharded.withdraw("a", old - new) is False
+        assert sharded.hashes_of("a") == plain.hashes_of("a") == set(new)
+        sharded.check_invariants()
+
+    def test_empty_sweep_and_constructor_validation(self):
+        sharded = ShardedHashDatabase(4)
+        assert sharded.sweep(frozenset()) == {}
+        with pytest.raises(DisclosureError):
+            ShardedHashDatabase(0)
+        with pytest.raises(DisclosureError):
+            ShardedHashDatabase(2, hash_bits=0)
+
+
+class TestShardLocksAndMetrics:
+    def test_mutations_lock_only_the_shards_they_touch(self):
+        sharded = ShardedHashDatabase(4, hash_bits=HASH_BITS)
+        # Find a hash routed to shard 0 and one routed to shard 3.
+        h0 = next(h for h in range(10_000) if sharded.shard_of(h) == 0)
+        h3 = next(h for h in range(10_000) if sharded.shard_of(h) == 3)
+        sharded.record(h0, "a", 1.0)
+        sharded.record(h3, "b", 1.0)
+        writes = [sharded.locks[i].stats()["write_acquisitions"] for i in range(4)]
+        assert writes == [1, 0, 0, 1]
+        sharded.sweep(frozenset({h0}))
+        reads = [sharded.locks[i].stats()["read_acquisitions"] for i in range(4)]
+        assert reads[0] >= 1 and reads[1] == reads[2] == 0
+
+    def test_per_shard_sweep_counters(self):
+        sharded = ShardedHashDatabase(2, hash_bits=HASH_BITS)
+        by_shard = {0: [], 1: []}
+        h = 0
+        while min(len(g) for g in by_shard.values()) < 3:
+            by_shard[sharded.shard_of(h)].append(h)
+            h += 1
+        sharded.sweep(frozenset(by_shard[0][:2]))
+        sharded.sweep(frozenset(by_shard[0][:1] + by_shard[1][:3]))
+        snap = sharded.metrics.registry.snapshot()
+        prefix = sharded.metrics.prefix
+        assert snap[f"{prefix}0.sweeps"] == 2
+        assert snap[f"{prefix}0.hashes_swept"] == 3
+        assert snap[f"{prefix}1.sweeps"] == 1
+        assert snap[f"{prefix}1.hashes_swept"] == 3
+        assert snap[f"{prefix}0.distinct_hashes"] == 0  # nothing recorded
+
+
+class TestPerShardFaults:
+    def _db_with_hashes(self, n_shards=4):
+        sharded = ShardedHashDatabase(n_shards, hash_bits=HASH_BITS)
+        by_shard = {i: [] for i in range(n_shards)}
+        h = 0
+        while min(len(g) for g in by_shard.values()) < 2:
+            by_shard[sharded.shard_of(h)].append(h)
+            h += 1
+        for i, group in by_shard.items():
+            for h in group:
+                sharded.record(h, f"seg-{i}", 1.0)
+        return sharded, by_shard
+
+    def test_degraded_shard_only_fails_queries_routed_there(self):
+        sharded, by_shard = self._db_with_hashes()
+        sharded.set_faults(
+            FaultInjector.for_shards(4, {2: [Fault.drop(), Fault.drop()]})
+        )
+        # Sweeps that avoid shard 2 are untouched by its schedule.
+        assert sharded.sweep(frozenset(by_shard[0] + by_shard[1]))
+        with pytest.raises(ShardDegraded) as exc_info:
+            sharded.sweep(frozenset(by_shard[2]))
+        assert exc_info.value.shard == 2
+        assert exc_info.value.kind == "drop"
+        # Second scheduled drop, then the schedule is exhausted: healthy.
+        with pytest.raises(ShardDegraded):
+            sharded.sweep(frozenset(by_shard[2] + by_shard[3]))
+        assert sharded.sweep(frozenset(by_shard[2]))
+
+    def test_error_fault_carries_status(self):
+        sharded, by_shard = self._db_with_hashes()
+        sharded.set_faults(FaultInjector.for_shards(4, {1: [Fault.error(502)]}))
+        with pytest.raises(ShardDegraded) as exc_info:
+            sharded.sweep(frozenset(by_shard[1]))
+        assert exc_info.value.kind == "error"
+        assert exc_info.value.status == 502
+
+    def test_latency_fault_is_counted_but_not_raised(self):
+        sharded, by_shard = self._db_with_hashes()
+        injectors = FaultInjector.for_shards(4, {0: [Fault.slow(9.0)]})
+        sharded.set_faults(injectors)
+        assert sharded.sweep(frozenset(by_shard[0]))  # server owns the budget
+        assert injectors[0].stats()["injected_latency"] == 1
+
+    def test_set_faults_validates_length_and_clears(self):
+        sharded, by_shard = self._db_with_hashes()
+        with pytest.raises(DisclosureError):
+            sharded.set_faults([FaultInjector()])
+        sharded.set_faults(FaultInjector.for_shards(4, {0: [Fault.drop()]}))
+        sharded.set_faults(None)
+        assert sharded.sweep(frozenset(by_shard[0]))  # schedule discarded
+
+    def test_for_shards_rejects_unknown_shard(self):
+        with pytest.raises(ValueError):
+            FaultInjector.for_shards(2, {5: [Fault.drop()]})
+
+
+class TestShardedDisclosureEngine:
+    def test_stats_gains_shard_count_and_gauges_track_sharded_db(self):
+        engine = ShardedDisclosureEngine(CONFIG, n_shards=4)
+        engine.observe("seg-a", "the quick brown fox jumps over the lazy dog")
+        stats = engine.stats()
+        assert stats["shards"] == 4
+        assert stats["distinct_hashes"] == len(engine.hash_db) > 0
+        snap = engine.registry.snapshot()
+        assert snap["engine.paragraph.shards"] == 4
+        assert snap["engine.paragraph.distinct_hashes"] == stats["distinct_hashes"]
+        assert sum(engine.hash_db.shard_sizes()) == stats["distinct_hashes"]
+        engine.hash_db.check_invariants()
+
+    def test_indexed_query_matches_reference_scan(self):
+        engine = ShardedDisclosureEngine(CONFIG, n_shards=4)
+        engine.observe("a", "alpha bravo charlie delta echo foxtrot golf hotel")
+        engine.observe("b", "alpha bravo charlie delta india juliet kilo lima")
+        fp = engine.fingerprint("alpha bravo charlie delta echo foxtrot")
+        indexed = engine.disclosing_sources(fingerprint=fp)
+        reference = engine.disclosing_sources_reference(fingerprint=fp)
+        assert indexed == reference
+        assert indexed.disclosing

@@ -1,12 +1,23 @@
 #!/usr/bin/env python3
-"""Produce or validate the BENCH_fingerprint.json ingest trajectory.
+"""Produce or validate the committed ``BENCH_*.json`` trajectory files.
 
-The committed ``BENCH_fingerprint.json`` records per-stage ingest
-throughput (MB/s for normalise / hash / winnow / end-to-end) of the
-reference pipeline, the pure-Python kernel, and — when numpy is
-importable — the vectorised kernel, over the Wikipedia and manuals
-corpora. Re-running this tool after a perf-relevant PR and committing
-the refreshed file makes the trajectory visible in git history.
+The repo commits one trajectory file per benchmark family; this tool
+writes and schema-checks all of them through one CLI, dispatching on
+the document's ``bench`` field so each family registers exactly one
+validator (no duplicated schema walking):
+
+* ``fingerprint_ingest`` → ``BENCH_fingerprint.json``: per-stage ingest
+  throughput (MB/s for normalise / hash / winnow / end-to-end) of the
+  reference pipeline, the pure-Python kernel, and — when numpy is
+  importable — the vectorised kernel, over the Wikipedia and manuals
+  corpora.
+* ``sharded_lookup`` → ``BENCH_shard.json``: the sharded + batched
+  lookup tier versus the single-engine ``LookupServer`` — fleet
+  throughput at 8 clients and uncontended per-check service latency
+  (see ``repro.eval.shard_bench``).
+
+Re-running this tool after a perf-relevant PR and committing the
+refreshed file makes the trajectory visible in git history.
 
 Standard library only; the kernel's numpy path is reached through its
 own guarded import, so the tool runs (and validates) with or without
@@ -19,14 +30,19 @@ Usage::
     PYTHONPATH=src python tools/bench_to_json.py --validate BENCH_fingerprint.json
     PYTHONPATH=src python tools/bench_to_json.py --validate /tmp/b.json \
         --gate-pure 1.8 --gate-numpy 3.0
+    PYTHONPATH=src python tools/bench_to_json.py --bench sharded_lookup \
+        --out BENCH_shard.json
+    PYTHONPATH=src python tools/bench_to_json.py --validate BENCH_shard.json \
+        --gate-throughput 2.0 --gate-p95 1.0
 
-``--smoke`` shrinks the corpora for CI; measured MB/s is noisier there,
-which is why the CI gates sit well under the real-corpus speedups.
-Validation checks the schema shape and, with ``--gate-*``, that every
-corpus' kernel speedup clears the floor. Equivalence (kernel fingerprints
-== reference fingerprints, hashes and spans) is always asserted before a
-file is written, so a trajectory entry can never come from a wrong
-kernel.
+``--smoke`` shrinks the corpora for CI; measurements are noisier there,
+which is why CI gates sit at (or under) the floors the real-corpus
+numbers clear comfortably. Validation checks the schema shape and,
+with ``--gate-*``, that the relevant speedups clear their floors.
+Equivalence (kernel fingerprints == reference fingerprints; sharded
+batched decisions == single-engine decisions) is always asserted
+before a file is written, so a trajectory entry can never come from a
+wrong implementation.
 """
 
 from __future__ import annotations
@@ -36,14 +52,16 @@ import json
 import platform
 import sys
 from pathlib import Path
+from typing import Callable, Dict, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.eval import shard_bench  # noqa: E402
 from repro.eval.ingest_bench import (  # noqa: E402
-    SCHEMA_VERSION,
+    SCHEMA_VERSION as INGEST_SCHEMA_VERSION,
     available_paths,
     check_equivalence,
     corpus_texts,
@@ -52,7 +70,7 @@ from repro.eval.ingest_bench import (  # noqa: E402
 from repro.fingerprint import HAS_NUMPY  # noqa: E402
 from repro.fingerprint.config import PAPER_CONFIG  # noqa: E402
 
-#: Required numeric keys of each per-path measurement block.
+#: Required numeric keys of each per-path ingest measurement block.
 PATH_KEYS = (
     "bytes",
     "seconds",
@@ -61,6 +79,27 @@ PATH_KEYS = (
     "hash_mbps",
     "winnow_mbps",
 )
+
+#: Required numeric keys of each lookup-tier latency/throughput summary.
+SUMMARY_KEYS = (
+    "requests",
+    "seconds",
+    "throughput_rps",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+)
+
+#: Gate values, keyed by flag name (pure/numpy/throughput/p95); 0 = off.
+Gates = Dict[str, float]
+
+
+def _checker(problems: List[str]) -> Callable[[bool, str], None]:
+    def need(cond: bool, message: str) -> None:
+        if not cond:
+            problems.append(message)
+
+    return need
 
 
 def build_corpora(smoke: bool, seed: int):
@@ -79,7 +118,7 @@ def build_corpora(smoke: bool, seed: int):
     return {"wikipedia": wikipedia, "manuals": manuals}
 
 
-def run(smoke: bool, seed: int) -> dict:
+def run_ingest(smoke: bool, seed: int) -> dict:
     config = PAPER_CONFIG
     corpora = {}
     for name, corpus in build_corpora(smoke, seed).items():
@@ -93,7 +132,7 @@ def run(smoke: bool, seed: int) -> dict:
         )
         corpora[name] = measure_corpus(texts, config)
     return {
-        "schema_version": SCHEMA_VERSION,
+        "schema_version": INGEST_SCHEMA_VERSION,
         "bench": "fingerprint_ingest",
         "smoke": smoke,
         "seed": seed,
@@ -108,16 +147,17 @@ def run(smoke: bool, seed: int) -> dict:
     }
 
 
-def validate(document: dict, gate_pure: float, gate_numpy: float) -> list:
-    """Return a list of problems (empty == valid)."""
-    problems = []
+def validate_ingest(document: dict, gates: Gates) -> List[str]:
+    """Problems with a ``fingerprint_ingest`` document (empty == valid)."""
+    problems: List[str] = []
+    need = _checker(problems)
+    gate_pure = gates.get("pure", 0.0)
+    gate_numpy = gates.get("numpy", 0.0)
 
-    def need(cond: bool, message: str) -> None:
-        if not cond:
-            problems.append(message)
-
-    need(document.get("schema_version") == SCHEMA_VERSION, "schema_version mismatch")
-    need(document.get("bench") == "fingerprint_ingest", "bench name mismatch")
+    need(
+        document.get("schema_version") == INGEST_SCHEMA_VERSION,
+        "schema_version mismatch",
+    )
     need(isinstance(document.get("smoke"), bool), "smoke must be a boolean")
     need(isinstance(document.get("numpy"), bool), "numpy must be a boolean")
     config = document.get("config")
@@ -158,8 +198,128 @@ def validate(document: dict, gate_pure: float, gate_numpy: float) -> list:
     return problems
 
 
+def run_sharded(smoke: bool, seed: int) -> dict:
+    document = shard_bench.measure(smoke, seed)
+    speedup = document["speedup"]
+    print(
+        f"[sharded_lookup] equivalence ok on "
+        f"{document['equivalence_checked']} decisions; throughput "
+        f"{speedup['throughput']:.2f}x, service p95 {speedup['p95']:.2f}x "
+        f"vs single-engine",
+        file=sys.stderr,
+    )
+    return document
+
+
+def validate_sharded(document: dict, gates: Gates) -> List[str]:
+    """Problems with a ``sharded_lookup`` document (empty == valid)."""
+    problems: List[str] = []
+    need = _checker(problems)
+
+    need(
+        document.get("schema_version") == shard_bench.SCHEMA_VERSION,
+        "schema_version mismatch",
+    )
+    need(isinstance(document.get("smoke"), bool), "smoke must be a boolean")
+    config = document.get("config")
+    need(
+        isinstance(config, dict)
+        and {
+            "n_clients",
+            "n_shards",
+            "batch_size",
+            "rounds",
+            "ngram_size",
+            "window_size",
+            "hash_bits",
+        }
+        <= set(config or {}),
+        "config must carry the deployment shape and fingerprint parameters",
+    )
+    workload = document.get("workload")
+    need(
+        isinstance(workload, dict)
+        and isinstance(workload.get("total_requests"), int)
+        and workload.get("total_requests", 0) > 0,
+        "workload.total_requests must be a positive integer",
+    )
+    need(
+        isinstance(document.get("equivalence_checked"), int)
+        and document.get("equivalence_checked", 0) > 0,
+        "equivalence_checked must be a positive integer",
+    )
+    service_latency = document.get("service_latency") or {}
+    summaries: List[Tuple[str, object]] = [
+        ("single", document.get("single")),
+        ("sharded_batched", document.get("sharded_batched")),
+        ("service_latency.single", service_latency.get("single")),
+        (
+            "service_latency.sharded_batched",
+            service_latency.get("sharded_batched"),
+        ),
+    ]
+    for name, block in summaries:
+        need(isinstance(block, dict), f"{name} must be an object")
+        if not isinstance(block, dict):
+            continue
+        for key in SUMMARY_KEYS:
+            value = block.get(key)
+            need(
+                isinstance(value, (int, float)) and value >= 0,
+                f"{name}.{key} must be a non-negative number",
+            )
+    speedup = document.get("speedup")
+    need(
+        isinstance(speedup, dict)
+        and all(
+            isinstance(speedup.get(key), (int, float))
+            for key in ("throughput", "p95")
+        ),
+        "speedup must carry numeric throughput and p95 ratios",
+    )
+    if isinstance(speedup, dict):
+        gate_throughput = gates.get("throughput", 0.0)
+        if gate_throughput:
+            actual = speedup.get("throughput", 0)
+            need(
+                isinstance(actual, (int, float)) and actual >= gate_throughput,
+                f"throughput speedup {actual} < gate {gate_throughput}",
+            )
+        gate_p95 = gates.get("p95", 0.0)
+        if gate_p95:
+            actual = speedup.get("p95", 0)
+            need(
+                isinstance(actual, (int, float)) and actual >= gate_p95,
+                f"service p95 ratio {actual} < gate {gate_p95}",
+            )
+    return problems
+
+
+#: bench name -> (runner, validator). One validator per family; the
+#: dispatcher below picks by the document's own ``bench`` field.
+BENCHES: Dict[str, Tuple[Callable[[bool, int], dict], Callable[[dict, Gates], List[str]]]] = {
+    "fingerprint_ingest": (run_ingest, validate_ingest),
+    "sharded_lookup": (run_sharded, validate_sharded),
+}
+
+
+def validate(document: dict, gates: Gates) -> List[str]:
+    """Dispatch to the registered validator for ``document["bench"]``."""
+    bench = document.get("bench")
+    if bench not in BENCHES:
+        known = ", ".join(sorted(BENCHES))
+        return [f"unknown bench {bench!r} (known: {known})"]
+    return BENCHES[bench][1](document, gates)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench",
+        choices=sorted(BENCHES),
+        default="fingerprint_ingest",
+        help="which benchmark family --out should run",
+    )
     parser.add_argument("--out", type=Path, help="write a fresh measurement here")
     parser.add_argument(
         "--smoke", action="store_true", help="small corpora for CI"
@@ -172,21 +332,43 @@ def main(argv=None) -> int:
         "--gate-pure",
         type=float,
         default=0.0,
-        help="with --validate: minimum kernel_pure speedup per corpus",
+        help="with --validate (fingerprint_ingest): minimum kernel_pure "
+        "speedup per corpus",
     )
     parser.add_argument(
         "--gate-numpy",
         type=float,
         default=0.0,
-        help="with --validate: minimum kernel_numpy speedup per corpus",
+        help="with --validate (fingerprint_ingest): minimum kernel_numpy "
+        "speedup per corpus",
+    )
+    parser.add_argument(
+        "--gate-throughput",
+        type=float,
+        default=0.0,
+        help="with --validate (sharded_lookup): minimum fleet throughput "
+        "ratio vs the single-engine server",
+    )
+    parser.add_argument(
+        "--gate-p95",
+        type=float,
+        default=0.0,
+        help="with --validate (sharded_lookup): minimum service-latency "
+        "p95 ratio (>= 1.0 means no worse than single-engine)",
     )
     args = parser.parse_args(argv)
     if not args.out and not args.validate:
         parser.error("nothing to do: pass --out and/or --validate")
+    gates: Gates = {
+        "pure": args.gate_pure,
+        "numpy": args.gate_numpy,
+        "throughput": args.gate_throughput,
+        "p95": args.gate_p95,
+    }
 
     if args.out:
-        document = run(smoke=args.smoke, seed=args.seed)
-        problems = validate(document, 0.0, 0.0)
+        document = BENCHES[args.bench][0](args.smoke, args.seed)
+        problems = validate(document, {})
         if problems:  # a tool bug, not a perf regression — fail loudly
             for problem in problems:
                 print(f"self-check: {problem}", file=sys.stderr)
@@ -196,7 +378,7 @@ def main(argv=None) -> int:
 
     if args.validate:
         document = json.loads(args.validate.read_text())
-        problems = validate(document, args.gate_pure, args.gate_numpy)
+        problems = validate(document, gates)
         if problems:
             for problem in problems:
                 print(f"invalid: {problem}", file=sys.stderr)
