@@ -1,0 +1,68 @@
+"""Open-loop fleet simulation: single vs sharded lookup tier.
+
+The scaling question behind the ROADMAP's "service handling millions of
+users": what do service latency *and* open-loop lateness look like when
+a Zipf-skewed, flash-crowd fleet is driven through the full
+browser→plugin→lookup pipeline at a fixed offered rate? The
+measurement lives in ``repro.eval.fleet`` (shared with
+``tools/bench_to_json.py``, so this benchmark and the committed
+``BENCH_fleet.json`` can never use different harnesses): one
+deterministic schedule executed against both lookup tiers, each run
+followed by the fleet-wide reference-engine audit. No latency number is
+reported unless the audit passes with zero uncovered disclosures.
+
+Scale with ``BF_BENCH_SCALE`` as usual; anything below 1.0 selects the
+smoke config (48 sessions instead of 1000).
+"""
+
+from __future__ import annotations
+
+from repro.eval.fleet import measure
+from repro.eval.reporting import format_counters
+
+from conftest import SCALE, SEED
+
+
+def test_fleet_open_loop_tiers(benchmark, report):
+    """One schedule, both tiers, audited before anything is reported."""
+    smoke = SCALE < 1.0
+
+    document = benchmark.pedantic(
+        lambda: measure(smoke, SEED),
+        iterations=1,
+        rounds=1,
+    )
+
+    workload = document["workload"]
+    lines = [
+        f"open-loop fleet: {document['config']['sessions']} sessions, "
+        f"{workload['ops']} ops at {document['config']['pace_ops_s']:.0f} "
+        f"ops/s offered (digest {workload['schedule_digest'][:12]}…)",
+        format_counters(workload["kinds"], title="op mix"),
+    ]
+    for tier in ("single", "sharded"):
+        block = document["tiers"][tier]
+        lines.append(
+            format_counters(
+                {
+                    "throughput_ops_s": round(block["throughput_ops_s"]),
+                    "service_p95_us": round(
+                        block["service_ms"]["p95"] * 1000
+                    ),
+                    "lateness_p95_us": round(
+                        block["lateness_ms"]["p95"] * 1000
+                    ),
+                    "blocked_ops": block["blocked_ops"],
+                    "audit_leaked_covered": block["audit"]["leaked"],
+                },
+                title=f"{tier} tier",
+            )
+        )
+    report("\n".join(lines))
+
+    # measure() already asserted each tier's audit before returning;
+    # restate the invariant here so a harness regression fails loudly.
+    for tier in ("single", "sharded"):
+        audit = document["tiers"][tier]["audit"]
+        assert audit["ok"] and audit["uncovered"] == 0
+    assert document["audit_match"]

@@ -65,6 +65,13 @@ class BrowserFlowPlugin:
             disclosure databases.
         mode: enforcement mode (advisory / enforce / encrypt).
         cipher: upload cipher, required for ENCRYPT mode.
+        lookup: optional :class:`PolicyLookup` (or subclass) the plug-in
+            should route decisions through instead of building its own.
+            This is how a deployment points many plug-ins at a shared
+            lookup *service* (e.g. the fleet simulator's
+            client-over-``LookupServer`` adapter); the plug-in adopts
+            the lookup's decision cache so cache accounting stays with
+            the tier that owns it.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class BrowserFlowPlugin:
         mode: PluginMode = PluginMode.ENFORCE,
         cipher: Optional[UploadCipher] = None,
         secret_tracker=None,
+        lookup: Optional[PolicyLookup] = None,
     ) -> None:
         self.model = model
         #: Optional exact-match tracker for short secrets (§4.4); its
@@ -86,10 +94,14 @@ class BrowserFlowPlugin:
         #: The model's registry: the plug-in's own instruments and the
         #: decision cache register here, next to the engine counters.
         self.registry = model.registry
-        self.cache = DecisionCache(
-            scope=self.registry.scope("decision_cache.")
-        )
-        self.lookup = PolicyLookup(model, self.cache)
+        if lookup is not None:
+            self.lookup = lookup
+            self.cache = lookup.cache
+        else:
+            self.cache = DecisionCache(
+                scope=self.registry.scope("decision_cache.")
+            )
+            self.lookup = PolicyLookup(model, self.cache)
         self.enforcement = PolicyEnforcement(mode, cipher)
         self.ui = Highlighter()
         self.warnings: List[WarningEvent] = []

@@ -174,10 +174,19 @@ class DocsEditor:
 
     # -- editing operations -------------------------------------------------
 
-    def new_paragraph(self, text: str = "") -> Element:
-        """Append an empty paragraph, then (if text) sync its content."""
+    def new_paragraph(
+        self, text: str = "", *, par_id: Optional[str] = None
+    ) -> Element:
+        """Append an empty paragraph, then (if text) sync its content.
+
+        ``par_id`` lets a caller assign the paragraph id itself (the
+        fleet simulator pre-assigns ids in the schedule so concurrent
+        sessions produce identical segment ids run to run); by default
+        the backend allocates one.
+        """
         document = self._tab.document
-        par_id = self._service.backend.new_par_id()
+        if par_id is None:
+            par_id = self._service.backend.new_par_id()
         element = self._service._paragraph_element(document, par_id, "")
         self.editor_element.append_child(element)
         if text:

@@ -15,6 +15,7 @@ from repro import (
     Network,
     PolicyStore,
     TextDisclosureModel,
+    UploadCipher,
     WikiService,
 )
 from repro.fingerprint.config import TINY_CONFIG
@@ -88,7 +89,12 @@ class EnterpriseFixture:
 
         self.model = TextDisclosureModel(self.policies, TINY_CONFIG)
         self.browser = Browser(self.network)
-        self.plugin = BrowserFlowPlugin(self.model, mode=mode)
+        cipher = (
+            UploadCipher("enterprise-master-key")
+            if mode is PluginMode.ENCRYPT
+            else None
+        )
+        self.plugin = BrowserFlowPlugin(self.model, mode=mode, cipher=cipher)
         self.plugin.attach(self.browser)
 
 

@@ -1,6 +1,17 @@
 """Tests for the keystroke workload simulation."""
 
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
 from repro.eval.timing import edit_toward, keystroke_states
+
+words = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+    min_size=0,
+    max_size=12,
+)
 
 
 class TestKeystrokeStates:
@@ -43,3 +54,38 @@ class TestEditToward:
 
     def test_identical_no_steps(self):
         assert list(edit_toward("same text", "same text")) == []
+
+
+class TestEditTowardProperties:
+    """Word-level editing invariants for arbitrary word sequences."""
+
+    @given(words, words)
+    def test_final_state_is_original(self, modified, original):
+        states = list(edit_toward(" ".join(modified), " ".join(original)))
+        final = states[-1] if states else " ".join(modified)
+        assert final == " ".join(original)
+
+    @given(words, words)
+    def test_each_step_changes_one_word_or_length_by_one(
+        self, modified, original
+    ):
+        previous = modified
+        for state in edit_toward(" ".join(modified), " ".join(original)):
+            current = state.split()
+            if len(current) == len(previous):
+                changed = sum(
+                    1 for a, b in zip(previous, current) if a != b
+                )
+                assert changed == 1
+            else:
+                assert abs(len(current) - len(previous)) == 1
+                shorter, longer = sorted(
+                    (current, previous), key=len
+                )
+                assert longer[: len(shorter)] == shorter
+            previous = current
+
+    @given(words)
+    def test_equal_inputs_yield_nothing(self, sequence):
+        text = " ".join(sequence)
+        assert list(edit_toward(text, text)) == []

@@ -1,0 +1,192 @@
+"""Tests for the fleet workload generator (eval/workload.py).
+
+The statistical checks pin the ZipfSampler to its advertised law: the
+empirical rank-frequency curve of many draws must fall on a log-log
+line whose slope is the configured exponent, and the head of the
+distribution must carry exactly the analytic mass.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.eval.workload import (
+    EXCLUSIVE_KINDS,
+    BurstWindows,
+    FleetConfig,
+    ZipfSampler,
+    arrival_times,
+    generate_schedule,
+)
+
+SEED = "workload-tests"
+
+
+class TestZipfSampler:
+    def test_seeded_determinism(self):
+        a = ZipfSampler(50, 1.1, random.Random(SEED))
+        b = ZipfSampler(50, 1.1, random.Random(SEED))
+        assert [a.sample() for _ in range(500)] == [
+            b.sample() for _ in range(500)
+        ]
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(40, 1.3, random.Random(SEED))
+        assert math.isclose(
+            sum(sampler.probability(k) for k in range(40)), 1.0
+        )
+
+    def test_rank_frequency_slope_matches_exponent(self):
+        """Least-squares log-log slope of the head ranks ≈ -exponent."""
+        exponent = 1.1
+        sampler = ZipfSampler(100, exponent, random.Random(SEED))
+        counts = [0] * 100
+        n_draws = 60_000
+        for _ in range(n_draws):
+            counts[sampler.sample()] += 1
+        # Head ranks only: the tail is noisy at any feasible sample size.
+        xs, ys = [], []
+        for rank in range(12):
+            assert counts[rank] > 0, f"head rank {rank} never drawn"
+            xs.append(math.log(rank + 1))
+            ys.append(math.log(counts[rank] / n_draws))
+        mean_x = sum(xs) / len(xs)
+        mean_y = sum(ys) / len(ys)
+        slope = sum(
+            (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+        ) / sum((x - mean_x) ** 2 for x in xs)
+        assert slope == pytest.approx(-exponent, abs=0.12)
+
+    def test_top_rank_mass(self):
+        """Empirical top-1 mass within a few percent of 1/H_n(s)."""
+        exponent = 1.2
+        n = 64
+        sampler = ZipfSampler(n, exponent, random.Random(SEED))
+        analytic = 1.0 / sum((k + 1) ** -exponent for k in range(n))
+        assert sampler.probability(0) == pytest.approx(analytic)
+        n_draws = 40_000
+        hits = sum(sampler.sample() == 0 for _ in range(n_draws))
+        assert hits / n_draws == pytest.approx(analytic, abs=0.02)
+
+    def test_skew_orders_the_ranks(self):
+        sampler = ZipfSampler(30, 1.5, random.Random(SEED))
+        counts = [0] * 30
+        for _ in range(20_000):
+            counts[sampler.sample()] += 1
+        assert counts[0] > counts[4] > counts[20]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, random.Random(SEED))
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.5, random.Random(SEED))
+        sampler = ZipfSampler(10, 1.0, random.Random(SEED))
+        with pytest.raises(IndexError):
+            sampler.probability(10)
+
+
+class TestBurstWindows:
+    def test_membership_deterministic_and_order_independent(self):
+        probes = [x * 0.37 for x in range(200)]
+        forward = BurstWindows(8.0, 2.0, random.Random(SEED))
+        backward = BurstWindows(8.0, 2.0, random.Random(SEED))
+        want = [forward.in_burst(t) for t in probes]
+        got = list(reversed([backward.in_burst(t) for t in reversed(probes)]))
+        assert want == got
+        assert any(want) and not all(want)
+
+    def test_zero_duration_never_bursts(self):
+        windows = BurstWindows(5.0, 0.0, random.Random(SEED))
+        assert not any(windows.in_burst(t * 0.5) for t in range(100))
+
+    def test_duration_bound_enforced(self):
+        with pytest.raises(ValueError):
+            BurstWindows(4.0, 3.0, random.Random(SEED))
+
+
+class TestArrivals:
+    def test_deterministic_and_monotone(self):
+        config = FleetConfig(sessions=200, seed=SEED)
+        a = arrival_times(config)
+        b = arrival_times(config)
+        assert a == b
+        assert len(a) == 200
+        assert all(later > earlier for earlier, later in zip(a, a[1:]))
+
+    def test_bursts_raise_the_rate(self):
+        """A strong flash crowd packs the same sessions into less time."""
+        calm = FleetConfig(
+            sessions=400, seed=SEED, burst_duration=0.0, arrival_rate=20.0
+        )
+        stormy = FleetConfig(
+            sessions=400,
+            seed=SEED,
+            burst_every=4.0,
+            burst_duration=2.0,
+            burst_factor=10.0,
+            arrival_rate=20.0,
+        )
+        assert arrival_times(stormy)[-1] < arrival_times(calm)[-1]
+
+
+class TestGenerateSchedule:
+    def test_digest_stable_across_generations(self):
+        config = FleetConfig(sessions=40, seed=SEED, seed_secrets=3)
+        first = generate_schedule(config)
+        second = generate_schedule(config)
+        assert first.digest == second.digest
+        assert first.ops == second.ops
+        assert first.secrets == second.secrets
+
+    def test_different_seed_different_schedule(self):
+        base = FleetConfig(sessions=40, seed=SEED, seed_secrets=3)
+        other = FleetConfig(sessions=40, seed=SEED + "-alt", seed_secrets=3)
+        assert generate_schedule(base).digest != generate_schedule(other).digest
+
+    def test_ops_indexed_in_virtual_time_order(self):
+        schedule = generate_schedule(
+            FleetConfig(sessions=40, seed=SEED, seed_secrets=3)
+        )
+        for i, op in enumerate(schedule.ops):
+            assert op.index == i
+            assert op.kind in schedule.kind_counts()
+            assert op.exclusive == (op.kind in EXCLUSIVE_KINDS)
+        ats = [op.at for op in schedule.ops]
+        assert ats == sorted(ats)
+        assert schedule.horizon == ats[-1]
+
+    def test_secrets_referenced_only_after_creation(self):
+        """No op may use a secret before its creation op is scheduled."""
+        schedule = generate_schedule(
+            FleetConfig(sessions=60, seed=SEED, seed_secrets=4)
+        )
+        created_at = {}
+        for op in schedule.ops:
+            if op.kind == "create_secret":
+                created_at[op.text] = op.at
+        assert created_at, "schedule created no secrets"
+        for op in schedule.ops:
+            if op.kind == "create_secret":
+                continue
+            for secret, at in created_at.items():
+                if op.text and (op.text in secret or secret in op.text):
+                    assert op.at > at, (
+                        f"op {op.index} uses a secret scheduled later"
+                    )
+
+    def test_declassify_follows_a_blocked_paste(self):
+        schedule = generate_schedule(
+            FleetConfig(sessions=120, seed=SEED, seed_secrets=6)
+        )
+        declassifies = [op for op in schedule.ops if op.kind == "declassify"]
+        assert declassifies, "seed produced no declassification"
+        by_par = {
+            (op.session, op.par_id): op
+            for op in schedule.ops
+            if op.kind == "docs_paste"
+        }
+        for op in declassifies:
+            paste = by_par[(op.session, op.par_id)]
+            assert paste.text == op.text
+            assert paste.at < op.at

@@ -1,0 +1,73 @@
+"""Determinism and audit-invariant tests for the fleet simulator.
+
+The property under test is what makes fleet failures reproducible: the
+schedule is a pure function of (seed, config), and the audit outcome —
+which paragraphs disclose, which are covered by suppression events — is
+a pure function of the schedule, independent of worker count, shard
+count, and wall-clock timing.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.eval.fleet import run_fleet, smoke_config
+from repro.eval.workload import generate_schedule
+
+SEED = 7_031
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return generate_schedule(smoke_config(SEED))
+
+
+@pytest.fixture(scope="module")
+def baseline(schedule):
+    return run_fleet(schedule, workers=1)
+
+
+class TestFleetDeterminism:
+    def test_schedule_digest_reproducible(self, schedule):
+        again = generate_schedule(smoke_config(SEED))
+        assert again.digest == schedule.digest
+        assert again.ops == schedule.ops
+
+    @pytest.mark.parametrize("workers", [2, 4, 7])
+    def test_audit_outcome_independent_of_worker_count(
+        self, schedule, baseline, workers
+    ):
+        result = run_fleet(schedule, workers=workers)
+        assert result.schedule_digest == baseline.schedule_digest
+        assert dataclasses.asdict(result.audit) == dataclasses.asdict(
+            baseline.audit
+        )
+        assert result.decisions == baseline.decisions
+        assert result.blocked_ops == baseline.blocked_ops
+        assert result.declassify_noops == baseline.declassify_noops
+
+    def test_sharded_tier_matches_single_tier(self, schedule, baseline):
+        sharded = run_fleet(schedule, workers=4, n_shards=4)
+        assert dataclasses.asdict(sharded.audit) == dataclasses.asdict(
+            baseline.audit
+        )
+        assert sharded.decisions == baseline.decisions
+
+
+class TestFleetAuditInvariant:
+    def test_audit_passes_with_real_coverage(self, baseline):
+        audit = baseline.audit
+        assert audit.ok
+        assert audit.uncovered == ()
+        # The invariant must not hold vacuously: this workload stores
+        # declassified secrets, blocks verbatim pastes, and audits a
+        # meaningful number of paragraphs.
+        assert audit.leaked, "no declassified disclosure reached a backend"
+        assert audit.suppression_events >= len(audit.leaked)
+        assert audit.paragraphs_audited > 0
+        assert baseline.blocked_ops > 0
+
+    def test_every_op_executed(self, schedule, baseline):
+        assert baseline.ops == len(schedule.ops)
+        assert baseline.sessions == schedule.sessions
+        assert baseline.decisions > baseline.ops

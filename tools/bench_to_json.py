@@ -15,6 +15,12 @@ validator (no duplicated schema walking):
   lookup tier versus the single-engine ``LookupServer`` — fleet
   throughput at 8 clients and uncontended per-check service latency
   (see ``repro.eval.shard_bench``).
+* ``fleet`` → ``BENCH_fleet.json``: the open-loop fleet simulator —
+  p50/p95/p99 service latency, open-loop lateness, and throughput for
+  the same Zipf/flash-crowd schedule executed against the single and
+  the sharded lookup tiers, with the fleet-wide reference-engine audit
+  (zero uncovered disclosures) asserted before any number is reported
+  (see ``repro.eval.fleet``).
 
 Re-running this tool after a perf-relevant PR and committing the
 refreshed file makes the trajectory visible in git history.
@@ -34,6 +40,10 @@ Usage::
         --out BENCH_shard.json
     PYTHONPATH=src python tools/bench_to_json.py --validate BENCH_shard.json \
         --gate-throughput 2.0 --gate-p95 1.0
+    PYTHONPATH=src python tools/bench_to_json.py --bench fleet \
+        --out BENCH_fleet.json
+    PYTHONPATH=src python tools/bench_to_json.py --validate BENCH_fleet.json \
+        --gate-sessions 1000
 
 ``--smoke`` shrinks the corpora for CI; measurements are noisier there,
 which is why CI gates sit at (or under) the floors the real-corpus
@@ -60,6 +70,7 @@ if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
 from repro.eval import shard_bench  # noqa: E402
+from repro.eval import fleet as fleet_sim  # noqa: E402
 from repro.eval.ingest_bench import (  # noqa: E402
     SCHEMA_VERSION as INGEST_SCHEMA_VERSION,
     available_paths,
@@ -295,11 +306,138 @@ def validate_sharded(document: dict, gates: Gates) -> List[str]:
     return problems
 
 
+#: Required numeric keys of each fleet tier block.
+FLEET_TIER_KEYS = (
+    "sessions",
+    "ops",
+    "decisions",
+    "blocked_ops",
+    "declassify_noops",
+    "seconds",
+    "throughput_ops_s",
+)
+
+#: Required percentile keys of fleet latency/lateness series.
+FLEET_SERIES_KEYS = ("p50", "p95", "p99", "max")
+
+
+def run_fleet_bench(smoke: bool, seed: int) -> dict:
+    document = fleet_sim.measure(smoke, seed)
+    for tier in ("single", "sharded"):
+        block = document["tiers"][tier]
+        print(
+            f"[fleet] {tier}: audit ok "
+            f"({block['audit']['leaked']} leaked, all covered); "
+            f"{block['sessions']} sessions, {block['ops']} ops, "
+            f"{block['throughput_ops_s']:.0f} ops/s, service p95 "
+            f"{block['service_ms']['p95']:.1f} ms, lateness p95 "
+            f"{block['lateness_ms']['p95']:.1f} ms",
+            file=sys.stderr,
+        )
+    return document
+
+
+def validate_fleet(document: dict, gates: Gates) -> List[str]:
+    """Problems with a ``fleet`` document (empty == valid)."""
+    problems: List[str] = []
+    need = _checker(problems)
+
+    need(
+        document.get("schema_version") == fleet_sim.SCHEMA_VERSION,
+        "schema_version mismatch",
+    )
+    need(isinstance(document.get("smoke"), bool), "smoke must be a boolean")
+    config = document.get("config")
+    need(
+        isinstance(config, dict)
+        and {
+            "sessions",
+            "workers",
+            "pace_ops_s",
+            "n_shards",
+            "arrival_rate",
+            "zipf_exponent",
+            "ngram_size",
+            "window_size",
+            "hash_bits",
+        }
+        <= set(config or {}),
+        "config must carry the fleet shape and fingerprint parameters",
+    )
+    workload = document.get("workload")
+    need(
+        isinstance(workload, dict)
+        and isinstance(workload.get("ops"), int)
+        and workload.get("ops", 0) > 0
+        and isinstance(workload.get("kinds"), dict)
+        and isinstance(workload.get("schedule_digest"), str),
+        "workload must carry ops, kinds, and schedule_digest",
+    )
+    need(
+        document.get("audit_match") is True,
+        "audit_match must be true (tiers disagreed)",
+    )
+    tiers = document.get("tiers")
+    need(
+        isinstance(tiers, dict) and {"single", "sharded"} <= set(tiers or {}),
+        "tiers must carry single and sharded blocks",
+    )
+    gate_sessions = gates.get("sessions", 0.0)
+    for name, block in (tiers or {}).items():
+        need(isinstance(block, dict), f"tiers.{name} must be an object")
+        if not isinstance(block, dict):
+            continue
+        for key in FLEET_TIER_KEYS:
+            value = block.get(key)
+            need(
+                isinstance(value, (int, float)) and value >= 0,
+                f"tiers.{name}.{key} must be a non-negative number",
+            )
+        for series in ("service_ms", "lateness_ms"):
+            series_block = block.get(series)
+            need(
+                isinstance(series_block, dict),
+                f"tiers.{name}.{series} must be an object",
+            )
+            for key in FLEET_SERIES_KEYS:
+                value = (series_block or {}).get(key)
+                need(
+                    isinstance(value, (int, float)) and value >= 0,
+                    f"tiers.{name}.{series}.{key} must be a "
+                    f"non-negative number",
+                )
+        audit = block.get("audit")
+        need(isinstance(audit, dict), f"tiers.{name}.audit must be an object")
+        if isinstance(audit, dict):
+            # The invariant is unconditional: no gate flag disables it.
+            need(
+                audit.get("ok") is True,
+                f"tiers.{name}.audit.ok must be true",
+            )
+            need(
+                audit.get("uncovered") == 0,
+                f"tiers.{name}.audit.uncovered must be 0",
+            )
+            need(
+                isinstance(audit.get("paragraphs_audited"), int)
+                and audit.get("paragraphs_audited", 0) > 0,
+                f"tiers.{name}.audit.paragraphs_audited must be positive",
+            )
+        if gate_sessions:
+            actual = block.get("sessions", 0)
+            need(
+                isinstance(actual, (int, float)) and actual >= gate_sessions,
+                f"tiers.{name}.sessions {actual} < gate {gate_sessions}",
+            )
+    return problems
+
+
 #: bench name -> (runner, validator). One validator per family; the
 #: dispatcher below picks by the document's own ``bench`` field.
 BENCHES: Dict[str, Tuple[Callable[[bool, int], dict], Callable[[dict, Gates], List[str]]]] = {
     "fingerprint_ingest": (run_ingest, validate_ingest),
     "sharded_lookup": (run_sharded, validate_sharded),
+    "fleet": (run_fleet_bench, validate_fleet),
 }
 
 
@@ -356,6 +494,12 @@ def main(argv=None) -> int:
         help="with --validate (sharded_lookup): minimum service-latency "
         "p95 ratio (>= 1.0 means no worse than single-engine)",
     )
+    parser.add_argument(
+        "--gate-sessions",
+        type=float,
+        default=0.0,
+        help="with --validate (fleet): minimum simulated sessions per tier",
+    )
     args = parser.parse_args(argv)
     if not args.out and not args.validate:
         parser.error("nothing to do: pass --out and/or --validate")
@@ -364,6 +508,7 @@ def main(argv=None) -> int:
         "numpy": args.gate_numpy,
         "throughput": args.gate_throughput,
         "p95": args.gate_p95,
+        "sessions": args.gate_sessions,
     }
 
     if args.out:
