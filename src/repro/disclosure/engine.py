@@ -290,6 +290,25 @@ class DisclosureEngine:
                 )
             )
 
+    def version_epoch(self, hashes) -> object:
+        """Opaque, hashable epoch token for a check over *hashes*.
+
+        *hashes* may be ``None`` when the caller cannot route the check
+        (e.g. a document-granularity check whose joined fingerprint is
+        unknown); implementations must then return a global token.
+
+        Two tokens compare equal only if no mutation that could change a
+        verdict for a target with these hashes happened in between —
+        the contract the epoch-memoized verdict cache (DESIGN.md §13)
+        keys on. The unsharded engine returns its global version counter
+        (every changed observe/remove invalidates everything); the
+        sharded engine overrides this with a per-shard token so
+        mutations on untouched shards keep cached verdicts valid. Call
+        under the engine lock so the token and the verdict it guards see
+        the same state.
+        """
+        return self._version
+
     # ------------------------------------------------------------------
     # Pairwise disclosure
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ queries whose target hashes actually route there.
 
 from __future__ import annotations
 
+import threading
 from typing import (
     Callable,
     Dict,
@@ -168,6 +169,17 @@ class ShardedHashDatabase:
         self._faults: Optional[Tuple[FaultInjector, ...]] = None
         if faults is not None:
             self.set_faults(faults)
+        # Per-shard mutation epochs (DESIGN.md §13): bumped whenever a
+        # shard's (hash, segment) associations change, so verdict caches
+        # can key on only the shards a check actually routes to. Guarded
+        # by a dedicated mutex — epoch reads happen on the query path and
+        # must not take shard write locks.
+        self._epoch_mutex = threading.Lock()
+        self._epochs: List[int] = [0] * n_shards
+        for i in range(n_shards):
+            registry.gauge(
+                f"{scope.prefix}{i}.epoch", fn=lambda i=i: self._epochs[i]
+            )
 
     # ------------------------------------------------------------------
     # Routing
@@ -204,6 +216,73 @@ class ShardedHashDatabase:
         self._router = router if router is not None else _InlineRouter()
 
     # ------------------------------------------------------------------
+    # Per-shard mutation epochs (verdict-cache invalidation, §13)
+    # ------------------------------------------------------------------
+
+    def bump_epoch(self, index: int) -> None:
+        """Advance one shard's epoch (its associations changed)."""
+        with self._epoch_mutex:
+            self._epochs[index] += 1
+
+    def bump_epochs_for(self, hashes: Iterable[int]) -> None:
+        """Advance the epoch of every shard any of *hashes* routes to.
+
+        The engine calls this with the union of a segment's old and new
+        hashes on re-observation: a fingerprint change moves the score
+        denominator (``len(source.fingerprint)``), which can flip
+        verdicts for checks routed to *any* shard still holding one of
+        the segment's hashes — not just the shards whose associations
+        changed. Double bumps (mutators also bump internally) are
+        harmless; epoch keys only test equality.
+        """
+        touched = self._touched_shards(hashes)
+        if not touched:
+            return
+        with self._epoch_mutex:
+            for index in touched:
+                self._epochs[index] += 1
+
+    def _touched_shards(self, hashes: Iterable[int]) -> Set[int]:
+        """Distinct home shards of *hashes*, with an early exit.
+
+        Epoch tokens only need the *set* of shards consulted, and any
+        realistically-sized hash set touches all shards (winnowed
+        hashes are near-uniform after the Fibonacci mix), so the common
+        case exits after a handful of draws instead of routing every
+        hash. The routing arithmetic is inlined: this sits on the
+        per-keystroke cache-key path, where two Python calls per hash
+        dominated the delta pipeline's profile.
+        """
+        n = self.n_shards
+        mask = (1 << self.hash_bits) - 1
+        bits = self.hash_bits
+        touched: Set[int] = set()
+        add = touched.add
+        for h in hashes:
+            add((((h * _MIX_MULTIPLIER) & mask) * n) >> bits)
+            if len(touched) == n:
+                break
+        return touched
+
+    def epoch_for(self, hashes: Iterable[int]) -> Tuple[Tuple[int, int], ...]:
+        """Cache-key epoch token for a check over *hashes*.
+
+        A sorted tuple of ``(shard_index, epoch)`` pairs covering every
+        shard the hashes route to. Two tokens compare equal exactly when
+        none of the consulted shards has seen an association change in
+        between — mutations on *other* shards leave the token (and any
+        verdict cached under it) valid.
+        """
+        touched = sorted(self._touched_shards(hashes))
+        with self._epoch_mutex:
+            return tuple((index, self._epochs[index]) for index in touched)
+
+    def epochs(self) -> List[int]:
+        """Snapshot of all shard epochs (reporting/tests)."""
+        with self._epoch_mutex:
+            return list(self._epochs)
+
+    # ------------------------------------------------------------------
     # Batched mutation (the engine's delta application)
     # ------------------------------------------------------------------
 
@@ -220,9 +299,13 @@ class ShardedHashDatabase:
         for index, group in self.partition(hashes):
             with self.locks[index].write_locked():
                 shard = self.shards[index]
+                shard_changed = False
                 for h in group:
                     if shard.record(h, segment_id, timestamp):
-                        changed = True
+                        shard_changed = True
+            if shard_changed:
+                changed = True
+                self.bump_epoch(index)
         return changed
 
     def withdraw(self, segment_id: str, hashes: Iterable[int]) -> bool:
@@ -231,9 +314,13 @@ class ShardedHashDatabase:
         for index, group in self.partition(hashes):
             with self.locks[index].write_locked():
                 shard = self.shards[index]
+                shard_changed = False
                 for h in group:
                     if shard.remove_observation(h, segment_id):
-                        changed = True
+                        shard_changed = True
+            if shard_changed:
+                changed = True
+                self.bump_epoch(index)
         return changed
 
     # ------------------------------------------------------------------
@@ -432,7 +519,10 @@ class ShardedHashDatabase:
     def record(self, hash_value: int, segment_id: str, timestamp: float) -> bool:
         index = self.shard_of(hash_value)
         with self.locks[index].write_locked():
-            return self.shards[index].record(hash_value, segment_id, timestamp)
+            changed = self.shards[index].record(hash_value, segment_id, timestamp)
+        if changed:
+            self.bump_epoch(index)
+        return changed
 
     def oldest_owner(self, hash_value: int) -> Optional[str]:
         index = self.shard_of(hash_value)
@@ -462,14 +552,20 @@ class ShardedHashDatabase:
     def remove_observation(self, hash_value: int, segment_id: str) -> bool:
         index = self.shard_of(hash_value)
         with self.locks[index].write_locked():
-            return self.shards[index].remove_observation(hash_value, segment_id)
+            changed = self.shards[index].remove_observation(hash_value, segment_id)
+        if changed:
+            self.bump_epoch(index)
+        return changed
 
     def discard_segment(self, segment_id: str) -> int:
         """Remove the segment's observations from every shard it touches."""
         removed = 0
         for index in range(self.n_shards):
             with self.locks[index].write_locked():
-                removed += self.shards[index].discard_segment(segment_id)
+                shard_removed = self.shards[index].discard_segment(segment_id)
+            if shard_removed:
+                removed += shard_removed
+                self.bump_epoch(index)
         return removed
 
     def hashes(self) -> List[int]:
@@ -586,7 +682,25 @@ class ShardedDisclosureEngine(DisclosureEngine):
     ) -> bool:
         recorded = self.hash_db.record_fingerprint(segment_id, new_hashes, now)
         withdrawn = self.hash_db.withdraw(segment_id, old_hashes - new_hashes)
+        if recorded or withdrawn:
+            # A fingerprint change moves this segment's score denominator
+            # for *every* check it can match, so the epoch bump must
+            # cover all shards holding any of its old or new hashes —
+            # not just the shards whose associations changed (§13).
+            self.hash_db.bump_epochs_for(new_hashes | old_hashes)
         return recorded or withdrawn
+
+    def version_epoch(self, hashes):
+        """Per-shard epoch token for a check over *hashes* (§13).
+
+        Overrides the base engine's global version: only the shards the
+        hashes route to contribute, so a verdict cached under this token
+        survives mutations that land entirely on other shards. ``None``
+        (routing unknown) falls back to the global version counter.
+        """
+        if hashes is None:
+            return self._version
+        return self.hash_db.epoch_for(hashes)
 
     def _run_algorithm(
         self,

@@ -133,9 +133,21 @@ class ClientLookup(PolicyLookup):
         super().__init__(server.lookup.model, server.lookup.cache)
         self._client = client
 
-    def lookup(self, service_id, doc_id, paragraphs, *, suppressions=None):
+    def lookup(
+        self,
+        service_id,
+        doc_id,
+        paragraphs,
+        *,
+        suppressions=None,
+        fingerprints=None,
+    ):
         outcome = self._client.lookup(
-            service_id, doc_id, paragraphs, suppressions=suppressions
+            service_id,
+            doc_id,
+            paragraphs,
+            suppressions=suppressions,
+            fingerprints=fingerprints,
         )
         if outcome.degraded:
             raise RuntimeError(
@@ -565,6 +577,7 @@ def measure(
     workers: int = 4,
     pace: Optional[float] = None,
     n_shards: int = N_SHARDS,
+    churn: float = 0.0,
 ) -> dict:
     """The full fleet comparison (the BENCH_fleet.json payload).
 
@@ -574,11 +587,16 @@ def measure(
     same audit verdict (they must: verdicts are schedule-deterministic).
     """
     config = smoke_config(seed) if smoke else full_config(seed)
+    overrides: Dict[str, object] = {}
     if sessions is not None:
+        overrides["sessions"] = sessions
+    if churn:
+        overrides["churn"] = churn
+    if overrides:
         config = FleetConfig(
             **{
                 **{f: getattr(config, f) for f in config.__dataclass_fields__},
-                "sessions": sessions,
+                **overrides,
             }
         )
     if pace is None:
@@ -623,6 +641,7 @@ def measure(
             "burst_factor": config.burst_factor,
             "think_mean": config.think_mean,
             "zipf_exponent": config.zipf_exponent,
+            "churn": config.churn,
             "ngram_size": TINY_CONFIG.ngram_size,
             "window_size": TINY_CONFIG.window_size,
             "hash_bits": TINY_CONFIG.hash_bits,

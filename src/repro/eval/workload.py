@@ -168,12 +168,22 @@ class FleetConfig:
     declassify_prob: float = 0.5
     #: Keystroke-churn cap (typing is ~2 decisions per character).
     max_type_chars: int = 24
+    #: Session-mix churn knob in ``[0, 1]``: scales the wiki/forum
+    #: weights down (so most sessions become Docs sessions), lengthens
+    #: Docs scripts, and converts part of the public-paste tail into
+    #: per-keystroke typing — the workload shape that stresses the
+    #: delta-aware check pipeline (DESIGN.md §13). ``churn=0`` draws
+    #: the exact rng sequence of configs that predate the knob, so
+    #: existing schedule digests are unchanged.
+    churn: float = 0.0
 
     def __post_init__(self) -> None:
         if self.sessions <= 0:
             raise ValueError("sessions must be positive")
         if self.wiki_weight + self.forum_weight >= 1.0:
             raise ValueError("wiki_weight + forum_weight must be < 1")
+        if not 0.0 <= self.churn <= 1.0:
+            raise ValueError("churn must be in [0, 1]")
 
 
 @dataclass(frozen=True)
@@ -360,13 +370,20 @@ def generate_schedule(config: FleetConfig) -> Schedule:
         256, config.zipf_exponent, random.Random(f"fleet:{seed}:zipf-secrets")
     )
 
+    # Churn shifts the session mix toward keystroke-heavy Docs
+    # sessions without spending any extra rng draws at churn == 0.
+    wiki_weight = config.wiki_weight * (1.0 - config.churn)
+    forum_weight = config.forum_weight * (1.0 - config.churn)
+    extra_docs_ops = int(round(4 * config.churn))
+    type_tail = 1.0 - 0.4 * config.churn
+
     for session, arrival in enumerate(arrival_times(config)):
         srng = random.Random(f"fleet:{seed}:session:{session}")
         forced_secret = session < config.seed_secrets
         shape_draw = srng.random()
-        if forced_secret or shape_draw < config.wiki_weight:
+        if forced_secret or shape_draw < wiki_weight:
             shape = "wiki"
-        elif shape_draw < config.wiki_weight + config.forum_weight:
+        elif shape_draw < wiki_weight + forum_weight:
             shape = "forum"
         else:
             shape = "docs"
@@ -419,7 +436,7 @@ def generate_schedule(config: FleetConfig) -> Schedule:
                 seq += 1
         else:
             doc = f"doc-{zipf_docs.sample()}"
-            for _ in range(srng.randint(2, 5)):
+            for _ in range(srng.randint(2, 5) + extra_docs_ops):
                 at = tick()
                 par_id = f"fs{session}o{seq}"
                 pool = builder.secrets_before(at)
@@ -497,6 +514,23 @@ def generate_schedule(config: FleetConfig) -> Schedule:
                         par_id=par_id,
                         text=modified,
                         extra=original,
+                    )
+                elif draw >= type_tail:
+                    # Churn-only branch (unreachable at churn == 0,
+                    # where type_tail == 1.0 > any random() draw):
+                    # keystroke typing of public text — per-character
+                    # decisions that stress the delta pipeline without
+                    # touching any secret.
+                    builder.add(
+                        session,
+                        seq,
+                        at,
+                        "docs_type",
+                        doc,
+                        par_id=par_id,
+                        text=synth_public.sentence(10, 18)[
+                            : config.max_type_chars
+                        ],
                     )
                 else:
                     builder.add(

@@ -1,15 +1,26 @@
-"""Fingerprint-keyed decision cache (paper §6.2).
+"""Bounded caches for the per-check hot path (paper §6.2, DESIGN.md §13).
 
 "Requests are served quickly because one keystroke typically does not
 alter the winnowing fingerprint of a paragraph, permitting BrowserFlow
 to reuse its previous response."
 
-The cache key is (service, segment, fingerprint-hash-set, model
-version): a keystroke that leaves the winnowed hashes unchanged hits the
-cache; any change to the fingerprint — or any new observation in the
-disclosure databases — misses.
+Two caches share one LRU core here:
 
-The cache is shared by every client of the lookup service, so all
+* :class:`DecisionCache` — verdict memoisation. The classic key is
+  (service, segment, fingerprint-hash-set, model version); the
+  delta-aware pipeline keys on ``(service, segment, fingerprint-set
+  digest, engine version epoch)`` instead (see
+  :func:`fingerprint_set_digest` and ``DisclosureEngine.version_epoch``)
+  so the sharded tier invalidates per shard rather than globally.
+* :class:`FingerprintCache` — content-addressed fingerprint
+  memoisation keyed by a digest of the *raw* paragraph text, so a
+  repeated paste of the same secret never re-normalises or re-hashes.
+  Raw text (not normalised text) is deliberate: normalisation is
+  span-lossy — ``"ab c"`` and ``"a bc"`` normalise identically but
+  fingerprint to different original-offset spans — and verdict spans
+  feed enforcement highlighting, so the key must distinguish them.
+
+Each cache is shared by every client of its lookup service, so all
 operations are guarded by one mutex (an LRU update mutates the ordered
 dict even on reads, so a reader–writer split would buy nothing here).
 ``evictions`` counts entries dropped for *capacity* only — version
@@ -19,30 +30,65 @@ fast-moving model version.
 
 The hit/miss/eviction counters live in a
 :class:`~repro.obs.registry.MetricsRegistry` scope (conventionally
-``decision_cache.``); the public ``hits``/``misses``/``evictions``
-attributes are thin views over those instruments. Increments happen
-under the cache mutex, so they are exact.
+``decision_cache.`` / ``fingerprint.cache.``); the public
+``hits``/``misses``/``evictions`` attributes are thin views over those
+instruments. Increments happen under the cache mutex, so they are
+exact.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import FrozenSet, Hashable, Optional, Tuple
+from hashlib import blake2b
+from typing import FrozenSet, Hashable, Iterable, Optional, Sequence, Tuple
 
 from repro.obs.registry import MetricsRegistry, MetricsScope
 
 
-class DecisionCache:
-    """A bounded, thread-safe LRU map from decision keys to decisions.
+def text_digest(text: str) -> bytes:
+    """16-byte content address of a raw paragraph text."""
+    return blake2b(text.encode("utf-8"), digest_size=16).digest()
+
+
+def fingerprint_set_digest(hash_sets: Sequence[Iterable[int]]) -> bytes:
+    """16-byte digest of an ordered sequence of fingerprint hash sets.
+
+    Replaces the tuple-of-frozensets cache key component: equality
+    checks and storage touch 16 bytes instead of every hash value. Each
+    set is serialised sorted (frozenset iteration order is not
+    canonical) with an out-of-band separator, so ``[{a}, {b}]`` and
+    ``[{a, b}]`` digest differently. Collisions are 2^-128 territory —
+    negligible against the model's own 32-bit fingerprint collisions.
+    """
+    digest = blake2b(digest_size=16)
+    update = digest.update
+    for hashes in hash_sets:
+        for value in sorted(hashes):
+            update(value.to_bytes(8, "little"))
+        update(b"\xff\xff\xff\xff\xff\xff\xff\xff\xff")
+    return digest.digest()
+
+
+class LRUCache:
+    """A bounded, thread-safe LRU map with registry-backed counters.
+
+    The shared core of :class:`DecisionCache` and
+    :class:`FingerprintCache`: ``get`` promotes on hit and counts
+    misses, ``put`` inserts at the MRU end and evicts from the LRU end,
+    and every counter lives in a metrics scope so one snapshot covers
+    the whole lookup path.
 
     Args:
         capacity: maximum entries before LRU eviction.
         scope: metrics scope for the cache counters. A private registry
-            under the conventional ``decision_cache.`` prefix is created
-            when omitted; owners sharing one registry (the plug-in, the
-            lookup server) pass their own scope.
+            under *default_prefix* is created when omitted; owners
+            sharing one registry (the plug-in, the lookup server) pass
+            their own scope.
     """
+
+    #: Scope prefix used when no scope is passed; subclasses override.
+    default_prefix = "lru_cache."
 
     def __init__(
         self, capacity: int = 4096, *, scope: Optional[MetricsScope] = None
@@ -53,7 +99,7 @@ class DecisionCache:
         self._mutex = threading.RLock()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         if scope is None:
-            scope = MetricsRegistry().scope("decision_cache.")
+            scope = MetricsRegistry().scope(self.default_prefix)
         self.metrics = scope
         self._hits = scope.counter("hits")
         self._misses = scope.counter("misses")
@@ -79,12 +125,6 @@ class DecisionCache:
     def __len__(self) -> int:
         with self._mutex:
             return len(self._entries)
-
-    @staticmethod
-    def key(
-        service_id: str, segment_id: str, hashes: FrozenSet[int], version: int
-    ) -> Tuple:
-        return (service_id, segment_id, hashes, version)
 
     def get(self, key: Hashable) -> Optional[object]:
         with self._mutex:
@@ -112,3 +152,51 @@ class DecisionCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+class DecisionCache(LRUCache):
+    """LRU map from decision keys to flow decisions (paper §6.2).
+
+    The cache key is (service, segment, fingerprint-hash-set, model
+    version): a keystroke that leaves the winnowed hashes unchanged hits
+    the cache; any change to the fingerprint — or any new observation in
+    the disclosure databases — misses. The delta-aware lookup path keys
+    on a digest + per-shard epoch instead (module docstring); both key
+    shapes share this cache, they simply never collide.
+    """
+
+    default_prefix = "decision_cache."
+
+    @staticmethod
+    def key(
+        service_id: str, segment_id: str, hashes: FrozenSet[int], version: int
+    ) -> Tuple:
+        return (service_id, segment_id, hashes, version)
+
+
+class FingerprintCache(LRUCache):
+    """Content-addressed map from raw-text digests to fingerprints.
+
+    Fingerprints are pure functions of (text, config) and every cache
+    instance serves exactly one fingerprinter config, so the raw-text
+    digest alone is a sufficient key. Stored values are the engine's
+    immutable :class:`~repro.fingerprint.fingerprint.Fingerprint`
+    objects — sharing them between hits is safe.
+    """
+
+    default_prefix = "fingerprint.cache."
+
+    def fingerprint(self, fingerprinter, text: str):
+        """Return the (possibly cached) fingerprint of *text*.
+
+        Computation happens outside the mutex: two racing misses both
+        compute, and last-put wins — acceptable for an idempotent value,
+        and it keeps fingerprinting off the lock's critical section.
+        """
+        key = text_digest(text)
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        computed = fingerprinter.fingerprint(text)
+        self.put(key, computed)
+        return computed

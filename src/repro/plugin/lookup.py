@@ -4,9 +4,22 @@
 text segment being uploaded." Lookup wraps the Text Disclosure Model:
 it fingerprints outgoing segments, finds the sources they disclose, and
 resolves the labels that enforcement will compare against the target
-service's privilege label. Results are memoised in the decision cache
-keyed by fingerprint, which is what makes per-keystroke checks cheap
-(paper §6.2).
+service's privilege label. Results are memoised in the decision cache,
+which is what makes per-keystroke checks cheap (paper §6.2).
+
+The delta-aware pipeline (DESIGN.md §13) changes what the cache keys
+look like and where fingerprints come from:
+
+* Verdicts are keyed on ``(service, doc, fingerprint-set digest,
+  paragraph-engine epoch, document-engine epoch)``. The epoch tokens
+  come from ``DisclosureEngine.version_epoch``: the unsharded engine
+  returns its global version, the sharded engine a per-shard tuple, so
+  a mutation that lands entirely on other shards leaves cached verdicts
+  valid instead of invalidating everything.
+* Paragraph texts resolve to fingerprints through a content-addressed
+  :class:`~repro.plugin.cache.FingerprintCache`, and callers that track
+  edits incrementally (the plug-in's delta path) can pass precomputed
+  fingerprints to skip the text pipeline entirely.
 """
 
 from __future__ import annotations
@@ -14,29 +27,57 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.trace import span
-from repro.plugin.cache import DecisionCache
+from repro.plugin.cache import (
+    DecisionCache,
+    FingerprintCache,
+    fingerprint_set_digest,
+)
 from repro.tdm.model import FlowDecision, Suppression, TextDisclosureModel
 
 #: One batch-lookup item: (doc_id, [(paragraph_id, text), ...]).
 BatchItem = Tuple[str, Sequence[Tuple[str, str]]]
 
+#: Shard counts consulted per epoch token (sharded tier only).
+_SHARD_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
 
 class PolicyLookup:
     """Resolves flow decisions for outgoing text, with caching.
 
-    A cache created here (none passed) registers its counters in the
-    model's registry under ``decision_cache.``, so one snapshot covers
-    the whole lookup path.
+    Caches created here (none passed) register their counters in the
+    model's registry under ``decision_cache.`` / ``fingerprint.cache.``,
+    so one snapshot covers the whole lookup path. Epoch-path outcomes
+    are additionally counted under ``decision.epoch_cache.``.
     """
 
     def __init__(
-        self, model: TextDisclosureModel, cache: Optional[DecisionCache] = None
+        self,
+        model: TextDisclosureModel,
+        cache: Optional[DecisionCache] = None,
+        fingerprint_cache: Optional[FingerprintCache] = None,
     ) -> None:
         self._model = model
         self._cache = (
             cache
             if cache is not None
             else DecisionCache(scope=model.registry.scope("decision_cache."))
+        )
+        self._fp_cache = (
+            fingerprint_cache
+            if fingerprint_cache is not None
+            else FingerprintCache(
+                scope=model.registry.scope("fingerprint.cache.")
+            )
+        )
+        epoch_scope = model.registry.scope("decision.epoch_cache.")
+        self._c_epoch_hits = epoch_scope.counter("hits")
+        self._c_epoch_misses = epoch_scope.counter("misses")
+        #: Multi-paragraph checks fall back to the document engine's
+        #: global version token (the document fingerprint is not known
+        #: without joining the text, so per-shard routing is unknown).
+        self._c_epoch_global = epoch_scope.counter("doc_global_epochs")
+        self._h_epoch_shards = epoch_scope.histogram(
+            "shards", buckets=_SHARD_BUCKETS
         )
 
     @property
@@ -47,6 +88,69 @@ class PolicyLookup:
     def cache(self) -> DecisionCache:
         return self._cache
 
+    @property
+    def fingerprint_cache(self) -> FingerprintCache:
+        return self._fp_cache
+
+    def _resolve_fingerprints(
+        self,
+        paragraphs: Sequence[Tuple[str, str]],
+        provided: Optional[Sequence],
+    ) -> List:
+        """Fingerprints for *paragraphs*, caller-provided or cached.
+
+        *provided* aligns with *paragraphs*; ``None`` slots (and a
+        ``None`` list) resolve through the content-addressed fingerprint
+        cache, so only genuinely new text pays the full pipeline.
+        """
+        fingerprinter = self._model.tracker.paragraphs.fingerprinter
+        if provided is None:
+            return [
+                self._fp_cache.fingerprint(fingerprinter, text)
+                for _pid, text in paragraphs
+            ]
+        if len(provided) != len(paragraphs):
+            raise ValueError(
+                f"got {len(provided)} fingerprints for "
+                f"{len(paragraphs)} paragraphs"
+            )
+        return [
+            fp
+            if fp is not None
+            else self._fp_cache.fingerprint(fingerprinter, text)
+            for fp, (_pid, text) in zip(provided, paragraphs)
+        ]
+
+    def _epoch_key(
+        self, service_id: str, doc_id: str, fingerprints: Sequence
+    ) -> Tuple:
+        """Build the §13 cache key; caller holds the tracker read lock."""
+        tracker = self._model.tracker
+        hash_sets = [fp.hashes for fp in fingerprints]
+        digest = fingerprint_set_digest(hash_sets)
+        union = frozenset().union(*hash_sets) if hash_sets else frozenset()
+        para_epoch = tracker.paragraphs.version_epoch(union)
+        if len(hash_sets) == 1:
+            # Single-paragraph checks reuse the paragraph fingerprint at
+            # document granularity, so per-shard routing is exact.
+            doc_epoch = tracker.documents.version_epoch(hash_sets[0])
+        else:
+            doc_epoch = tracker.documents.version_epoch(None)
+            self._c_epoch_global.inc()
+        if isinstance(para_epoch, tuple):
+            self._h_epoch_shards.observe(float(len(para_epoch)))
+        # Verdicts also read the label store (the upload's own stored
+        # labels plus inherited source tags), which can change without
+        # any fingerprint delta — e.g. declassification or custom tags.
+        return (
+            service_id,
+            doc_id,
+            digest,
+            para_epoch,
+            doc_epoch,
+            self._model.label_epoch(),
+        )
+
     def lookup(
         self,
         service_id: str,
@@ -54,55 +158,66 @@ class PolicyLookup:
         paragraphs: Sequence[Tuple[str, str]],
         *,
         suppressions: Optional[Mapping[str, Sequence[Suppression]]] = None,
+        fingerprints: Optional[Sequence] = None,
     ) -> FlowDecision:
         """Resolve the flow decision for an upload.
 
         Cacheable only when no suppressions apply: a suppression must be
         consumed (and audited) exactly once, so suppressed lookups always
-        recompute.
+        recompute. *fingerprints*, when given, aligns with *paragraphs*
+        and supplies precomputed fingerprints (``None`` slots fall back
+        to the cache-or-compute path) — the delta dispatch entry point.
         """
         if suppressions:
+            if fingerprints is not None:
+                fingerprints = self._resolve_fingerprints(
+                    paragraphs, fingerprints
+                )
             return self._model.check_upload(
-                service_id, doc_id, paragraphs, suppressions=suppressions
+                service_id,
+                doc_id,
+                paragraphs,
+                suppressions=suppressions,
+                fingerprints=fingerprints,
             )
 
-        # The version read and the recomputation must see the same model
+        # The epoch read and the recomputation must see the same model
         # state, so the whole path holds the tracker's read lock: without
         # it a concurrent observation between the two could cache a
-        # decision computed on newer state under the older version key.
+        # decision computed on newer state under the older epoch key.
         with self._model.lock.read_locked(), span(
             "lookup", service=service_id, doc=doc_id
         ) as sp:
-            engine = self._model.tracker.paragraphs
-            fingerprints = tuple(
-                engine.fingerprinter.fingerprint(text).hashes
-                for _pid, text in paragraphs
-            )
-            version = (
-                engine.stats()["version"]
-                + self._model.tracker.documents.stats()["version"]
-            )
-            key = (service_id, doc_id, fingerprints, version)
+            resolved = self._resolve_fingerprints(paragraphs, fingerprints)
+            key = self._epoch_key(service_id, doc_id, resolved)
             cached = self._cache.get(key)
             if cached is not None:
+                self._c_epoch_hits.inc()
                 sp.set(cache_hit=True, allowed=cached.allowed)  # type: ignore[union-attr]
                 return cached  # type: ignore[return-value]
-            decision = self._model.check_upload(service_id, doc_id, paragraphs)
+            self._c_epoch_misses.inc()
+            decision = self._model.check_upload(
+                service_id, doc_id, paragraphs, fingerprints=resolved
+            )
             self._cache.put(key, decision)
             sp.set(cache_hit=False, allowed=decision.allowed)
             return decision
 
     def lookup_batch(
-        self, service_id: str, items: Sequence[BatchItem]
+        self,
+        service_id: str,
+        items: Sequence[BatchItem],
+        *,
+        fingerprints: Optional[Sequence[Optional[Sequence]]] = None,
     ) -> List[FlowDecision]:
         """Resolve many uploads' decisions under one lock acquisition.
 
         Equivalent to calling :meth:`lookup` per item (same cache, same
         key scheme, so batch and single traffic interoperate), but the
-        amortisation is real: one read-lock acquisition, one version
-        read, and one trace span cover the batch; each item's paragraphs
-        are fingerprinted *once* — the fingerprints computed for the
-        cache key are passed down through
+        amortisation is real: one read-lock acquisition and one trace
+        span cover the batch; each item's paragraphs are fingerprinted
+        *once* — resolved through the content-addressed cache (or taken
+        from *fingerprints*, aligned per item) and passed down through
         :meth:`~repro.tdm.model.TextDisclosureModel.check_uploads` — and
         all cache misses resolve through one fused engine sweep per
         granularity instead of two per item. Suppressions are
@@ -110,38 +225,35 @@ class PolicyLookup:
         and audited exactly once, which the uncached single path
         guarantees.
         """
+        if fingerprints is not None and len(fingerprints) != len(items):
+            raise ValueError(
+                f"got {len(fingerprints)} fingerprint lists for "
+                f"{len(items)} items"
+            )
         with self._model.lock.read_locked(), span(
             "lookup_batch", service=service_id, items=len(items)
         ) as sp:
-            tracker = self._model.tracker
-            fingerprinter = tracker.paragraphs.fingerprinter
-            version = (
-                tracker.paragraphs.stats()["version"]
-                + tracker.documents.stats()["version"]
-            )
             decisions: List[Optional[FlowDecision]] = [None] * len(items)
             misses: List[int] = []
             miss_fps: List[List] = []
             keys: List[Tuple] = [()] * len(items)
             hits = 0
             for i, (doc_id, paragraphs) in enumerate(items):
-                fingerprints = [
-                    fingerprinter.fingerprint(text) for _pid, text in paragraphs
-                ]
-                key = (
-                    service_id,
-                    doc_id,
-                    tuple(fp.hashes for fp in fingerprints),
-                    version,
+                resolved = self._resolve_fingerprints(
+                    paragraphs,
+                    fingerprints[i] if fingerprints is not None else None,
                 )
+                key = self._epoch_key(service_id, doc_id, resolved)
                 cached = self._cache.get(key)
                 if cached is not None:
                     hits += 1
+                    self._c_epoch_hits.inc()
                     decisions[i] = cached  # type: ignore[assignment]
                     continue
+                self._c_epoch_misses.inc()
                 keys[i] = key
                 misses.append(i)
-                miss_fps.append(fingerprints)
+                miss_fps.append(resolved)
             if misses:
                 # One fused model call for every miss: one label-check
                 # span, one tracker lock, and one batched sweep per
@@ -164,10 +276,12 @@ class PolicyLookup:
         prefixed ``engine_``; decision-cache counters are prefixed
         ``decision_cache_`` (``evictions`` counts capacity drops only,
         so capacity misses are distinguishable from version misses);
-        reader–writer lock counters come from the tracker's shared lock
-        and are prefixed ``lock_``. Benchmark harnesses print these next
-        to the latency numbers so cache and lock behaviour is visible
-        alongside timings.
+        the content-addressed fingerprint cache reports under
+        ``fingerprint_cache_`` and the epoch-path outcomes under
+        ``epoch_cache_``; reader–writer lock counters come from the
+        tracker's shared lock and are prefixed ``lock_``. Benchmark
+        harnesses print these next to the latency numbers so cache and
+        lock behaviour is visible alongside timings.
         """
         tracker = self._model.tracker
         combined: Dict[str, object] = {
@@ -175,6 +289,13 @@ class PolicyLookup:
             "decision_cache_misses": self._cache.misses,
             "decision_cache_evictions": self._cache.evictions,
             "decision_cache_hit_rate": self._cache.hit_rate,
+            "fingerprint_cache_hits": self._fp_cache.hits,
+            "fingerprint_cache_misses": self._fp_cache.misses,
+            "fingerprint_cache_evictions": self._fp_cache.evictions,
+            "fingerprint_cache_hit_rate": self._fp_cache.hit_rate,
+            "epoch_cache_hits": self._c_epoch_hits.value,
+            "epoch_cache_misses": self._c_epoch_misses.value,
+            "epoch_cache_doc_global_epochs": self._c_epoch_global.value,
         }
         paragraph_stats = tracker.paragraphs.stats()
         document_stats = tracker.documents.stats()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,7 @@ from repro.browser.http import HttpResponse
 from repro.browser.mutation import MutationObserver, MutationRecord
 from repro.browser.readability import extract_main_text
 from repro.errors import RequestBlocked
+from repro.fingerprint.incremental import EditBuffer
 from repro.obs.trace import span
 from repro.plugin.adapters import DEFAULT_ADAPTERS, EditorAdapter
 from repro.plugin.cache import DecisionCache
@@ -112,6 +114,17 @@ class BrowserFlowPlugin:
         plugin_scope.gauge("warnings", fn=lambda: len(self.warnings))
         self._h_decision = plugin_scope.histogram("decision_seconds")
         self._pending_suppressions: Dict[str, List[Suppression]] = {}
+        #: Per-segment delta state (DESIGN.md §13): a bounded LRU of
+        #: :class:`~repro.fingerprint.incremental.EditBuffer` mirrors,
+        #: one per recently edited paragraph, so per-keystroke checks
+        #: re-fingerprint only the edit's dirty radius instead of the
+        #: whole paragraph.
+        self._edit_buffers: "OrderedDict[str, EditBuffer]" = OrderedDict()
+        self._max_edit_buffers = 512
+        delta_scope = self.registry.scope("plugin.delta.")
+        self._c_delta_checks = delta_scope.counter("checks")
+        self._c_delta_builds = delta_scope.counter("builds")
+        self._c_delta_edits = delta_scope.counter("edits")
         self._observers: List[MutationObserver] = []
         self._patched_windows: List = []
         self._warning_listeners: List = []
@@ -212,6 +225,36 @@ class BrowserFlowPlugin:
     # Decision pipeline (shared by all interception paths)
     # ------------------------------------------------------------------
 
+    def _delta_fingerprint(self, segment_id: str, text: str):
+        """Fingerprint *text* through the segment's edit buffer.
+
+        First sight of a segment builds an
+        :class:`~repro.fingerprint.incremental.EditBuffer` (one full
+        pipeline pass); every later check diffs against the mirrored
+        text and re-hashes only the edit's ``k+w-1`` dirty radius. The
+        buffer pool is a bounded LRU — an evicted segment simply pays
+        one full build on its next edit.
+        """
+        buffers = self._edit_buffers
+        buffer = buffers.get(segment_id)
+        if buffer is None:
+            buffer = EditBuffer(
+                self.model.tracker.paragraphs.config, text
+            )
+            buffers[segment_id] = buffer
+            self._c_delta_builds.inc()
+            while len(buffers) > self._max_edit_buffers:
+                buffers.popitem(last=False)
+            fingerprint = buffer.current()
+        else:
+            before = buffer.delta_edits
+            fingerprint = buffer.update(text)
+            if buffer.delta_edits > before:
+                self._c_delta_edits.inc()
+        buffers.move_to_end(segment_id)
+        self._c_delta_checks.inc()
+        return fingerprint
+
     def _decide(
         self,
         service_id: str,
@@ -219,6 +262,7 @@ class BrowserFlowPlugin:
         segments: Sequence[Tuple[str, str]],
         *,
         consume_suppressions: bool = True,
+        fingerprints: Optional[Sequence] = None,
     ) -> Tuple[EnforcementAction, float]:
         """Run lookup + enforcement, timed; returns (action, seconds).
 
@@ -237,7 +281,11 @@ class BrowserFlowPlugin:
         ) as sp:
             started = time.perf_counter()
             decision = self.lookup.lookup(
-                service_id, doc_id, segments, suppressions=suppressions or None
+                service_id,
+                doc_id,
+                segments,
+                suppressions=suppressions or None,
+                fingerprints=fingerprints,
             )
             decision = self._apply_secret_tracker(service_id, segments, decision)
             action = self.enforcement.enforce(decision, dict(segments))
@@ -322,7 +370,10 @@ class BrowserFlowPlugin:
             doc_id, segment_id, text = parsed
             with span("intercept", kind="xhr", service=service_id):
                 action, _elapsed = self._decide(
-                    service_id, doc_id, [(segment_id, text)]
+                    service_id,
+                    doc_id,
+                    [(segment_id, text)],
+                    fingerprints=[self._delta_fingerprint(segment_id, text)],
                 )
             self._mark_editor_paragraph(window.document, segment_id, action)
             if not action.proceed:
@@ -608,6 +659,7 @@ class BrowserFlowPlugin:
                     doc_id,
                     [(segment_id, text)],
                     consume_suppressions=False,
+                    fingerprints=[self._delta_fingerprint(segment_id, text)],
                 )
                 if action.violated:
                     reasons = "; ".join(
@@ -671,4 +723,7 @@ class BrowserFlowPlugin:
             "cache_hits": float(self.cache.hits),
             "cache_misses": float(self.cache.misses),
             "cache_hit_rate": self.cache.hit_rate,
+            "delta_checks": float(self._c_delta_checks.value),
+            "delta_builds": float(self._c_delta_builds.value),
+            "delta_edits": float(self._c_delta_edits.value),
         }

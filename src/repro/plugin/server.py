@@ -189,6 +189,7 @@ class LookupServer:
         *,
         timeout: float,
         suppressions: Optional[Mapping[str, Sequence[Suppression]]] = None,
+        fingerprints: Optional[Sequence] = None,
     ) -> Tuple[FlowDecision, float]:
         """Answer one lookup request; returns (decision, latency).
 
@@ -197,7 +198,10 @@ class LookupServer:
         dropped or its injected latency exceeds *timeout*, and
         :class:`LookupRejected` for an injected backend 5xx — in both
         cases *before* touching the shared engine, like a real frontend
-        shedding load.
+        shedding load. *fingerprints*, when present, carries the
+        client's precomputed per-paragraph fingerprints (the §13 delta
+        path); on a real wire this would ship the winnowed hash values,
+        which are a fraction of the text's size.
         """
         self._count("requests")
         fault = self._faults.next_fault() if self._faults is not None else Fault.none()
@@ -214,7 +218,11 @@ class LookupServer:
         start = clock.now()
         try:
             decision = self._lookup.lookup(
-                service_id, doc_id, paragraphs, suppressions=suppressions
+                service_id,
+                doc_id,
+                paragraphs,
+                suppressions=suppressions,
+                fingerprints=fingerprints,
             )
         except ShardDegraded as exc:
             raise self._shard_fault(exc, timeout) from exc
@@ -366,6 +374,7 @@ class LookupClient:
         paragraphs: Sequence[Tuple[str, str]],
         *,
         suppressions: Optional[Mapping[str, Sequence[Suppression]]] = None,
+        fingerprints: Optional[Sequence] = None,
     ) -> LookupOutcome:
         """Resolve a decision with retries; degrade if the service stays down."""
         self._count("requests")
@@ -380,6 +389,7 @@ class LookupClient:
                     paragraphs,
                     timeout=self._timeout,
                     suppressions=suppressions,
+                    fingerprints=fingerprints,
                 )
             except LookupTimeout:
                 self._count("timeouts")

@@ -11,11 +11,13 @@ see the text) and prototype patching (to gate the sync requests).
 from __future__ import annotations
 
 import json
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.browser.dom import Document, Element
 from repro.browser.http import HttpRequest, HttpResponse
 from repro.errors import RequestBlocked, ServiceError
+from repro.fingerprint.config import FingerprintConfig
+from repro.fingerprint.incremental import EditBuffer
 from repro.services.base import CloudService
 
 #: Class name used for editor paragraphs, mirroring Docs' "kix" classes.
@@ -119,18 +121,26 @@ class DocsService(CloudService):
 
     # -- client-side editor -------------------------------------------------
 
-    def open_editor(self, tab, doc_id: Optional[str] = None) -> "DocsEditor":
+    def open_editor(
+        self,
+        tab,
+        doc_id: Optional[str] = None,
+        *,
+        fingerprint_config: Optional[FingerprintConfig] = None,
+    ) -> "DocsEditor":
         """Create (or open) a document and return an editor bound to *tab*.
 
         Creation goes through the backend directly (it carries no user
         text); all subsequent text edits sync via interceptable XHRs.
+        *fingerprint_config* enables client-side per-paragraph
+        incremental fingerprint state on the returned editor (§13).
         """
         if doc_id is None:
             doc_id = self.backend.create().doc_id
         elif self.backend.find(doc_id) is None:
             raise ServiceError(f"unknown document {doc_id!r}")
         tab.navigate(self.url(f"/d/{doc_id}"))
-        return DocsEditor(self, tab, doc_id)
+        return DocsEditor(self, tab, doc_id, fingerprint_config=fingerprint_config)
 
 
 class DocsEditor:
@@ -140,12 +150,31 @@ class DocsEditor:
     one DOM mutation and one sync request per keystroke — the workload
     of the paper's response-time experiment (§6.2); ``paste`` applies
     the whole clipboard at once.
+
+    When built with a *fingerprint_config* the editor also carries
+    per-paragraph incremental fingerprint state (DESIGN.md §13): every
+    edit is mirrored into an
+    :class:`~repro.fingerprint.incremental.EditBuffer`, so
+    :meth:`fingerprint_of` answers from an edit-local splice instead of
+    re-running the full pipeline — the client-side half of the
+    delta-aware check pipeline. Without a config (the default) the
+    editor keeps no fingerprint state and edits cost exactly what they
+    did before.
     """
 
-    def __init__(self, service: DocsService, tab, doc_id: str) -> None:
+    def __init__(
+        self,
+        service: DocsService,
+        tab,
+        doc_id: str,
+        *,
+        fingerprint_config: Optional[FingerprintConfig] = None,
+    ) -> None:
         self._service = service
         self._tab = tab
         self.doc_id = doc_id
+        self._fingerprint_config = fingerprint_config
+        self._buffers: Dict[str, EditBuffer] = {}
 
     @property
     def window(self):
@@ -171,6 +200,45 @@ class DocsEditor:
         if par_id is None:
             raise ServiceError("paragraph element missing data-par-id")
         return par_id
+
+    # -- client-side fingerprint state (§13) ---------------------------------
+
+    def _track(self, par_id: str, text: str) -> None:
+        """Mirror one edit into the paragraph's delta fingerprint state."""
+        if self._fingerprint_config is None:
+            return
+        buffer = self._buffers.get(par_id)
+        if buffer is None:
+            self._buffers[par_id] = EditBuffer(self._fingerprint_config, text)
+        else:
+            buffer.update(text)
+
+    def fingerprint_of(self, element: Element):
+        """The paragraph's fingerprint from its incremental state.
+
+        Requires the editor to have been opened with a
+        ``fingerprint_config``; paragraphs not yet tracked (e.g. loaded
+        from the rendered page) pay one full build here, every edit
+        since tracking began has already been applied as a splice.
+        """
+        if self._fingerprint_config is None:
+            raise ServiceError("editor opened without fingerprint_config")
+        par_id = self.paragraph_id(element)
+        buffer = self._buffers.get(par_id)
+        text = element.text_content()
+        if buffer is None:
+            buffer = EditBuffer(self._fingerprint_config, text)
+            self._buffers[par_id] = buffer
+            return buffer.current()
+        return buffer.update(text)
+
+    def delta_stats(self) -> Dict[str, int]:
+        """Aggregate splice/build counts across tracked paragraphs."""
+        return {
+            "tracked_paragraphs": len(self._buffers),
+            "delta_edits": sum(b.delta_edits for b in self._buffers.values()),
+            "full_builds": sum(b.full_builds for b in self._buffers.values()),
+        }
 
     # -- editing operations -------------------------------------------------
 
@@ -201,6 +269,7 @@ class DocsEditor:
         as the real plug-in lets the user keep typing locally).
         """
         element.set_text(text)
+        self._track(self.paragraph_id(element), text)
         return self._sync(element, text)
 
     def type_text(self, element: Element, text: str) -> int:
@@ -211,11 +280,13 @@ class DocsEditor:
         keystrokes whose sync was delivered.
         """
         delivered = 0
+        par_id = self.paragraph_id(element)
         current = element.text_content()
         for ch in text:
             index = len(current)
             current += ch
             element.set_text(current)
+            self._track(par_id, current)
             if self._sync_delta(element, "insert", index=index, chars=ch):
                 delivered += 1
         return delivered
@@ -224,16 +295,21 @@ class DocsEditor:
         """Paste *text* at the end of a paragraph (one insert delta)."""
         current = element.text_content()
         element.set_text(current + text)
+        self._track(self.paragraph_id(element), current + text)
         return self._sync_delta(element, "insert", index=len(current), chars=text)
 
     def delete_text(self, element: Element, index: int, count: int) -> bool:
         """Delete *count* characters at *index* (one delete delta)."""
         current = element.text_content()
         element.set_text(current[:index] + current[index + count:])
+        self._track(
+            self.paragraph_id(element), current[:index] + current[index + count:]
+        )
         return self._sync_delta(element, "delete", index=index, count=count)
 
     def delete_paragraph(self, element: Element) -> bool:
         par_id = self.paragraph_id(element)
+        self._buffers.pop(par_id, None)
         self.editor_element.remove_child(element)
         body = json.dumps(
             {"doc_id": self.doc_id, "op": "delete_paragraph", "par_id": par_id}

@@ -139,6 +139,7 @@ class TextDisclosureModel:
         self.lock = self.tracker.lock
         self._labels: Dict[str, SegmentLabel] = {}
         self._locations: Dict[str, set] = {}
+        self._label_epoch = 0
 
     # ------------------------------------------------------------------
     # Label access
@@ -148,8 +149,32 @@ class TextDisclosureModel:
         """Current label of a segment (empty label if never seen)."""
         return self._labels.get(segment_id, SegmentLabel())
 
-    def set_label(self, segment_id: str, label: SegmentLabel) -> None:
+    def label_epoch(self) -> int:
+        """Version of the label store; bumps only on *effective* change.
+
+        A check verdict depends on the label store twice — the upload
+        segments' own stored labels and the inherited tags of every
+        matching source — so any memoized verdict must be keyed on this
+        epoch alongside the disclosure-database epochs (DESIGN.md §13).
+        Storing a label equal to what was already there (the common case:
+        re-observing public text keeps its empty label) does not bump,
+        so public churn never invalidates cached verdicts; creating or
+        inheriting confidential tags, declassification via
+        :meth:`set_label`, and :meth:`add_tag_to_segment` all do.
+        """
+        return self._label_epoch
+
+    def _store_label(self, segment_id: str, label: SegmentLabel) -> None:
+        if self._labels.get(segment_id, SegmentLabel()) != label:
+            self._label_epoch += 1
         self._labels[segment_id] = label
+
+    def set_label(self, segment_id: str, label: SegmentLabel) -> None:
+        # Write-locked like every other label mutator: concurrent
+        # lookups read the label store and its epoch under the read
+        # lock, and a bare dict write here could slip between the two.
+        with self.lock.write_locked():
+            self._store_label(segment_id, label)
 
     def locations_of(self, segment_id: str) -> FrozenSet[str]:
         """Services known to store a copy of the segment."""
@@ -193,7 +218,7 @@ class TextDisclosureModel:
                     label = SegmentLabel.of(explicit=policy.confidentiality)
                 inherited = self._inherited_tags(par_report.sources)
                 label = label.add_implicit(inherited)
-                self._labels[par_id] = label
+                self._store_label(par_id, label)
                 self._locations.setdefault(par_id, set()).add(service_id)
                 resolved[par_id] = label
 
@@ -204,7 +229,7 @@ class TextDisclosureModel:
                 doc_label = doc_label.add_implicit(
                     self._inherited_tags(report.document_report.sources)
                 )
-            self._labels[doc_id] = doc_label
+            self._store_label(doc_id, doc_label)
             self._locations.setdefault(doc_id, set()).add(service_id)
             resolved[doc_id] = doc_label
 
@@ -416,7 +441,7 @@ class TextDisclosureModel:
         with self.lock.write_locked():
             confidentiality = self.policies.get(service_id).confidentiality
             for segment_id, label in decision.labels.items():
-                self._labels[segment_id] = label.add_explicit(confidentiality)
+                self._store_label(segment_id, label.add_explicit(confidentiality))
                 self._locations.setdefault(segment_id, set()).add(service_id)
             self.tracker.observe_document(doc_id, paragraphs)
 
@@ -438,7 +463,7 @@ class TextDisclosureModel:
         tag = as_tag(tag)
         with self.lock.write_locked():
             label = self.label_of(segment_id).add_explicit([tag])
-            self._labels[segment_id] = label
+            self._store_label(segment_id, label)
             for service_id in self.locations_of(segment_id):
                 policy = self.policies.get(service_id)
                 if tag not in policy.privilege:

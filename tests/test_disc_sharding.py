@@ -283,3 +283,73 @@ class TestShardedDisclosureEngine:
         reference = engine.disclosing_sources_reference(fingerprint=fp)
         assert indexed == reference
         assert indexed.disclosing
+
+
+class TestEpochs:
+    """Per-shard mutation epochs — the §13 verdict-cache tokens."""
+
+    def test_epoch_for_covers_exactly_the_routed_shards(self):
+        db = ShardedHashDatabase(4, hash_bits=HASH_BITS)
+        rng = random.Random(13)
+        hashes = [rng.randrange(1 << HASH_BITS) for _ in range(64)]
+        token = db.epoch_for(hashes)
+        want = sorted({shard_of(h, 4, HASH_BITS) for h in hashes})
+        assert [index for index, _e in token] == want
+        assert all(epoch == 0 for _i, epoch in token)
+        assert db.epoch_for([]) == ()
+
+    def test_epoch_for_single_hash_routes_to_home_shard(self):
+        db = ShardedHashDatabase(8, hash_bits=HASH_BITS)
+        h = 0xDEADBEEF
+        assert db.epoch_for([h]) == ((shard_of(h, 8, HASH_BITS), 0),)
+
+    def test_bump_epochs_for_advances_only_touched_shards(self):
+        db = ShardedHashDatabase(4, hash_bits=HASH_BITS)
+        rng = random.Random(17)
+        # Find one hash per shard, then bump through two of them.
+        by_shard = {}
+        while len(by_shard) < 4:
+            h = rng.randrange(1 << HASH_BITS)
+            by_shard.setdefault(shard_of(h, 4, HASH_BITS), h)
+        db.bump_epochs_for([by_shard[0], by_shard[2]])
+        assert db.epochs() == [1, 0, 1, 0]
+        db.bump_epochs_for([])
+        assert db.epochs() == [1, 0, 1, 0]
+        db.bump_epoch(1)
+        assert db.epochs() == [1, 1, 1, 0]
+
+    def test_token_equality_is_exactly_shared_shard_stability(self):
+        """A mutation invalidates tokens that share a shard with it and
+        leaves every disjoint token valid."""
+        db = ShardedHashDatabase(4, hash_bits=HASH_BITS)
+        rng = random.Random(19)
+        by_shard = {}
+        while len(by_shard) < 4:
+            h = rng.randrange(1 << HASH_BITS)
+            by_shard.setdefault(shard_of(h, 4, HASH_BITS), h)
+        mine = db.epoch_for([by_shard[0]])
+        other = db.epoch_for([by_shard[3]])
+        db.bump_epochs_for([by_shard[0], by_shard[1]])
+        assert db.epoch_for([by_shard[0]]) != mine
+        assert db.epoch_for([by_shard[3]]) == other
+
+    def test_record_fingerprint_bumps_epochs(self):
+        db = ShardedHashDatabase(4, hash_bits=HASH_BITS)
+        rng = random.Random(23)
+        hashes = [rng.randrange(1 << HASH_BITS) for _ in range(64)]
+        before = db.epoch_for(hashes)
+        db.record_fingerprint("seg", hashes, 1.0)
+        assert db.epoch_for(hashes) != before
+
+    def test_touched_shards_early_exit_matches_full_routing(self):
+        """The early-exit routing must agree with routing every hash,
+        including sets too small to touch every shard."""
+        rng = random.Random(29)
+        for n in (2, 4, 8):
+            db = ShardedHashDatabase(n, hash_bits=HASH_BITS)
+            for size in (0, 1, 2, 5, 64, 500):
+                hashes = [
+                    rng.randrange(1 << HASH_BITS) for _ in range(size)
+                ]
+                want = {shard_of(h, n, HASH_BITS) for h in hashes}
+                assert db._touched_shards(hashes) == want

@@ -190,3 +190,37 @@ class TestGenerateSchedule:
             paste = by_par[(op.session, op.par_id)]
             assert paste.text == op.text
             assert paste.at < op.at
+
+
+class TestChurn:
+    def test_churn_zero_is_byte_identical(self):
+        """churn=0 must spend the exact rng sequence of the pre-knob
+        generator, so committed schedule digests stay valid."""
+        base = FleetConfig(sessions=60, seed=SEED, seed_secrets=4)
+        knob = FleetConfig(
+            sessions=60, seed=SEED, seed_secrets=4, churn=0.0
+        )
+        assert generate_schedule(base).digest == generate_schedule(knob).digest
+
+    def test_churn_shifts_mix_toward_docs_typing(self):
+        base = FleetConfig(sessions=150, seed=SEED, seed_secrets=4)
+        hot = FleetConfig(
+            sessions=150, seed=SEED, seed_secrets=4, churn=0.8
+        )
+        calm = generate_schedule(base).kind_counts()
+        churned = generate_schedule(hot).kind_counts()
+        # Keystroke ops dominate the shift; wiki/forum shrink.
+        assert churned["docs_type"] > 2 * max(1, calm["docs_type"])
+        assert churned["wiki_post"] + churned["forum_post"] < (
+            calm["wiki_post"] + calm["forum_post"]
+        )
+        # The typed public text respects the keystroke cap.
+        for op in generate_schedule(hot).ops:
+            if op.kind == "docs_type":
+                assert len(op.text) <= hot.max_type_chars
+
+    def test_churn_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(sessions=10, seed=SEED, churn=1.5)
+        with pytest.raises(ValueError):
+            FleetConfig(sessions=10, seed=SEED, churn=-0.1)

@@ -1,6 +1,7 @@
 """Tests for incremental fingerprinting, including batch equivalence."""
 
 import string
+from bisect import bisect_left
 
 import pytest
 from hypothesis import given, settings
@@ -9,6 +10,7 @@ from hypothesis import strategies as st
 from repro.fingerprint import Fingerprinter
 from repro.fingerprint.config import FingerprintConfig, TINY_CONFIG
 from repro.fingerprint.incremental import IncrementalFingerprinter
+from repro.fingerprint.normalize import normalize
 
 from conftest import SECRET_TEXT
 
@@ -283,3 +285,374 @@ class TestByteModeStreaming:
             current = inc.current()
             assert current.hashes == batch.hashes
             assert current.selections == batch.selections
+
+
+def _sel_triples(fingerprint):
+    return {(s.value, s.orig_start, s.orig_end) for s in fingerprint.selections}
+
+
+def _run_edit_script(data, config, alphabet, max_edits=8):
+    """Draw and apply a random edit script; yield (text, inc) per step."""
+    inc = IncrementalFingerprinter(config)
+    text = data.draw(st.text(alphabet=alphabet, max_size=80), label="initial")
+    inc.append(text)
+    yield text, inc
+    for i in range(data.draw(st.integers(0, max_edits), label="n_edits")):
+        kind = data.draw(
+            st.sampled_from(["replace", "delete", "insert", "append"]),
+            label=f"kind{i}",
+        )
+        length = len(text)
+        start = data.draw(st.integers(0, length), label=f"start{i}")
+        end = data.draw(st.integers(start, length), label=f"end{i}")
+        piece = data.draw(
+            st.text(alphabet=alphabet, max_size=20), label=f"piece{i}"
+        )
+        if kind == "append":
+            inc.append(piece)
+            text += piece
+        elif kind == "delete":
+            inc.delete(start, end)
+            text = text[:start] + text[end:]
+        elif kind == "insert":
+            inc.replace(start, start, piece)
+            text = text[:start] + piece + text[start:]
+        else:
+            inc.replace(start, end, piece)
+            text = text[:start] + piece + text[end:]
+        yield text, inc
+
+
+class TestReplaceDelete:
+    """Edit-local ``replace``/``delete`` against the batch oracle."""
+
+    def test_replace_middle_equals_batch(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append(SECRET_TEXT)
+        edited = SECRET_TEXT[:40] + "REDACTED" + SECRET_TEXT[52:]
+        inc.replace(40, 52, "REDACTED")
+        expected = BATCH.fingerprint(edited)
+        current = inc.current()
+        assert current.hashes == expected.hashes
+        assert current.selections == expected.selections
+        assert inc.text_length == len(edited)
+
+    def test_delete_equals_batch(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append(SECRET_TEXT)
+        inc.delete(10, 30)
+        edited = SECRET_TEXT[:10] + SECRET_TEXT[30:]
+        expected = BATCH.fingerprint(edited)
+        current = inc.current()
+        assert current.hashes == expected.hashes
+        assert current.selections == expected.selections
+
+    def test_replace_at_end_equals_append(self):
+        a = IncrementalFingerprinter(TINY_CONFIG)
+        b = IncrementalFingerprinter(TINY_CONFIG)
+        a.append(SECRET_TEXT)
+        b.append(SECRET_TEXT)
+        n = len(SECRET_TEXT)
+        assert a.replace(n, n, " and more") == b.append(" and more")
+        assert a.current().hashes == b.current().hashes
+        assert a.current().selections == b.current().selections
+
+    def test_delete_everything_empties_state(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append(SECRET_TEXT)
+        inc.delete(0, len(SECRET_TEXT))
+        assert inc.current().is_empty()
+        assert inc.text_length == 0
+        # The state must still accept appends afterwards.
+        inc.append(SECRET_TEXT)
+        assert inc.current().hashes == BATCH.fingerprint(SECRET_TEXT).hashes
+
+    def test_empty_replace_is_noop(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append(SECRET_TEXT)
+        before = inc.current()
+        assert inc.replace(5, 5, "") == 0
+        assert inc.current().selections == before.selections
+
+    def test_out_of_range_raises(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append("short")
+        with pytest.raises(ValueError):
+            inc.replace(3, 99, "x")
+        with pytest.raises(ValueError):
+            inc.replace(-1, 2, "x")
+        with pytest.raises(ValueError):
+            inc.replace(4, 2, "x")
+
+    def test_wide_replacement_converts_mode(self):
+        # A wide-Unicode replacement chunk must flip byte mode to char
+        # mode exactly like a wide append does, preserving equivalence.
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append("plain ascii paragraph about nothing much")
+        assert inc._byte_mode
+        inc.replace(6, 11, "İstanbul ẞ")
+        assert not inc._byte_mode
+        edited = "plain İstanbul ẞ paragraph about nothing much"
+        expected = BATCH.fingerprint(edited)
+        current = inc.current()
+        assert current.hashes == expected.hashes
+        assert current.selections == expected.selections
+
+    def test_replace_matches_reference_pipeline(self):
+        inc = IncrementalFingerprinter(TINY_CONFIG)
+        inc.append(SECRET_TEXT)
+        inc.replace(20, 25, "edits")
+        edited = SECRET_TEXT[:20] + "edits" + SECRET_TEXT[25:]
+        reference = BATCH.fingerprint_reference(edited)
+        current = inc.current()
+        assert current.hashes == reference.hashes
+        assert current.selections == reference.selections
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_random_ascii_edit_scripts_equal_batch(self, data):
+        config = FingerprintConfig(ngram_size=4, window_size=3)
+        batch = Fingerprinter(config)
+        alphabet = string.ascii_letters + string.digits + " .,!"
+        for text, inc in _run_edit_script(data, config, alphabet):
+            expected = batch.fingerprint(text)
+            current = inc.current()
+            assert current.hashes == expected.hashes
+            assert current.selections == expected.selections
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_random_unicode_edit_scripts_equal_batch(self, data):
+        """Full-Unicode edits (incl. the lower-expanding İ) stay
+        field-identical to from-scratch batch fingerprints."""
+        config = FingerprintConfig(ngram_size=4, window_size=3)
+        batch = Fingerprinter(config)
+        for text, inc in _run_edit_script(data, config, UNICODE_ALPHABET):
+            expected = batch.fingerprint(text)
+            current = inc.current()
+            assert current.hashes == expected.hashes
+            assert current.selections == expected.selections
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_random_edits_window_one_and_wide_windows(self, data):
+        for config in (
+            FingerprintConfig(ngram_size=2, window_size=1),
+            FingerprintConfig(ngram_size=3, window_size=7),
+        ):
+            batch = Fingerprinter(config)
+            for text, inc in _run_edit_script(
+                data, config, UNICODE_ALPHABET, max_edits=5
+            ):
+                expected = batch.fingerprint(text)
+                current = inc.current()
+                assert current.hashes == expected.hashes
+                assert current.selections == expected.selections
+
+
+class TestEditLocality:
+    """Winnowing edit-locality: an edit only perturbs fingerprints
+    within a ``k + w - 1`` kept-character radius of the change.
+
+    Every selected fingerprint of the edited text whose n-gram lies
+    outside the dirty radius must be byte-identical — same hash value,
+    same original-offset span (shifted by the edit's length delta when
+    it sits after the edit) — to a pre-edit selection, and the
+    incremental delta pipeline must agree with the reference pipeline
+    on all of them.
+    """
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_selections_outside_dirty_radius_are_preserved(self, data):
+        config = FingerprintConfig(ngram_size=4, window_size=3)
+        n, w = config.ngram_size, config.window_size
+        batch = Fingerprinter(config)
+        text = data.draw(
+            st.text(alphabet=UNICODE_ALPHABET, min_size=20, max_size=120),
+            label="text",
+        )
+        start = data.draw(st.integers(0, len(text)), label="start")
+        end = data.draw(st.integers(start, len(text)), label="end")
+        piece = data.draw(
+            st.text(alphabet=UNICODE_ALPHABET, max_size=15), label="piece"
+        )
+        edited = text[:start] + piece + text[end:]
+        delta = len(piece) - (end - start)
+
+        old_ref = batch.fingerprint_reference(text)
+        new_ref = batch.fingerprint_reference(edited)
+
+        inc = IncrementalFingerprinter(config)
+        inc.append(text)
+        inc.replace(start, end, piece)
+        current = inc.current()
+        # The delta pipeline agrees with the reference everywhere, so in
+        # particular outside the radius selections are byte-identical.
+        assert current.hashes == new_ref.hashes
+        assert current.selections == new_ref.selections
+
+        # Locality: recover each new selection's normalised position and
+        # classify against the dirty radius. Positions are recovered via
+        # offset bisection; İ expansion can duplicate offsets, so the
+        # radius carries a 2-position slack on each side (conservative —
+        # only shrinks the asserted-clean region).
+        norm_new = normalize(edited)
+        lo = bisect_left(norm_new.offsets, start)
+        m_new = bisect_left(norm_new.offsets, start + len(piece)) - lo
+        dirty_lo = lo - n - w + 2 - 2
+        dirty_hi = lo + m_new + w - 2 + 2
+        old_triples = _sel_triples(old_ref)
+        for sel in new_ref.selections:
+            p = bisect_left(norm_new.offsets, sel.orig_start)
+            if p + n - 1 < dirty_lo:
+                assert (sel.value, sel.orig_start, sel.orig_end) in old_triples
+            elif p > dirty_hi:
+                assert (
+                    sel.value,
+                    sel.orig_start - delta,
+                    sel.orig_end - delta,
+                ) in old_triples
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_selections_not_recomputed(self, data):
+        """White-box: selections well before the edit are the *same
+        objects* after a replace — the delta path spliced, not rebuilt.
+        """
+        config = FingerprintConfig(ngram_size=4, window_size=3)
+        n, w = config.ngram_size, config.window_size
+        text = data.draw(
+            st.text(
+                alphabet=string.ascii_lowercase + " ",
+                min_size=60,
+                max_size=120,
+            ),
+            label="text",
+        )
+        start = data.draw(st.integers(40, len(text)), label="start")
+        end = data.draw(st.integers(start, len(text)), label="end")
+        piece = data.draw(
+            st.text(alphabet=string.ascii_lowercase, max_size=10),
+            label="piece",
+        )
+        inc = IncrementalFingerprinter(config)
+        inc.append(text)
+        if len(inc._values) <= w:
+            return  # wholesale-rebuild fallback path, no splice to pin
+        before = {id(f): f for f in inc._sel_fp}
+        inc.replace(start, end, piece)
+        radius = n + w - 1
+        for fp in inc._sel_fp:
+            if fp.orig_end <= start - radius:
+                assert id(fp) in before
+
+
+class TestSplitEdit:
+    """Block-diff primitive behind EditBuffer (DESIGN.md §13)."""
+
+    def test_equal_texts_return_none(self):
+        from repro.fingerprint.incremental import _split_edit
+
+        assert _split_edit("", "") is None
+        assert _split_edit("same text", "same text") is None
+
+    @pytest.mark.parametrize(
+        "old,new",
+        [
+            ("hello world", "hello brave world"),   # insertion
+            ("hello brave world", "hello world"),   # deletion
+            ("hello world", "hello, world"),        # single char
+            ("hello world", "hello worlds"),        # trailing append
+            ("hello world", "ahello world"),        # leading insert
+            ("", "from nothing"),                   # creation
+            ("to nothing", ""),                     # wipe
+            ("aaaa", "aaaaaaa"),                    # ambiguous repeats
+            ("abcabc", "abcabcabc"),                # repeated blocks
+            ("x" * 5000 + "tail", "x" * 5000 + "mid" + "tail"),
+        ],
+    )
+    def test_reconstruction_identity(self, old, new):
+        from repro.fingerprint.incremental import _split_edit
+
+        start, end, repl = _split_edit(old, new)
+        assert 0 <= start <= end <= len(old)
+        assert new == old[:start] + repl + old[end:]
+
+    def test_keystroke_in_large_text_is_minimal(self):
+        from repro.fingerprint.incremental import _split_edit
+
+        old = "paragraph text " * 500
+        new = old[:4000] + "X" + old[4000:]
+        start, end, repl = _split_edit(old, new)
+        assert (start, end, repl) == (4000, 4000, "X")
+
+
+class TestEditBuffer:
+    def test_states_equal_batch_at_every_step(self):
+        from repro.fingerprint.incremental import EditBuffer
+
+        buffer = EditBuffer(TINY_CONFIG)
+        states = [
+            "",
+            "the quick brown fox",
+            "the quick brown fox jumps",       # append
+            "the quick red fox jumps",          # mid substitution
+            "the quick red fox",                # tail deletion
+            "prefix the quick red fox",         # head insertion
+            "the quick red fox",                # head deletion
+            SECRET_TEXT,                        # full rewrite
+        ]
+        for state in states:
+            fingerprint = buffer.update(state)
+            want = BATCH.fingerprint(state)
+            assert fingerprint.hashes == want.hashes
+            assert [
+                (s.value, s.orig_start, s.orig_end)
+                for s in fingerprint.selections
+            ] == [
+                (s.value, s.orig_start, s.orig_end)
+                for s in want.selections
+            ]
+            assert buffer.text == state
+
+    def test_identical_update_is_a_noop(self):
+        from repro.fingerprint.incremental import EditBuffer
+
+        buffer = EditBuffer(TINY_CONFIG, SECRET_TEXT)
+        edits_before = buffer.delta_edits
+        first = buffer.update(SECRET_TEXT)
+        second = buffer.update(SECRET_TEXT)
+        assert buffer.delta_edits == edits_before  # no splice applied
+        assert second.hashes == first.hashes
+
+    def test_counts_delta_edits_vs_full_builds(self):
+        from repro.fingerprint.incremental import EditBuffer
+
+        buffer = EditBuffer(TINY_CONFIG)
+        assert (buffer.delta_edits, buffer.full_builds) == (0, 1)
+        buffer.update("the quick brown fox jumps over the dog")
+        buffer.update("the quick brown fox jumps over the dogs")
+        assert buffer.delta_edits == 2
+
+    def test_initial_text_equals_batch(self):
+        from repro.fingerprint.incremental import EditBuffer
+
+        buffer = EditBuffer(TINY_CONFIG, SECRET_TEXT)
+        assert buffer.current().hashes == BATCH.fingerprint(SECRET_TEXT).hashes
+
+    @given(chunks)
+    @settings(max_examples=40, deadline=None)
+    def test_property_arbitrary_state_sequences_equal_batch(self, pieces):
+        """Any sequence of full-text states — each diffed to a splice —
+        fingerprints identically to the batch pipeline."""
+        from repro.fingerprint.incremental import EditBuffer
+
+        buffer = EditBuffer(TINY_CONFIG)
+        text = ""
+        for piece in pieces:
+            # Grow a state by mixing append/insert/delete of the piece.
+            cut = len(text) // 2
+            text = text[:cut] + piece + text[cut + len(piece) // 2 :]
+            fingerprint = buffer.update(text)
+            assert fingerprint.hashes == BATCH.fingerprint(text).hashes

@@ -128,3 +128,78 @@ class TestThreadSafety:
         assert cache.evictions == 4 * 250 - 16
         assert cache.hits + cache.misses == 4 * 250 * 2
         assert cache.misses >= 4 * 250  # every "missing" get missed
+
+
+class TestDigests:
+    def test_text_digest_stable_and_distinct(self):
+        from repro.plugin.cache import text_digest
+
+        assert text_digest("alpha") == text_digest("alpha")
+        assert text_digest("alpha") != text_digest("alpha ")
+        assert len(text_digest("")) == 16
+
+    def test_fingerprint_set_digest_order_and_boundaries(self):
+        from repro.plugin.cache import fingerprint_set_digest
+
+        # Set iteration order must not matter; sequence order must.
+        assert fingerprint_set_digest([{1, 2, 3}]) == fingerprint_set_digest(
+            [{3, 1, 2}]
+        )
+        assert fingerprint_set_digest([{1}, {2}]) != fingerprint_set_digest(
+            [{2}, {1}]
+        )
+        # Grouping is part of the identity: [{a}, {b}] != [{a, b}].
+        assert fingerprint_set_digest([{1}, {2}]) != fingerprint_set_digest(
+            [{1, 2}]
+        )
+        assert fingerprint_set_digest([]) != fingerprint_set_digest([set()])
+
+
+class TestFingerprintCache:
+    def _fingerprinter(self):
+        from repro.fingerprint import Fingerprinter
+        from repro.fingerprint.config import TINY_CONFIG
+
+        return Fingerprinter(TINY_CONFIG)
+
+    def test_miss_computes_then_hit_shares_object(self):
+        from repro.plugin.cache import FingerprintCache
+
+        cache = FingerprintCache()
+        fingerprinter = self._fingerprinter()
+        text = "the quick brown fox jumps over the lazy dog"
+        first = cache.fingerprint(fingerprinter, text)
+        second = cache.fingerprint(fingerprinter, text)
+        assert second is first  # immutable value, shared on hit
+        assert cache.hits == 1 and cache.misses == 1
+        assert first.hashes == fingerprinter.fingerprint(text).hashes
+
+    def test_raw_text_key_distinguishes_span_lossy_aliases(self):
+        """Texts with equal normalised form but different spans must not
+        share an entry (the §13 raw-digest deviation rationale)."""
+        from repro.fingerprint.normalize import normalize
+        from repro.plugin.cache import FingerprintCache
+
+        cache = FingerprintCache()
+        fingerprinter = self._fingerprinter()
+        a, b = "  ab cd ef gh", "ab cd ef gh  "
+        assert normalize(a).text == normalize(b).text
+        fp_a = cache.fingerprint(fingerprinter, a)
+        fp_b = cache.fingerprint(fingerprinter, b)
+        assert cache.misses == 2 and cache.hits == 0
+        spans = lambda fp: [
+            (s.orig_start, s.orig_end) for s in fp.selections
+        ]
+        assert fp_a.hashes == fp_b.hashes
+        assert spans(fp_a) != spans(fp_b)
+
+    def test_capacity_eviction_recomputes(self):
+        from repro.plugin.cache import FingerprintCache
+
+        cache = FingerprintCache(capacity=1)
+        fingerprinter = self._fingerprinter()
+        cache.fingerprint(fingerprinter, "alpha bravo charlie delta")
+        cache.fingerprint(fingerprinter, "echo foxtrot golf hotel")
+        assert cache.evictions == 1
+        cache.fingerprint(fingerprinter, "alpha bravo charlie delta")
+        assert cache.misses == 3  # the evicted entry was recomputed

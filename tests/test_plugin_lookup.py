@@ -69,6 +69,49 @@ class TestLookup:
         assert second is not first
         assert not second.allowed  # now a known source exists
 
+    def test_label_change_invalidates(self, lookup):
+        """A label-store mutation with no fingerprint delta must not be
+        served a stale verdict (the §13 label-epoch key component).
+
+        Regression: under sharded per-segment epochs this was the only
+        verdict dependency not covered by the disclosure-database
+        epochs, and the churn fleet diverged between tiers through it.
+        """
+        segments = [("d#p0", SECRET_TEXT)]
+        first = lookup.lookup(DST, "d", segments)
+        assert not first.allowed
+        # Declassify the source outright: wipe its confidential label.
+        from repro.tdm.labels import SegmentLabel
+
+        lookup.model.set_label("doc-src#p0", SegmentLabel())
+        lookup.model.set_label("doc-src", SegmentLabel())
+        second = lookup.lookup(DST, "d", segments)
+        assert second is not first
+        assert second.allowed
+
+    def test_tag_addition_invalidates(self, lookup):
+        """add_tag_to_segment flips a cached allow to a block."""
+        segments = [("d#p0", OTHER_TEXT)]
+        lookup.model.observe(SRC, "doc2", [("doc2#p0", OTHER_TEXT)])
+        first = lookup.lookup(DST, "d", segments)
+        tag = lookup.model.allocate_custom_tag("project-x", owner="alice")
+        lookup.model.add_tag_to_segment("doc2#p0", tag)
+        # The tag write changed no fingerprint, but the key must churn:
+        # a cached decision would be `second is first`.
+        second = lookup.lookup(DST, "d", segments)
+        assert second is not first
+        assert tag in second.violations[0].label.full().tags
+
+    def test_reobserving_public_text_keeps_cache_warm(self, lookup):
+        """Label writes that don't change any label must not bump the
+        epoch: re-observing public text leaves cached verdicts valid."""
+        segments = [("d#p0", OTHER_TEXT)]
+        lookup.model.observe(DST, "pub", [("pub#p0", OTHER_TEXT)])
+        first = lookup.lookup(DST, "d", segments)
+        epoch = lookup.model.label_epoch()
+        lookup.model.observe(DST, "pub", [("pub#p0", OTHER_TEXT)])
+        assert lookup.model.label_epoch() == epoch
+
     def test_suppressed_lookup_not_cached(self, lookup):
         suppression = Suppression.of("s", "alice", "approved")
         segments = [("d#p0", SECRET_TEXT)]

@@ -225,6 +225,9 @@ class TestIngestion:
             "cache_hits",
             "cache_misses",
             "cache_hit_rate",
+            "delta_checks",
+            "delta_builds",
+            "delta_edits",
         }
 
 

@@ -21,6 +21,12 @@ validator (no duplicated schema walking):
   the sharded lookup tiers, with the fleet-wide reference-engine audit
   (zero uncovered disclosures) asserted before any number is reported
   (see ``repro.eval.fleet``).
+* ``delta_check`` → ``BENCH_delta.json``: per-edit check latency of the
+  delta-aware pipeline (EditBuffer splice + epoch-memoized verdict
+  cache) versus a full recheck per edit, on a keystroke-churn edit
+  workload, with fingerprint- and verdict-equivalence between the two
+  paths proved at one and at four shards before anything is timed
+  (see ``repro.eval.delta_bench``).
 
 Re-running this tool after a perf-relevant PR and committing the
 refreshed file makes the trajectory visible in git history.
@@ -44,6 +50,10 @@ Usage::
         --out BENCH_fleet.json
     PYTHONPATH=src python tools/bench_to_json.py --validate BENCH_fleet.json \
         --gate-sessions 1000
+    PYTHONPATH=src python tools/bench_to_json.py --bench delta_check \
+        --out BENCH_delta.json
+    PYTHONPATH=src python tools/bench_to_json.py --validate BENCH_delta.json \
+        --gate-delta 3.0
 
 ``--smoke`` shrinks the corpora for CI; measurements are noisier there,
 which is why CI gates sit at (or under) the floors the real-corpus
@@ -69,6 +79,7 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.eval import delta_bench  # noqa: E402
 from repro.eval import shard_bench  # noqa: E402
 from repro.eval import fleet as fleet_sim  # noqa: E402
 from repro.eval.ingest_bench import (  # noqa: E402
@@ -104,6 +115,9 @@ SUMMARY_KEYS = (
 #: Gate values, keyed by flag name (pure/numpy/throughput/p95); 0 = off.
 Gates = Dict[str, float]
 
+#: Run-time knobs passed to every runner (currently just ``churn``).
+RunOpts = Dict[str, float]
+
 
 def _checker(problems: List[str]) -> Callable[[bool, str], None]:
     def need(cond: bool, message: str) -> None:
@@ -129,7 +143,7 @@ def build_corpora(smoke: bool, seed: int):
     return {"wikipedia": wikipedia, "manuals": manuals}
 
 
-def run_ingest(smoke: bool, seed: int) -> dict:
+def run_ingest(smoke: bool, seed: int, opts: RunOpts) -> dict:
     config = PAPER_CONFIG
     corpora = {}
     for name, corpus in build_corpora(smoke, seed).items():
@@ -209,7 +223,7 @@ def validate_ingest(document: dict, gates: Gates) -> List[str]:
     return problems
 
 
-def run_sharded(smoke: bool, seed: int) -> dict:
+def run_sharded(smoke: bool, seed: int, opts: RunOpts) -> dict:
     document = shard_bench.measure(smoke, seed)
     speedup = document["speedup"]
     print(
@@ -321,8 +335,8 @@ FLEET_TIER_KEYS = (
 FLEET_SERIES_KEYS = ("p50", "p95", "p99", "max")
 
 
-def run_fleet_bench(smoke: bool, seed: int) -> dict:
-    document = fleet_sim.measure(smoke, seed)
+def run_fleet_bench(smoke: bool, seed: int, opts: RunOpts) -> dict:
+    document = fleet_sim.measure(smoke, seed, churn=opts.get("churn", 0.0))
     for tier in ("single", "sharded"):
         block = document["tiers"][tier]
         print(
@@ -432,12 +446,100 @@ def validate_fleet(document: dict, gates: Gates) -> List[str]:
     return problems
 
 
+#: Required percentile keys of each delta-check per-path summary.
+DELTA_PATH_KEYS = ("edits", "p50_ms", "p95_ms", "p99_ms")
+
+
+def run_delta(smoke: bool, seed: int, opts: RunOpts) -> dict:
+    document = delta_bench.measure(smoke, seed)
+    speedup = document["speedup"]["per_edit_median"]
+    print(
+        f"[delta_check] equivalence ok on "
+        f"{document['equivalence_checked']} decisions (1 and "
+        f"{document['config']['n_shards']} shards); per-edit median "
+        f"{speedup:.2f}x vs full recheck",
+        file=sys.stderr,
+    )
+    return document
+
+
+def validate_delta(document: dict, gates: Gates) -> List[str]:
+    """Problems with a ``delta_check`` document (empty == valid)."""
+    problems: List[str] = []
+    need = _checker(problems)
+
+    need(
+        document.get("schema_version") == delta_bench.SCHEMA_VERSION,
+        "schema_version mismatch",
+    )
+    need(isinstance(document.get("smoke"), bool), "smoke must be a boolean")
+    config = document.get("config")
+    need(
+        isinstance(config, dict)
+        and {
+            "n_shards",
+            "rounds",
+            "paragraphs",
+            "edits_per_paragraph",
+            "ngram_size",
+            "window_size",
+            "hash_bits",
+        }
+        <= set(config or {}),
+        "config must carry the workload shape and fingerprint parameters",
+    )
+    workload = document.get("workload")
+    need(
+        isinstance(workload, dict)
+        and isinstance(workload.get("edits"), int)
+        and workload.get("edits", 0) > 0,
+        "workload.edits must be a positive integer",
+    )
+    need(
+        isinstance(document.get("equivalence_checked"), int)
+        and document.get("equivalence_checked", 0) > 0,
+        "equivalence_checked must be a positive integer",
+    )
+    paths = document.get("paths")
+    need(
+        isinstance(paths, dict)
+        and {"full_recheck", "delta"} <= set(paths or {}),
+        "paths must carry full_recheck and delta blocks",
+    )
+    for name, block in (paths or {}).items():
+        need(isinstance(block, dict), f"paths.{name} must be an object")
+        if not isinstance(block, dict):
+            continue
+        for key in DELTA_PATH_KEYS:
+            value = block.get(key)
+            need(
+                isinstance(value, (int, float)) and value >= 0,
+                f"paths.{name}.{key} must be a non-negative number",
+            )
+    speedup = document.get("speedup")
+    need(
+        isinstance(speedup, dict)
+        and isinstance(speedup.get("per_edit_median"), (int, float)),
+        "speedup must carry a numeric per_edit_median ratio",
+    )
+    if isinstance(speedup, dict):
+        gate_delta = gates.get("delta", 0.0)
+        if gate_delta:
+            actual = speedup.get("per_edit_median", 0)
+            need(
+                isinstance(actual, (int, float)) and actual >= gate_delta,
+                f"per-edit median speedup {actual} < gate {gate_delta}",
+            )
+    return problems
+
+
 #: bench name -> (runner, validator). One validator per family; the
 #: dispatcher below picks by the document's own ``bench`` field.
-BENCHES: Dict[str, Tuple[Callable[[bool, int], dict], Callable[[dict, Gates], List[str]]]] = {
+BENCHES: Dict[str, Tuple[Callable[[bool, int, RunOpts], dict], Callable[[dict, Gates], List[str]]]] = {
     "fingerprint_ingest": (run_ingest, validate_ingest),
     "sharded_lookup": (run_sharded, validate_sharded),
     "fleet": (run_fleet_bench, validate_fleet),
+    "delta_check": (run_delta, validate_delta),
 }
 
 
@@ -463,6 +565,14 @@ def main(argv=None) -> int:
         "--smoke", action="store_true", help="small corpora for CI"
     )
     parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        help="with --out (fleet): session-mix churn in [0, 1] — shifts "
+        "sessions toward keystroke-heavy Docs scripts so the run "
+        "stresses the delta-aware check pipeline (DESIGN.md §13)",
+    )
     parser.add_argument(
         "--validate", type=Path, help="schema-check an existing file"
     )
@@ -500,6 +610,13 @@ def main(argv=None) -> int:
         default=0.0,
         help="with --validate (fleet): minimum simulated sessions per tier",
     )
+    parser.add_argument(
+        "--gate-delta",
+        type=float,
+        default=0.0,
+        help="with --validate (delta_check): minimum per-edit median "
+        "speedup of the delta pipeline vs a full recheck",
+    )
     args = parser.parse_args(argv)
     if not args.out and not args.validate:
         parser.error("nothing to do: pass --out and/or --validate")
@@ -509,10 +626,12 @@ def main(argv=None) -> int:
         "throughput": args.gate_throughput,
         "p95": args.gate_p95,
         "sessions": args.gate_sessions,
+        "delta": args.gate_delta,
     }
 
     if args.out:
-        document = BENCHES[args.bench][0](args.smoke, args.seed)
+        opts: RunOpts = {"churn": args.churn}
+        document = BENCHES[args.bench][0](args.smoke, args.seed, opts)
         problems = validate(document, {})
         if problems:  # a tool bug, not a perf regression — fail loudly
             for problem in problems:
