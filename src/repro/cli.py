@@ -20,13 +20,20 @@ Usage (installed as ``python -m repro``):
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
+try:  # advisory database locking; absent on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover - POSIX-only dependency
+    fcntl = None
+
 from repro.disclosure import DisclosureEngine
 from repro.disclosure.persistence import load_engine, save_engine
+from repro.errors import ReproError
 from repro.fingerprint import FingerprintConfig, Fingerprinter
 from repro.obs.trace import Tracer, span, tracing
 from repro.plugin.crypto import UploadCipher
@@ -51,6 +58,36 @@ def _load_or_create_engine(args) -> DisclosureEngine:
     if db_path.exists():
         return load_engine(db_path, cipher=_cipher_from_args(args))
     return DisclosureEngine(_config_from_args(args))
+
+
+#: Test hook: called (with no arguments) inside the database lock after
+#: the engine is loaded but before it is mutated and saved. The
+#: lost-update regression test parks one invocation here while a second
+#: one contends for the lock.
+_AFTER_LOAD_HOOK = None
+
+
+@contextlib.contextmanager
+def _db_locked(db_path: Path):
+    """Advisory exclusive lock covering a load → mutate → save cycle.
+
+    Two concurrent ``repro observe`` runs against the same database used
+    to race: both load the same snapshot, each saves its own mutation,
+    and the second save silently discards the first's ops. An exclusive
+    ``flock`` on a ``<db>.lock`` sidecar serialises the whole cycle
+    (sidecar, not the db itself, because ``save_engine`` atomically
+    *replaces* the db file, which would orphan a lock held on it).
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = db_path.with_name(db_path.name + ".lock")
+    with open(lock_path, "w") as lock_file:
+        fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
 
 
 # ----------------------------------------------------------------------
@@ -90,12 +127,46 @@ def cmd_compare(args) -> int:
 
 
 def cmd_observe(args) -> int:
-    engine = _load_or_create_engine(args)
-    engine.observe(args.id, _read_text(args.file), threshold=args.threshold)
-    save_engine(engine, args.db, cipher=_cipher_from_args(args))
+    with _db_locked(Path(args.db)):
+        engine = _load_or_create_engine(args)
+        if _AFTER_LOAD_HOOK is not None:
+            _AFTER_LOAD_HOOK()
+        engine.observe(args.id, _read_text(args.file), threshold=args.threshold)
+        save_engine(engine, args.db, cipher=_cipher_from_args(args))
     stats = engine.stats()
     print(f"observed {args.id!r}; database now holds "
           f"{stats['segments']} segments / {stats['distinct_hashes']} hashes")
+    return 0
+
+
+def cmd_recover(args) -> int:
+    """Recover a durable engine directory (snapshot + WAL) and report.
+
+    With ``--compact`` the recovered state is folded into a fresh
+    snapshot and the log is rotated, so the next recovery replays
+    (almost) nothing.
+    """
+    from repro.disclosure.wal import DurableEngine
+
+    engine = DurableEngine(
+        Path(args.dir),
+        config=_config_from_args(args),
+        cipher=_cipher_from_args(args),
+    )
+    try:
+        recovery = engine.recovery
+        stats = engine.stats()
+        print(f"recovered {args.dir}: {stats['segments']} segments / "
+              f"{stats['distinct_hashes']} hashes")
+        print(f"  snapshot covers lsn {recovery.snapshot_lsn}; replayed "
+              f"{recovery.replayed} record(s), skipped {recovery.skipped}, "
+              f"truncated {recovery.torn_bytes} torn byte(s)")
+        print(f"  logical clock resumed at {recovery.resumed_clock}")
+        if args.compact:
+            lsn = engine.compact()
+            print(f"  compacted through lsn {lsn}")
+    finally:
+        engine.close()
     return 0
 
 
@@ -345,6 +416,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_options(p)
     p.set_defaults(func=cmd_trace)
 
+    p = sub.add_parser(
+        "recover", help="recover a durable engine directory (snapshot + WAL)"
+    )
+    p.add_argument("--dir", required=True, help="durable engine directory")
+    p.add_argument("--key", help="at-rest encryption key")
+    p.add_argument("--compact", action="store_true",
+                   help="fold the WAL into a fresh snapshot after recovery")
+    _add_config_options(p)
+    p.set_defaults(func=cmd_recover)
+
     p = sub.add_parser("corpus", help="print Table 1 for the synthetic corpora")
     p.add_argument("--revisions", type=int, default=20)
     p.add_argument("--books", type=int, default=5)
@@ -364,7 +445,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # A corrupt snapshot, wrong key, or bad request is an expected
+        # operational failure: one readable line, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,6 +14,8 @@ from?
   source/target character spans that caused a disclosure report.
 * :mod:`repro.disclosure.sharding` — hash-range sharding of DBhash with
   a scatter/gather sweep (DESIGN.md §11).
+* :mod:`repro.disclosure.wal` — write-ahead logging, compaction, crash
+  recovery, and standby log shipping (DESIGN.md §14).
 """
 
 from repro.disclosure.attribution import AttributedMatch, attribute_disclosure
@@ -35,8 +37,20 @@ from repro.disclosure.sharding import (
     shard_of,
 )
 from repro.disclosure.store import HashDatabase, SegmentDatabase, SegmentRecord
+from repro.disclosure.wal import (
+    DurableEngine,
+    EngineJournal,
+    LogShipper,
+    WALSet,
+    WriteAheadLog,
+)
 
 __all__ = [
+    "DurableEngine",
+    "EngineJournal",
+    "LogShipper",
+    "WALSet",
+    "WriteAheadLog",
     "AttributedMatch",
     "attribute_disclosure",
     "DisclosureEngine",

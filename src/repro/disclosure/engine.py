@@ -127,6 +127,11 @@ class DisclosureEngine:
         self.lock = lock or RWLock(scope=self.registry.scope("lock."))
         self.hash_db = HashDatabase()
         self.segment_db = SegmentDatabase()
+        # Durability hook: when a journal is attached every mutation is
+        # appended to it (inside the write lock, after the in-memory
+        # apply) so a WAL replay reconstructs this engine exactly. None
+        # keeps the non-durable hot path at a single attribute test.
+        self._journal = None
         # Bumped whenever a new (hash, segment) observation lands; lets
         # the query cache stay valid across no-op re-observations, which
         # is what makes per-keystroke queries cheap (paper §6.2).
@@ -175,6 +180,19 @@ class DisclosureEngine:
         self._h_fingerprint.observe(clock.now() - start)
         return fingerprint
 
+    def attach_journal(self, journal) -> None:
+        """Journal every mutation to *journal* (a WAL-backed
+        :class:`~repro.disclosure.wal.EngineJournal`).
+
+        Must be attached before mutations that need durability and
+        detached (:meth:`detach_journal`) during replay, so recovered
+        operations are not re-journaled.
+        """
+        self._journal = journal
+
+    def detach_journal(self) -> None:
+        self._journal = None
+
     # ------------------------------------------------------------------
     # Observation (DB maintenance)
     # ------------------------------------------------------------------
@@ -199,17 +217,22 @@ class DisclosureEngine:
         *,
         threshold: float = DEFAULT_THRESHOLD,
         doc_id: Optional[str] = None,
+        timestamp: Optional[float] = None,
     ) -> SegmentRecord:
         """Observe a segment from a precomputed fingerprint.
 
         New hashes get first-seen timestamps now; hashes observed before
         keep their original timestamps, so ownership is stable across
         edits and re-observations.
+
+        *timestamp* overrides the logical-clock draw. It exists for WAL
+        replay, which must reproduce recorded first-seen times exactly
+        (and must not advance the clock); live callers leave it None.
         """
         if not 0.0 <= threshold <= 1.0:
             raise DisclosureError(f"threshold must be in [0, 1], got {threshold}")
         with self.lock.write_locked():
-            now = self._clock.now()
+            now = self._clock.now() if timestamp is None else timestamp
             existing = self.segment_db.find(segment_id)
             changed = self._apply_fingerprint_delta(
                 segment_id,
@@ -238,6 +261,8 @@ class DisclosureEngine:
                     last_updated=now,
                 )
             self.segment_db.put(record)
+            if self._journal is not None:
+                self._journal.log_observe(self._kind, record, now)
             return record
 
     def _apply_fingerprint_delta(
@@ -272,6 +297,8 @@ class DisclosureEngine:
                 self._version += 1
             self._query_cache.pop(segment_id, None)
             self._auth_cache.pop(segment_id, None)
+            if self._journal is not None:
+                self._journal.log_remove(self._kind, segment_id)
 
     def set_threshold(self, segment_id: str, threshold: float) -> None:
         """Adjust a segment's disclosure threshold (paper §4.2)."""
@@ -289,6 +316,8 @@ class DisclosureEngine:
                     last_updated=record.last_updated,
                 )
             )
+            if self._journal is not None:
+                self._journal.log_threshold(self._kind, segment_id, threshold)
 
     def version_epoch(self, hashes) -> object:
         """Opaque, hashable epoch token for a check over *hashes*.
@@ -868,6 +897,19 @@ class DisclosureTracker:
     @property
     def document_threshold(self) -> float:
         return self._document_threshold
+
+    def resume_clock(self, after: float) -> None:
+        """Share a fresh logical clock resumed strictly past *after*.
+
+        WAL replay applies recorded timestamps without advancing the
+        tracker's clock; a standby that is promoted to primary (or a
+        tracker rebuilt by recovery) calls this so its first live
+        observation cannot time-travel before — and steal authoritative
+        ownership from — anything already replayed.
+        """
+        clock = LogicalClock(start=int(after) + 1)
+        self.paragraphs._clock = clock
+        self.documents._clock = clock
 
     def observe_document(
         self,

@@ -11,21 +11,38 @@ with first-seen timestamps preserved so authoritative ownership
 survives a restart), optional encryption with the deployment's
 :class:`~repro.plugin.crypto.UploadCipher`, and an expiry sweep that
 drops segments not updated since a cutoff.
+
+Snapshot writes are atomic: the payload goes to a temp file in the
+target directory, is fsynced, and is then ``os.replace``d over the
+destination, so a reader never sees a torn snapshot — a crash mid-write
+leaves the previous snapshot intact. Crash points can be injected
+deterministically through a :class:`~repro.util.faults.FaultInjector`
+(see :func:`save_engine`), which is how the regression tests kill the
+writer at arbitrary byte positions without sleeps or subprocesses.
+
+Corrupt snapshots surface as :class:`~repro.errors.SnapshotCorrupt`
+(a :class:`~repro.errors.DisclosureError`) with a message naming the
+file and the failure, never as a raw ``JSONDecodeError`` or
+``KeyError`` traceback.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+from contextlib import suppress
 from pathlib import Path
 from typing import List, Optional
 
 from repro.disclosure.engine import DisclosureEngine
 from repro.disclosure.store import SegmentRecord
-from repro.errors import DisclosureError
+from repro.errors import DisclosureError, SimulatedCrash, SnapshotCorrupt
 from repro.fingerprint import Fingerprint, FingerprintConfig
 from repro.fingerprint.fingerprint import FingerprintHash
 from repro.plugin.crypto import UploadCipher
 from repro.util.clock import Clock, LogicalClock
+from repro.util.faults import FaultInjector
 
 
 def _max_timestamp(data: dict) -> float:
@@ -42,8 +59,15 @@ def _max_timestamp(data: dict) -> float:
 SNAPSHOT_VERSION = 1
 
 
-def snapshot_engine(engine: DisclosureEngine) -> dict:
-    """Serialise an engine's databases to a JSON-compatible dict."""
+def snapshot_engine(
+    engine: DisclosureEngine, *, wal_lsn: Optional[int] = None
+) -> dict:
+    """Serialise an engine's databases to a JSON-compatible dict.
+
+    *wal_lsn*, when given, records the last WAL log sequence number
+    folded into this snapshot; recovery replays only records beyond it
+    (see :mod:`repro.disclosure.wal`).
+    """
     config = engine.config
     segments = []
     for record in engine.segment_db:
@@ -65,7 +89,7 @@ def snapshot_engine(engine: DisclosureEngine) -> dict:
     for hash_value in engine.hash_db.hashes():
         owners = engine.hash_db.owners(hash_value)
         observations[str(hash_value)] = [[seg, ts] for seg, ts in owners]
-    return {
+    data = {
         "version": SNAPSHOT_VERSION,
         "config": {
             "ngram_size": config.ngram_size,
@@ -77,6 +101,15 @@ def snapshot_engine(engine: DisclosureEngine) -> dict:
         "segments": segments,
         "observations": observations,
     }
+    # Owner epochs are history-dependent (a record/withdraw counter), so
+    # replaying record() calls at restore cannot reproduce them; persist
+    # the counters themselves. Additive fields: old snapshots load fine.
+    epochs, changes = engine.hash_db.ownership_meta()
+    data["owner_epochs"] = {k: v for k, v in epochs.items() if v}
+    data["ownership_changes"] = changes
+    if wal_lsn is not None:
+        data["wal_lsn"] = wal_lsn
+    return data
 
 
 def restore_engine(
@@ -86,71 +119,243 @@ def restore_engine(
 
     First-seen timestamps are restored verbatim, so the earliest-owner
     relation — and therefore every disclosure decision — is identical
-    to the engine that was saved.
+    to the engine that was saved. Malformed snapshot dicts raise
+    :class:`~repro.errors.SnapshotCorrupt` naming the defect.
     """
+    if not isinstance(data, dict):
+        raise SnapshotCorrupt(
+            f"snapshot root must be a JSON object, got {type(data).__name__}"
+        )
     if data.get("version") != SNAPSHOT_VERSION:
         raise DisclosureError(
             f"unsupported snapshot version {data.get('version')!r}"
         )
-    config = FingerprintConfig(**data["config"])
-    if clock is None:
-        # Resume the logical clock past every persisted timestamp:
-        # otherwise a restarted process hands out timestamps at or
-        # before the snapshot's, letting post-restart observations
-        # steal authoritative ownership from the true first observers.
-        clock = LogicalClock(start=int(_max_timestamp(data)) + 1)
-    engine = DisclosureEngine(
-        config,
-        clock,
-        authoritative=data.get("authoritative", True),
-        kind=data.get("kind", "paragraph"),
-    )
-    for entry in data["segments"]:
-        fingerprint = Fingerprint(
-            hashes=frozenset(entry["hashes"]),
-            selections=tuple(
-                FingerprintHash(value, start, end)
-                for value, start, end in entry["selections"]
+    try:
+        config = FingerprintConfig(**data["config"])
+        engine = DisclosureEngine(
+            config,
+            clock if clock is not None else LogicalClock(
+                # Resume the logical clock past every persisted
+                # timestamp: otherwise a restarted process hands out
+                # timestamps at or before the snapshot's, letting
+                # post-restart observations steal authoritative
+                # ownership from the true first observers.
+                start=int(_max_timestamp(data)) + 1
             ),
-            config=config,
+            authoritative=data.get("authoritative", True),
+            kind=data.get("kind", "paragraph"),
         )
-        engine.segment_db.put(
-            SegmentRecord(
-                segment_id=entry["id"],
-                fingerprint=fingerprint,
-                threshold=entry["threshold"],
-                kind=entry["kind"],
-                doc_id=entry["doc_id"],
-                last_updated=entry["last_updated"],
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotCorrupt(
+            f"snapshot is malformed ({type(exc).__name__}: {exc})"
+        ) from exc
+    return restore_into(engine, data)
+
+
+def restore_into(engine: DisclosureEngine, data: dict) -> DisclosureEngine:
+    """Load a snapshot dict's segments and observations into *engine*.
+
+    *engine* must be freshly constructed (empty databases) with a config
+    matching the snapshot's; works for both the single-store and the
+    sharded engine, since both expose ``segment_db.put`` and
+    ``hash_db.record``. Used directly by WAL recovery, which builds the
+    engine itself so the recovered tier (plain or sharded) matches the
+    pre-crash deployment.
+    """
+    config = engine.config
+    snap_config = data.get("config", {})
+    if snap_config and (
+        config.ngram_size,
+        config.window_size,
+        config.hash_bits,
+    ) != (
+        snap_config.get("ngram_size"),
+        snap_config.get("window_size"),
+        snap_config.get("hash_bits"),
+    ):
+        raise DisclosureError(
+            f"snapshot fingerprint config {snap_config} does not match "
+            f"the engine's ({config.ngram_size}, {config.window_size}, "
+            f"{config.hash_bits})"
+        )
+    try:
+        for entry in data["segments"]:
+            fingerprint = Fingerprint(
+                hashes=frozenset(entry["hashes"]),
+                selections=tuple(
+                    FingerprintHash(value, start, end)
+                    for value, start, end in entry["selections"]
+                ),
+                config=config,
             )
-        )
-    for hash_str, owners in data["observations"].items():
-        hash_value = int(hash_str)
-        for segment_id, timestamp in owners:
-            engine.hash_db.record(hash_value, segment_id, timestamp)
+            engine.segment_db.put(
+                SegmentRecord(
+                    segment_id=entry["id"],
+                    fingerprint=fingerprint,
+                    threshold=entry["threshold"],
+                    kind=entry["kind"],
+                    doc_id=entry["doc_id"],
+                    last_updated=entry["last_updated"],
+                )
+            )
+        for hash_str, owners in data["observations"].items():
+            hash_value = int(hash_str)
+            for segment_id, timestamp in owners:
+                engine.hash_db.record(hash_value, segment_id, timestamp)
+        if "owner_epochs" in data:
+            # The record() loop above bumped epochs once per claim; the
+            # live engine's history may have bumped them more (claims
+            # released and re-won). Restore the persisted counters.
+            engine.hash_db.restore_ownership_meta(
+                {str(k): int(v) for k, v in data["owner_epochs"].items()},
+                int(data.get("ownership_changes", 0)),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotCorrupt(
+            f"snapshot is malformed ({type(exc).__name__}: {exc})"
+        ) from exc
     return engine
 
 
-def save_engine(
-    engine: DisclosureEngine, path, *, cipher: Optional[UploadCipher] = None
+def _atomic_write_text(
+    path: Path, payload: str, *, faults: Optional[FaultInjector] = None
 ) -> None:
-    """Write a snapshot to *path*, encrypted when a cipher is given."""
-    payload = json.dumps(snapshot_engine(engine))
+    """Atomically replace *path* with *payload*.
+
+    The bytes go to an fsynced temp file in the same directory, then an
+    ``os.replace`` swings the name; the containing directory is fsynced
+    so the rename itself is durable. At no point can a reader observe a
+    half-written *path*.
+
+    *faults* injects one deterministic crash decision per call:
+
+    * ``drop`` — crash before anything touches the disk;
+    * ``latency`` — a torn write: the first ``int(fault.latency)``
+      bytes of the payload reach the temp file, then the process dies;
+    * ``error`` — the temp file is complete and fsynced, but the
+      process dies before the rename.
+
+    Every crash raises :class:`~repro.errors.SimulatedCrash` and leaves
+    any debris a real crash would (a stale temp file) — but never a
+    torn *path*.
+    """
+    fault = faults.next_fault() if faults is not None else None
+    if fault is not None and fault.kind == "drop":
+        raise SimulatedCrash(f"before writing snapshot {path}")
+    data = payload.encode("utf-8")
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(directory)
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            if fault is not None and fault.kind == "latency":
+                # Torn write: at most len-1 bytes land, then the crash.
+                torn = min(int(fault.latency), max(len(data) - 1, 0))
+                handle.write(data[:torn])
+                handle.flush()
+                raise SimulatedCrash(
+                    f"mid-write after {torn} bytes of snapshot {path}"
+                )
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if fault is not None and fault.kind == "error":
+            raise SimulatedCrash(f"after temp write, before renaming {path}")
+        os.replace(tmp_name, path)
+    except SimulatedCrash:
+        # A real crash leaves its temp-file debris behind; so do we.
+        raise
+    except BaseException:
+        with suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    _fsync_directory(directory)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory's metadata so a completed rename is durable."""
+    try:
+        dir_fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir open
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def save_engine(
+    engine: DisclosureEngine,
+    path,
+    *,
+    cipher: Optional[UploadCipher] = None,
+    wal_lsn: Optional[int] = None,
+    faults: Optional[FaultInjector] = None,
+) -> None:
+    """Atomically write a snapshot to *path*.
+
+    Encrypted when a cipher is given. *wal_lsn* stamps the snapshot
+    with the last WAL record it covers (compaction); *faults* injects
+    deterministic crash points (see :func:`_atomic_write_text`).
+    """
+    payload = json.dumps(snapshot_engine(engine, wal_lsn=wal_lsn))
     if cipher is not None:
         payload = cipher.encrypt(payload)
-    Path(path).write_text(payload, encoding="utf-8")
+    _atomic_write_text(Path(path), payload, faults=faults)
+
+
+def read_snapshot(path, *, cipher: Optional[UploadCipher] = None) -> dict:
+    """Read and decode a snapshot file to its dict form.
+
+    Raises :class:`~repro.errors.SnapshotCorrupt` on truncated, corrupt,
+    or wrong-cipher payloads, and a plain
+    :class:`~repro.errors.DisclosureError` when the file is encrypted
+    but no cipher was supplied.
+    """
+    path = Path(path)
+    try:
+        payload = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DisclosureError(f"cannot read snapshot {path}: {exc}") from exc
+    if UploadCipher.is_encrypted(payload):
+        if cipher is None:
+            raise DisclosureError(
+                f"snapshot {path} is encrypted; a cipher is required"
+            )
+        try:
+            payload = cipher.decrypt(payload)
+        except Exception as exc:
+            raise SnapshotCorrupt(
+                f"snapshot {path} cannot be decrypted — wrong key or "
+                f"corrupt ciphertext ({type(exc).__name__})"
+            ) from exc
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise SnapshotCorrupt(
+            f"snapshot {path} is truncated or corrupt: not valid JSON "
+            f"({exc})"
+        ) from exc
+    if not isinstance(data, dict):
+        raise SnapshotCorrupt(
+            f"snapshot {path} root must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    return data
 
 
 def load_engine(
     path, *, cipher: Optional[UploadCipher] = None, clock: Optional[Clock] = None
 ) -> DisclosureEngine:
     """Read a snapshot from *path*; decrypts when a cipher is given."""
-    payload = Path(path).read_text(encoding="utf-8")
-    if UploadCipher.is_encrypted(payload):
-        if cipher is None:
-            raise DisclosureError("snapshot is encrypted; a cipher is required")
-        payload = cipher.decrypt(payload)
-    return restore_engine(json.loads(payload), clock=clock)
+    data = read_snapshot(path, cipher=cipher)
+    try:
+        return restore_engine(data, clock=clock)
+    except SnapshotCorrupt as exc:
+        raise SnapshotCorrupt(f"snapshot {path}: {exc}") from exc
 
 
 def expire_segments(engine: DisclosureEngine, *, older_than: float) -> List[str]:
@@ -167,4 +372,9 @@ def expire_segments(engine: DisclosureEngine, *, older_than: float) -> List[str]
     ]
     for segment_id in stale:
         engine.remove(segment_id)
+    journal = getattr(engine, "_journal", None)
+    if journal is not None and stale:
+        # The removes above were journaled individually; this marker
+        # records *why* (a retention sweep), for audit and shipping.
+        journal.log_expire(engine._kind, older_than, stale)
     return stale

@@ -601,6 +601,30 @@ class ShardedHashDatabase:
     def ownership_changes(self) -> int:
         return sum(shard.ownership_changes for shard in self.shards)
 
+    def ownership_meta(self) -> Tuple[Dict[str, int], int]:
+        """Merged epoch state across shards: (per-segment epochs, changes)."""
+        merged: Dict[str, int] = {}
+        changes = 0
+        for index in range(self.n_shards):
+            with self.locks[index].read_locked():
+                epochs, shard_changes = self.shards[index].ownership_meta()
+            for segment_id, epoch in epochs.items():
+                merged[segment_id] = merged.get(segment_id, 0) + epoch
+            changes += shard_changes
+        return merged, changes
+
+    def restore_ownership_meta(self, epochs: Dict[str, int], changes: int) -> None:
+        """Overwrite epoch counters with snapshot values (recovery only).
+
+        The snapshot stores the *summed* view, so park it all on shard 0:
+        the summing accessors then report exactly the persisted values.
+        """
+        for index in range(self.n_shards):
+            with self.locks[index].write_locked():
+                self.shards[index].restore_ownership_meta({}, 0)
+        with self.locks[0].write_locked():
+            self.shards[0].restore_ownership_meta(epochs, changes)
+
     def shard_sizes(self) -> List[int]:
         """Distinct-hash count per shard (balance reporting)."""
         return [len(shard) for shard in self.shards]

@@ -208,6 +208,28 @@ class HashDatabase:
         """Version of *segment_id*'s owned set; bumps on every change."""
         return self._owner_epoch.get(segment_id, 0)
 
+    def ownership_meta(self) -> Tuple[Dict[str, int], int]:
+        """Exportable epoch state: (per-segment epochs, total changes).
+
+        Persisted in snapshots so a recovered engine's cache-versioning
+        counters are field-identical to the pre-crash engine's — a
+        memoized verdict keyed on an epoch must not collide with a
+        different post-recovery state that reuses the same number.
+        """
+        return dict(self._owner_epoch), self.ownership_changes
+
+    def restore_ownership_meta(
+        self, epochs: Dict[str, int], changes: int
+    ) -> None:
+        """Overwrite epoch counters with snapshot values (recovery only).
+
+        Must run after the observation replay that rebuilt the indexes;
+        the replay's own epoch bumps are replaced by the persisted
+        counts so recovered and pre-crash engines agree exactly.
+        """
+        self._owner_epoch = dict(epochs)
+        self.ownership_changes = changes
+
     def remove_observation(self, hash_value: int, segment_id: str) -> bool:
         """Release one (hash, segment) association.
 

@@ -1,0 +1,958 @@
+"""Write-ahead logging, compaction, crash recovery, and standby catch-up.
+
+The snapshot persistence of :mod:`repro.disclosure.persistence` makes
+§4.4's long-term fingerprint store durable only at snapshot boundaries:
+everything observed since the last save dies with the process. This
+module closes that gap with a write-ahead log (the ROADMAP's
+"durability and restart at scale" item):
+
+* every engine mutation (observe / remove / set_threshold, plus expiry
+  sweeps and policy suppressions) is appended to an append-only log of
+  length-prefixed, CRC-checksummed JSON records *before* the caller is
+  acknowledged;
+* periodic **compaction** folds the log into an atomic snapshot
+  (stamped with the last folded log sequence number) and rotates the
+  log, bounding both file size and recovery time;
+* **recovery** loads the snapshot, replays the log tail (records with
+  ``lsn`` beyond the snapshot's stamp), truncates any torn final
+  record, and resumes the logical clock past every recorded timestamp —
+  reconstructing the pre-crash engine field-for-field;
+* a **standby** catches up by log shipping: :class:`LogShipper` reads
+  the primary's log tail past a cursor, and
+  :class:`~repro.plugin.server.StandbyLookupServer` applies it to a
+  warm replica that can serve Algorithm 1 verdicts the moment the
+  primary dies.
+
+Crash points are injected deterministically through the existing
+:class:`~repro.util.faults.FaultInjector` — one fault decision per
+append, mapped onto crash semantics (see :meth:`WriteAheadLog.append`)
+— so the recovery matrix covers crashes at record boundaries, torn
+mid-record writes, and written-but-unacknowledged records without
+sleeps or subprocesses.
+
+File format (one log file)::
+
+    file   := MAGIC record*
+    MAGIC  := b"BFWAL1\\n"
+    record := length:uint32be  crc32:uint32be  payload[length]
+
+``payload`` is compact JSON carrying at least ``lsn`` (a strictly
+increasing sequence number, global across all shard files of one log
+set) and ``op``; with a cipher it is the UploadCipher armour of that
+JSON, giving the log the same at-rest encryption as snapshots (§4.4).
+A record whose length, checksum, or JSON fails to decode marks the torn
+tail: everything before it is kept, it and everything after is
+discarded (and the file truncated back to the last good record).
+
+Sharded deployments (:class:`~repro.disclosure.sharding.
+ShardedHashDatabase` behind a :class:`WALSet` with ``n_shards > 1``)
+keep one log file per shard, routed by segment id; the shared LSN
+counter makes the merged, LSN-sorted stream equivalent to a single log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from json.encoder import encode_basestring_ascii as _escape
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.disclosure.engine import DisclosureEngine
+from repro.disclosure.persistence import (
+    _max_timestamp,
+    read_snapshot,
+    restore_into,
+    save_engine,
+)
+from repro.disclosure.store import SegmentRecord
+from repro.errors import (
+    DisclosureError,
+    SimulatedCrash,
+    UnknownSegmentError,
+    WALCorrupt,
+)
+from repro.fingerprint import Fingerprint, FingerprintConfig
+from repro.fingerprint.fingerprint import FingerprintHash
+from repro.obs.registry import MetricsRegistry, MetricsScope
+from repro.plugin.crypto import UploadCipher
+from repro.util.clock import LogicalClock
+from repro.util.faults import FaultInjector
+
+#: Log file magic; bump the digit on incompatible format changes.
+MAGIC = b"BFWAL1\n"
+
+_HEADER = struct.Struct(">II")  # payload length, crc32(payload)
+
+#: Allowed fsync policies: ``"always"`` fsyncs every append (maximum
+#: durability), ``"batch"`` fsyncs every ``fsync_interval`` appends
+#: (the default; bounded loss window), ``"never"`` leaves flushing to
+#: the OS (fastest; loss window unbounded). All three policies flush
+#: Python's buffer on every append so a concurrent reader (the log
+#: shipper) always sees whole records.
+FSYNC_POLICIES = ("always", "batch", "never")
+
+#: Default ``fsync_interval`` for the batch policy. An fsync costs a
+#: third of a millisecond on commodity hardware — several times the
+#: record encode itself — so the default amortises it over a window of
+#: 64 acknowledged ops; ``close()``/``sync()`` always flush the window.
+#: Deployments wanting a tighter loss bound turn the knob down.
+DEFAULT_FSYNC_INTERVAL = 64
+
+#: Operations a log record may carry. ``observe`` / ``remove`` /
+#: ``threshold`` mutate engine state on replay; ``expire`` and
+#: ``suppress`` are informational markers (the removes of an expiry
+#: sweep are journaled individually; suppressions replicate the audit
+#: obligation to a standby); ``compact`` opens a rotated log and pins
+#: the snapshot LSN it follows.
+OPS = ("observe", "remove", "threshold", "expire", "suppress", "compact")
+
+#: Default file names inside a durable engine's directory.
+SNAPSHOT_NAME = "snapshot.json"
+
+
+def _wal_name(shard: int, n_shards: int) -> str:
+    return "wal.log" if n_shards == 1 else f"wal.{shard}.log"
+
+
+class LSNCounter:
+    """Thread-safe allocator of strictly increasing sequence numbers.
+
+    Shared by every shard file of one :class:`WALSet`, so the merged
+    stream has a total order regardless of which file a record landed
+    in.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._mutex = threading.Lock()
+        self._next = start
+
+    def allocate(self) -> int:
+        with self._mutex:
+            lsn = self._next
+            self._next += 1
+            return lsn
+
+    def observe(self, lsn: int) -> None:
+        """Bump past an LSN seen on disk (during open/recovery)."""
+        with self._mutex:
+            self._next = max(self._next, lsn + 1)
+
+    @property
+    def last_allocated(self) -> int:
+        with self._mutex:
+            return self._next - 1
+
+
+def _decode_payload(raw: bytes, cipher: Optional[UploadCipher]) -> dict:
+    text = raw.decode("utf-8")
+    if UploadCipher.is_encrypted(text):
+        if cipher is None:
+            raise WALCorrupt("encrypted WAL record but no cipher supplied")
+        text = cipher.decrypt(text)
+    record = json.loads(text)
+    if not isinstance(record, dict) or "lsn" not in record or "op" not in record:
+        raise WALCorrupt(f"WAL record missing lsn/op: {record!r}")
+    return record
+
+
+def scan_wal_file(
+    path, *, cipher: Optional[UploadCipher] = None
+) -> Tuple[List[dict], int, int]:
+    """Scan one log file into records plus torn-tail accounting.
+
+    Returns ``(records, good_bytes, torn_bytes)``: *good_bytes* is the
+    offset of the first unreadable byte (the length a recovery truncate
+    should restore), *torn_bytes* what a crash left beyond it. A
+    missing file scans as empty. A file that exists but lacks the magic
+    header raises :class:`~repro.errors.WALCorrupt` — that is damage a
+    torn append cannot cause.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        return [], 0, 0
+    if not blob:
+        return [], 0, 0
+    if not blob.startswith(MAGIC):
+        raise WALCorrupt(f"{path} is not a WAL file (bad magic)")
+    records: List[dict] = []
+    offset = len(MAGIC)
+    while offset < len(blob):
+        if offset + _HEADER.size > len(blob):
+            break  # torn header
+        length, crc = _HEADER.unpack_from(blob, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > len(blob):
+            break  # torn payload
+        payload = blob[start:end]
+        if zlib.crc32(payload) != crc:
+            break  # torn or corrupt record: stop trusting the file here
+        try:
+            records.append(_decode_payload(payload, cipher))
+        except WALCorrupt:
+            raise
+        except Exception:
+            break  # checksummed garbage — treat as tail damage
+        offset = end
+    return records, offset, len(blob) - offset
+
+
+def read_wal_directory(
+    directory, *, cipher: Optional[UploadCipher] = None
+) -> Tuple[List[dict], int]:
+    """All records of every ``wal*.log`` under *directory*, LSN-sorted.
+
+    Returns ``(records, torn_bytes_total)``. Read-only — used by
+    recovery previews and the log shipper; the writing side
+    (:class:`WALSet`) also truncates torn tails when it opens.
+    """
+    directory = Path(directory)
+    records: List[dict] = []
+    torn_total = 0
+    for path in sorted(directory.glob("wal*.log")):
+        shard_records, _good, torn = scan_wal_file(path, cipher=cipher)
+        records.extend(shard_records)
+        torn_total += torn
+    records.sort(key=lambda r: r["lsn"])
+    return records, torn_total
+
+
+class WriteAheadLog:
+    """One append-only, checksummed log file.
+
+    Opening an existing file scans it, truncates any torn tail back to
+    the last whole record, and resumes the LSN counter past the largest
+    LSN on disk. The scanned records are kept on
+    :attr:`recovered_records` so recovery does not read the file twice.
+
+    Appends are serialised under a mutex; each append draws one fault
+    decision from *faults* (when given) and maps it onto crash
+    semantics:
+
+    * ``drop`` — the process dies *before* the record reaches the file:
+      a clean record-boundary crash, the operation is lost;
+    * ``latency`` — a torn write: the first ``int(fault.latency)``
+      bytes of the encoded record land (clamped to length-1, so the
+      record is genuinely torn), then the process dies; recovery
+      truncates it away, the operation is lost;
+    * ``error`` — the record is fully written and fsynced but the
+      process dies before the caller is acknowledged: recovery replays
+      it, the operation *survives*.
+
+    Every injected crash raises :class:`~repro.errors.SimulatedCrash`
+    and permanently kills this log object (like the process it models);
+    recovery happens by constructing a fresh one on the same path.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        fsync: str = "batch",
+        fsync_interval: int = DEFAULT_FSYNC_INTERVAL,
+        cipher: Optional[UploadCipher] = None,
+        faults: Optional[FaultInjector] = None,
+        scope: Optional[MetricsScope] = None,
+        counter: Optional[LSNCounter] = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if fsync_interval < 1:
+            raise ValueError(f"fsync_interval must be >= 1, got {fsync_interval}")
+        self.path = Path(path)
+        self._fsync = fsync
+        self._fsync_interval = fsync_interval
+        self._cipher = cipher
+        self._faults = faults
+        self._counter = counter or LSNCounter()
+        self._mutex = threading.Lock()
+        self._dead = False
+        self._appends_since_fsync = 0
+        scope = scope or MetricsRegistry().scope("wal.")
+        self.metrics = scope
+        self._c_appends = scope.counter("appends")
+        self._c_bytes = scope.counter("bytes_appended")
+        self._c_fsyncs = scope.counter("fsyncs")
+        self._c_crashes = scope.counter("crashes_injected")
+        self._c_torn = scope.counter("torn_bytes_truncated")
+        self._h_record_bytes = scope.histogram(
+            "record_bytes", buckets=(64, 256, 1024, 4096, 16384)
+        )
+        #: Records found on disk when this log was opened (LSN order as
+        #: stored); recovery consumes these instead of re-reading.
+        self.recovered_records, good_bytes, torn = scan_wal_file(
+            self.path, cipher=cipher
+        )
+        for record in self.recovered_records:
+            self._counter.observe(record["lsn"])
+        if self.path.exists():
+            if torn:
+                # Truncate the torn tail so the new appends start at a
+                # record boundary — the recovery half of atomicity.
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(good_bytes)
+                self._c_torn.inc(torn)
+            self._handle = open(self.path, "ab")
+            if self._handle.tell() == 0:
+                self._handle.write(MAGIC)
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+        else:
+            self._handle = open(self.path, "wb")
+            self._handle.write(MAGIC)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    @property
+    def last_lsn(self) -> int:
+        return self._counter.last_allocated
+
+    def append(self, op: str, **fields) -> int:
+        """Append one record; returns its LSN.
+
+        The record is on disk (modulo the fsync policy's window) when
+        this returns — the write-ahead contract callers rely on.
+        """
+        lsn = self._counter.allocate()
+        self.append_with_lsn(lsn, op, fields)
+        return lsn
+
+    def append_with_lsn(self, lsn: int, op: str, fields: dict) -> None:
+        """Append a record under an externally allocated LSN.
+
+        Used by :class:`WALSet`, which allocates from the shared counter
+        before routing to a shard file.
+        """
+        if op not in OPS:
+            raise DisclosureError(f"unknown WAL op {op!r}")
+        payload_text = json.dumps(
+            {"lsn": lsn, "op": op, **fields}, separators=(",", ":"),
+            sort_keys=True,
+        )
+        self.append_payload_with_lsn(lsn, payload_text)
+
+    def append_payload_with_lsn(self, lsn: int, payload_text: str) -> None:
+        """Append a pre-encoded payload under an externally allocated LSN.
+
+        *payload_text* must be exactly the compact, key-sorted JSON that
+        :meth:`append_with_lsn` would produce for the same record —
+        byte-identical, so readers cannot tell which path wrote a
+        record. Exists for the one op hot enough to care (``observe``,
+        whose selections :class:`EngineJournal` formats by hand).
+        """
+        if self._cipher is not None:
+            payload_text = self._cipher.encrypt(payload_text)
+        payload = payload_text.encode("utf-8")
+        encoded = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        with self._mutex:
+            if self._dead:
+                raise DisclosureError(
+                    f"WAL {self.path} is dead after a simulated crash"
+                )
+            fault = self._faults.next_fault() if self._faults is not None else None
+            if fault is not None and fault.kind == "drop":
+                self._dead = True
+                self._c_crashes.inc()
+                raise SimulatedCrash(
+                    f"before appending lsn {lsn} to {self.path}"
+                )
+            if fault is not None and fault.kind == "latency":
+                torn = min(int(fault.latency), len(encoded) - 1)
+                torn = max(torn, 0)
+                self._handle.write(encoded[:torn])
+                self._handle.flush()
+                self._dead = True
+                self._c_crashes.inc()
+                raise SimulatedCrash(
+                    f"mid-record after {torn} bytes of lsn {lsn} in {self.path}"
+                )
+            self._handle.write(encoded)
+            # Always push to the OS so a shipper reading the file sees
+            # whole records; fsync (durability) follows the policy.
+            self._handle.flush()
+            self._appends_since_fsync += 1
+            if self._fsync == "always" or (
+                self._fsync == "batch"
+                and self._appends_since_fsync >= self._fsync_interval
+            ):
+                os.fsync(self._handle.fileno())
+                self._appends_since_fsync = 0
+                self._c_fsyncs.inc()
+            if fault is not None and fault.kind == "error":
+                self._dead = True
+                self._c_crashes.inc()
+                raise SimulatedCrash(
+                    f"after appending lsn {lsn} to {self.path}, before ack"
+                )
+            self._c_appends.inc()
+            self._c_bytes.inc(len(encoded))
+            self._h_record_bytes.observe(len(encoded))
+
+    def sync(self) -> None:
+        """Force an fsync regardless of policy."""
+        with self._mutex:
+            if self._dead:
+                return
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._appends_since_fsync = 0
+            self._c_fsyncs.inc()
+
+    def rotate(self, snapshot_lsn: int) -> None:
+        """Replace the file with a fresh log opening at a compact record.
+
+        Called after a compaction snapshot stamped *snapshot_lsn* is
+        durably in place. The fresh file's first record (``op:
+        "compact"``) pins the LSN the snapshot covers; a crash before
+        the replace leaves the old file, whose records are all at or
+        below *snapshot_lsn* and therefore skipped at replay — either
+        order is safe.
+        """
+        with self._mutex:
+            if self._dead:
+                raise DisclosureError(
+                    f"WAL {self.path} is dead after a simulated crash"
+                )
+            lsn = self._counter.allocate()
+            payload_text = json.dumps(
+                {"lsn": lsn, "op": "compact", "snapshot_lsn": snapshot_lsn},
+                separators=(",", ":"), sort_keys=True,
+            )
+            if self._cipher is not None:
+                payload_text = self._cipher.encrypt(payload_text)
+            payload = payload_text.encode("utf-8")
+            encoded = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+            tmp = self.path.with_name(self.path.name + ".rotate.tmp")
+            with open(tmp, "wb") as handle:
+                handle.write(MAGIC + encoded)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            os.replace(tmp, self.path)
+            self._handle = open(self.path, "ab")
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._handle.closed:
+                return
+            if not self._dead:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+
+
+class WALSet:
+    """A directory of per-shard logs presenting one logical WAL.
+
+    ``n_shards == 1`` keeps the classic single ``wal.log``; more shards
+    give the :class:`~repro.disclosure.sharding.ShardedHashDatabase`
+    tier one file per shard (``wal.<i>.log``), with records routed by a
+    stable hash of the segment id (``zlib.crc32`` — Python's ``hash()``
+    is salted per process and would scatter a segment's records across
+    files between runs). One shared :class:`LSNCounter` totally orders
+    the merged stream.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        n_shards: int = 1,
+        fsync: str = "batch",
+        fsync_interval: int = DEFAULT_FSYNC_INTERVAL,
+        cipher: Optional[UploadCipher] = None,
+        faults: Optional[FaultInjector] = None,
+        scope: Optional[MetricsScope] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.n_shards = n_shards
+        self._mutex = threading.Lock()
+        self.counter = LSNCounter()
+        scope = scope or MetricsRegistry().scope("wal.")
+        self.metrics = scope
+        # One fault injector shared across shard logs: appends are
+        # serialised under this set's mutex, so the schedule's order is
+        # the global append order regardless of routing.
+        self._shards = [
+            WriteAheadLog(
+                self.directory / _wal_name(i, n_shards),
+                fsync=fsync,
+                fsync_interval=fsync_interval,
+                cipher=cipher,
+                faults=faults,
+                scope=scope,
+                counter=self.counter,
+            )
+            for i in range(n_shards)
+        ]
+        #: LSN-sorted union of every shard's on-disk records at open.
+        self.recovered_records = sorted(
+            (r for shard in self._shards for r in shard.recovered_records),
+            key=lambda r: r["lsn"],
+        )
+
+    def paths(self) -> List[Path]:
+        return [shard.path for shard in self._shards]
+
+    def shard_for(self, key: str) -> int:
+        return zlib.crc32(key.encode("utf-8")) % self.n_shards
+
+    @property
+    def last_lsn(self) -> int:
+        return self.counter.last_allocated
+
+    def append(self, op: str, *, key: str = "", **fields) -> int:
+        """Append one record, routed to *key*'s shard; returns its LSN."""
+        with self._mutex:
+            lsn = self.counter.allocate()
+            self._shards[self.shard_for(key)].append_with_lsn(lsn, op, fields)
+            return lsn
+
+    def append_payload(
+        self, key: str, payload_for: Callable[[int], str]
+    ) -> int:
+        """Append a pre-encoded record, routed to *key*'s shard.
+
+        ``payload_for(lsn)`` must return the byte-identical compact
+        JSON :meth:`append` would write (see
+        :meth:`WriteAheadLog.append_payload_with_lsn`); the callback
+        shape exists because the LSN lands inside the payload but is
+        only allocated here, under the set's mutex.
+        """
+        with self._mutex:
+            lsn = self.counter.allocate()
+            self._shards[self.shard_for(key)].append_payload_with_lsn(
+                lsn, payload_for(lsn)
+            )
+            return lsn
+
+    def sync(self) -> None:
+        for shard in self._shards:
+            shard.sync()
+
+    def rotate(self, snapshot_lsn: int) -> None:
+        with self._mutex:
+            for shard in self._shards:
+                shard.rotate(snapshot_lsn)
+
+    def close(self) -> None:
+        for shard in self._shards:
+            shard.close()
+
+
+class EngineJournal:
+    """Adapts engine mutation hooks onto WAL appends.
+
+    Attached to a :class:`~repro.disclosure.engine.DisclosureEngine`
+    via :meth:`~repro.disclosure.engine.DisclosureEngine.
+    attach_journal`; every hook serialises the *resolved* operation
+    (computed timestamps, retained doc ids) so replay needs no engine
+    logic beyond applying records verbatim.
+    """
+
+    def __init__(self, wal: WALSet) -> None:
+        self.wal = wal
+
+    def log_observe(self, kind: str, record: SegmentRecord, ts: float) -> None:
+        # The hottest record by far, so it is formatted by hand instead
+        # of through json.dumps — byte-identical output (a test holds
+        # the two encoders together), but without building the interim
+        # dict and nested lists. Only the selections are logged: a
+        # fingerprint's hash set is exactly its selection values (the
+        # winnowed positions), so repeating it would double the encode
+        # cost for bytes replay can derive for free.
+        selections = ",".join(
+            ["[%d,%d,%d]" % (s.value, s.orig_start, s.orig_end)
+             for s in record.fingerprint.selections]
+        )
+        prefix = '{"doc_id":%s,"id":%s,"kind":%s,"lsn":' % (
+            "null" if record.doc_id is None else _escape(record.doc_id),
+            _escape(record.segment_id),
+            _escape(kind),
+        )
+        # repr() spells ints and floats exactly as the json encoder does.
+        suffix = ',"op":"observe","selections":[%s],"threshold":%r,"ts":%r}' % (
+            selections, record.threshold, ts,
+        )
+        self.wal.append_payload(
+            record.segment_id, lambda lsn: "%s%d%s" % (prefix, lsn, suffix)
+        )
+
+    def log_remove(self, kind: str, segment_id: str) -> None:
+        self.wal.append("remove", key=segment_id, kind=kind, id=segment_id)
+
+    def log_threshold(
+        self, kind: str, segment_id: str, threshold: float
+    ) -> None:
+        self.wal.append(
+            "threshold", key=segment_id, kind=kind, id=segment_id,
+            threshold=threshold,
+        )
+
+    def log_expire(
+        self, kind: str, older_than: float, removed: Sequence[str]
+    ) -> None:
+        self.wal.append(
+            "expire", kind=kind, older_than=older_than, removed=list(removed),
+        )
+
+    def log_suppress(
+        self,
+        *,
+        user: str,
+        tag: str,
+        segment_id: str,
+        justification: str,
+        timestamp: float,
+        target_service: Optional[str] = None,
+    ) -> None:
+        self.wal.append(
+            "suppress",
+            key=segment_id,
+            user=user,
+            tag=tag,
+            segment=segment_id,
+            justification=justification,
+            ts=timestamp,
+            service=target_service,
+        )
+
+
+# ----------------------------------------------------------------------
+# Replay and recovery
+# ----------------------------------------------------------------------
+
+def apply_record(
+    record: dict, resolve_engine: Callable[[str], Optional[DisclosureEngine]]
+) -> bool:
+    """Apply one log record to the engine resolved for its kind.
+
+    Returns True when engine state changed. Informational ops
+    (``expire`` markers, ``suppress``, ``compact``) and removes of
+    segments unknown to the target (already folded into a snapshot, or
+    a replayed expiry) apply as no-ops — replay is idempotent.
+
+    Replay must run with no journal attached to the target engines;
+    re-journaling recovered operations would double them on the next
+    recovery.
+    """
+    op = record["op"]
+    if op not in ("observe", "remove", "threshold"):
+        return False
+    engine = resolve_engine(record.get("kind", "paragraph"))
+    if engine is None:
+        return False
+    if engine._journal is not None:
+        raise DisclosureError(
+            "refusing to replay into an engine with a journal attached"
+        )
+    if op == "observe":
+        selections = tuple(
+            FingerprintHash(value, start, end)
+            for value, start, end in record["selections"]
+        )
+        fingerprint = Fingerprint(
+            hashes=frozenset(s.value for s in selections),
+            selections=selections,
+            config=engine.config,
+        )
+        engine.observe_fingerprint(
+            record["id"],
+            fingerprint,
+            threshold=record["threshold"],
+            doc_id=record["doc_id"],
+            timestamp=record["ts"],
+        )
+        return True
+    try:
+        if op == "remove":
+            engine.remove(record["id"])
+        else:
+            engine.set_threshold(record["id"], record["threshold"])
+    except UnknownSegmentError:
+        return False
+    return True
+
+
+def replay_records(
+    records: Sequence[dict],
+    resolve_engine: Callable[[str], Optional[DisclosureEngine]],
+    *,
+    after_lsn: int = 0,
+) -> Tuple[int, int]:
+    """Apply *records* with LSN beyond *after_lsn*, in LSN order.
+
+    Returns ``(applied, skipped)`` counts; *skipped* covers both
+    records at or below the cutoff and informational no-ops.
+    """
+    applied = 0
+    skipped = 0
+    for record in sorted(records, key=lambda r: r["lsn"]):
+        if record["lsn"] <= after_lsn:
+            skipped += 1
+            continue
+        if apply_record(record, resolve_engine):
+            applied += 1
+        else:
+            skipped += 1
+    return applied, skipped
+
+
+def max_record_timestamp(records: Sequence[dict]) -> float:
+    """Largest timestamp any record carries (0.0 when none do)."""
+    latest = 0.0
+    for record in records:
+        ts = record.get("ts")
+        if ts is not None:
+            latest = max(latest, ts)
+    return latest
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """What one recovery did, for logs, metrics, and the CLI."""
+
+    snapshot_lsn: int
+    replayed: int
+    skipped: int
+    torn_bytes: int
+    last_lsn: int
+    resumed_clock: int
+
+
+class DurableEngine:
+    """A disclosure engine whose mutations survive crashes.
+
+    Owns a directory holding an atomic snapshot plus a :class:`WALSet`;
+    construction *is* recovery: load the snapshot (if any), replay the
+    log tail past its ``wal_lsn`` stamp, truncate torn records, resume
+    the logical clock, then attach the journal so new mutations are
+    logged. Reads (``fingerprint``, ``disclosing_sources``, ``stats``,
+    …) delegate to the wrapped engine untouched.
+
+    ``compact_every`` triggers automatic compaction after that many
+    journaled mutations; :meth:`compact` is always available manually.
+    ``n_shards`` builds the sharded engine/WAL tier; crash injection
+    arrives through ``faults`` exactly as on a bare
+    :class:`WriteAheadLog`.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        config: Optional[FingerprintConfig] = None,
+        cipher: Optional[UploadCipher] = None,
+        kind: str = "paragraph",
+        authoritative: bool = True,
+        fsync: str = "batch",
+        fsync_interval: int = DEFAULT_FSYNC_INTERVAL,
+        compact_every: Optional[int] = None,
+        n_shards: Optional[int] = None,
+        faults: Optional[FaultInjector] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if compact_every is not None and compact_every < 1:
+            raise ValueError(f"compact_every must be >= 1, got {compact_every}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._cipher = cipher
+        self._compact_every = compact_every
+        self._ops_since_compact = 0
+        self.registry = registry or MetricsRegistry()
+        scope = self.registry.scope("wal.")
+        self.metrics = scope
+        self._c_replayed = scope.counter("records_replayed")
+        self._c_skipped = scope.counter("records_skipped")
+        self._c_compactions = scope.counter("compactions")
+        self._h_recovery_replayed = scope.histogram(
+            "recovery_records", buckets=(1, 16, 256, 4096, 65536)
+        )
+
+        self.wal = WALSet(
+            self.directory,
+            n_shards=n_shards or 1,
+            fsync=fsync,
+            fsync_interval=fsync_interval,
+            cipher=cipher,
+            faults=faults,
+            scope=scope,
+        )
+        snapshot_path = self.directory / SNAPSHOT_NAME
+        data = (
+            read_snapshot(snapshot_path, cipher=cipher)
+            if snapshot_path.exists()
+            else None
+        )
+        if data is not None:
+            config = FingerprintConfig(**data["config"])
+            kind = data.get("kind", kind)
+            authoritative = data.get("authoritative", authoritative)
+        snapshot_lsn = int(data.get("wal_lsn", 0)) if data is not None else 0
+        tail = [
+            r for r in self.wal.recovered_records if r["lsn"] > snapshot_lsn
+        ]
+        # Resume past every persisted timestamp — but a virgin directory
+        # (no snapshot, no tail) starts at 0 like a fresh engine would,
+        # keeping recovered and never-crashed clocks field-identical.
+        has_state = data is not None or bool(tail)
+        resumed = (
+            int(
+                max(
+                    _max_timestamp(data) if data is not None else 0.0,
+                    max_record_timestamp(tail),
+                )
+            ) + 1
+            if has_state
+            else 0
+        )
+        clock = LogicalClock(start=resumed)
+        if n_shards is None:
+            self.engine = DisclosureEngine(
+                config, clock, authoritative=authoritative, kind=kind,
+                registry=self.registry,
+            )
+        else:
+            from repro.disclosure.sharding import ShardedDisclosureEngine
+
+            self.engine = ShardedDisclosureEngine(
+                config, clock, authoritative=authoritative, kind=kind,
+                registry=self.registry, n_shards=n_shards,
+            )
+        if data is not None:
+            restore_into(self.engine, data)
+        applied, skipped = replay_records(tail, lambda _kind: self.engine)
+        self._c_replayed.inc(applied)
+        self._c_skipped.inc(skipped)
+        self._h_recovery_replayed.observe(applied)
+        self.recovery = RecoveryStats(
+            snapshot_lsn=snapshot_lsn,
+            replayed=applied,
+            skipped=skipped,
+            torn_bytes=int(scope.counter("torn_bytes_truncated").value),
+            last_lsn=self.wal.last_lsn,
+            resumed_clock=resumed,
+        )
+        self.engine.attach_journal(EngineJournal(self.wal))
+
+    # -- mutations (journaled via the engine hooks) --------------------
+
+    def observe(self, segment_id: str, text: str, **kwargs) -> SegmentRecord:
+        record = self.engine.observe(segment_id, text, **kwargs)
+        self._after_mutation()
+        return record
+
+    def observe_fingerprint(
+        self, segment_id: str, fingerprint: Fingerprint, **kwargs
+    ) -> SegmentRecord:
+        record = self.engine.observe_fingerprint(
+            segment_id, fingerprint, **kwargs
+        )
+        self._after_mutation()
+        return record
+
+    def remove(self, segment_id: str) -> None:
+        self.engine.remove(segment_id)
+        self._after_mutation()
+
+    def set_threshold(self, segment_id: str, threshold: float) -> None:
+        self.engine.set_threshold(segment_id, threshold)
+        self._after_mutation()
+
+    def expire(self, *, older_than: float) -> List[str]:
+        from repro.disclosure.persistence import expire_segments
+
+        stale = expire_segments(self.engine, older_than=older_than)
+        if stale:
+            self._after_mutation()
+        return stale
+
+    def _after_mutation(self) -> None:
+        self._ops_since_compact += 1
+        if (
+            self._compact_every is not None
+            and self._ops_since_compact >= self._compact_every
+        ):
+            self.compact()
+
+    # -- compaction and lifecycle --------------------------------------
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / SNAPSHOT_NAME
+
+    def compact(self) -> int:
+        """Fold the log into an atomic snapshot; returns its LSN stamp.
+
+        Order matters for crash safety: the snapshot (stamped with the
+        last journaled LSN) replaces the old one atomically *first*;
+        only then are the log files rotated. A crash between the two
+        steps leaves a log whose records are all covered by the
+        snapshot's stamp — replay skips them.
+        """
+        with self.engine.lock.read_locked():
+            lsn = self.wal.last_lsn
+            save_engine(
+                self.engine, self.snapshot_path, cipher=self._cipher,
+                wal_lsn=lsn,
+            )
+        self.wal.rotate(lsn)
+        self._ops_since_compact = 0
+        self._c_compactions.inc()
+        return lsn
+
+    def close(self) -> None:
+        self.engine.detach_journal()
+        self.wal.close()
+
+    def __getattr__(self, name: str):
+        # Reads (disclosing_sources, fingerprint, stats, hash_db, …)
+        # pass through to the wrapped engine. Guard the delegate itself
+        # so a failed lookup during __init__ cannot recurse.
+        if name == "engine":
+            raise AttributeError(name)
+        return getattr(self.engine, name)
+
+
+class LogShipper:
+    """Incremental reader of a primary's log for standby catch-up.
+
+    Each :meth:`poll` re-scans the primary's ``wal*.log`` files and
+    returns the LSN-sorted records beyond the cursor, then advances the
+    cursor. Safe against a concurrent appender: a torn final record
+    (an append in flight, or the debris of the primary's death) is
+    simply not returned; if the append completes it appears on the next
+    poll, and if the primary died it never does — exactly the records a
+    recovery of the primary would replay.
+
+    Rotation-aware: a rotated log's ``compact`` record has an LSN above
+    the cursor, so the standby learns of compactions; records folded
+    into the snapshot were shipped before the rotation (compaction only
+    covers acknowledged appends).
+    """
+
+    def __init__(self, directory, *, cipher: Optional[UploadCipher] = None):
+        self.directory = Path(directory)
+        self._cipher = cipher
+        self.cursor = 0
+
+    def poll(self) -> List[dict]:
+        records, _torn = read_wal_directory(
+            self.directory, cipher=self._cipher
+        )
+        fresh = [r for r in records if r["lsn"] > self.cursor]
+        if fresh:
+            self.cursor = fresh[-1]["lsn"]
+        return fresh

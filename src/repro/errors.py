@@ -30,6 +30,46 @@ class UnknownSegmentError(DisclosureError):
         self.segment_id = segment_id
 
 
+class SnapshotCorrupt(DisclosureError):
+    """A persisted engine snapshot cannot be read back.
+
+    Raised (instead of raw ``JSONDecodeError`` / ``KeyError`` /
+    ``UnicodeDecodeError``) when a snapshot file is truncated, not valid
+    JSON, missing required fields, or encrypted under a different key
+    than the one supplied. The message always names the snapshot and the
+    reason, so the CLI can print it verbatim.
+    """
+
+
+class WALCorrupt(DisclosureError):
+    """A write-ahead log file is unreadable beyond torn-tail damage.
+
+    A torn tail (the last record cut short by a crash) is *expected* and
+    silently truncated at recovery; this error covers everything else —
+    a missing or wrong magic header, or a record whose checksum fails
+    mid-file with valid data after it.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """The process 'died' at an injected crash point.
+
+    Raised by the durability layer when a :class:`~repro.util.faults.
+    FaultInjector` schedules a crash during a snapshot write or a WAL
+    append. Everything written before the crash point is on disk
+    (possibly torn); nothing after it is. Tests catch this, discard the
+    in-memory engine — exactly what a real crash does — and drive
+    recovery from the surviving files.
+
+    Deliberately *not* a :class:`DisclosureError`: nothing in the
+    library may swallow it, just as nothing survives ``kill -9``.
+    """
+
+    def __init__(self, where: str) -> None:
+        super().__init__(f"simulated crash: {where}")
+        self.where = where
+
+
 class PolicyError(ReproError):
     """Raised for invalid Text Disclosure Model operations."""
 

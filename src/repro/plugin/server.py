@@ -36,12 +36,15 @@ import logging
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.disclosure.engine import DisclosureTracker
 from repro.errors import (
+    DisclosureError,
     LookupRejected,
     LookupTimeout,
     LookupUnavailable,
     ShardDegraded,
 )
+from repro.fingerprint import FingerprintConfig
 from repro.obs.registry import MetricsRegistry, MetricsScope
 from repro.plugin.lookup import BatchItem, PolicyLookup
 from repro.tdm.audit import DegradationEvent
@@ -544,3 +547,198 @@ class BatchLookupClient(LookupClient):
             self._degrade(service_id, doc_id, list(faults), list(waited))
             for doc_id, _paragraphs in items
         ]
+
+
+class StandbyLookupServer:
+    """A warm replica caught up by log shipping, ready for failover.
+
+    The fail-open/fail-closed machinery above decides what a *client*
+    does while the lookup service is down; this class is the other half
+    of that availability story — a standby that makes "down" short. It
+    holds its own dual-granularity
+    :class:`~repro.disclosure.engine.DisclosureTracker` and applies the
+    primary's WAL records (pulled through a
+    :class:`~repro.disclosure.wal.LogShipper`) with their recorded
+    timestamps, so first-seen ownership on the replica is bit-identical
+    to the primary's. Because replay covers exactly the records a
+    recovery of the primary would replay, the standby's Algorithm 1
+    verdicts equal the recovered primary's at every catch-up point.
+
+    Serving is read-only until :meth:`promote`: scans answer from the
+    replica's databases under the same fault/timeout envelope as
+    :meth:`LookupServer.handle`, so failover drills reuse the client
+    machinery unchanged. ``suppress`` records do not change engine
+    state; they accumulate on :attr:`shipped_suppressions` so the
+    primary's declassification audit obligation survives the failover.
+
+    Args:
+        shipper: incremental reader of the primary's WAL directory.
+        config: fingerprint config; must match the primary's.
+        faults: optional fault source for the standby's own serving
+            path (a standby can be degraded too).
+        registry: metrics registry; standby instruments live under
+            ``standby.``.
+    """
+
+    def __init__(
+        self,
+        shipper,
+        *,
+        config: Optional[FingerprintConfig] = None,
+        faults: Optional[FaultInjector] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._shipper = shipper
+        self._faults = faults
+        self.registry = registry or MetricsRegistry()
+        self.metrics = self.registry.scope("standby.")
+        self.tracker = DisclosureTracker(config, registry=self.registry)
+        self.shipped_suppressions: List[dict] = []
+        self._max_ts = 0.0
+        self._promoted = False
+        self._counters = {
+            name: self.metrics.counter(name)
+            for name in (
+                "catchups",
+                "records_applied",
+                "records_skipped",
+                "suppressions_shipped",
+                "scans",
+                "dropped",
+                "rejected",
+                "timed_out",
+            )
+        }
+        self.metrics.gauge("applied_lsn", fn=lambda: self.applied_lsn)
+        self.metrics.gauge(
+            "promoted", fn=lambda: 1.0 if self._promoted else 0.0
+        )
+
+    @property
+    def applied_lsn(self) -> int:
+        """LSN of the last shipped record this replica has applied."""
+        return self._shipper.cursor
+
+    @property
+    def promoted(self) -> bool:
+        return self._promoted
+
+    def _resolve(self, kind: str):
+        if kind == "document":
+            return self.tracker.documents
+        return self.tracker.paragraphs
+
+    def catch_up(self) -> int:
+        """Pull and apply the primary's new records; returns how many.
+
+        Idempotent and incremental — each call applies only records
+        beyond the shipper's cursor. A torn record at the primary's
+        tail (an append in flight, or the debris of its death) is not
+        shipped; if the append completes it arrives on the next poll.
+        """
+        if self._promoted:
+            raise DisclosureError(
+                "standby has been promoted; it no longer follows the log"
+            )
+        records = self._shipper.poll()
+        applied = 0
+        skipped = 0
+        for record in records:
+            ts = record.get("ts")
+            if ts is not None:
+                self._max_ts = max(self._max_ts, ts)
+            if record["op"] == "suppress":
+                self.shipped_suppressions.append(record)
+                self._counters["suppressions_shipped"].inc()
+                skipped += 1
+                continue
+            # Deferred import: wal pulls in plugin.crypto, which would
+            # close an import cycle through this package's __init__.
+            from repro.disclosure.wal import replay_records
+
+            one_applied, one_skipped = replay_records(
+                [record], self._resolve
+            )
+            applied += one_applied
+            skipped += one_skipped
+        self._counters["catchups"].inc()
+        self._counters["records_applied"].inc(applied)
+        self._counters["records_skipped"].inc(skipped)
+        return applied
+
+    # ------------------------------------------------------------------
+    # Serving (read-only until promoted)
+    # ------------------------------------------------------------------
+
+    def check_document(self, doc_id: str, paragraphs: Sequence[Tuple[str, str]]):
+        """Algorithm 1 at both granularities against the replica."""
+        self._counters["scans"].inc()
+        return self.tracker.check_document(doc_id, paragraphs)
+
+    def handle_scan(
+        self,
+        text: str,
+        *,
+        timeout: float,
+        kind: str = "paragraph",
+        exclude_doc: Optional[str] = None,
+    ):
+        """One Algorithm 1 scan under the standard fault envelope.
+
+        Same drop/error/latency-vs-timeout semantics as
+        :meth:`LookupServer.handle`, so a failover driver can point the
+        ordinary retry/degradation client machinery at the standby.
+        Returns ``(DisclosureReport, injected_latency)``.
+        """
+        fault = (
+            self._faults.next_fault()
+            if self._faults is not None
+            else Fault.none()
+        )
+        if fault.kind == "drop":
+            self._counters["dropped"].inc()
+            raise LookupTimeout(timeout, kind="drop")
+        if fault.kind == "error":
+            self._counters["rejected"].inc()
+            raise LookupRejected(fault.status)
+        if fault.kind == "latency" and fault.latency > timeout:
+            self._counters["timed_out"].inc()
+            raise LookupTimeout(timeout, kind="latency")
+        self._counters["scans"].inc()
+        engine = self._resolve(kind)
+        fingerprint = engine.fingerprint(text)
+        report = engine.disclosing_sources(
+            fingerprint=fingerprint, exclude_doc=exclude_doc
+        )
+        return report, fault.latency
+
+    def promote(self, wal=None) -> DisclosureTracker:
+        """Stop following the log and become the writable primary.
+
+        Resumes the tracker's logical clock strictly past every replayed
+        timestamp (so post-failover observations cannot steal
+        authoritative ownership from replicated ones) and, when *wal*
+        (a :class:`~repro.disclosure.wal.WALSet`) is given, attaches a
+        journal so the promoted primary's own mutations are durable —
+        and shippable to the *next* standby.
+        """
+        if self._promoted:
+            raise DisclosureError("standby already promoted")
+        self._promoted = True
+        self.tracker.resume_clock(self._max_ts)
+        if wal is not None:
+            from repro.disclosure.wal import EngineJournal
+
+            journal = EngineJournal(wal)
+            self.tracker.paragraphs.attach_journal(journal)
+            self.tracker.documents.attach_journal(journal)
+        return self.tracker
+
+    def stats(self) -> Dict[str, object]:
+        combined: Dict[str, object] = {
+            f"standby_{name}": counter.value
+            for name, counter in self._counters.items()
+        }
+        combined["standby_applied_lsn"] = self.applied_lsn
+        combined["standby_promoted"] = self._promoted
+        return combined

@@ -140,6 +140,24 @@ class TextDisclosureModel:
         self._labels: Dict[str, SegmentLabel] = {}
         self._locations: Dict[str, set] = {}
         self._label_epoch = 0
+        # Durability hook: a WAL-backed journal (see
+        # repro.disclosure.wal.EngineJournal) that mirrors consumed
+        # suppressions into the log, so a standby replica inherits the
+        # audit obligation along with the fingerprint state.
+        self._journal = None
+
+    def attach_journal(self, journal) -> None:
+        """Mirror consumed suppressions into *journal* (``log_suppress``).
+
+        Engine-level mutations are journaled by the tracker's engines
+        themselves (:meth:`~repro.disclosure.engine.DisclosureEngine.
+        attach_journal`); this hook covers the one policy-level event a
+        standby must not lose — a user's declassification decision.
+        """
+        self._journal = journal
+
+    def detach_journal(self) -> None:
+        self._journal = None
 
     # ------------------------------------------------------------------
     # Label access
@@ -410,16 +428,24 @@ class TextDisclosureModel:
                     f"segment {segment_id!r}"
                 )
             label = label.suppress(suppression.tag)
-            self.audit.record(
-                SuppressionEvent(
-                    user=suppression.user,
-                    tag=suppression.tag,
-                    segment_id=segment_id,
-                    justification=suppression.justification,
-                    timestamp=self._clock.now(),
-                    target_service=policy.service_id,
-                )
+            event = SuppressionEvent(
+                user=suppression.user,
+                tag=suppression.tag,
+                segment_id=segment_id,
+                justification=suppression.justification,
+                timestamp=self._clock.now(),
+                target_service=policy.service_id,
             )
+            self.audit.record(event)
+            if self._journal is not None:
+                self._journal.log_suppress(
+                    user=event.user,
+                    tag=event.tag.name,
+                    segment_id=event.segment_id,
+                    justification=event.justification,
+                    timestamp=event.timestamp,
+                    target_service=event.target_service,
+                )
         return label
 
     def commit_upload(

@@ -206,3 +206,151 @@ class TestStatsAndTrace:
         assert (
             validate_main([str(out), "--min-stages", "4"]) == 0
         )
+
+
+class TestDbLock:
+    """The observe read-modify-write cycle holds an advisory lock, so a
+    concurrent observe cannot load the same stale snapshot and clobber
+    the other's save (the classic lost update)."""
+
+    def test_concurrent_observes_do_not_lose_updates(self, files):
+        import threading
+
+        import repro.cli as cli
+
+        a, b, tmp = files
+        db = tmp / "db.json"
+        first_loaded = threading.Event()
+        release_first = threading.Event()
+        loads = []
+
+        def hook():
+            loads.append(threading.current_thread().name)
+            if len(loads) == 1:
+                first_loaded.set()
+                assert release_first.wait(timeout=10)
+
+        results = {}
+
+        def observe(name, path, segment_id):
+            results[name] = main(
+                ["observe", str(path), "--db", str(db), "--id", segment_id]
+            )
+
+        cli._AFTER_LOAD_HOOK = hook
+        try:
+            t1 = threading.Thread(
+                target=observe, args=("t1", a, "segA"), name="t1"
+            )
+            t1.start()
+            assert first_loaded.wait(timeout=10)
+            # t1 sits mid read-modify-write; t2 must block on the lock
+            # rather than load the same (empty) snapshot.
+            t2 = threading.Thread(
+                target=observe, args=("t2", b, "segB"), name="t2"
+            )
+            t2.start()
+            t2.join(timeout=0.5)
+            assert t2.is_alive(), "second observe ran unlocked"
+            assert loads == ["t1"]
+            release_first.set()
+            t1.join(timeout=10)
+            t2.join(timeout=10)
+        finally:
+            cli._AFTER_LOAD_HOOK = None
+        assert results == {"t1": 0, "t2": 0}
+        from repro.disclosure.persistence import load_engine
+
+        assert sorted(load_engine(db).segment_db.ids()) == ["segA", "segB"]
+
+    def test_lock_sidecar_survives_snapshot_replace(self, files):
+        # The lock lives beside the db, not on it: save_engine replaces
+        # the db file atomically, which would orphan a lock on the
+        # inode being replaced.
+        a, _b, tmp = files
+        db = tmp / "db.json"
+        assert main(["observe", str(a), "--db", str(db), "--id", "s1"]) == 0
+        assert (tmp / "db.json.lock").exists()
+        assert main(["observe", str(a), "--db", str(db), "--id", "s2"]) == 0
+
+
+class TestCorruptDbErrors:
+    """Damaged databases exit 2 with one readable line, no traceback."""
+
+    def observed_db_path(self, files):
+        a, _b, tmp = files
+        db = tmp / "db.json"
+        main(["observe", str(a), "--db", str(db), "--id", "seg1"])
+        return a, db
+
+    def test_scan_truncated_db(self, files, capsys):
+        a, db = self.observed_db_path(files)
+        db.write_text(db.read_text()[:40])
+        assert main(["scan", str(a), "--db", str(db)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "truncated or corrupt" in err
+
+    def test_scan_wrong_key(self, files, capsys):
+        a, _b, tmp = files
+        db = tmp / "db.enc"
+        main(["observe", str(a), "--db", str(db), "--id", "seg1", "--key", "right"])
+        assert main(["scan", str(a), "--db", str(db), "--key", "wrong"]) == 2
+        assert "wrong key or corrupt ciphertext" in capsys.readouterr().err
+
+    def test_scan_encrypted_without_key(self, files, capsys):
+        a, _b, tmp = files
+        db = tmp / "db.enc"
+        main(["observe", str(a), "--db", str(db), "--id", "seg1", "--key", "right"])
+        assert main(["scan", str(a), "--db", str(db)]) == 2
+        assert "cipher is required" in capsys.readouterr().err
+
+    def test_observe_onto_corrupt_db(self, files, capsys):
+        a, db = self.observed_db_path(files)
+        db.write_text("{not json")
+        assert main(["observe", str(a), "--db", str(db), "--id", "x"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRecover:
+    def durable_dir(self, tmp_path):
+        from repro.disclosure.wal import DurableEngine
+        from repro.errors import SimulatedCrash
+        from repro.fingerprint.config import TINY_CONFIG
+        from repro.util.faults import Fault, FaultInjector
+
+        directory = tmp_path / "durable"
+        engine = DurableEngine(
+            directory,
+            config=TINY_CONFIG,
+            faults=FaultInjector(
+                schedule=[Fault.none(), Fault.none(), Fault.slow(10)]
+            ),
+            fsync="always",
+        )
+        engine.observe("s1", SECRET_TEXT, threshold=0.4)
+        engine.observe("s2", OTHER_TEXT, threshold=0.4)
+        with pytest.raises(SimulatedCrash):
+            engine.observe("s3", SECRET_TEXT, threshold=0.4)
+        return directory
+
+    def test_recover_reports_replay(self, files, tmp_path, capsys):
+        directory = self.durable_dir(tmp_path)
+        assert main(["recover", "--dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "2 segments" in out
+        assert "replayed 2 record(s)" in out
+        assert "torn byte(s)" in out
+        assert "clock resumed" in out
+
+    def test_recover_compact_then_fast_replay(self, files, tmp_path, capsys):
+        directory = self.durable_dir(tmp_path)
+        assert main(["recover", "--dir", str(directory), "--compact"]) == 0
+        assert "compacted through lsn" in capsys.readouterr().out
+        assert main(["recover", "--dir", str(directory)]) == 0
+        assert "replayed 0 record(s)" in capsys.readouterr().out
+
+    def test_recover_missing_dir_is_fresh(self, tmp_path, capsys):
+        assert main(["recover", "--dir", str(tmp_path / "empty")]) == 0
+        assert "0 segments" in capsys.readouterr().out

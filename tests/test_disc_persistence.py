@@ -1,6 +1,17 @@
-"""Tests for engine persistence, encryption at rest, and retention."""
+"""Tests for engine persistence, encryption at rest, and retention.
+
+The crash tests follow one discipline throughout: a process death is a
+:class:`~repro.errors.SimulatedCrash` raised at a deterministic byte
+position by a :class:`~repro.util.faults.FaultInjector` schedule — no
+subprocesses, no signals, no sleeps. ``drop`` kills the writer before
+any bytes land, ``latency`` tears the write after ``int(latency)``
+bytes, and ``error`` kills it after the payload is durable but before
+the acknowledgement (rename for snapshots, return for WAL appends).
+"""
 
 import json
+import os
+import random
 
 import pytest
 
@@ -12,10 +23,12 @@ from repro.disclosure.persistence import (
     save_engine,
     snapshot_engine,
 )
-from repro.errors import DisclosureError
+from repro.disclosure.wal import DurableEngine
+from repro.errors import DisclosureError, SimulatedCrash, SnapshotCorrupt
 from repro.fingerprint.config import TINY_CONFIG
 from repro.plugin.crypto import UploadCipher
 from repro.util.clock import LogicalClock
+from repro.util.faults import Fault, FaultInjector
 
 from conftest import OTHER_TEXT, SECRET_TEXT, THIRD_TEXT
 
@@ -138,6 +151,364 @@ class TestRetention:
             fingerprint=engine.fingerprint(SECRET_TEXT)
         )
         assert not report.disclosing
+
+
+class TestAtomicSave:
+    """A crash mid-save must never tear the snapshot on disk."""
+
+    CRASHES = [
+        pytest.param(Fault.drop(), id="before-write"),
+        pytest.param(Fault.slow(0), id="torn-0-bytes"),
+        pytest.param(Fault.slow(1), id="torn-1-byte"),
+        pytest.param(Fault.slow(200), id="torn-mid-payload"),
+        pytest.param(Fault.slow(10**9), id="torn-last-byte"),
+        pytest.param(Fault.error(), id="before-rename"),
+    ]
+
+    @pytest.mark.parametrize("crash", CRASHES)
+    def test_old_snapshot_survives_crashed_writer(self, engine, tmp_path, crash):
+        path = tmp_path / "db.json"
+        save_engine(engine, path)
+        good = path.read_text()
+        engine.observe("d", THIRD_TEXT)
+        with pytest.raises(SimulatedCrash):
+            save_engine(
+                engine, path, faults=FaultInjector(schedule=[crash])
+            )
+        # The destination is byte-identical to the pre-crash snapshot
+        # and still loads; only temp-file debris may remain.
+        assert path.read_text() == good
+        restored = load_engine(path)
+        assert sorted(restored.segment_db.ids()) == ["a", "b", "c"]
+
+    @pytest.mark.parametrize("crash", CRASHES)
+    def test_crash_on_first_save_leaves_no_snapshot(self, engine, tmp_path, crash):
+        path = tmp_path / "db.json"
+        with pytest.raises(SimulatedCrash):
+            save_engine(
+                engine, path, faults=FaultInjector(schedule=[crash])
+            )
+        assert not path.exists()
+
+    def test_retry_after_crash_succeeds(self, engine, tmp_path):
+        path = tmp_path / "db.json"
+        faults = FaultInjector(schedule=[Fault.slow(10)])
+        with pytest.raises(SimulatedCrash):
+            save_engine(engine, path, faults=faults)
+        save_engine(engine, path, faults=faults)  # schedule exhausted
+        assert sorted(load_engine(path).segment_db.ids()) == ["a", "b", "c"]
+
+    def test_crash_debris_does_not_shadow_snapshot(self, engine, tmp_path):
+        path = tmp_path / "db.json"
+        save_engine(engine, path)
+        with pytest.raises(SimulatedCrash):
+            save_engine(
+                engine, path,
+                faults=FaultInjector(schedule=[Fault.slow(50)]),
+            )
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "db.json"]
+        for debris in leftovers:  # a real crash leaves the temp file
+            assert debris.suffix == ".tmp"
+        assert sorted(load_engine(path).segment_db.ids()) == ["a", "b", "c"]
+
+
+class TestCorruptSnapshots:
+    """Damaged snapshots surface as readable errors, not tracebacks."""
+
+    def test_truncated_json(self, engine, tmp_path):
+        path = tmp_path / "db.json"
+        save_engine(engine, path)
+        payload = path.read_text()
+        path.write_text(payload[: len(payload) // 2])
+        with pytest.raises(SnapshotCorrupt) as excinfo:
+            load_engine(path)
+        message = str(excinfo.value)
+        assert "db.json" in message
+        assert "truncated or corrupt" in message
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text("")
+        with pytest.raises(SnapshotCorrupt):
+            load_engine(path)
+
+    def test_wrong_cipher_key(self, engine, tmp_path):
+        path = tmp_path / "db.enc"
+        save_engine(engine, path, cipher=UploadCipher("right-key"))
+        with pytest.raises(SnapshotCorrupt) as excinfo:
+            load_engine(path, cipher=UploadCipher("wrong-key"))
+        assert "wrong key or corrupt ciphertext" in str(excinfo.value)
+
+    def test_missing_fields(self, engine, tmp_path):
+        data = snapshot_engine(engine)
+        del data["segments"]
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(SnapshotCorrupt):
+            load_engine(path)
+
+    def test_non_object_root(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SnapshotCorrupt):
+            load_engine(path)
+
+    def test_missing_file_is_plain_disclosure_error(self, tmp_path):
+        with pytest.raises(DisclosureError):
+            load_engine(tmp_path / "absent.json")
+
+    def test_corrupt_is_a_disclosure_error(self):
+        # CLI and callers catch DisclosureError; corruption must be one.
+        assert issubclass(SnapshotCorrupt, DisclosureError)
+
+
+# ----------------------------------------------------------------------
+# Crash-recovery matrix: kill the durable engine at every WAL append,
+# at record boundaries and mid-record, then prove the recovered state
+# is field-identical to a reference engine that applied exactly the
+# acknowledged prefix of operations.
+# ----------------------------------------------------------------------
+
+#: One op per WAL append, so "crash at append i" is "crash at op i".
+#: (expire is absent on purpose: its audit marker is a second append.)
+SCRIPT = [
+    ("observe", "a", SECRET_TEXT, 0.4, "docA"),
+    ("observe", "b", OTHER_TEXT, 0.5, None),
+    ("threshold", "a", 0.25),
+    ("observe", "c", SECRET_TEXT, 0.5, "docC"),
+    ("remove", "b"),
+    ("observe", "b", THIRD_TEXT, 0.6, "docB"),
+    ("observe", "a", SECRET_TEXT, 0.3, "docA"),
+    ("remove", "c"),
+]
+
+
+def apply_op(engine, op):
+    if op[0] == "observe":
+        _, segment_id, text, threshold, doc_id = op
+        engine.observe(segment_id, text, threshold=threshold, doc_id=doc_id)
+    elif op[0] == "remove":
+        engine.remove(op[1])
+    elif op[0] == "threshold":
+        engine.set_threshold(op[1], op[2])
+    else:  # pragma: no cover - script bug
+        raise AssertionError(f"unknown op {op!r}")
+
+
+def reference_engine(ops):
+    """A never-crashed plain engine that applied exactly *ops*."""
+    engine = DisclosureEngine(TINY_CONFIG, LogicalClock())
+    for op in ops:
+        apply_op(engine, op)
+    return engine
+
+
+def assert_field_identical(recovered, reference):
+    """Segments, observations, owner epochs, and clock all match."""
+    assert sorted(recovered.segment_db.ids()) == sorted(
+        reference.segment_db.ids()
+    )
+    for segment_id in reference.segment_db.ids():
+        ours = recovered.segment_db.get(segment_id)
+        theirs = reference.segment_db.get(segment_id)
+        assert ours.fingerprint.hashes == theirs.fingerprint.hashes
+        assert ours.fingerprint.selections == theirs.fingerprint.selections
+        assert ours.threshold == theirs.threshold
+        assert ours.kind == theirs.kind
+        assert ours.doc_id == theirs.doc_id
+        assert ours.last_updated == theirs.last_updated
+        assert recovered.hash_db.owned_hashes(segment_id) == (
+            reference.hash_db.owned_hashes(segment_id)
+        )
+        assert recovered.hash_db.owner_epoch(segment_id) == (
+            reference.hash_db.owner_epoch(segment_id)
+        )
+    assert sorted(recovered.hash_db.hashes()) == sorted(
+        reference.hash_db.hashes()
+    )
+    for hash_value in reference.hash_db.hashes():
+        assert sorted(recovered.hash_db.owners(hash_value)) == sorted(
+            reference.hash_db.owners(hash_value)
+        )
+        assert recovered.hash_db.oldest_owner(hash_value) == (
+            reference.hash_db.oldest_owner(hash_value)
+        )
+    assert recovered.hash_db.ownership_changes == (
+        reference.hash_db.ownership_changes
+    )
+    recovered.hash_db.check_invariants()
+    reference.hash_db.check_invariants()
+    # Destructive read, so always last: both clocks hand out the same
+    # next timestamp — the recovered engine resumed, not rewound.
+    assert recovered.engine._clock.now() == reference._clock.now()
+
+
+def crash_then_recover(directory, script, crash_index, fault, **kwargs):
+    """Kill a durable engine at append *crash_index* (1-based), recover.
+
+    Returns ``(recovered_engine, acknowledged_prefix)`` where the
+    prefix is the script slice a correct recovery must reproduce:
+    ``drop``/``latency`` lose the in-flight record (prefix excludes op
+    *crash_index*), ``error`` crashes after it is durable (prefix
+    includes it).
+    """
+    schedule = [Fault.none()] * (crash_index - 1) + [fault]
+    primary = DurableEngine(
+        directory, config=TINY_CONFIG,
+        faults=FaultInjector(schedule=schedule), **kwargs,
+    )
+    with pytest.raises(SimulatedCrash):
+        for op in script:
+            apply_op(primary, op)
+    # No close(): the process is dead. Recovery opens the same files.
+    acknowledged = crash_index if fault.kind == "error" else crash_index - 1
+    recovered = DurableEngine(directory, config=TINY_CONFIG, **kwargs)
+    return recovered, script[:acknowledged]
+
+
+CRASH_KINDS = [
+    pytest.param(Fault.drop(), id="boundary-drop"),
+    pytest.param(Fault.error(), id="durable-unacked"),
+    pytest.param(Fault.slow(0), id="torn-0"),
+    pytest.param(Fault.slow(1), id="torn-header"),
+    pytest.param(Fault.slow(9), id="torn-checksum"),
+    pytest.param(Fault.slow(40), id="torn-payload"),
+    pytest.param(Fault.slow(10**9), id="torn-last-byte"),
+]
+
+
+class TestCrashRecoveryMatrix:
+    @pytest.mark.parametrize("crash_index", range(1, len(SCRIPT) + 1))
+    @pytest.mark.parametrize("fault", CRASH_KINDS)
+    def test_recovery_matches_acknowledged_prefix(
+        self, tmp_path, crash_index, fault
+    ):
+        recovered, prefix = crash_then_recover(
+            tmp_path, SCRIPT, crash_index, fault
+        )
+        try:
+            assert_field_identical(recovered, reference_engine(prefix))
+        finally:
+            recovered.close()
+
+    @pytest.mark.parametrize("crash_index", range(1, len(SCRIPT) + 1))
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            pytest.param(Fault.drop(), id="boundary-drop"),
+            pytest.param(Fault.error(), id="durable-unacked"),
+            pytest.param(Fault.slow(9), id="torn-checksum"),
+        ],
+    )
+    def test_recovery_with_compaction_in_flight(
+        self, tmp_path, crash_index, fault
+    ):
+        """Same matrix with auto-compaction folding the log mid-script:
+        crashes land before, between, and after snapshot rotations."""
+        recovered, prefix = crash_then_recover(
+            tmp_path, SCRIPT, crash_index, fault, compact_every=3
+        )
+        try:
+            assert_field_identical(recovered, reference_engine(prefix))
+        finally:
+            recovered.close()
+
+    @pytest.mark.parametrize("crash_index", [1, 4, 8])
+    def test_second_recovery_is_idempotent(self, tmp_path, crash_index):
+        first, prefix = crash_then_recover(
+            tmp_path, SCRIPT, crash_index, Fault.slow(9)
+        )
+        first.close()
+        second = DurableEngine(tmp_path, config=TINY_CONFIG)
+        try:
+            assert_field_identical(second, reference_engine(prefix))
+            assert second.recovery.torn_bytes == 0  # first pass truncated
+        finally:
+            second.close()
+
+    def test_recovered_engine_keeps_working(self, tmp_path):
+        recovered, prefix = crash_then_recover(
+            tmp_path, SCRIPT, 5, Fault.drop()
+        )
+        try:
+            recovered.observe("post", THIRD_TEXT, threshold=0.5)
+            report = recovered.disclosing_sources(
+                fingerprint=recovered.fingerprint(SECRET_TEXT)
+            )
+            assert "a" in report.source_ids()
+        finally:
+            recovered.close()
+
+    def test_encrypted_wal_recovers(self, tmp_path):
+        cipher = UploadCipher("log-key")
+        recovered, prefix = crash_then_recover(
+            tmp_path, SCRIPT, 6, Fault.slow(40), cipher=cipher
+        )
+        try:
+            assert_field_identical(recovered, reference_engine(prefix))
+        finally:
+            recovered.close()
+        raw = (tmp_path / "wal.log").read_bytes()
+        assert SECRET_TEXT.split()[0].encode() not in raw
+
+    def test_sharded_tier_recovers(self, tmp_path):
+        recovered, prefix = crash_then_recover(
+            tmp_path, SCRIPT, 7, Fault.slow(40), n_shards=4
+        )
+        try:
+            assert_field_identical(recovered, reference_engine(prefix))
+        finally:
+            recovered.close()
+
+
+def _durability_seeds():
+    return os.environ.get("BF_DURABILITY_SEEDS", "dur-1,dur-2").split(",")
+
+
+@pytest.mark.parametrize("seed", _durability_seeds())
+def test_randomized_crash_recovery(tmp_path, seed):
+    """Fuzzed scripts and crash points, reproducible per seed; widen
+    coverage in CI via BF_DURABILITY_SEEDS=seed1,seed2,..."""
+    rng = random.Random(seed)
+    texts = [SECRET_TEXT, OTHER_TEXT, THIRD_TEXT]
+    for case in range(4):
+        script = []
+        live = []
+        for _ in range(rng.randint(3, 12)):
+            roll = rng.random()
+            if live and roll < 0.15:
+                victim = rng.choice(live)
+                live.remove(victim)
+                script.append(("remove", victim))
+            elif live and roll < 0.3:
+                script.append(
+                    ("threshold", rng.choice(live), rng.uniform(0.1, 0.9))
+                )
+            else:
+                segment_id = f"s{rng.randint(0, 4)}"
+                if segment_id not in live:
+                    live.append(segment_id)
+                script.append(
+                    (
+                        "observe", segment_id, rng.choice(texts),
+                        rng.uniform(0.2, 0.8),
+                        rng.choice([None, "docX", "docY"]),
+                    )
+                )
+        crash_index = rng.randint(1, len(script))
+        fault = rng.choice(
+            [Fault.drop(), Fault.error(), Fault.slow(rng.randint(0, 64))]
+        )
+        compact_every = rng.choice([None, 2, 3])
+        directory = tmp_path / f"case{case}"
+        recovered, prefix = crash_then_recover(
+            directory, script, crash_index, fault,
+            compact_every=compact_every,
+        )
+        try:
+            assert_field_identical(recovered, reference_engine(prefix))
+        finally:
+            recovered.close()
 
 
 class TestClockResume:

@@ -1,0 +1,485 @@
+"""Unit tests for the write-ahead log layer (DESIGN.md §14).
+
+Record format, torn-tail scanning and truncation, fsync policy knobs,
+rotation, the sharded WALSet, encryption, and the journaling hooks that
+connect engine mutations to the log. Crash *recovery* end-to-end lives
+in test_disc_persistence.py (the crash matrix); standby catch-up in
+test_standby_failover.py.
+"""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.disclosure import DisclosureEngine
+from repro.disclosure.wal import (
+    LSNCounter,
+    MAGIC,
+    DurableEngine,
+    EngineJournal,
+    WALSet,
+    WriteAheadLog,
+    apply_record,
+    read_wal_directory,
+    replay_records,
+    scan_wal_file,
+)
+from repro.errors import DisclosureError, SimulatedCrash, WALCorrupt
+from repro.fingerprint.config import TINY_CONFIG
+from repro.plugin.crypto import UploadCipher
+from repro.util.clock import LogicalClock
+from repro.util.faults import Fault, FaultInjector
+
+from conftest import OTHER_TEXT, SECRET_TEXT
+
+_HEADER = struct.Struct(">II")
+
+
+def wal_records(path, cipher=None):
+    records, _good, _torn = scan_wal_file(path, cipher=cipher)
+    return records
+
+
+class TestRecordFormat:
+    def test_file_starts_with_magic(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        assert (tmp_path / "wal.log").read_bytes().startswith(MAGIC)
+
+    def test_record_layout_length_crc_payload(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append("remove", kind="paragraph", id="x")
+        wal.close()
+        blob = (tmp_path / "wal.log").read_bytes()[len(MAGIC):]
+        length, crc = _HEADER.unpack_from(blob)
+        payload = blob[_HEADER.size:_HEADER.size + length]
+        assert len(payload) == length
+        assert zlib.crc32(payload) == crc
+        record = json.loads(payload)
+        assert record["op"] == "remove"
+        assert record["lsn"] == 1
+        assert record["id"] == "x"
+
+    def test_lsns_strictly_increase(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        lsns = [wal.append("remove", kind="paragraph", id=str(i)) for i in range(5)]
+        wal.close()
+        assert lsns == [1, 2, 3, 4, 5]
+
+    def test_unknown_op_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        with pytest.raises(DisclosureError):
+            wal.append("mystery", id="x")
+        wal.close()
+
+    def test_bad_magic_raises_wal_corrupt(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOTAWAL\n" + b"garbage")
+        with pytest.raises(WALCorrupt):
+            scan_wal_file(path)
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        records, good, torn = scan_wal_file(tmp_path / "absent.log")
+        assert (records, good, torn) == ([], 0, 0)
+
+
+class TestTornTail:
+    def fill(self, path, n=3):
+        wal = WriteAheadLog(path, fsync="always")
+        for i in range(n):
+            wal.append("remove", kind="paragraph", id=f"seg{i}")
+        wal.close()
+
+    def test_scan_stops_at_torn_record(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self.fill(path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-5])  # tear the last record
+        records, good, torn = scan_wal_file(path)
+        assert [r["id"] for r in records] == ["seg0", "seg1"]
+        assert torn > 0
+        assert good + torn == len(whole) - 5
+
+    @pytest.mark.parametrize("keep", [0, 1, 4, 7, 8])
+    def test_torn_header_or_checksum(self, tmp_path, keep):
+        """Tears inside the 8-byte header are as recoverable as tears
+        inside the payload."""
+        path = tmp_path / "wal.log"
+        self.fill(path, n=1)
+        wal = WriteAheadLog(path, fsync="always")
+        start = path.stat().st_size
+        wal.append("remove", kind="paragraph", id="doomed")
+        wal.close()
+        blob = path.read_bytes()
+        path.write_bytes(blob[: start + keep])
+        records, _good, torn = scan_wal_file(path)
+        assert [r["id"] for r in records] == ["seg0"]
+        assert torn == keep
+
+    def test_corrupted_crc_stops_scan(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self.fill(path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload byte under the last checksum
+        path.write_bytes(bytes(blob))
+        records, _good, torn = scan_wal_file(path)
+        assert [r["id"] for r in records] == ["seg0", "seg1"]
+        assert torn > 0
+
+    def test_reopen_truncates_and_appends_cleanly(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self.fill(path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-5])
+        wal = WriteAheadLog(path)
+        assert [r["id"] for r in wal.recovered_records] == ["seg0", "seg1"]
+        wal.append("remove", kind="paragraph", id="after")
+        wal.close()
+        records, _good, torn = scan_wal_file(path)
+        assert [r["id"] for r in records] == ["seg0", "seg1", "after"]
+        assert torn == 0
+
+    def test_lsn_resumes_past_disk(self, tmp_path):
+        path = tmp_path / "wal.log"
+        self.fill(path, n=4)
+        wal = WriteAheadLog(path)
+        assert wal.append("remove", kind="paragraph", id="next") == 5
+        wal.close()
+
+
+class TestFsyncPolicy:
+    def test_invalid_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "wal.log", fsync="sometimes")
+
+    def test_invalid_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "wal.log", fsync="batch", fsync_interval=0)
+
+    @pytest.mark.parametrize(
+        "fsync,interval,appends,expected",
+        [
+            ("always", 16, 4, 4),
+            ("batch", 2, 4, 2),
+            ("never", 16, 4, 0),
+        ],
+    )
+    def test_fsync_counts_follow_policy(
+        self, tmp_path, fsync, interval, appends, expected
+    ):
+        wal = WriteAheadLog(
+            tmp_path / "wal.log", fsync=fsync, fsync_interval=interval
+        )
+        baseline = wal.metrics.counter("fsyncs").value
+        for i in range(appends):
+            wal.append("remove", kind="paragraph", id=str(i))
+        assert wal.metrics.counter("fsyncs").value - baseline == expected
+        wal.close()
+
+    def test_records_visible_even_without_fsync(self, tmp_path):
+        # flush() on every append: a reader (the log shipper) sees whole
+        # records regardless of the durability policy.
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync="never")
+        wal.append("remove", kind="paragraph", id="x")
+        assert [r["id"] for r in wal_records(tmp_path / "wal.log")] == ["x"]
+        wal.close()
+
+
+class TestCrashInjection:
+    def test_dead_after_crash(self, tmp_path):
+        wal = WriteAheadLog(
+            tmp_path / "wal.log",
+            faults=FaultInjector(schedule=[Fault.drop()]),
+        )
+        with pytest.raises(SimulatedCrash):
+            wal.append("remove", kind="paragraph", id="x")
+        with pytest.raises(DisclosureError):
+            wal.append("remove", kind="paragraph", id="y")
+        wal.close()
+
+    def test_error_crash_record_survives(self, tmp_path):
+        wal = WriteAheadLog(
+            tmp_path / "wal.log",
+            faults=FaultInjector(schedule=[Fault.error()]),
+        )
+        with pytest.raises(SimulatedCrash):
+            wal.append("remove", kind="paragraph", id="x")
+        assert [r["id"] for r in wal_records(tmp_path / "wal.log")] == ["x"]
+
+    def test_torn_crash_record_lost(self, tmp_path):
+        wal = WriteAheadLog(
+            tmp_path / "wal.log",
+            faults=FaultInjector(schedule=[Fault.slow(6)]),
+        )
+        with pytest.raises(SimulatedCrash):
+            wal.append("remove", kind="paragraph", id="x")
+        records, _good, torn = scan_wal_file(tmp_path / "wal.log")
+        assert records == []
+        assert torn == 6
+
+
+class TestRotation:
+    def test_rotate_leaves_compact_record(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync="always")
+        for i in range(3):
+            wal.append("remove", kind="paragraph", id=str(i))
+        wal.rotate(snapshot_lsn=3)
+        records = wal_records(tmp_path / "wal.log")
+        assert len(records) == 1
+        assert records[0]["op"] == "compact"
+        assert records[0]["snapshot_lsn"] == 3
+        assert records[0]["lsn"] == 4
+        wal.append("remove", kind="paragraph", id="after")
+        wal.close()
+        assert [r["op"] for r in wal_records(tmp_path / "wal.log")] == [
+            "compact", "remove",
+        ]
+
+    def test_replay_skips_covered_records(self, tmp_path):
+        engine = DisclosureEngine(TINY_CONFIG, LogicalClock())
+        records = [
+            {"lsn": 1, "op": "remove", "kind": "paragraph", "id": "a"},
+            {"lsn": 2, "op": "compact", "snapshot_lsn": 1},
+        ]
+        applied, skipped = replay_records(
+            records, lambda _k: engine, after_lsn=1
+        )
+        assert (applied, skipped) == (0, 2)
+
+
+class TestWALSet:
+    def test_single_shard_uses_classic_name(self, tmp_path):
+        wal = WALSet(tmp_path, n_shards=1)
+        assert [p.name for p in wal.paths()] == ["wal.log"]
+        wal.close()
+
+    def test_sharded_names_and_routing(self, tmp_path):
+        wal = WALSet(tmp_path, n_shards=3)
+        assert [p.name for p in wal.paths()] == [
+            "wal.0.log", "wal.1.log", "wal.2.log",
+        ]
+        keys = [f"seg{i}" for i in range(12)]
+        for key in keys:
+            wal.append("remove", key=key, kind="paragraph", id=key)
+        by_shard = {
+            p.name: [r["id"] for r in wal_records(p)] for p in wal.paths()
+        }
+        for key in keys:
+            expected = f"wal.{zlib.crc32(key.encode()) % 3}.log"
+            assert key in by_shard[expected]
+        wal.close()
+
+    def test_routing_is_stable_across_instances(self, tmp_path):
+        # crc32, not the per-process-salted hash(): the same key lands
+        # in the same file after a restart.
+        a = WALSet(tmp_path / "a", n_shards=4)
+        b = WALSet(tmp_path / "b", n_shards=4)
+        for key in ("alpha", "beta", "gamma"):
+            assert a.shard_for(key) == b.shard_for(key)
+        a.close()
+        b.close()
+
+    def test_merged_stream_is_lsn_sorted(self, tmp_path):
+        wal = WALSet(tmp_path, n_shards=3, fsync="always")
+        for i in range(9):
+            wal.append("remove", key=f"seg{i}", kind="paragraph", id=f"seg{i}")
+        wal.close()
+        reopened = WALSet(tmp_path, n_shards=3)
+        lsns = [r["lsn"] for r in reopened.recovered_records]
+        assert lsns == sorted(lsns) == list(range(1, 10))
+        reopened.close()
+        records, torn = read_wal_directory(tmp_path)
+        assert [r["lsn"] for r in records] == list(range(1, 10))
+        assert torn == 0
+
+    def test_rotate_all_shards(self, tmp_path):
+        wal = WALSet(tmp_path, n_shards=2, fsync="always")
+        for i in range(4):
+            wal.append("remove", key=f"seg{i}", kind="paragraph", id=f"seg{i}")
+        wal.rotate(wal.last_lsn)
+        for path in wal.paths():
+            records = wal_records(path)
+            assert [r["op"] for r in records] == ["compact"]
+        wal.close()
+
+    def test_invalid_shard_count(self, tmp_path):
+        with pytest.raises(ValueError):
+            WALSet(tmp_path, n_shards=0)
+
+
+class TestEncryptedWAL:
+    def test_payloads_armoured_on_disk(self, tmp_path):
+        cipher = UploadCipher("log-key")
+        wal = WriteAheadLog(tmp_path / "wal.log", cipher=cipher)
+        wal.append("remove", kind="paragraph", id="visible-segment-name")
+        wal.close()
+        blob = (tmp_path / "wal.log").read_bytes()
+        assert b"visible-segment-name" not in blob
+        assert [r["id"] for r in wal_records(tmp_path / "wal.log", cipher)] == [
+            "visible-segment-name"
+        ]
+
+    def test_wrong_key_is_tail_damage_not_traceback(self, tmp_path):
+        cipher = UploadCipher("log-key")
+        wal = WriteAheadLog(tmp_path / "wal.log", cipher=cipher)
+        wal.append("remove", kind="paragraph", id="x")
+        wal.close()
+        records, _good, torn = scan_wal_file(
+            tmp_path / "wal.log", cipher=UploadCipher("wrong-key")
+        )
+        assert records == []
+        assert torn > 0
+
+
+class TestLSNCounter:
+    def test_allocate_and_observe(self):
+        counter = LSNCounter()
+        assert counter.allocate() == 1
+        counter.observe(10)
+        assert counter.allocate() == 11
+        assert counter.last_allocated == 11
+
+    def test_observe_never_rewinds(self):
+        counter = LSNCounter()
+        counter.observe(5)
+        counter.observe(2)
+        assert counter.allocate() == 6
+
+
+class TestJournalHooks:
+    """Engine mutations translate 1:1 into WAL records."""
+
+    def journaled_engine(self, tmp_path):
+        wal = WALSet(tmp_path, fsync="always")
+        engine = DisclosureEngine(TINY_CONFIG, LogicalClock())
+        engine.attach_journal(EngineJournal(wal))
+        return wal, engine
+
+    def test_observe_record_carries_replayable_state(self, tmp_path):
+        wal, engine = self.journaled_engine(tmp_path)
+        record = engine.observe("a", SECRET_TEXT, threshold=0.4, doc_id="d")
+        wal.close()
+        (logged,) = wal_records(tmp_path / "wal.log")
+        assert logged["op"] == "observe"
+        assert logged["id"] == "a"
+        assert logged["threshold"] == 0.4
+        assert logged["doc_id"] == "d"
+        assert logged["ts"] == record.last_updated
+        # The hash set is not repeated in the record: it is exactly the
+        # selection values, and replay derives it from them.
+        assert "hashes" not in logged
+        assert frozenset(
+            value for value, _start, _end in logged["selections"]
+        ) == record.fingerprint.hashes
+
+    def test_observe_payload_is_canonical_json(self, tmp_path):
+        """The hand-rolled observe encoder (hot path) must stay
+        byte-identical to the canonical json.dumps encoding every other
+        op uses — readers cannot tell which path wrote a record."""
+        wal, engine = self.journaled_engine(tmp_path)
+        engine.observe("ség \"quoted\"\n", SECRET_TEXT, threshold=0.4,
+                       doc_id="döc\ttab")
+        engine.observe("plain", OTHER_TEXT)  # doc_id None branch
+        wal.close()
+        blob = (tmp_path / "wal.log").read_bytes()[len(MAGIC):]
+        offset = 0
+        seen = 0
+        while offset < len(blob):
+            length, _crc = _HEADER.unpack_from(blob, offset)
+            payload = blob[offset + _HEADER.size:offset + _HEADER.size + length]
+            canonical = json.dumps(
+                json.loads(payload), separators=(",", ":"), sort_keys=True,
+            ).encode("utf-8")
+            assert payload == canonical
+            offset += _HEADER.size + length
+            seen += 1
+        assert seen == 2
+
+    def test_remove_and_threshold_logged(self, tmp_path):
+        wal, engine = self.journaled_engine(tmp_path)
+        engine.observe("a", SECRET_TEXT)
+        engine.set_threshold("a", 0.7)
+        engine.remove("a")
+        wal.close()
+        ops = [r["op"] for r in wal_records(tmp_path / "wal.log")]
+        assert ops == ["observe", "threshold", "remove"]
+
+    def test_detach_stops_journaling(self, tmp_path):
+        wal, engine = self.journaled_engine(tmp_path)
+        engine.observe("a", SECRET_TEXT)
+        engine.detach_journal()
+        engine.observe("b", OTHER_TEXT)
+        wal.close()
+        assert [r["id"] for r in wal_records(tmp_path / "wal.log")] == ["a"]
+
+    def test_replay_refuses_journaled_engine(self, tmp_path):
+        wal, engine = self.journaled_engine(tmp_path)
+        record = {"lsn": 1, "op": "remove", "kind": "paragraph", "id": "a"}
+        with pytest.raises(DisclosureError):
+            apply_record(record, lambda _k: engine)
+        wal.close()
+
+    def test_replayed_observe_does_not_advance_clock(self, tmp_path):
+        wal, engine = self.journaled_engine(tmp_path)
+        engine.observe("a", SECRET_TEXT)
+        wal.close()
+        replica = DisclosureEngine(TINY_CONFIG, LogicalClock())
+        replay_records(wal_records(tmp_path / "wal.log"), lambda _k: replica)
+        assert replica.segment_db.get("a").last_updated == (
+            engine.segment_db.get("a").last_updated
+        )
+        assert replica._clock.now() == 0.0  # untouched by replay
+
+
+class TestDurableEngineLifecycle:
+    def test_compaction_bounds_log_and_preserves_state(self, tmp_path):
+        durable = DurableEngine(
+            tmp_path, config=TINY_CONFIG, compact_every=2, fsync="always"
+        )
+        durable.observe("a", SECRET_TEXT, threshold=0.4)
+        durable.observe("b", OTHER_TEXT, threshold=0.4)  # triggers compact
+        durable.observe("c", SECRET_TEXT, threshold=0.4)
+        durable.close()
+        assert (tmp_path / "snapshot.json").exists()
+        records, _torn = read_wal_directory(tmp_path)
+        ops = [r["op"] for r in records]
+        assert ops == ["compact", "observe"]  # log bounded by the fold
+        recovered = DurableEngine(tmp_path, config=TINY_CONFIG)
+        assert sorted(recovered.segment_db.ids()) == ["a", "b", "c"]
+        assert recovered.recovery.snapshot_lsn == 2
+        assert recovered.recovery.replayed == 1
+        recovered.close()
+
+    def test_manual_compact_returns_lsn_stamp(self, tmp_path):
+        durable = DurableEngine(tmp_path, config=TINY_CONFIG, fsync="always")
+        durable.observe("a", SECRET_TEXT)
+        assert durable.compact() == 1
+        data = json.loads((tmp_path / "snapshot.json").read_text())
+        assert data["wal_lsn"] == 1
+        durable.close()
+
+    def test_expire_journals_marker_and_removes(self, tmp_path):
+        durable = DurableEngine(tmp_path, config=TINY_CONFIG, fsync="always")
+        durable.observe("old", SECRET_TEXT)
+        durable.observe("new", OTHER_TEXT)
+        assert durable.expire(older_than=1.0) == ["old"]
+        durable.close()
+        ops = [r["op"] for r in read_wal_directory(tmp_path)[0]]
+        assert ops == ["observe", "observe", "remove", "expire"]
+        recovered = DurableEngine(tmp_path, config=TINY_CONFIG)
+        assert recovered.segment_db.ids() == ["new"]
+        recovered.close()
+
+    def test_invalid_compact_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurableEngine(tmp_path, config=TINY_CONFIG, compact_every=0)
+
+    def test_metrics_exposed(self, tmp_path):
+        durable = DurableEngine(tmp_path, config=TINY_CONFIG, fsync="always")
+        durable.observe("a", SECRET_TEXT)
+        snapshot = durable.registry.snapshot()
+        assert snapshot["wal.appends"] == 1
+        assert snapshot["wal.fsyncs"] >= 1
+        durable.close()

@@ -27,6 +27,14 @@ validator (no duplicated schema walking):
   workload, with fingerprint- and verdict-equivalence between the two
   paths proved at one and at four shards before anything is timed
   (see ``repro.eval.delta_bench``).
+* ``wal`` → ``BENCH_wal.json``: durability cost — steady-state WAL
+  journaling overhead of a ``DurableEngine`` versus a plain engine on
+  a mixed observe/scan workload, plus crash-recovery time (records/s)
+  before and after compaction, with the recovered engine proved
+  equivalent to the plain engine before anything is timed (see
+  ``repro.eval.wal_bench``). Note the overhead gate is a *maximum*:
+  ``--gate-wal-overhead 1.15`` fails a file whose durable/plain ratio
+  exceeds 15% overhead.
 
 Re-running this tool after a perf-relevant PR and committing the
 refreshed file makes the trajectory visible in git history.
@@ -54,6 +62,10 @@ Usage::
         --out BENCH_delta.json
     PYTHONPATH=src python tools/bench_to_json.py --validate BENCH_delta.json \
         --gate-delta 3.0
+    PYTHONPATH=src python tools/bench_to_json.py --bench wal \
+        --out BENCH_wal.json
+    PYTHONPATH=src python tools/bench_to_json.py --validate BENCH_wal.json \
+        --gate-wal-overhead 1.15
 
 ``--smoke`` shrinks the corpora for CI; measurements are noisier there,
 which is why CI gates sit at (or under) the floors the real-corpus
@@ -81,6 +93,7 @@ if str(SRC) not in sys.path:
 
 from repro.eval import delta_bench  # noqa: E402
 from repro.eval import shard_bench  # noqa: E402
+from repro.eval import wal_bench  # noqa: E402
 from repro.eval import fleet as fleet_sim  # noqa: E402
 from repro.eval.ingest_bench import (  # noqa: E402
     SCHEMA_VERSION as INGEST_SCHEMA_VERSION,
@@ -533,6 +546,110 @@ def validate_delta(document: dict, gates: Gates) -> List[str]:
     return problems
 
 
+#: Required numeric keys of each wal per-path summary.
+WAL_PATH_KEYS = ("ops", "seconds", "ops_per_s")
+
+
+def run_wal(smoke: bool, seed: int, opts: RunOpts) -> dict:
+    document = wal_bench.measure(smoke, seed)
+    overhead = document["overhead"]["ratio"]
+    recovery = document["recovery"]
+    print(
+        f"[wal] equivalence ok on {document['equivalence_checked']} "
+        f"verdicts (durable and recovered vs plain); journaling overhead "
+        f"{(overhead - 1.0) * 100:.1f}%, recovery "
+        f"{recovery['records_per_s']:.0f} records/s "
+        f"({recovery['seconds'] * 1000:.1f} ms full log, "
+        f"{recovery['post_compaction_seconds'] * 1000:.1f} ms compacted)",
+        file=sys.stderr,
+    )
+    return document
+
+
+def validate_wal(document: dict, gates: Gates) -> List[str]:
+    """Problems with a ``wal`` document (empty == valid)."""
+    problems: List[str] = []
+    need = _checker(problems)
+
+    need(
+        document.get("schema_version") == wal_bench.SCHEMA_VERSION,
+        "schema_version mismatch",
+    )
+    need(isinstance(document.get("smoke"), bool), "smoke must be a boolean")
+    config = document.get("config")
+    need(
+        isinstance(config, dict)
+        and {
+            "fsync",
+            "fsync_interval",
+            "rounds",
+            "ngram_size",
+            "window_size",
+            "hash_bits",
+        }
+        <= set(config or {}),
+        "config must carry the fsync policy and fingerprint parameters",
+    )
+    workload = document.get("workload")
+    need(
+        isinstance(workload, dict)
+        and isinstance(workload.get("observes"), int)
+        and workload.get("observes", 0) > 0
+        and isinstance(workload.get("scans"), int),
+        "workload must carry positive observes and scans counts",
+    )
+    need(
+        isinstance(document.get("equivalence_checked"), int)
+        and document.get("equivalence_checked", 0) > 0,
+        "equivalence_checked must be a positive integer",
+    )
+    paths = document.get("paths")
+    need(
+        isinstance(paths, dict) and {"plain", "durable"} <= set(paths or {}),
+        "paths must carry plain and durable blocks",
+    )
+    for name, block in (paths or {}).items():
+        need(isinstance(block, dict), f"paths.{name} must be an object")
+        if not isinstance(block, dict):
+            continue
+        for key in WAL_PATH_KEYS:
+            value = block.get(key)
+            need(
+                isinstance(value, (int, float)) and value >= 0,
+                f"paths.{name}.{key} must be a non-negative number",
+            )
+    overhead = document.get("overhead")
+    need(
+        isinstance(overhead, dict)
+        and isinstance(overhead.get("ratio"), (int, float)),
+        "overhead must carry a numeric durable/plain ratio",
+    )
+    recovery = document.get("recovery")
+    need(
+        isinstance(recovery, dict)
+        and all(
+            isinstance(recovery.get(key), (int, float))
+            for key in (
+                "records", "seconds", "records_per_s",
+                "post_compaction_seconds",
+            )
+        ),
+        "recovery must carry records/seconds/records_per_s/"
+        "post_compaction_seconds",
+    )
+    if isinstance(overhead, dict):
+        gate_overhead = gates.get("wal_overhead", 0.0)
+        if gate_overhead:
+            actual = overhead.get("ratio", float("inf"))
+            # A maximum, unlike the speedup gates: overhead above the
+            # gate is the regression.
+            need(
+                isinstance(actual, (int, float)) and actual <= gate_overhead,
+                f"journaling overhead ratio {actual} > gate {gate_overhead}",
+            )
+    return problems
+
+
 #: bench name -> (runner, validator). One validator per family; the
 #: dispatcher below picks by the document's own ``bench`` field.
 BENCHES: Dict[str, Tuple[Callable[[bool, int, RunOpts], dict], Callable[[dict, Gates], List[str]]]] = {
@@ -540,6 +657,7 @@ BENCHES: Dict[str, Tuple[Callable[[bool, int, RunOpts], dict], Callable[[dict, G
     "sharded_lookup": (run_sharded, validate_sharded),
     "fleet": (run_fleet_bench, validate_fleet),
     "delta_check": (run_delta, validate_delta),
+    "wal": (run_wal, validate_wal),
 }
 
 
@@ -617,6 +735,13 @@ def main(argv=None) -> int:
         help="with --validate (delta_check): minimum per-edit median "
         "speedup of the delta pipeline vs a full recheck",
     )
+    parser.add_argument(
+        "--gate-wal-overhead",
+        type=float,
+        default=0.0,
+        help="with --validate (wal): MAXIMUM durable/plain wall-clock "
+        "ratio (1.15 = at most 15%% journaling overhead)",
+    )
     args = parser.parse_args(argv)
     if not args.out and not args.validate:
         parser.error("nothing to do: pass --out and/or --validate")
@@ -627,6 +752,7 @@ def main(argv=None) -> int:
         "p95": args.gate_p95,
         "sessions": args.gate_sessions,
         "delta": args.gate_delta,
+        "wal_overhead": args.gate_wal_overhead,
     }
 
     if args.out:
