@@ -60,13 +60,19 @@ SNAPSHOT_VERSION = 1
 
 
 def snapshot_engine(
-    engine: DisclosureEngine, *, wal_lsn: Optional[int] = None
+    engine: DisclosureEngine,
+    *,
+    wal_lsn: Optional[int] = None,
+    wal_shards: Optional[int] = None,
 ) -> dict:
     """Serialise an engine's databases to a JSON-compatible dict.
 
     *wal_lsn*, when given, records the last WAL log sequence number
     folded into this snapshot; recovery replays only records beyond it
-    (see :mod:`repro.disclosure.wal`).
+    (see :mod:`repro.disclosure.wal`). *wal_shards* records the WAL
+    set's shard count, so recovery opens every ``wal.<i>.log`` file the
+    deployment wrote instead of silently dropping the ones a wrong
+    shard count would not look for.
     """
     config = engine.config
     segments = []
@@ -109,6 +115,8 @@ def snapshot_engine(
     data["ownership_changes"] = changes
     if wal_lsn is not None:
         data["wal_lsn"] = wal_lsn
+    if wal_shards is not None:
+        data["wal_shards"] = wal_shards
     return data
 
 
@@ -293,15 +301,19 @@ def save_engine(
     *,
     cipher: Optional[UploadCipher] = None,
     wal_lsn: Optional[int] = None,
+    wal_shards: Optional[int] = None,
     faults: Optional[FaultInjector] = None,
 ) -> None:
     """Atomically write a snapshot to *path*.
 
     Encrypted when a cipher is given. *wal_lsn* stamps the snapshot
-    with the last WAL record it covers (compaction); *faults* injects
-    deterministic crash points (see :func:`_atomic_write_text`).
+    with the last WAL record it covers (compaction) and *wal_shards*
+    the WAL set's shard layout; *faults* injects deterministic crash
+    points (see :func:`_atomic_write_text`).
     """
-    payload = json.dumps(snapshot_engine(engine, wal_lsn=wal_lsn))
+    payload = json.dumps(
+        snapshot_engine(engine, wal_lsn=wal_lsn, wal_shards=wal_shards)
+    )
     if cipher is not None:
         payload = cipher.encrypt(payload)
     _atomic_write_text(Path(path), payload, faults=faults)

@@ -42,7 +42,10 @@ set) and ``op``; with a cipher it is the UploadCipher armour of that
 JSON, giving the log the same at-rest encryption as snapshots (§4.4).
 A record whose length, checksum, or JSON fails to decode marks the torn
 tail: everything before it is kept, it and everything after is
-discarded (and the file truncated back to the last good record).
+discarded (and the file truncated back to the last good record). A
+record that passes its checksum but cannot be *decrypted* is not tail
+damage — it means the wrong cipher key, and raises
+:class:`~repro.errors.WALCorrupt` before anything is truncated.
 
 Sharded deployments (:class:`~repro.disclosure.sharding.
 ShardedHashDatabase` behind a :class:`WALSet` with ``n_shards > 1``)
@@ -153,8 +156,21 @@ def _decode_payload(raw: bytes, cipher: Optional[UploadCipher]) -> dict:
     if UploadCipher.is_encrypted(text):
         if cipher is None:
             raise WALCorrupt("encrypted WAL record but no cipher supplied")
-        text = cipher.decrypt(text)
-    record = json.loads(text)
+        # The checksum already validated these ciphertext bytes, so a
+        # decrypt or decode failure here is a wrong key, not a torn
+        # append — raise (the scan re-raises WALCorrupt) instead of
+        # letting the caller classify it as tail damage and truncate
+        # acknowledged records away.
+        try:
+            text = cipher.decrypt(text)
+            record = json.loads(text)
+        except Exception as exc:
+            raise WALCorrupt(
+                "WAL record cannot be decrypted — wrong cipher key? "
+                f"({type(exc).__name__})"
+            ) from exc
+    else:
+        record = json.loads(text)
     if not isinstance(record, dict) or "lsn" not in record or "op" not in record:
         raise WALCorrupt(f"WAL record missing lsn/op: {record!r}")
     return record
@@ -170,7 +186,10 @@ def scan_wal_file(
     should restore), *torn_bytes* what a crash left beyond it. A
     missing file scans as empty. A file that exists but lacks the magic
     header raises :class:`~repro.errors.WALCorrupt` — that is damage a
-    torn append cannot cause.
+    torn append cannot cause — and so does a record that passes its
+    checksum but cannot be decrypted: that is a wrong cipher key, and
+    classifying it as tail damage would let recovery truncate every
+    acknowledged record away.
     """
     path = Path(path)
     try:
@@ -197,9 +216,9 @@ def scan_wal_file(
         try:
             records.append(_decode_payload(payload, cipher))
         except WALCorrupt:
-            raise
+            raise  # wrong key / missing cipher: never truncated away
         except Exception:
-            break  # checksummed garbage — treat as tail damage
+            break  # unencrypted checksummed garbage — treat as tail damage
         offset = end
     return records, offset, len(blob) - offset
 
@@ -478,6 +497,22 @@ class WALSet:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.n_shards = n_shards
+        # Opening with the wrong shard count would silently ignore the
+        # extra shards' files — and drop their acknowledged records from
+        # every recovery. Refuse before any log is opened (and therefore
+        # before any torn-tail truncation touches the directory).
+        expected = {_wal_name(i, n_shards) for i in range(n_shards)}
+        unexpected = sorted(
+            p.name
+            for p in self.directory.glob("wal*.log")
+            if p.name not in expected
+        )
+        if unexpected:
+            raise WALCorrupt(
+                f"{self.directory} holds WAL file(s) {unexpected} that "
+                f"n_shards={n_shards} would not open; recovering with the "
+                "wrong shard count would drop their records"
+            )
         self._mutex = threading.Lock()
         self.counter = LSNCounter()
         scope = scope or MetricsRegistry().scope("wal.")
@@ -543,7 +578,22 @@ class WALSet:
             shard.sync()
 
     def rotate(self, snapshot_lsn: int) -> None:
+        """Rotate every shard to a fresh log pinned at *snapshot_lsn*.
+
+        Refuses when records beyond *snapshot_lsn* have already been
+        acknowledged: rotating would replace the shard files and discard
+        them, breaking the write-ahead contract. Callers (``
+        DurableEngine.compact``) must block mutations across the
+        snapshot *and* this rotation.
+        """
         with self._mutex:
+            if self.counter.last_allocated > snapshot_lsn:
+                raise DisclosureError(
+                    f"rotate(snapshot_lsn={snapshot_lsn}) would discard "
+                    f"acknowledged records through lsn "
+                    f"{self.counter.last_allocated}; block appends across "
+                    "the snapshot and the rotation"
+                )
             for shard in self._shards:
                 shard.rotate(snapshot_lsn)
 
@@ -781,6 +831,38 @@ class DurableEngine:
             "recovery_records", buckets=(1, 16, 256, 4096, 65536)
         )
 
+        snapshot_path = self.directory / SNAPSHOT_NAME
+        # Read the snapshot *before* opening the logs: a wrong-key or
+        # corrupt snapshot must abort recovery while the WAL is still
+        # untouched — opening the WALSet truncates torn tails, and with
+        # the wrong cipher key that would destroy acknowledged records.
+        data = (
+            read_snapshot(snapshot_path, cipher=cipher)
+            if snapshot_path.exists()
+            else None
+        )
+        persisted_shards: Optional[int] = None
+        if data is not None:
+            config = FingerprintConfig(**data["config"])
+            kind = data.get("kind", kind)
+            authoritative = data.get("authoritative", authoritative)
+            if data.get("wal_shards") is not None:
+                persisted_shards = int(data["wal_shards"])
+        if (
+            n_shards is not None
+            and persisted_shards is not None
+            and n_shards != persisted_shards
+        ):
+            raise DisclosureError(
+                f"snapshot {snapshot_path} records {persisted_shards} WAL "
+                f"shard(s) but n_shards={n_shards} was requested; recovering "
+                "with the wrong shard count would drop shard logs"
+            )
+        if n_shards is None and persisted_shards is not None and persisted_shards > 1:
+            # Adopt the deployment's shard count (like config and kind):
+            # `repro recover` need not know how the primary was sharded.
+            n_shards = persisted_shards
+        snapshot_lsn = int(data.get("wal_lsn", 0)) if data is not None else 0
         self.wal = WALSet(
             self.directory,
             n_shards=n_shards or 1,
@@ -790,17 +872,6 @@ class DurableEngine:
             faults=faults,
             scope=scope,
         )
-        snapshot_path = self.directory / SNAPSHOT_NAME
-        data = (
-            read_snapshot(snapshot_path, cipher=cipher)
-            if snapshot_path.exists()
-            else None
-        )
-        if data is not None:
-            config = FingerprintConfig(**data["config"])
-            kind = data.get("kind", kind)
-            authoritative = data.get("authoritative", authoritative)
-        snapshot_lsn = int(data.get("wal_lsn", 0)) if data is not None else 0
         tail = [
             r for r in self.wal.recovered_records if r["lsn"] > snapshot_lsn
         ]
@@ -901,14 +972,21 @@ class DurableEngine:
         only then are the log files rotated. A crash between the two
         steps leaves a log whose records are all covered by the
         snapshot's stamp — replay skips them.
+
+        The engine read lock is held across *both* steps: journaled
+        mutations append under the write lock, so no record with an LSN
+        beyond the stamp can be acknowledged between the snapshot and
+        the rotation — rotating outside the lock would let such a
+        record be discarded with the old shard files. ``WALSet.rotate``
+        additionally refuses if one slipped through.
         """
         with self.engine.lock.read_locked():
             lsn = self.wal.last_lsn
             save_engine(
                 self.engine, self.snapshot_path, cipher=self._cipher,
-                wal_lsn=lsn,
+                wal_lsn=lsn, wal_shards=self.wal.n_shards,
             )
-        self.wal.rotate(lsn)
+            self.wal.rotate(lsn)
         self._ops_since_compact = 0
         self._c_compactions.inc()
         return lsn
@@ -938,9 +1016,14 @@ class LogShipper:
     recovery of the primary would replay.
 
     Rotation-aware: a rotated log's ``compact`` record has an LSN above
-    the cursor, so the standby learns of compactions; records folded
-    into the snapshot were shipped before the rotation (compaction only
-    covers acknowledged appends).
+    the cursor, so the standby learns of compactions. Nothing guarantees
+    the standby polled every record *before* the rotation folded it into
+    the snapshot (which is never shipped) — a slow poller can find a
+    ``compact`` record whose ``snapshot_lsn`` is beyond its cursor, and
+    the records in between are gone from the log. The shipper itself
+    just reports what is on disk; :class:`~repro.plugin.server.
+    StandbyLookupServer.catch_up` detects that hole and raises
+    :class:`~repro.errors.StandbyGap` rather than silently diverging.
     """
 
     def __init__(self, directory, *, cipher: Optional[UploadCipher] = None):

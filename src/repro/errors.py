@@ -46,8 +46,23 @@ class WALCorrupt(DisclosureError):
 
     A torn tail (the last record cut short by a crash) is *expected* and
     silently truncated at recovery; this error covers everything else —
-    a missing or wrong magic header, or a record whose checksum fails
-    mid-file with valid data after it.
+    a missing or wrong magic header, a record that passes its checksum
+    but cannot be decrypted (wrong cipher key), or a shard layout that
+    does not match the directory's log files. Raised *before* anything
+    is truncated, so a recovery attempted with the wrong key or shard
+    count never destroys acknowledged records.
+    """
+
+
+class StandbyGap(DisclosureError):
+    """A standby's log-shipping stream has a hole it cannot replay.
+
+    Raised by :meth:`~repro.plugin.server.StandbyLookupServer.catch_up`
+    when a shipped ``compact`` record covers LSNs the standby never
+    applied: the primary rotated its logs between polls, folding those
+    records into a snapshot that is not shipped. Continuing would leave
+    the replica permanently diverged, so the standby refuses; the
+    operator must re-seed it from the primary's snapshot.
     """
 
 

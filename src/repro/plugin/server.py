@@ -43,6 +43,7 @@ from repro.errors import (
     LookupTimeout,
     LookupUnavailable,
     ShardDegraded,
+    StandbyGap,
 )
 from repro.fingerprint import FingerprintConfig
 from repro.obs.registry import MetricsRegistry, MetricsScope
@@ -603,6 +604,7 @@ class StandbyLookupServer:
                 "records_applied",
                 "records_skipped",
                 "suppressions_shipped",
+                "gaps_detected",
                 "scans",
                 "dropped",
                 "rejected",
@@ -632,18 +634,50 @@ class StandbyLookupServer:
         """Pull and apply the primary's new records; returns how many.
 
         Idempotent and incremental — each call applies only records
-        beyond the shipper's cursor. A torn record at the primary's
-        tail (an append in flight, or the debris of its death) is not
-        shipped; if the append completes it arrives on the next poll.
+        beyond the shipper's cursor, and the cursor advances one record
+        at a time *as records apply*: if an apply raises mid-batch, the
+        failed record and everything after it are still beyond the
+        cursor and are retried on the next poll, never silently skipped.
+        A torn record at the primary's tail (an append in flight, or
+        the debris of its death) is not shipped; if the append completes
+        it arrives on the next poll.
+
+        A shipped ``compact`` record whose ``snapshot_lsn`` is beyond
+        the last record this replica applied means the primary rotated
+        its logs before we polled the folded records — they exist only
+        in the primary's (unshipped) snapshot, so the replica can never
+        catch up from the log alone. That hole raises
+        :class:`~repro.errors.StandbyGap` rather than letting the
+        replica diverge silently; the operator re-seeds the standby.
         """
         if self._promoted:
             raise DisclosureError(
                 "standby has been promoted; it no longer follows the log"
             )
+        # Deferred import: wal pulls in plugin.crypto, which would
+        # close an import cycle through this package's __init__.
+        from repro.disclosure.wal import replay_records
+
+        prev_cursor = self._shipper.cursor
         records = self._shipper.poll()
         applied = 0
         skipped = 0
+        # poll() advanced the cursor past the whole batch; rewind to the
+        # pre-poll position and walk it forward per record, so the
+        # cursor always names the last record actually applied.
+        self._shipper.cursor = prev_cursor
         for record in records:
+            if record["op"] == "compact":
+                snapshot_lsn = int(record.get("snapshot_lsn", 0))
+                if snapshot_lsn > self._shipper.cursor:
+                    self._counters["gaps_detected"].inc()
+                    raise StandbyGap(
+                        f"primary compacted through lsn {snapshot_lsn} but "
+                        f"this standby only applied lsn "
+                        f"{self._shipper.cursor}; the folded records were "
+                        "never shipped — re-seed the standby from the "
+                        "primary's snapshot"
+                    )
             ts = record.get("ts")
             if ts is not None:
                 self._max_ts = max(self._max_ts, ts)
@@ -651,16 +685,13 @@ class StandbyLookupServer:
                 self.shipped_suppressions.append(record)
                 self._counters["suppressions_shipped"].inc()
                 skipped += 1
-                continue
-            # Deferred import: wal pulls in plugin.crypto, which would
-            # close an import cycle through this package's __init__.
-            from repro.disclosure.wal import replay_records
-
-            one_applied, one_skipped = replay_records(
-                [record], self._resolve
-            )
-            applied += one_applied
-            skipped += one_skipped
+            else:
+                one_applied, one_skipped = replay_records(
+                    [record], self._resolve
+                )
+                applied += one_applied
+                skipped += one_skipped
+            self._shipper.cursor = record["lsn"]
         self._counters["catchups"].inc()
         self._counters["records_applied"].inc(applied)
         self._counters["records_skipped"].inc(skipped)

@@ -354,3 +354,71 @@ class TestRecover:
     def test_recover_missing_dir_is_fresh(self, tmp_path, capsys):
         assert main(["recover", "--dir", str(tmp_path / "empty")]) == 0
         assert "0 segments" in capsys.readouterr().out
+
+    def sharded_dir(self, tmp_path, compacted=True):
+        from repro.disclosure.wal import DurableEngine
+        from repro.fingerprint.config import TINY_CONFIG
+
+        directory = tmp_path / "sharded"
+        engine = DurableEngine(
+            directory, config=TINY_CONFIG, n_shards=4, fsync="always"
+        )
+        engine.observe("s1", SECRET_TEXT, threshold=0.4)
+        engine.observe("s2", OTHER_TEXT, threshold=0.4)
+        if compacted:
+            engine.compact()
+        engine.close()
+        return directory
+
+    def test_recover_adopts_shard_count_from_snapshot(self, files, tmp_path, capsys):
+        directory = self.sharded_dir(tmp_path)
+        assert main(["recover", "--dir", str(directory)]) == 0
+        assert "2 segments" in capsys.readouterr().out
+
+    def test_recover_wrong_shards_readable_error(self, files, tmp_path, capsys):
+        directory = self.sharded_dir(tmp_path)
+        assert main(
+            ["recover", "--dir", str(directory), "--shards", "2"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "shard" in err
+
+    def test_recover_uncompacted_sharded_needs_flag(self, files, tmp_path, capsys):
+        directory = self.sharded_dir(tmp_path, compacted=False)
+        # No snapshot manifest to adopt: the default open must fail
+        # loudly instead of dropping three shards' records...
+        assert main(["recover", "--dir", str(directory)]) == 2
+        assert "shard" in capsys.readouterr().err
+        # ...and the explicit flag recovers everything.
+        assert main(
+            ["recover", "--dir", str(directory), "--shards", "4"]
+        ) == 0
+        assert "2 segments" in capsys.readouterr().out
+
+    def test_recover_wrong_key_preserves_log(self, files, tmp_path, capsys):
+        from repro.disclosure.wal import DurableEngine
+        from repro.fingerprint.config import TINY_CONFIG
+        from repro.plugin.crypto import UploadCipher
+
+        directory = tmp_path / "enc"
+        engine = DurableEngine(
+            directory, config=TINY_CONFIG, cipher=UploadCipher("right"),
+            fsync="always",
+        )
+        engine.observe("s1", SECRET_TEXT, threshold=0.4)
+        engine.close()
+        before = (directory / "wal.log").read_bytes()
+        assert main(
+            ["recover", "--dir", str(directory), "--key", "wrong"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "wrong cipher key" in err
+        # The wrong-key attempt did not truncate the log; the right key
+        # still recovers every acknowledged record.
+        assert (directory / "wal.log").read_bytes() == before
+        assert main(
+            ["recover", "--dir", str(directory), "--key", "right"]
+        ) == 0
+        assert "1 segments" in capsys.readouterr().out

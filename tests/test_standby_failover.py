@@ -26,6 +26,7 @@ from repro.errors import (
     LookupRejected,
     LookupTimeout,
     SimulatedCrash,
+    StandbyGap,
 )
 from repro.fingerprint.config import TINY_CONFIG
 from repro.plugin.crypto import UploadCipher
@@ -137,6 +138,75 @@ class TestCatchUp:
         standby.catch_up()
         report = standby.check_document("probe", [("q1", SECRET_TEXT)])
         assert report.disclosing
+        wal.close()
+
+    def test_caught_up_standby_survives_rotation(self, tmp_path):
+        """A standby that polled every record before the primary rotates
+        sees the compact record as a harmless marker and keeps going."""
+        wal, primary = make_primary(tmp_path)
+        standby = make_standby(tmp_path)
+        primary.observe_document("doc1", DOC)
+        standby.catch_up()
+        wal.rotate(wal.last_lsn)  # primary compacts; standby is current
+        assert standby.catch_up() == 0  # compact marker applies as no-op
+        primary.observe_document("doc2", [("p3", THIRD_TEXT)])
+        assert standby.catch_up() == 2
+        wal.close()
+
+    def test_rotation_gap_raises_instead_of_diverging(self, tmp_path):
+        """If the primary rotates records the standby never polled, the
+        folded records exist only in the (unshipped) snapshot — catch_up
+        must refuse, not silently skip them forever."""
+        wal, primary = make_primary(tmp_path)
+        standby = make_standby(tmp_path)
+        primary.observe_document("doc1", DOC)
+        standby.catch_up()
+        primary.observe_document("doc2", [("p3", THIRD_TEXT)])
+        wal.rotate(wal.last_lsn)  # folds doc2's records before any poll
+        with pytest.raises(StandbyGap, match="re-seed"):
+            standby.catch_up()
+        # The gap is permanent: a retry refuses again rather than
+        # advancing past the hole.
+        with pytest.raises(StandbyGap):
+            standby.catch_up()
+        assert standby.stats()["standby_gaps_detected"] == 2
+        wal.close()
+
+    def test_fresh_standby_cannot_join_from_rotated_log(self, tmp_path):
+        """A standby bootstrapped with an empty replica against a
+        primary that already compacted is missing everything the
+        snapshot holds — that is a gap, not a clean start."""
+        wal, primary = make_primary(tmp_path)
+        primary.observe_document("doc1", DOC)
+        wal.rotate(wal.last_lsn)
+        standby = make_standby(tmp_path)
+        with pytest.raises(StandbyGap):
+            standby.catch_up()
+        wal.close()
+
+    def test_failed_apply_is_retried_not_skipped(self, tmp_path):
+        """If applying a shipped record raises mid-batch, the cursor
+        must stay on the last applied record so the failed record and
+        the remainder of the batch are retried — not silently skipped
+        because poll() already advanced past them."""
+        wal, primary = make_primary(tmp_path)
+        standby = make_standby(tmp_path)
+        primary.paragraphs.observe("good1", SECRET_TEXT)
+        good1_lsn = wal.last_lsn
+        # A structurally broken record (an observe with no selections):
+        # replay raises while decoding it, with a good record after it.
+        wal.append("observe", key="bad", kind="paragraph", id="bad")
+        primary.paragraphs.observe("good2", OTHER_TEXT)
+        with pytest.raises(Exception):
+            standby.catch_up()
+        assert standby.applied_lsn == good1_lsn  # good1 applied, cursor held
+        assert standby.tracker.paragraphs.segment_db.ids() == ["good1"]
+        # The bad record is retried (and fails again) instead of the
+        # batch remainder being skipped forever.
+        with pytest.raises(Exception):
+            standby.catch_up()
+        assert standby.applied_lsn == good1_lsn
+        assert "good2" not in standby.tracker.paragraphs.segment_db.ids()
         wal.close()
 
     def test_suppressions_ship_without_state_change(self, tmp_path):

@@ -9,6 +9,7 @@ test_standby_failover.py.
 
 import json
 import struct
+import threading
 import zlib
 
 import pytest
@@ -308,6 +309,44 @@ class TestWALSet:
         with pytest.raises(ValueError):
             WALSet(tmp_path, n_shards=0)
 
+    def test_rotate_refuses_to_discard_acknowledged_records(self, tmp_path):
+        """An append acknowledged after the snapshot stamp must not be
+        replaced away by the rotation — the write-ahead contract."""
+        wal = WALSet(tmp_path, fsync="always")
+        for i in range(3):
+            wal.append("remove", key=f"seg{i}", kind="paragraph", id=f"seg{i}")
+        snapshot_lsn = wal.last_lsn
+        wal.append("remove", key="late", kind="paragraph", id="late")
+        with pytest.raises(DisclosureError, match="discard acknowledged"):
+            wal.rotate(snapshot_lsn)
+        # The late record is still on disk, untouched.
+        records, _torn = read_wal_directory(tmp_path)
+        assert [r["id"] for r in records] == ["seg0", "seg1", "seg2", "late"]
+        wal.close()
+
+    def test_open_with_wrong_shard_count_fails_loudly(self, tmp_path):
+        """A directory written with 4 shards must not open (and silently
+        drop three files' records) under a smaller shard count."""
+        wal = WALSet(tmp_path, n_shards=4, fsync="always")
+        for i in range(8):
+            wal.append("remove", key=f"seg{i}", kind="paragraph", id=f"seg{i}")
+        wal.close()
+        before = {p.name: p.read_bytes() for p in tmp_path.glob("wal*.log")}
+        for wrong in (1, 2):
+            with pytest.raises(WALCorrupt, match="shard count"):
+                WALSet(tmp_path, n_shards=wrong)
+        # Nothing truncated by the refused opens.
+        assert {
+            p.name: p.read_bytes() for p in tmp_path.glob("wal*.log")
+        } == before
+
+    def test_single_shard_dir_refuses_sharded_open(self, tmp_path):
+        wal = WALSet(tmp_path, n_shards=1, fsync="always")
+        wal.append("remove", key="a", kind="paragraph", id="a")
+        wal.close()
+        with pytest.raises(WALCorrupt, match="shard count"):
+            WALSet(tmp_path, n_shards=2)
+
 
 class TestEncryptedWAL:
     def test_payloads_armoured_on_disk(self, tmp_path):
@@ -321,16 +360,64 @@ class TestEncryptedWAL:
             "visible-segment-name"
         ]
 
-    def test_wrong_key_is_tail_damage_not_traceback(self, tmp_path):
+    def test_wrong_key_raises_wal_corrupt_not_tail_damage(self, tmp_path):
+        """A record that passes its checksum but does not decrypt is a
+        wrong key, not a torn append — classifying it as tail damage
+        would let recovery truncate every acknowledged record away."""
         cipher = UploadCipher("log-key")
         wal = WriteAheadLog(tmp_path / "wal.log", cipher=cipher)
         wal.append("remove", kind="paragraph", id="x")
         wal.close()
-        records, _good, torn = scan_wal_file(
-            tmp_path / "wal.log", cipher=UploadCipher("wrong-key")
+        with pytest.raises(WALCorrupt, match="wrong cipher key"):
+            scan_wal_file(tmp_path / "wal.log", cipher=UploadCipher("wrong-key"))
+
+    def test_wrong_key_open_does_not_destroy_log(self, tmp_path):
+        """Opening (WriteAheadLog or DurableEngine) with the wrong key
+        must fail loudly and leave the log bytes intact, so a retry
+        with the right key recovers every acknowledged record."""
+        cipher = UploadCipher("log-key")
+        durable = DurableEngine(
+            tmp_path, config=TINY_CONFIG, cipher=cipher, fsync="always"
         )
-        assert records == []
-        assert torn > 0
+        durable.observe("a", SECRET_TEXT, threshold=0.4)
+        durable.observe("b", OTHER_TEXT, threshold=0.5)
+        durable.close()
+        before = (tmp_path / "wal.log").read_bytes()
+        with pytest.raises(WALCorrupt):
+            DurableEngine(
+                tmp_path, config=TINY_CONFIG, cipher=UploadCipher("oops")
+            )
+        assert (tmp_path / "wal.log").read_bytes() == before
+        recovered = DurableEngine(tmp_path, config=TINY_CONFIG, cipher=cipher)
+        assert sorted(recovered.segment_db.ids()) == ["a", "b"]
+        recovered.close()
+
+    def test_wrong_key_with_snapshot_refuses_before_truncating(self, tmp_path):
+        """With a snapshot present the wrong-key failure surfaces from
+        the snapshot read, before the WAL is even opened — either way
+        no file is modified."""
+        cipher = UploadCipher("log-key")
+        durable = DurableEngine(
+            tmp_path, config=TINY_CONFIG, cipher=cipher, fsync="always",
+            compact_every=1,
+        )
+        durable.observe("a", SECRET_TEXT, threshold=0.4)
+        durable.observe("b", OTHER_TEXT, threshold=0.5)
+        durable.close()
+        before = {
+            p.name: p.read_bytes() for p in tmp_path.iterdir() if p.is_file()
+        }
+        with pytest.raises(DisclosureError):
+            DurableEngine(
+                tmp_path, config=TINY_CONFIG, cipher=UploadCipher("oops")
+            )
+        after = {
+            p.name: p.read_bytes() for p in tmp_path.iterdir() if p.is_file()
+        }
+        assert after == before
+        recovered = DurableEngine(tmp_path, config=TINY_CONFIG, cipher=cipher)
+        assert sorted(recovered.segment_db.ids()) == ["a", "b"]
+        recovered.close()
 
 
 class TestLSNCounter:
@@ -476,6 +563,52 @@ class TestDurableEngineLifecycle:
         with pytest.raises(ValueError):
             DurableEngine(tmp_path, config=TINY_CONFIG, compact_every=0)
 
+    def test_concurrent_mutations_during_compaction_survive(self, tmp_path):
+        """Compaction holds the engine lock across snapshot *and*
+        rotation: an observe acknowledged between the two would
+        otherwise be discarded with the old shard files — an
+        acknowledged, journaled write lost on the next recovery."""
+        durable = DurableEngine(tmp_path, config=TINY_CONFIG, fsync="never")
+        errors = []
+        acked = []
+
+        def writer(idx):
+            try:
+                for i in range(15):
+                    segment_id = f"w{idx}-{i}"
+                    durable.observe(
+                        segment_id,
+                        SECRET_TEXT if i % 2 else OTHER_TEXT,
+                        threshold=0.5,
+                    )
+                    acked.append(segment_id)
+            except Exception as exc:  # pragma: no cover - regression path
+                errors.append(exc)
+
+        def compactor():
+            try:
+                for _ in range(8):
+                    durable.compact()
+            except Exception as exc:  # pragma: no cover - regression path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(0,)),
+            threading.Thread(target=writer, args=(1,)),
+            threading.Thread(target=compactor),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        durable.close()
+        assert errors == []
+        recovered = DurableEngine(tmp_path, config=TINY_CONFIG)
+        try:
+            assert sorted(recovered.segment_db.ids()) == sorted(acked)
+        finally:
+            recovered.close()
+
     def test_metrics_exposed(self, tmp_path):
         durable = DurableEngine(tmp_path, config=TINY_CONFIG, fsync="always")
         durable.observe("a", SECRET_TEXT)
@@ -483,3 +616,56 @@ class TestDurableEngineLifecycle:
         assert snapshot["wal.appends"] == 1
         assert snapshot["wal.fsyncs"] >= 1
         durable.close()
+
+
+class TestShardManifest:
+    """The snapshot records the WAL shard layout, so recovery cannot
+    silently open fewer files than the deployment wrote."""
+
+    def make_sharded(self, tmp_path, n_shards=4):
+        durable = DurableEngine(
+            tmp_path, config=TINY_CONFIG, n_shards=n_shards, fsync="always"
+        )
+        durable.observe("a", SECRET_TEXT, threshold=0.4)
+        durable.observe("b", OTHER_TEXT, threshold=0.5)
+        durable.compact()
+        durable.observe("c", SECRET_TEXT, threshold=0.6)
+        durable.close()
+        return durable
+
+    def test_snapshot_records_shard_count(self, tmp_path):
+        self.make_sharded(tmp_path)
+        data = json.loads((tmp_path / "snapshot.json").read_text())
+        assert data["wal_shards"] == 4
+
+    def test_recover_adopts_persisted_shard_count(self, tmp_path):
+        """`repro recover`-style recovery (no n_shards given) must open
+        every shard file the deployment wrote, not just wal.log."""
+        self.make_sharded(tmp_path)
+        recovered = DurableEngine(tmp_path, config=TINY_CONFIG)
+        try:
+            assert recovered.wal.n_shards == 4
+            assert sorted(recovered.segment_db.ids()) == ["a", "b", "c"]
+        finally:
+            recovered.close()
+
+    def test_recover_with_mismatched_shard_count_fails_loudly(self, tmp_path):
+        self.make_sharded(tmp_path)
+        with pytest.raises(DisclosureError, match="shard"):
+            DurableEngine(tmp_path, config=TINY_CONFIG, n_shards=2)
+
+    def test_uncompacted_sharded_dir_refuses_default_recovery(self, tmp_path):
+        """Without a snapshot there is no manifest to adopt — but the
+        stray shard files still fail the open instead of being dropped."""
+        durable = DurableEngine(
+            tmp_path, config=TINY_CONFIG, n_shards=4, fsync="always"
+        )
+        durable.observe("a", SECRET_TEXT, threshold=0.4)
+        durable.close()
+        with pytest.raises(WALCorrupt, match="shard count"):
+            DurableEngine(tmp_path, config=TINY_CONFIG)
+        recovered = DurableEngine(tmp_path, config=TINY_CONFIG, n_shards=4)
+        try:
+            assert recovered.segment_db.ids() == ["a"]
+        finally:
+            recovered.close()
